@@ -1,0 +1,127 @@
+//! Criterion benches of the substrate simulators themselves (ablation:
+//! how expensive is each model per simulated unit of work?).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    use tinyisa::exec::Machine;
+    use tinyisa::kernels;
+    let k = kernels::matmul(6, 256, 292, 328);
+    let m = Machine::default();
+    c.bench_function("tinyisa_matmul6_traced", |b| {
+        b.iter(|| m.run_traced(black_box(&k.program)).unwrap());
+    });
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    use pipeline_sim::inorder::{InOrderPipeline, InOrderState};
+    use pipeline_sim::latency::PerfectMem;
+    use pipeline_sim::ooo::{OooCore, OooState};
+    use tinyisa::exec::Machine;
+    use tinyisa::kernels;
+    let k = kernels::bubble_sort(8, 256);
+    let trace = Machine::default().run_traced(&k.program).unwrap().trace;
+    let mut g = c.benchmark_group("pipelines");
+    g.bench_function("inorder", |b| {
+        let p = InOrderPipeline::default();
+        b.iter(|| {
+            let mut mem = PerfectMem::default();
+            p.run(black_box(&trace), InOrderState { warmup: 0 }, &mut mem, None)
+        });
+    });
+    g.bench_function("ooo", |b| {
+        let core = OooCore::default();
+        b.iter(|| core.run(black_box(&trace), OooState::EMPTY));
+    });
+    g.finish();
+}
+
+fn bench_domino_machine(c: &mut Criterion) {
+    use pipeline_sim::domino::schneider_example;
+    let cfg = schneider_example();
+    let mut g = c.benchmark_group("domino_machine");
+    for n in [64u32, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| cfg.times(black_box(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use mem_hierarchy::cache::{lru_cache, CacheConfig};
+    let trace: Vec<u64> = (0..4096u64).map(|i| (i * 37) % 2048).collect();
+    c.bench_function("lru_cache_4k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = lru_cache(CacheConfig::new(16, 4, 16));
+            cache.run_trace(black_box(&trace))
+        });
+    });
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    use mem_hierarchy::analysis::{analyze_icache, InitialCache};
+    use mem_hierarchy::cache::CacheConfig;
+    use tinyisa::cfg::Cfg;
+    use tinyisa::kernels;
+    use wcet_analysis::{bounds, WcetConfig};
+    let k = kernels::matmul(4, 256, 272, 288);
+    let cfg = Cfg::build(&k.program);
+    let mut g = c.benchmark_group("analyses");
+    g.bench_function("icache_must_may", |b| {
+        b.iter(|| {
+            analyze_icache(
+                black_box(&k.program),
+                &cfg,
+                CacheConfig::new(4, 2, 8),
+                InitialCache::Cold,
+            )
+        });
+    });
+    g.bench_function("wcet_bounds", |b| {
+        b.iter(|| bounds(black_box(&k.program), &WcetConfig::default()));
+    });
+    g.finish();
+}
+
+fn bench_interconnect_dram(c: &mut Criterion) {
+    use dram_sim::controller::{simulate, Controller, Request};
+    use dram_sim::device::{DramDevice, DramTiming};
+    use interconnect_sim::bus::{simulate_bus, Arbiter, BusRequest};
+    let reqs: Vec<Request> = (0..256u64)
+        .map(|k| Request {
+            client: (k % 4) as usize,
+            arrival: k,
+            bank: (k % 4) as usize,
+            row: k % 8,
+        })
+        .collect();
+    let bus_reqs: Vec<BusRequest> = (0..512u64)
+        .map(|k| BusRequest {
+            master: (k % 4) as usize,
+            arrival: k,
+        })
+        .collect();
+    let mut g = c.benchmark_group("shared_resources");
+    g.bench_function("dram_frfcfs_256", |b| {
+        b.iter(|| {
+            let mut dev = DramDevice::new(4, DramTiming::default());
+            simulate(Controller::FrFcfs, &mut dev, black_box(&reqs), 4)
+        });
+    });
+    g.bench_function("bus_tdma_512", |b| {
+        b.iter(|| simulate_bus(Arbiter::Tdma, 4, 2, black_box(&bus_reqs)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_pipelines,
+    bench_domino_machine,
+    bench_cache,
+    bench_analyses,
+    bench_interconnect_dram
+);
+criterion_main!(benches);

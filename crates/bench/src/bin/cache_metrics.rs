@@ -1,0 +1,4 @@
+//! Regenerates the evict/fill predictability metrics table (§4).
+fn main() {
+    print!("{}", repro_bench::cache_metrics::render(&repro_bench::cache_metrics::rows()));
+}

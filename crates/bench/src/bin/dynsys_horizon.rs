@@ -1,0 +1,4 @@
+//! Regenerates the dynamical-system prediction-horizon table (§4).
+fn main() {
+    print!("{}", repro_bench::dynsys_horizon::render(&repro_bench::dynsys_horizon::rows()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Equation 4 series (9n+1 vs 12n) and the domino
+//! analysis verdict.
+fn main() {
+    print!("{}", repro_bench::eq4::render(16));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 as an ASCII histogram with LB/BCET/WCET/UB.
+fn main() {
+    print!("{}", repro_bench::fig1::render(16, 14));
+}

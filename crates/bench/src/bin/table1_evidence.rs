@@ -1,0 +1,10 @@
+//! Regenerates Table 1 (as data) and the quantitative evidence for each
+//! of its seven rows. Pass `--catalog` to print only the table itself.
+use predictability_core::catalog;
+fn main() {
+    let catalog_only = std::env::args().any(|a| a == "--catalog");
+    println!("{}", catalog::format_table(&catalog::table1()));
+    if !catalog_only {
+        print!("{}", repro_bench::evidence::render(&repro_bench::evidence::table1_evidence()));
+    }
+}

@@ -1,0 +1,86 @@
+//! Section 4's Bernardes instance: prediction horizons of discrete
+//! dynamical systems under δ-perturbation.
+
+use dynsys::{horizon, Contraction, Logistic, Map1D, Translation};
+
+/// One row: a system with its horizon at a tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonRow {
+    /// System name.
+    pub system: &'static str,
+    /// Perturbation δ.
+    pub delta: f64,
+    /// Tolerance ε.
+    pub epsilon: f64,
+    /// First step exceeding ε, or `None` (never within the budget).
+    pub horizon: Option<usize>,
+}
+
+/// Computes horizons for the three canonical systems across δ values.
+pub fn rows() -> Vec<HorizonRow> {
+    let eps = 0.01;
+    let mut out = Vec::new();
+    for delta in [1e-9, 1e-6, 1e-3] {
+        out.push(HorizonRow {
+            system: Logistic { r: 4.0 }.name(),
+            delta,
+            epsilon: eps,
+            horizon: horizon(&Logistic { r: 4.0 }, 0.2, delta, eps, 2000),
+        });
+        out.push(HorizonRow {
+            system: Translation { alpha: 0.3 }.name(),
+            delta,
+            epsilon: eps,
+            horizon: horizon(&Translation { alpha: 0.3 }, 0.2, delta, eps, 2000),
+        });
+        out.push(HorizonRow {
+            system: Contraction { c: 0.5 }.name(),
+            delta,
+            epsilon: eps,
+            horizon: horizon(&Contraction { c: 0.5 }, 0.2, delta, eps, 2000),
+        });
+    }
+    out
+}
+
+/// Renders the table.
+pub fn render(rows: &[HorizonRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Bernardes-style prediction horizons (eps = 0.01, 2000-step budget)\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10}\n",
+        "system", "delta", "horizon"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10.0e} {:>10}\n",
+            r.system,
+            r.delta,
+            r.horizon.map_or(">2000".to_string(), |h| h.to_string())
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_has_shortest_horizon_at_every_delta() {
+        let all = rows();
+        for delta in [1e-9, 1e-6, 1e-3] {
+            let of = |name: &str| {
+                all.iter()
+                    .find(|r| r.system == name && r.delta == delta)
+                    .unwrap()
+                    .horizon
+            };
+            let chaotic = of("logistic").expect("chaos always escapes");
+            if let Some(t) = of("translation") {
+                assert!(chaotic < t);
+            }
+            assert_eq!(of("contraction"), None);
+        }
+    }
+}

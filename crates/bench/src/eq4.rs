@@ -1,0 +1,97 @@
+//! Equation 4: `SIPr_{p_n} ≤ (9n+1)/12n` from the PPC 755 domino
+//! effect, reproduced on the dual-unit greedy-dispatch machine.
+
+use pipeline_sim::domino::{schneider_example, DominoConfig};
+use predictability_core::domino::{analyze_domino, equation4_bound, DominoAnalysis};
+use predictability_core::system::Cycles;
+
+/// One row of the Equation 4 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eq4Row {
+    /// Loop iterations.
+    pub n: u32,
+    /// Simulated `T(q1*, p_n)` (paper: `9n + 1`).
+    pub t_q1: u64,
+    /// Simulated `T(q2*, p_n)` (paper: `12n`).
+    pub t_q2: u64,
+    /// Simulated SIPr bound `min/max`.
+    pub sipr_bound: f64,
+    /// The paper's closed form `(9n+1)/12n`.
+    pub paper_bound: f64,
+}
+
+/// Computes the series for `n = 1..=max_n`.
+pub fn rows(max_n: u32) -> Vec<Eq4Row> {
+    let cfg = schneider_example();
+    (1..=max_n)
+        .map(|n| {
+            let (t1, t2) = cfg.times(n);
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            Eq4Row {
+                n,
+                t_q1: t1,
+                t_q2: t2,
+                sipr_bound: lo as f64 / hi as f64,
+                paper_bound: equation4_bound(n),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full domino analysis on the simulated family.
+pub fn analysis(max_n: u32) -> DominoAnalysis {
+    let cfg: DominoConfig = schneider_example();
+    let ns: Vec<u32> = (1..=max_n).collect();
+    analyze_domino(
+        |n| {
+            let (t1, t2) = cfg.times(n);
+            (Cycles::new(t1), Cycles::new(t2))
+        },
+        &ns,
+        0.5,
+    )
+}
+
+/// Renders the table plus the analysis summary.
+pub fn render(max_n: u32) -> String {
+    let mut out = String::new();
+    out.push_str("Equation 4 — domino effect, SIPr(p_n) <= (9n+1)/12n\n");
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>10} {:>12} {:>12}\n",
+        "n", "T(q1*)", "T(q2*)", "sim SIPr", "paper"
+    ));
+    for r in rows(max_n) {
+        out.push_str(&format!(
+            "{:>4} {:>10} {:>10} {:>12.6} {:>12.6}\n",
+            r.n, r.t_q1, r.t_q2, r.sipr_bound, r.paper_bound
+        ));
+    }
+    let a = analysis(max_n.max(8));
+    out.push_str(&format!(
+        "\nverdict: {:?}\nSIPr limit (n -> inf): {:.4} (paper: 3/4)\n",
+        a.verdict, a.sipr_limit
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictability_core::domino::DominoVerdict;
+
+    #[test]
+    fn series_matches_paper_exactly() {
+        for r in rows(32) {
+            assert_eq!(r.t_q1, 9 * r.n as u64 + 1);
+            assert_eq!(r.t_q2, 12 * r.n as u64);
+            assert!((r.sipr_bound - r.paper_bound).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analysis_confirms_domino() {
+        let a = analysis(24);
+        assert!(matches!(a.verdict, DominoVerdict::DominoEffect { .. }));
+        assert!((a.sipr_limit - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # branch-pred
+//!
+//! Branch predictors and the WCET-oriented static prediction scheme of
+//! Bodin & Puaut / Burguière & Rochange (Table 1, row 1 of the paper).
+//!
+//! The template instance: the *property* is the number of branch
+//! mispredictions; the *sources of uncertainty* are the initial
+//! predictor state (and, through the paper's re-interpretation, the
+//! analysis imprecision dynamic schemes force); the *quality measure*
+//! is the statically computed bound on mispredictions.
+//!
+//! * [`predictors`] — dynamic predictors (1-bit, 2-bit bimodal, gshare)
+//!   and static schemes (always-taken, backward-taken/forward-not-taken,
+//!   per-branch hints).
+//! * [`wcet_oriented`] — the WCET-oriented assignment of static hints:
+//!   choose each branch's predicted direction to minimise worst-case
+//!   mispredictions, and compare the resulting *static bound* with the
+//!   conservative bound an analysis must assume for a dynamic predictor
+//!   with unknown initial state.
+
+pub mod predictors;
+pub mod wcet_oriented;
+
+pub use predictors::{
+    AlwaysTaken, BackwardTaken, Bimodal, Gshare, OneBit, Predictor, StaticHints,
+};
+pub use wcet_oriented::{assign_hints, misprediction_bounds, BoundComparison};

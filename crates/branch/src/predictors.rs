@@ -1,0 +1,308 @@
+//! Branch predictors: dynamic tables and static schemes.
+//!
+//! All predictors implement [`Predictor`]; pipelines query
+//! [`Predictor::predict`] before resolving a branch and call
+//! [`Predictor::update`] with the outcome. Dynamic predictors expose
+//! their table state for the initial-state uncertainty experiments (the
+//! `Q` of the paper's Definition 2 includes predictor state).
+
+use std::collections::BTreeMap;
+
+/// A branch predictor.
+pub trait Predictor {
+    /// Predicts whether the branch at `pc` (with target `target`) is
+    /// taken.
+    fn predict(&self, pc: u32, target: u32) -> bool;
+    /// Informs the predictor of the actual outcome.
+    fn update(&mut self, pc: u32, target: u32, taken: bool);
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Static: predict every branch taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTaken;
+
+impl Predictor for AlwaysTaken {
+    fn predict(&self, _pc: u32, _target: u32) -> bool {
+        true
+    }
+    fn update(&mut self, _pc: u32, _target: u32, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+}
+
+/// Static: backward branches (loops) taken, forward branches not taken
+/// (BTFN) — the classic heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackwardTaken;
+
+impl Predictor for BackwardTaken {
+    fn predict(&self, pc: u32, target: u32) -> bool {
+        target <= pc
+    }
+    fn update(&mut self, _pc: u32, _target: u32, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "backward-taken"
+    }
+}
+
+/// Static per-branch hints (the object the WCET-oriented scheme
+/// computes). Branches without a hint fall back to BTFN.
+#[derive(Debug, Clone, Default)]
+pub struct StaticHints {
+    /// pc -> predicted direction.
+    pub hints: BTreeMap<u32, bool>,
+}
+
+impl Predictor for StaticHints {
+    fn predict(&self, pc: u32, target: u32) -> bool {
+        self.hints.get(&pc).copied().unwrap_or(target <= pc)
+    }
+    fn update(&mut self, _pc: u32, _target: u32, _taken: bool) {}
+    fn name(&self) -> &'static str {
+        "static-hints"
+    }
+}
+
+/// Dynamic: one bit of history per table entry (last outcome).
+#[derive(Debug, Clone)]
+pub struct OneBit {
+    table: Vec<bool>,
+}
+
+impl OneBit {
+    /// Creates a table of `entries` bits, all initialised to `init`.
+    pub fn new(entries: usize, init: bool) -> OneBit {
+        assert!(entries.is_power_of_two());
+        OneBit {
+            table: vec![init; entries],
+        }
+    }
+
+    fn idx(&self, pc: u32) -> usize {
+        pc as usize & (self.table.len() - 1)
+    }
+
+    /// Overwrites the table (initial-state experiments).
+    pub fn set_table(&mut self, bits: Vec<bool>) {
+        assert_eq!(bits.len(), self.table.len());
+        self.table = bits;
+    }
+}
+
+impl Predictor for OneBit {
+    fn predict(&self, pc: u32, _target: u32) -> bool {
+        self.table[self.idx(pc)]
+    }
+    fn update(&mut self, pc: u32, _target: u32, taken: bool) {
+        let i = self.idx(pc);
+        self.table[i] = taken;
+    }
+    fn name(&self) -> &'static str {
+        "1-bit"
+    }
+}
+
+/// Dynamic: 2-bit saturating counters (bimodal).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>, // 0..=3; >=2 predicts taken
+}
+
+impl Bimodal {
+    /// Creates a table of `entries` counters initialised to `init`
+    /// (0..=3).
+    pub fn new(entries: usize, init: u8) -> Bimodal {
+        assert!(entries.is_power_of_two());
+        assert!(init <= 3);
+        Bimodal {
+            table: vec![init; entries],
+        }
+    }
+
+    fn idx(&self, pc: u32) -> usize {
+        pc as usize & (self.table.len() - 1)
+    }
+
+    /// Overwrites the table (initial-state experiments).
+    pub fn set_table(&mut self, counters: Vec<u8>) {
+        assert_eq!(counters.len(), self.table.len());
+        assert!(counters.iter().all(|&c| c <= 3));
+        self.table = counters;
+    }
+}
+
+impl Predictor for Bimodal {
+    fn predict(&self, pc: u32, _target: u32) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+    fn update(&mut self, pc: u32, _target: u32, taken: bool) {
+        let i = self.idx(pc);
+        if taken {
+            self.table[i] = (self.table[i] + 1).min(3);
+        } else {
+            self.table[i] = self.table[i].saturating_sub(1);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "2-bit bimodal"
+    }
+}
+
+/// Dynamic: gshare — global history XORed into the table index.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u32,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `entries` counters and
+    /// `history_bits` bits of global history.
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        assert!(entries.is_power_of_two());
+        Gshare {
+            table: vec![1; entries],
+            history: 0,
+            history_bits,
+        }
+    }
+
+    fn idx(&self, pc: u32) -> usize {
+        ((pc ^ self.history) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl Predictor for Gshare {
+    fn predict(&self, pc: u32, _target: u32) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+    fn update(&mut self, pc: u32, _target: u32, taken: bool) {
+        let i = self.idx(pc);
+        if taken {
+            self.table[i] = (self.table[i] + 1).min(3);
+        } else {
+            self.table[i] = self.table[i].saturating_sub(1);
+        }
+        let mask = (1u32 << self.history_bits) - 1;
+        self.history = ((self.history << 1) | u32::from(taken)) & mask;
+    }
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+/// Replays the branch outcomes of a trace through a predictor and
+/// counts mispredictions.
+pub fn count_mispredictions<P: Predictor>(
+    predictor: &mut P,
+    branches: &[(u32, u32, bool)], // (pc, target, taken)
+) -> u64 {
+    let mut miss = 0;
+    for &(pc, target, taken) in branches {
+        if predictor.predict(pc, target) != taken {
+            miss += 1;
+        }
+        predictor.update(pc, target, taken);
+    }
+    miss
+}
+
+/// Extracts the `(pc, target, taken)` branch stream from a tinyisa
+/// trace.
+pub fn branch_stream(trace: &[tinyisa::exec::TraceOp]) -> Vec<(u32, u32, bool)> {
+    trace
+        .iter()
+        .filter_map(|op| op.branch.map(|b| (op.pc, b.target, b.taken)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loop branch: taken n-1 times, then not taken.
+    fn loop_branch(n: usize) -> Vec<(u32, u32, bool)> {
+        (0..n).map(|i| (8u32, 4u32, i + 1 < n)).collect()
+    }
+
+    #[test]
+    fn static_predictors_on_loops() {
+        // Always-taken mispredicts only the exit.
+        assert_eq!(count_mispredictions(&mut AlwaysTaken, &loop_branch(10)), 1);
+        // BTFN also predicts the backward loop branch taken.
+        assert_eq!(count_mispredictions(&mut BackwardTaken, &loop_branch(10)), 1);
+        // A forward branch that is never taken: BTFN is perfect.
+        let fwd: Vec<_> = (0..5).map(|_| (4u32, 20u32, false)).collect();
+        assert_eq!(count_mispredictions(&mut BackwardTaken, &fwd), 0);
+        assert_eq!(count_mispredictions(&mut AlwaysTaken, &fwd), 5);
+    }
+
+    #[test]
+    fn one_bit_flips_twice_per_loop_visit() {
+        // Classic result: 1-bit mispredicts twice per loop execution
+        // (entry after exit, and exit) when re-entered.
+        let mut p = OneBit::new(16, false);
+        let mut stream = loop_branch(5);
+        stream.extend(loop_branch(5));
+        // First iteration of first loop also mispredicts (init false).
+        assert_eq!(count_mispredictions(&mut p, &stream), 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn two_bit_absorbs_single_exit() {
+        let mut p = Bimodal::new(16, 3);
+        let mut stream = loop_branch(8);
+        stream.extend(loop_branch(8));
+        // 2-bit: one miss per exit, no miss on re-entry (counter only
+        // dropped to 2).
+        assert_eq!(count_mispredictions(&mut p, &stream), 2);
+    }
+
+    #[test]
+    fn initial_state_changes_misprediction_count() {
+        let stream = loop_branch(4);
+        let mut good = Bimodal::new(4, 3);
+        let mut bad = Bimodal::new(4, 0);
+        let g = count_mispredictions(&mut good, &stream);
+        let b = count_mispredictions(&mut bad, &stream);
+        assert!(b > g, "bad init {b} must exceed good init {g}");
+    }
+
+    #[test]
+    fn static_hints_override_btfn() {
+        let mut hints = StaticHints::default();
+        hints.hints.insert(8, false); // predict loop branch not-taken
+        let m = count_mispredictions(&mut hints.clone(), &loop_branch(10));
+        assert_eq!(m, 9); // mispredicts all taken iterations
+        // Without the hint it behaves like BTFN.
+        let m2 = count_mispredictions(&mut StaticHints::default(), &loop_branch(10));
+        assert_eq!(m2, 1);
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        // Alternating branch (T,N,T,N...) defeats bimodal but gshare
+        // keys on history and converges.
+        let stream: Vec<_> = (0..64).map(|i| (12u32, 4u32, i % 2 == 0)).collect();
+        let mut bi = Bimodal::new(16, 1);
+        let mut gs = Gshare::new(64, 4);
+        let b = count_mispredictions(&mut bi, &stream);
+        let g = count_mispredictions(&mut gs, &stream);
+        assert!(g < b, "gshare {g} should beat bimodal {b} on alternation");
+    }
+
+    #[test]
+    fn stream_extraction() {
+        use tinyisa::asm::assemble;
+        use tinyisa::exec::Machine;
+        let p = assemble("li r1, 3\nx:\naddi r1, r1, -1\nbne r1, r0, x\nhalt").unwrap();
+        let run = Machine::default().run_traced(&p).unwrap();
+        let s = branch_stream(&run.trace);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].2 && s[1].2 && !s[2].2);
+    }
+}

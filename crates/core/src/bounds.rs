@@ -1,0 +1,312 @@
+//! Execution-time bounds and distributions: the paper's Figure 1.
+//!
+//! Figure 1 of the paper shows the frequency distribution of execution
+//! times of one program: observed times range from the best-case (BCET)
+//! to the worst-case execution time (WCET); sound but incomplete analyses
+//! derive a lower bound `LB ≤ BCET` and an upper bound `UB ≥ WCET`. The
+//! gap `WCET - BCET` is *state- and input-induced variance*, while
+//! `UB - WCET` (and `BCET - LB`) is *abstraction-induced* overestimation.
+//!
+//! [`TimeBounds`] captures the four quantities with the chain invariant
+//! enforced at construction; [`Histogram`] renders the distribution as
+//! ASCII, which is how the bench harness regenerates the figure.
+
+use crate::system::Cycles;
+use crate::{Error, Result};
+use std::fmt;
+
+/// The four characteristic values of Figure 1, with
+/// `lb <= bcet <= wcet <= ub` enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeBounds {
+    lb: Cycles,
+    bcet: Cycles,
+    wcet: Cycles,
+    ub: Cycles,
+}
+
+impl TimeBounds {
+    /// Creates bounds, validating `lb <= bcet <= wcet <= ub`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBounds`] naming the violated inequality.
+    pub fn new(lb: Cycles, bcet: Cycles, wcet: Cycles, ub: Cycles) -> Result<Self> {
+        if lb > bcet {
+            return Err(Error::InvalidBounds {
+                reason: format!("LB ({lb}) exceeds BCET ({bcet})"),
+            });
+        }
+        if bcet > wcet {
+            return Err(Error::InvalidBounds {
+                reason: format!("BCET ({bcet}) exceeds WCET ({wcet})"),
+            });
+        }
+        if wcet > ub {
+            return Err(Error::InvalidBounds {
+                reason: format!("WCET ({wcet}) exceeds UB ({ub})"),
+            });
+        }
+        Ok(TimeBounds { lb, bcet, wcet, ub })
+    }
+
+    /// Builds bounds from a non-empty set of observed times plus analysis
+    /// bounds; BCET/WCET are the observed extrema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBounds`] if the analysis bounds do not
+    /// enclose the observations (an unsound analysis), or if
+    /// `observations` is empty.
+    pub fn from_observations(observations: &[Cycles], lb: Cycles, ub: Cycles) -> Result<Self> {
+        let (Some(&bcet), Some(&wcet)) = (observations.iter().min(), observations.iter().max())
+        else {
+            return Err(Error::InvalidBounds {
+                reason: "no observations".to_string(),
+            });
+        };
+        TimeBounds::new(lb, bcet, wcet, ub)
+    }
+
+    /// The analysis lower bound `LB`.
+    pub fn lb(&self) -> Cycles {
+        self.lb
+    }
+    /// The best-case execution time.
+    pub fn bcet(&self) -> Cycles {
+        self.bcet
+    }
+    /// The worst-case execution time.
+    pub fn wcet(&self) -> Cycles {
+        self.wcet
+    }
+    /// The analysis upper bound `UB`.
+    pub fn ub(&self) -> Cycles {
+        self.ub
+    }
+
+    /// State- and input-induced variance: `WCET - BCET`.
+    pub fn inherent_span(&self) -> Cycles {
+        self.wcet - self.bcet
+    }
+
+    /// Abstraction-induced overestimation: `UB - WCET`.
+    pub fn overestimation(&self) -> Cycles {
+        self.ub - self.wcet
+    }
+
+    /// Abstraction-induced underestimation: `BCET - LB`.
+    pub fn underestimation(&self) -> Cycles {
+        self.bcet - self.lb
+    }
+
+    /// The inherent timing predictability `BCET / WCET` (quality measure
+    /// of Section 2.2).
+    pub fn inherent_predictability(&self) -> f64 {
+        if self.wcet == Cycles::ZERO {
+            1.0
+        } else {
+            self.bcet.as_f64() / self.wcet.as_f64()
+        }
+    }
+
+    /// The *guaranteed* predictability `LB / UB` that a sound analysis
+    /// can certify; always at most [`Self::inherent_predictability`].
+    pub fn guaranteed_predictability(&self) -> f64 {
+        if self.ub == Cycles::ZERO {
+            1.0
+        } else {
+            self.lb.as_f64() / self.ub.as_f64()
+        }
+    }
+}
+
+impl fmt::Display for TimeBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LB={} <= BCET={} <= WCET={} <= UB={}",
+            self.lb.get(),
+            self.bcet.get(),
+            self.wcet.get(),
+            self.ub.get()
+        )
+    }
+}
+
+/// A frequency histogram over observed execution times, renderable as the
+/// ASCII analogue of the paper's Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    lo: u64,
+    hi: u64,
+    buckets: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `buckets` equal-width buckets spanning the
+    /// observed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty or `buckets` is zero.
+    pub fn new(observations: &[Cycles], buckets: usize) -> Self {
+        assert!(!observations.is_empty(), "histogram needs observations");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let lo = observations.iter().min().unwrap().get();
+        let hi = observations.iter().max().unwrap().get();
+        let mut counts = vec![0usize; buckets];
+        let width = ((hi - lo) + 1).max(1);
+        for obs in observations {
+            let offset = obs.get() - lo;
+            let idx = ((offset as u128 * buckets as u128) / width as u128) as usize;
+            counts[idx.min(buckets - 1)] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            buckets: counts,
+            total: observations.len(),
+        }
+    }
+
+    /// Smallest observed time.
+    pub fn min(&self) -> Cycles {
+        Cycles::new(self.lo)
+    }
+
+    /// Largest observed time.
+    pub fn max(&self) -> Cycles {
+        Cycles::new(self.hi)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.buckets
+    }
+
+    /// Renders the histogram as ASCII art, one bucket per line, with an
+    /// optional [`TimeBounds`] overlay marking LB/BCET/WCET/UB. This is
+    /// the Figure 1 renderer used by `fig1_distribution`.
+    pub fn render(&self, bounds: Option<&TimeBounds>, bar_width: usize) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let n = self.buckets.len() as u64;
+        let span = (self.hi - self.lo + 1).max(1);
+        for (b, &count) in self.buckets.iter().enumerate() {
+            let from = self.lo + (b as u64 * span) / n;
+            let to = self.lo + (((b as u64 + 1) * span) / n).saturating_sub(1);
+            let bar = "#".repeat((count * bar_width).div_ceil(peak).min(bar_width));
+            let mut marks = String::new();
+            if let Some(tb) = bounds {
+                for (label, v) in [
+                    ("BCET", tb.bcet().get()),
+                    ("WCET", tb.wcet().get()),
+                ] {
+                    if v >= from && v <= to {
+                        marks.push_str("  <-- ");
+                        marks.push_str(label);
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "{from:>8}..{to:<8} |{bar:<bar_width$}| {count}{marks}\n"
+            ));
+        }
+        if let Some(tb) = bounds {
+            out.push_str(&format!(
+                "LB={}  BCET={}  WCET={}  UB={}  (underest. {}, inherent span {}, overest. {})\n",
+                tb.lb().get(),
+                tb.bcet().get(),
+                tb.wcet().get(),
+                tb.ub().get(),
+                tb.underestimation().get(),
+                tb.inherent_span().get(),
+                tb.overestimation().get(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u64) -> Cycles {
+        Cycles::new(v)
+    }
+
+    #[test]
+    fn bounds_chain_enforced() {
+        assert!(TimeBounds::new(c(1), c(2), c(3), c(4)).is_ok());
+        assert!(TimeBounds::new(c(3), c(2), c(3), c(4)).is_err());
+        assert!(TimeBounds::new(c(1), c(4), c(3), c(4)).is_err());
+        assert!(TimeBounds::new(c(1), c(2), c(5), c(4)).is_err());
+        // Degenerate (all equal) is fine: a perfectly predictable system.
+        assert!(TimeBounds::new(c(2), c(2), c(2), c(2)).is_ok());
+    }
+
+    #[test]
+    fn spans_and_ratios() {
+        let tb = TimeBounds::new(c(80), c(100), c(150), c(180)).unwrap();
+        assert_eq!(tb.inherent_span(), c(50));
+        assert_eq!(tb.overestimation(), c(30));
+        assert_eq!(tb.underestimation(), c(20));
+        assert!((tb.inherent_predictability() - 100.0 / 150.0).abs() < 1e-12);
+        assert!((tb.guaranteed_predictability() - 80.0 / 180.0).abs() < 1e-12);
+        assert!(tb.guaranteed_predictability() <= tb.inherent_predictability());
+    }
+
+    #[test]
+    fn from_observations_checks_soundness() {
+        let obs = [c(10), c(14), c(12)];
+        let ok = TimeBounds::from_observations(&obs, c(9), c(15)).unwrap();
+        assert_eq!(ok.bcet(), c(10));
+        assert_eq!(ok.wcet(), c(14));
+        // LB above an observation: unsound.
+        assert!(TimeBounds::from_observations(&obs, c(11), c(15)).is_err());
+        // UB below an observation: unsound.
+        assert!(TimeBounds::from_observations(&obs, c(9), c(13)).is_err());
+        // Empty observations rejected.
+        assert!(TimeBounds::from_observations(&[], c(0), c(1)).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let obs: Vec<Cycles> = (0..100).map(|v| c(100 + v % 10)).collect();
+        let h = Histogram::new(&obs, 5);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<usize>(), 100);
+        assert_eq!(h.min(), c(100));
+        assert_eq!(h.max(), c(109));
+        // 10 distinct values over 5 buckets: 20 each.
+        assert!(h.counts().iter().all(|&n| n == 20));
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::new(&[c(5), c(5), c(5)], 4);
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn render_contains_markers() {
+        let obs: Vec<Cycles> = (0..50).map(|v| c(100 + v % 20)).collect();
+        let tb = TimeBounds::from_observations(&obs, c(95), c(130)).unwrap();
+        let h = Histogram::new(&obs, 8);
+        let s = h.render(Some(&tb), 40);
+        assert!(s.contains("BCET"));
+        assert!(s.contains("WCET"));
+        assert!(s.contains("LB=95"));
+        assert!(s.contains("UB=130"));
+        assert!(s.lines().count() >= 8);
+    }
+}

@@ -1,0 +1,348 @@
+//! Tables 1 and 2 of the paper as data.
+//!
+//! Section 3 of the paper casts thirteen published efforts towards more
+//! predictable architectures as instances of the template. This module
+//! encodes every row so that (a) the tables can be regenerated verbatim
+//! by the bench harness and (b) the experiment registry can check that
+//! each row has a quantitative experiment backing it.
+
+use crate::template::{Property, Quality, TemplateInstance, Uncertainty};
+
+/// Table 1: part I of the constructive approaches to predictability.
+pub fn table1() -> Vec<TemplateInstance> {
+    vec![
+        TemplateInstance {
+            id: "branch-static",
+            approach: "WCET-oriented static branch prediction",
+            hardware_unit: "Branch predictor",
+            property: Property::EventCount {
+                event: "branch mispredictions",
+            },
+            uncertainty: vec![
+                Uncertainty::AnalysisImprecision,
+                Uncertainty::InitialHardwareState {
+                    component: "branch predictor",
+                },
+            ],
+            quality: Quality::StaticBound {
+                of: "mispredictions",
+            },
+            reinterpreted: true,
+            citations: &["5", "6"],
+        },
+        TemplateInstance {
+            id: "preschedule",
+            approach: "Time-predictable execution mode for superscalar pipelines",
+            hardware_unit: "Superscalar out-of-order pipeline",
+            property: Property::ExecutionTime {
+                of: "basic blocks",
+            },
+            uncertainty: vec![
+                Uncertainty::AnalysisImprecision,
+                Uncertainty::InitialHardwareState {
+                    component: "pipeline (at basic-block boundaries)",
+                },
+            ],
+            quality: Quality::Variability {
+                of: "execution times of basic blocks",
+            },
+            reinterpreted: true,
+            citations: &["21"],
+        },
+        TemplateInstance {
+            id: "smt",
+            approach: "Time-predictable simultaneous multithreading",
+            hardware_unit: "SMT processor",
+            property: Property::ExecutionTime {
+                of: "tasks in real-time thread",
+            },
+            uncertainty: vec![Uncertainty::ExecutionContext {
+                description: "other tasks executing in non-real-time threads",
+            }],
+            quality: Quality::Variability {
+                of: "execution times",
+            },
+            reinterpreted: false,
+            citations: &["2", "16"],
+        },
+        TemplateInstance {
+            id: "compsoc",
+            approach: "CoMPSoC: composable and predictable multi-processor SoC",
+            hardware_unit: "SoC with NoC, VLIW cores and SRAM",
+            property: Property::Latency {
+                of: "memory accesses and communication",
+            },
+            uncertainty: vec![Uncertainty::ExecutionContext {
+                description: "concurrent execution of unknown other applications",
+            }],
+            quality: Quality::Variability { of: "latencies" },
+            reinterpreted: false,
+            citations: &["9"],
+        },
+        TemplateInstance {
+            id: "pret",
+            approach: "Precision-Timed (PRET) architectures",
+            hardware_unit: "Thread-interleaved pipeline and scratchpad memories",
+            property: Property::ExecutionTime { of: "programs" },
+            uncertainty: vec![
+                Uncertainty::InitialHardwareState {
+                    component: "pipeline",
+                },
+                Uncertainty::ExecutionContext {
+                    description: "other hardware threads",
+                },
+            ],
+            quality: Quality::Variability {
+                of: "execution times",
+            },
+            reinterpreted: false,
+            citations: &["13"],
+        },
+        TemplateInstance {
+            id: "vtrace",
+            approach: "Predictable out-of-order execution using virtual traces",
+            hardware_unit: "Superscalar out-of-order pipeline and scratchpad memories",
+            property: Property::ExecutionTime {
+                of: "program paths",
+            },
+            uncertainty: vec![
+                Uncertainty::InitialHardwareState {
+                    component: "caches, branch predictors, etc.",
+                },
+                Uncertainty::VariableLatencyOperands,
+            ],
+            quality: Quality::Variability {
+                of: "execution times",
+            },
+            reinterpreted: false,
+            citations: &["28"],
+        },
+        TemplateInstance {
+            id: "future-arch",
+            approach: "Memory hierarchies, pipelines, and buses for future time-critical architectures",
+            hardware_unit: "Pipeline, memory hierarchy, and buses",
+            property: Property::ExecutionTime {
+                of: "programs (plus memory/bus latencies)",
+            },
+            uncertainty: vec![
+                Uncertainty::InitialHardwareState {
+                    component: "pipeline and cache",
+                },
+                Uncertainty::ExecutionContext {
+                    description: "concurrently executing applications",
+                },
+            ],
+            quality: Quality::Variability {
+                of: "execution times and memory access latencies",
+            },
+            reinterpreted: false,
+            citations: &["29"],
+        },
+    ]
+}
+
+/// Table 2: part II of the constructive approaches to predictability.
+pub fn table2() -> Vec<TemplateInstance> {
+    vec![
+        TemplateInstance {
+            id: "method-cache",
+            approach: "Method cache / function scratchpad",
+            hardware_unit: "Memory hierarchy",
+            property: Property::Latency {
+                of: "memory accesses",
+            },
+            uncertainty: vec![Uncertainty::InitialHardwareState { component: "cache" }],
+            quality: Quality::AnalysisFeasibility,
+            reinterpreted: true,
+            citations: &["23", "15"],
+        },
+        TemplateInstance {
+            id: "split-cache",
+            approach: "Split caches",
+            hardware_unit: "Memory hierarchy",
+            property: Property::EventCount {
+                event: "data cache hits",
+            },
+            uncertainty: vec![Uncertainty::DataAddresses],
+            quality: Quality::ClassifiableFraction,
+            reinterpreted: true,
+            citations: &["24"],
+        },
+        TemplateInstance {
+            id: "locking",
+            approach: "Static cache locking",
+            hardware_unit: "Memory hierarchy",
+            property: Property::EventCount {
+                event: "instruction cache hits",
+            },
+            uncertainty: vec![
+                Uncertainty::InitialHardwareState { component: "cache" },
+                Uncertainty::PreemptingTasks,
+            ],
+            quality: Quality::StaticBound {
+                of: "number of hits",
+            },
+            reinterpreted: true,
+            citations: &["18"],
+        },
+        TemplateInstance {
+            id: "dram-ctrl",
+            approach: "Predictable DRAM controllers (Predator, AMC)",
+            hardware_unit: "DRAM controller in multi-core system",
+            property: Property::Latency { of: "DRAM accesses" },
+            uncertainty: vec![
+                Uncertainty::RefreshPhase,
+                Uncertainty::ExecutionContext {
+                    description: "interference by concurrently executing applications",
+                },
+            ],
+            quality: Quality::BoundExistence {
+                of: "access latency",
+            },
+            reinterpreted: false,
+            citations: &["1", "17"],
+        },
+        TemplateInstance {
+            id: "refresh",
+            approach: "Predictable DRAM refreshes",
+            hardware_unit: "DRAM controller",
+            property: Property::Latency { of: "DRAM accesses" },
+            uncertainty: vec![Uncertainty::RefreshPhase],
+            quality: Quality::Variability { of: "latencies" },
+            reinterpreted: false,
+            citations: &["4"],
+        },
+        TemplateInstance {
+            id: "single-path",
+            approach: "Single-path paradigm",
+            hardware_unit: "Software-based",
+            property: Property::ExecutionTime { of: "programs" },
+            uncertainty: vec![Uncertainty::ProgramInput],
+            quality: Quality::Variability {
+                of: "execution times",
+            },
+            reinterpreted: false,
+            citations: &["19"],
+        },
+    ]
+}
+
+/// All thirteen rows of both tables.
+pub fn all() -> Vec<TemplateInstance> {
+    let mut v = table1();
+    v.extend(table2());
+    v
+}
+
+/// Looks up a row by its stable id.
+pub fn by_id(id: &str) -> Option<TemplateInstance> {
+    all().into_iter().find(|t| t.id == id)
+}
+
+/// Formats a set of instances as a fixed-width ASCII table with the same
+/// five columns as the paper's tables.
+pub fn format_table(instances: &[TemplateInstance]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<55} | {:<45} | {:<45} | {:<70} | {}\n",
+        "Approach", "Hardware unit(s)", "Property", "Source of uncertainty", "Quality measure"
+    ));
+    out.push_str(&"-".repeat(250));
+    out.push('\n');
+    for t in instances {
+        let unc = t
+            .uncertainty
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        let quality = if t.reinterpreted {
+            format!("({})", t.quality)
+        } else {
+            t.quality.to_string()
+        };
+        out.push_str(&format!(
+            "{:<55} | {:<45} | {:<45} | {:<70} | {}\n",
+            t.approach,
+            t.hardware_unit,
+            t.property.to_string(),
+            unc,
+            quality
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_sizes_match_paper() {
+        assert_eq!(table1().len(), 7, "Table 1 has seven rows");
+        assert_eq!(table2().len(), 6, "Table 2 has six rows");
+        assert_eq!(all().len(), 13);
+    }
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let ids: HashSet<_> = all().iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), 13);
+        for t in all() {
+            assert_eq!(by_id(t.id).unwrap().approach, t.approach);
+        }
+        assert!(by_id("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_row_has_citations_and_uncertainty() {
+        for t in all() {
+            assert!(!t.citations.is_empty(), "{} lacks citations", t.id);
+            assert!(!t.uncertainty.is_empty(), "{} lacks uncertainty", t.id);
+        }
+    }
+
+    #[test]
+    fn paper_specific_rows_spot_checked() {
+        let smt = by_id("smt").unwrap();
+        assert!(matches!(smt.property, Property::ExecutionTime { .. }));
+        assert!(!smt.reinterpreted);
+
+        let dram = by_id("dram-ctrl").unwrap();
+        assert!(matches!(
+            dram.quality,
+            Quality::BoundExistence {
+                of: "access latency"
+            }
+        ));
+
+        let sp = by_id("single-path").unwrap();
+        assert_eq!(sp.uncertainty, vec![Uncertainty::ProgramInput]);
+        assert_eq!(sp.hardware_unit, "Software-based");
+    }
+
+    #[test]
+    fn formatted_table_mentions_every_approach() {
+        let s = format_table(&all());
+        for t in all() {
+            assert!(s.contains(t.approach), "missing {}", t.approach);
+        }
+        assert!(s.contains("Quality measure"));
+    }
+
+    #[test]
+    fn reinterpreted_rows_match_paper_parentheses() {
+        // In the paper, parenthesised cells appear for rows 1, 2 of
+        // Table 1 and rows 1-3 of Table 2.
+        let flags: Vec<(&str, bool)> = all().iter().map(|t| (t.id, t.reinterpreted)).collect();
+        let expect_true = ["branch-static", "preschedule", "method-cache", "split-cache", "locking"];
+        for (id, flag) in flags {
+            assert_eq!(
+                flag,
+                expect_true.contains(&id),
+                "reinterpretation flag wrong for {id}"
+            );
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Compositional predictability (Section 5, future work made concrete).
+//!
+//! The paper closes wishing for "compositional notions of predictability,
+//! which would allow us to derive the predictability of such an
+//! architecture from that of its pipeline, branch predictor, memory
+//! hierarchy, and other components". For the ratio measure of
+//! Definition 3 two natural composition operators do admit bounds:
+//!
+//! * **Serial** composition (times add, components independent):
+//!   by the mediant inequality
+//!   `(a1 + a2)/(b1 + b2) >= min(a1/b1, a2/b2)`, so
+//!   `Pr(A ; B) >= min(Pr(A), Pr(B))`.
+//! * **Parallel** composition (times max, components independent):
+//!   `min(max(..)) / max(max(..)) >= min(Pr(A), Pr(B))` likewise.
+//!
+//! Both operators model *composable* platforms (in the CoMPSoC sense)
+//! where the components do not interfere; interference is precisely what
+//! breaks these bounds, which the interconnect experiments demonstrate.
+
+use crate::system::{Cycles, TimedSystem};
+use crate::timing::timing_predictability;
+use crate::Result;
+
+/// Serial composition: the composite runs `A` to completion, then `B`;
+/// state and input are pairs, execution time is the sum.
+#[derive(Debug, Clone, Copy)]
+pub struct Serial<A, B> {
+    /// First stage.
+    pub first: A,
+    /// Second stage.
+    pub second: B,
+}
+
+impl<A, B> Serial<A, B> {
+    /// Composes two systems sequentially.
+    pub fn new(first: A, second: B) -> Self {
+        Serial { first, second }
+    }
+}
+
+impl<A: TimedSystem, B: TimedSystem> TimedSystem for Serial<A, B> {
+    type State = (A::State, B::State);
+    type Input = (A::Input, B::Input);
+    fn execution_time(&self, state: &Self::State, input: &Self::Input) -> Cycles {
+        self.first.execution_time(&state.0, &input.0)
+            + self.second.execution_time(&state.1, &input.1)
+    }
+}
+
+/// Parallel composition: both components run concurrently without
+/// interference; execution time is the maximum (fork-join).
+#[derive(Debug, Clone, Copy)]
+pub struct Parallel<A, B> {
+    /// Left component.
+    pub left: A,
+    /// Right component.
+    pub right: B,
+}
+
+impl<A, B> Parallel<A, B> {
+    /// Composes two systems in parallel (fork-join).
+    pub fn new(left: A, right: B) -> Self {
+        Parallel { left, right }
+    }
+}
+
+impl<A: TimedSystem, B: TimedSystem> TimedSystem for Parallel<A, B> {
+    type State = (A::State, B::State);
+    type Input = (A::Input, B::Input);
+    fn execution_time(&self, state: &Self::State, input: &Self::Input) -> Cycles {
+        self.left
+            .execution_time(&state.0, &input.0)
+            .max(self.right.execution_time(&state.1, &input.1))
+    }
+}
+
+/// Cartesian product of two uncertainty sets, the uncertainty space of a
+/// composed system.
+pub fn product<Q1: Clone, Q2: Clone>(a: &[Q1], b: &[Q2]) -> Vec<(Q1, Q2)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// The compositional lower bound `min(Pr(A), Pr(B))` together with the
+/// exact predictability of the serial composition, as
+/// `(bound, exact)` — `bound <= exact` always holds.
+///
+/// # Errors
+///
+/// Propagates emptiness errors from the evaluators.
+pub fn serial_bound<A, B>(
+    a: &A,
+    qa: &[A::State],
+    ia: &[A::Input],
+    b: &B,
+    qb: &[B::State],
+    ib: &[B::Input],
+) -> Result<(f64, f64)>
+where
+    A: TimedSystem + Clone,
+    B: TimedSystem + Clone,
+{
+    let pr_a = timing_predictability(a, qa, ia)?.ratio();
+    let pr_b = timing_predictability(b, qb, ib)?.ratio();
+    let comp = Serial::new(a.clone(), b.clone());
+    let q = product(qa, qb);
+    let i = product(ia, ib);
+    let exact = timing_predictability(&comp, &q, &i)?.ratio();
+    Ok((pr_a.min(pr_b), exact))
+}
+
+/// Like [`serial_bound`] but for the fork-join [`Parallel`] composition.
+///
+/// # Errors
+///
+/// Propagates emptiness errors from the evaluators.
+pub fn parallel_bound<A, B>(
+    a: &A,
+    qa: &[A::State],
+    ia: &[A::Input],
+    b: &B,
+    qb: &[B::State],
+    ib: &[B::Input],
+) -> Result<(f64, f64)>
+where
+    A: TimedSystem + Clone,
+    B: TimedSystem + Clone,
+{
+    let pr_a = timing_predictability(a, qa, ia)?.ratio();
+    let pr_b = timing_predictability(b, qb, ib)?.ratio();
+    let comp = Parallel::new(a.clone(), b.clone());
+    let q = product(qa, qb);
+    let i = product(ia, ib);
+    let exact = timing_predictability(&comp, &q, &i)?.ratio();
+    Ok((pr_a.min(pr_b), exact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+
+    fn sys_a() -> FnSystem<u8, u8, impl Fn(&u8, &u8) -> Cycles + Clone> {
+        FnSystem::new(|q: &u8, i: &u8| Cycles::new(20 + 5 * *q as u64 + *i as u64))
+    }
+
+    fn sys_b() -> FnSystem<u8, u8, impl Fn(&u8, &u8) -> Cycles + Clone> {
+        FnSystem::new(|q: &u8, i: &u8| Cycles::new(30 + 2 * *q as u64 + 4 * *i as u64))
+    }
+
+    const Q: [u8; 3] = [0, 1, 2];
+    const I: [u8; 3] = [0, 1, 2];
+
+    #[test]
+    fn serial_time_is_sum() {
+        let s = Serial::new(sys_a(), sys_b());
+        let t = s.execution_time(&(1, 2), &(0, 1));
+        // A: 20+5 = 25; B: 30+4+4 = 38; total 63.
+        assert_eq!(t, Cycles::new(63));
+    }
+
+    #[test]
+    fn parallel_time_is_max() {
+        let p = Parallel::new(sys_a(), sys_b());
+        let t = p.execution_time(&(2, 0), &(2, 0));
+        // A: 20+10+2 = 32; B: 30; max = 32.
+        assert_eq!(t, Cycles::new(32));
+    }
+
+    #[test]
+    fn serial_composition_bound_holds() {
+        let (bound, exact) = serial_bound(&sys_a(), &Q, &I, &sys_b(), &Q, &I).unwrap();
+        assert!(
+            bound <= exact + 1e-12,
+            "serial bound {bound} exceeded exact {exact}"
+        );
+    }
+
+    #[test]
+    fn parallel_composition_bound_holds() {
+        let (bound, exact) = parallel_bound(&sys_a(), &Q, &I, &sys_b(), &Q, &I).unwrap();
+        assert!(
+            bound <= exact + 1e-12,
+            "parallel bound {bound} exceeded exact {exact}"
+        );
+    }
+
+    #[test]
+    fn composing_with_constant_cannot_hurt() {
+        // A perfectly predictable stage dilutes variability: Pr(A;const)
+        // >= Pr(A).
+        let constant = FnSystem::new(|_: &u8, _: &u8| Cycles::new(100));
+        let pr_a = timing_predictability(&sys_a(), &Q, &I).unwrap().ratio();
+        let comp = Serial::new(sys_a(), constant);
+        let q = product(&Q, &[0u8]);
+        let i = product(&I, &[0u8]);
+        let pr_comp = timing_predictability(&comp, &q, &i).unwrap().ratio();
+        assert!(pr_comp >= pr_a - 1e-12);
+    }
+
+    #[test]
+    fn product_sizes() {
+        assert_eq!(product(&Q, &I).len(), 9);
+        assert_eq!(product(&Q, &[] as &[u8]).len(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Domino-effect detection (Section 2.2, Equation 4).
+//!
+//! A system exhibits a *domino effect* if there are two hardware states
+//! `q1, q2` such that the difference in execution time of the same
+//! program started in `q1` respectively `q2` cannot be bounded by a
+//! constant — e.g. loop iterations never converge to a common pipeline
+//! state and the gap grows with every iteration. The paper's example is
+//! Schneider's PowerPC 755 pipeline where `n` iterations of a loop take
+//! `9n + 1` cycles from state `q1*` and `12n` cycles from `q2*`, so
+//!
+//! ```text
+//! SIPr_{p_n}(Q, I) <= (9n + 1) / (12n)  -->  3/4   as n -> inf.   (Eq. 4)
+//! ```
+//!
+//! Given a *program family* (cycle counts as a function of the iteration
+//! count `n`) this module decides between a domino effect (linearly
+//! growing gap) and convergence (bounded gap), by exact finite
+//! differencing backed by a least-squares fit.
+
+use crate::system::Cycles;
+
+/// A least-squares line `y = slope * x + intercept` with the maximum
+/// absolute residual over the fitted points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthFit {
+    /// Fitted slope (cycles per iteration).
+    pub slope: f64,
+    /// Fitted intercept (cycles).
+    pub intercept: f64,
+    /// Maximum absolute deviation of the data from the fitted line.
+    pub max_residual: f64,
+}
+
+/// Fits `ys` against `xs` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or the `xs` are all equal.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> GrowthFit {
+    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need >= 2 points");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-9, "x values must not be all equal");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let max_residual = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).abs())
+        .fold(0.0f64, f64::max);
+    GrowthFit {
+        slope,
+        intercept,
+        max_residual,
+    }
+}
+
+/// The verdict of a domino analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DominoVerdict {
+    /// The execution-time gap grows without bound; `per_iteration_gap`
+    /// is the fitted growth rate in cycles per iteration.
+    DominoEffect {
+        /// Cycles by which the gap widens per loop iteration.
+        per_iteration_gap: f64,
+    },
+    /// The gap stays bounded; `gap_bound` is the largest observed gap.
+    Convergent {
+        /// Largest gap observed over the sampled family.
+        gap_bound: f64,
+    },
+}
+
+/// Result of analysing a program family for a domino effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominoAnalysis {
+    /// The iteration counts that were sampled.
+    pub ns: Vec<u32>,
+    /// `T(q1, n)` for each sampled `n`.
+    pub times_q1: Vec<Cycles>,
+    /// `T(q2, n)` for each sampled `n`.
+    pub times_q2: Vec<Cycles>,
+    /// Fit of the absolute gap `|T(q1,n) - T(q2,n)|` against `n`.
+    pub gap_fit: GrowthFit,
+    /// Domino or convergent.
+    pub verdict: DominoVerdict,
+    /// The limit of the SIPr bound `min(T1,T2)/max(T1,T2)` as `n -> inf`,
+    /// i.e. the ratio of the fitted per-iteration costs (`3/4` for the
+    /// paper's PowerPC 755 example).
+    pub sipr_limit: f64,
+}
+
+impl DominoAnalysis {
+    /// The per-`n` upper bounds on state-induced predictability,
+    /// `min(T1,T2) / max(T1,T2)` — the series whose closed form in the
+    /// paper is `(9n+1)/12n`.
+    pub fn sipr_series(&self) -> Vec<f64> {
+        self.times_q1
+            .iter()
+            .zip(&self.times_q2)
+            .map(|(&a, &b)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                if hi == Cycles::ZERO {
+                    1.0
+                } else {
+                    lo.as_f64() / hi.as_f64()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Analyses a program family for a domino effect between two fixed
+/// initial states.
+///
+/// `family(n)` must return `(T(q1, p_n), T(q2, p_n))` — the execution
+/// times of the `n`-iteration member of the family from the two states.
+/// A domino effect is reported when the gap growth rate exceeds
+/// `slope_epsilon` cycles/iteration *and* the gap keeps growing across
+/// the sampled range (strictly monotone tail), which distinguishes true
+/// divergence from a constant offset.
+///
+/// # Panics
+///
+/// Panics if `ns` has fewer than three sample points.
+pub fn analyze_domino<F>(family: F, ns: &[u32], slope_epsilon: f64) -> DominoAnalysis
+where
+    F: Fn(u32) -> (Cycles, Cycles),
+{
+    assert!(ns.len() >= 3, "need at least three family members");
+    let mut times_q1 = Vec::with_capacity(ns.len());
+    let mut times_q2 = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let (a, b) = family(n);
+        times_q1.push(a);
+        times_q2.push(b);
+    }
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let gaps: Vec<f64> = times_q1
+        .iter()
+        .zip(&times_q2)
+        .map(|(&a, &b)| a.abs_diff(b).as_f64())
+        .collect();
+    let gap_fit = fit_linear(&xs, &gaps);
+
+    let growing = gaps.windows(2).all(|w| w[1] >= w[0])
+        && gaps.last().unwrap() > gaps.first().unwrap();
+    let verdict = if gap_fit.slope > slope_epsilon && growing {
+        DominoVerdict::DominoEffect {
+            per_iteration_gap: gap_fit.slope,
+        }
+    } else {
+        DominoVerdict::Convergent {
+            gap_bound: gaps.iter().copied().fold(0.0, f64::max),
+        }
+    };
+
+    let fit1 = fit_linear(&xs, &times_q1.iter().map(|c| c.as_f64()).collect::<Vec<_>>());
+    let fit2 = fit_linear(&xs, &times_q2.iter().map(|c| c.as_f64()).collect::<Vec<_>>());
+    let (lo, hi) = if fit1.slope <= fit2.slope {
+        (fit1.slope, fit2.slope)
+    } else {
+        (fit2.slope, fit1.slope)
+    };
+    let sipr_limit = if hi == 0.0 { 1.0 } else { lo / hi };
+
+    DominoAnalysis {
+        ns: ns.to_vec(),
+        times_q1,
+        times_q2,
+        gap_fit,
+        verdict,
+        sipr_limit,
+    }
+}
+
+/// The paper's closed-form Equation 4 series: `(9n + 1) / (12n)`.
+///
+/// Used by tests and the bench harness to compare the simulated pipeline
+/// against the published numbers.
+pub fn equation4_bound(n: u32) -> f64 {
+    assert!(n > 0, "Equation 4 is stated for n >= 1");
+    (9.0 * n as f64 + 1.0) / (12.0 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u64) -> Cycles {
+        Cycles::new(v)
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 8.0, 11.0, 14.0];
+        let f = fit_linear(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 2.0).abs() < 1e-9);
+        assert!(f.max_residual < 1e-9);
+    }
+
+    #[test]
+    fn paper_family_is_domino() {
+        // The PPC755 numbers: 9n+1 vs 12n.
+        let fam = |n: u32| (c(9 * n as u64 + 1), c(12 * n as u64));
+        let ns: Vec<u32> = (1..=16).collect();
+        let a = analyze_domino(fam, &ns, 0.5);
+        match a.verdict {
+            DominoVerdict::DominoEffect { per_iteration_gap } => {
+                assert!((per_iteration_gap - 3.0).abs() < 1e-9);
+            }
+            _ => panic!("expected domino effect"),
+        }
+        assert!((a.sipr_limit - 0.75).abs() < 1e-9);
+        // The series matches Equation 4 exactly (for n >= 1, 9n+1 < 12n).
+        for (idx, &n) in ns.iter().enumerate() {
+            assert!((a.sipr_series()[idx] - equation4_bound(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converging_family_is_not_domino() {
+        // Gap fixed at 5 cycles regardless of n: a compositional pipeline.
+        let fam = |n: u32| (c(10 * n as u64), c(10 * n as u64 + 5));
+        let ns: Vec<u32> = (1..=16).collect();
+        let a = analyze_domino(fam, &ns, 0.5);
+        match a.verdict {
+            DominoVerdict::Convergent { gap_bound } => assert_eq!(gap_bound, 5.0),
+            _ => panic!("expected convergence"),
+        }
+        assert!((a.sipr_limit - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_states_trivially_convergent() {
+        let fam = |n: u32| (c(7 * n as u64), c(7 * n as u64));
+        let a = analyze_domino(fam, &[1, 2, 3, 4], 0.1);
+        assert!(matches!(a.verdict, DominoVerdict::Convergent { gap_bound } if gap_bound == 0.0));
+    }
+
+    #[test]
+    fn equation4_series_decreases_to_three_quarters() {
+        let mut prev = equation4_bound(1);
+        assert!((prev - 10.0 / 12.0).abs() < 1e-12);
+        for n in 2..2000 {
+            let v = equation4_bound(n);
+            assert!(v < prev);
+            prev = v;
+        }
+        assert!((equation4_bound(1_000_000) - 0.75) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn equation4_rejects_zero() {
+        let _ = equation4_bound(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Evaluation strategies: the optimal analysis versus sampling.
+//!
+//! The paper insists on **inherence**: predictability is defined by the
+//! best possible analysis, not by whichever analysis exists. On a finite,
+//! enumerable uncertainty space `Q × I`, exhaustive evaluation *is* the
+//! optimal analysis, and the result is exact. On large spaces we fall
+//! back to seeded Monte-Carlo sampling — and here the direction of the
+//! error matters: sampling observes a subset of behaviours, so the
+//! observed minimum is too high and the observed maximum too low, hence
+//! the sampled ratio is an **upper bound** on the true predictability
+//! (the system may be *less* predictable than the sample suggests, never
+//! more). This is exactly the paper's Section 3.5 point that
+//! overapproximating analyses bound inherent predictability from above
+//! while "few methods exist so far to bound predictability from below".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::system::TimedSystem;
+use crate::timing::{self, Predictability};
+use crate::{Error, Result};
+
+/// How to explore the uncertainty space `Q × I`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate every pair in `Q × I`. Exact; this is the optimal
+    /// analysis on a finite space.
+    Exhaustive,
+    /// Evaluate `samples` uniformly drawn pairs using a deterministic
+    /// RNG seeded with `seed`. Yields an upper bound on predictability.
+    Sampled {
+        /// Number of `(q, i)` pairs to draw (with replacement).
+        samples: usize,
+        /// RNG seed; equal seeds give equal estimates.
+        seed: u64,
+    },
+}
+
+/// Whether an estimate is exact or a one-sided bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certainty {
+    /// The value is the exact predictability (exhaustive evaluation).
+    Exact,
+    /// The value is an upper bound on the true predictability
+    /// (sampling can miss extremal behaviours).
+    UpperBound,
+}
+
+/// A predictability estimate together with its epistemic status.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The (estimated) predictability ratio in `[0, 1]`.
+    pub value: f64,
+    /// Exact or an upper bound.
+    pub certainty: Certainty,
+    /// Number of `(q, i)` evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Which of the paper's definitions to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Definition {
+    /// Definition 3: free pairs of states and inputs.
+    Timing,
+    /// Definition 4: state-induced (fixed input).
+    StateInduced,
+    /// Definition 5: input-induced (fixed state).
+    InputInduced,
+}
+
+/// Evaluates one of Definitions 3–5 under the given strategy.
+///
+/// For [`Strategy::Exhaustive`] this delegates to the functions in
+/// [`crate::timing`] and marks the result [`Certainty::Exact`]. For
+/// [`Strategy::Sampled`] it draws pairs `(q, i)` uniformly at random and
+/// computes the definition restricted to the multiset of sampled points,
+/// marking the result [`Certainty::UpperBound`].
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyStateSet`] / [`Error::EmptyInputSet`] on empty
+/// uncertainty sets and [`Error::ZeroSamples`] if a sampled strategy is
+/// given zero samples.
+pub fn evaluate<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+    definition: Definition,
+    strategy: Strategy,
+) -> Result<Estimate> {
+    match strategy {
+        Strategy::Exhaustive => {
+            let pr = run_exhaustive(sys, states, inputs, definition)?;
+            Ok(Estimate {
+                value: pr.ratio(),
+                certainty: Certainty::Exact,
+                evaluations: pr.evaluations(),
+            })
+        }
+        Strategy::Sampled { samples, seed } => {
+            if samples == 0 {
+                return Err(Error::ZeroSamples);
+            }
+            if states.is_empty() {
+                return Err(Error::EmptyStateSet);
+            }
+            if inputs.is_empty() {
+                return Err(Error::EmptyInputSet);
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Draw sample index sets for Q and I. For the state- and
+            // input-induced definitions the inner sweep must still range
+            // over sampled values of the *other* dimension, so we sample
+            // both dimensions to about sqrt(samples) each.
+            let side = (samples as f64).sqrt().ceil() as usize;
+            let (q_sample, i_sample) = match definition {
+                Definition::Timing => (
+                    draw(&mut rng, states, side.max(1)),
+                    draw(&mut rng, inputs, side.max(1)),
+                ),
+                Definition::StateInduced | Definition::InputInduced => (
+                    draw(&mut rng, states, side.max(1)),
+                    draw(&mut rng, inputs, side.max(1)),
+                ),
+            };
+            let pr = run_exhaustive(sys, &q_sample, &i_sample, definition)?;
+            Ok(Estimate {
+                value: pr.ratio(),
+                certainty: Certainty::UpperBound,
+                evaluations: pr.evaluations(),
+            })
+        }
+    }
+}
+
+fn run_exhaustive<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+    definition: Definition,
+) -> Result<Predictability<S::State, S::Input>> {
+    match definition {
+        Definition::Timing => timing::timing_predictability(sys, states, inputs),
+        Definition::StateInduced => timing::state_induced(sys, states, inputs),
+        Definition::InputInduced => timing::input_induced(sys, states, inputs),
+    }
+}
+
+fn draw<T: Clone>(rng: &mut StdRng, pool: &[T], n: usize) -> Vec<T> {
+    (0..n)
+        .map(|_| pool[rng.random_range(0..pool.len())].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Cycles, FnSystem};
+
+    fn toy() -> FnSystem<u16, u16, impl Fn(&u16, &u16) -> Cycles> {
+        FnSystem::new(|q: &u16, i: &u16| Cycles::new(100 + (*q as u64 % 17) + 2 * (*i as u64 % 23)))
+    }
+
+    fn space() -> (Vec<u16>, Vec<u16>) {
+        ((0..64).collect(), (0..64).collect())
+    }
+
+    #[test]
+    fn exhaustive_is_exact() {
+        let (qs, is) = space();
+        let e = evaluate(&toy(), &qs, &is, Definition::Timing, Strategy::Exhaustive).unwrap();
+        assert_eq!(e.certainty, Certainty::Exact);
+        assert_eq!(e.evaluations, 64 * 64);
+        // min = 100, max = 100 + 16 + 44 = 160
+        assert!((e.value - 100.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_upper_bounds_truth() {
+        let (qs, is) = space();
+        let exact = evaluate(&toy(), &qs, &is, Definition::Timing, Strategy::Exhaustive)
+            .unwrap()
+            .value;
+        for seed in 0..20 {
+            let est = evaluate(
+                &toy(),
+                &qs,
+                &is,
+                Definition::Timing,
+                Strategy::Sampled { samples: 49, seed },
+            )
+            .unwrap();
+            assert_eq!(est.certainty, Certainty::UpperBound);
+            assert!(
+                est.value >= exact - 1e-12,
+                "seed {seed}: sampled {} below exact {exact}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (qs, is) = space();
+        let s = Strategy::Sampled {
+            samples: 100,
+            seed: 7,
+        };
+        let a = evaluate(&toy(), &qs, &is, Definition::StateInduced, s).unwrap();
+        let b = evaluate(&toy(), &qs, &is, Definition::StateInduced, s).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn sampling_converges_with_more_samples() {
+        let (qs, is) = space();
+        let exact = evaluate(&toy(), &qs, &is, Definition::Timing, Strategy::Exhaustive)
+            .unwrap()
+            .value;
+        let coarse = evaluate(
+            &toy(),
+            &qs,
+            &is,
+            Definition::Timing,
+            Strategy::Sampled {
+                samples: 16,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        .value;
+        let fine = evaluate(
+            &toy(),
+            &qs,
+            &is,
+            Definition::Timing,
+            Strategy::Sampled {
+                samples: 4096,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        .value;
+        assert!((fine - exact).abs() <= (coarse - exact).abs() + 1e-12);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let (qs, is) = space();
+        let err = evaluate(
+            &toy(),
+            &qs,
+            &is,
+            Definition::Timing,
+            Strategy::Sampled {
+                samples: 0,
+                seed: 0,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::Error::ZeroSamples);
+    }
+
+    #[test]
+    fn all_definitions_evaluate_under_sampling() {
+        let (qs, is) = space();
+        for def in [
+            Definition::Timing,
+            Definition::StateInduced,
+            Definition::InputInduced,
+        ] {
+            let e = evaluate(
+                &toy(),
+                &qs,
+                &is,
+                def,
+                Strategy::Sampled {
+                    samples: 64,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+            assert!(e.value > 0.0 && e.value <= 1.0);
+        }
+    }
+}

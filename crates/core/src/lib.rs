@@ -1,0 +1,112 @@
+//! # predictability-core
+//!
+//! An executable rendition of the *predictability template* proposed by
+//! Grund, Reineke and Wilhelm in “A Template for Predictability Definitions
+//! with Supporting Evidence” (PPES 2011).
+//!
+//! The paper argues that a definition of predictability must name three
+//! ingredients — the **property to be predicted**, the **sources of
+//! uncertainty**, and a **quality measure** — and must be **inherent** to
+//! the system: quantified over an *optimal* analysis rather than tied to
+//! whatever analysis happens to exist. This crate turns that template into
+//! types and the paper's formal instances into functions:
+//!
+//! * [`template`] — the template itself ([`TemplateInstance`]) with typed
+//!   slots for property, uncertainty and quality measure.
+//! * [`system`] — the object of prediction: a deterministic
+//!   [`TimedSystem`] mapping an initial hardware state and a program input
+//!   to an execution time in [`Cycles`] (Definition 2 of the paper).
+//! * [`timing`] — timing predictability `Pr` (Definition 3), state-induced
+//!   `SIPr` (Definition 4) and input-induced `IIPr` (Definition 5),
+//!   together with the witnesses realising the extrema.
+//! * [`eval`] — exhaustive evaluation (the paper's *optimal analysis* made
+//!   concrete on enumerable uncertainty sets) and seeded sampling, which
+//!   only ever yields an **upper bound** on predictability.
+//! * [`quality`] — reusable quality measures (ratio, variability, jitter,
+//!   bound tightness) used across the supporting-evidence experiments.
+//! * [`bounds`] — the `LB ≤ BCET ≤ WCET ≤ UB` picture of the paper's
+//!   Figure 1, including an ASCII histogram renderer.
+//! * [`domino`] — detection and quantification of *domino effects*
+//!   (Section 2.2 and Equation 4: `SIPr ≤ (9n+1)/12n`).
+//! * [`composition`] — serial/parallel composition of timed systems and
+//!   the compositional predictability bounds they obey (Section 5 asks for
+//!   compositional notions of predictability; these are the first ones that
+//!   hold for Definition 3).
+//! * [`catalog`] — Tables 1 and 2 of the paper as data: all thirteen
+//!   constructive approaches cast as [`TemplateInstance`]s.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use predictability_core::system::{Cycles, FnSystem};
+//! use predictability_core::timing;
+//!
+//! // A toy "system": execution time depends on 2 hardware states x 3 inputs.
+//! let sys = FnSystem::new(|q: &u8, i: &u8| Cycles::new(10 + *q as u64 * 2 + *i as u64));
+//! let states = [0u8, 1];
+//! let inputs = [0u8, 1, 2];
+//!
+//! let pr = timing::timing_predictability(&sys, &states, &inputs).unwrap();
+//! let sipr = timing::state_induced(&sys, &states, &inputs).unwrap();
+//! let iipr = timing::input_induced(&sys, &states, &inputs).unwrap();
+//!
+//! assert!(pr.ratio() <= sipr.ratio() && pr.ratio() <= iipr.ratio());
+//! assert_eq!(pr.min(), Cycles::new(10)); // q=0, i=0
+//! assert_eq!(pr.max(), Cycles::new(14)); // q=1, i=2
+//! ```
+
+pub mod bounds;
+pub mod catalog;
+pub mod composition;
+pub mod domino;
+pub mod eval;
+pub mod quality;
+pub mod system;
+pub mod template;
+pub mod timing;
+
+pub use bounds::{Histogram, TimeBounds};
+pub use domino::{DominoAnalysis, DominoVerdict};
+pub use eval::{Certainty, Estimate, Strategy};
+pub use quality::{QualityMeasure, QualityValue};
+pub use system::{Cycles, FnSystem, TimedSystem};
+pub use template::{Property, Quality, TemplateInstance, Uncertainty};
+pub use timing::{input_induced, state_induced, timing_predictability, Predictability};
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by predictability evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The set of initial hardware states `Q` was empty.
+    EmptyStateSet,
+    /// The set of program inputs `I` was empty.
+    EmptyInputSet,
+    /// A sampled evaluation was requested with zero samples.
+    ZeroSamples,
+    /// A bounds object violated `LB <= BCET <= WCET <= UB`.
+    InvalidBounds {
+        /// Human-readable description of the violated inequality.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyStateSet => write!(f, "the set of initial hardware states is empty"),
+            Error::EmptyInputSet => write!(f, "the set of program inputs is empty"),
+            Error::ZeroSamples => write!(f, "sampled evaluation requires at least one sample"),
+            Error::InvalidBounds { reason } => {
+                write!(f, "invalid execution-time bounds: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;

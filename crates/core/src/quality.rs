@@ -1,0 +1,267 @@
+//! Quality measures: the third slot of the predictability template.
+//!
+//! Section 3 of the paper classifies each surveyed approach by the
+//! quality measure it (implicitly) optimises: "variability in execution
+//! times", "statically computed bound", "existence and size of bound on
+//! access latency", and so on. This module provides those measures as
+//! values implementing one trait, so experiments can report them
+//! uniformly and tables can be generated mechanically.
+
+use std::fmt;
+
+/// A measured quality value; some measures can diverge (e.g. no bound
+/// exists), which is a first-class outcome in the paper's discussion of
+/// FCFS arbitration and out-of-order pipelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityValue {
+    /// A finite quality value; interpretation depends on the measure.
+    Finite(f64),
+    /// The measure diverges (e.g. latencies are unbounded).
+    Unbounded,
+}
+
+impl QualityValue {
+    /// Returns the finite value, if any.
+    pub fn finite(self) -> Option<f64> {
+        match self {
+            QualityValue::Finite(v) => Some(v),
+            QualityValue::Unbounded => None,
+        }
+    }
+
+    /// True if the value is [`QualityValue::Unbounded`].
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, QualityValue::Unbounded)
+    }
+}
+
+impl fmt::Display for QualityValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityValue::Finite(v) => write!(f, "{v:.4}"),
+            QualityValue::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A quality measure over a set of observed property values.
+///
+/// Observations are `f64` so the same measures apply to cycle counts,
+/// latencies and event counts. Implementations must be pure functions of
+/// the observation multiset.
+pub trait QualityMeasure {
+    /// Short human-readable name used in generated tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the measure on the given observations.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on an empty observation slice; callers
+    /// are expected to measure at least one run.
+    fn measure(&self, observations: &[f64]) -> QualityValue;
+}
+
+fn min_max(obs: &[f64]) -> (f64, f64) {
+    assert!(!obs.is_empty(), "quality measures need at least one observation");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &o in obs {
+        min = min.min(o);
+        max = max.max(o);
+    }
+    (min, max)
+}
+
+/// `min / max` — the paper's canonical quality measure for timing
+/// predictability ("the quotient of BCET over WCET; the smaller the
+/// difference the better"). `1.0` is perfectly predictable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinMaxRatio;
+
+impl QualityMeasure for MinMaxRatio {
+    fn name(&self) -> &'static str {
+        "min/max ratio"
+    }
+    fn measure(&self, observations: &[f64]) -> QualityValue {
+        let (min, max) = min_max(observations);
+        QualityValue::Finite(if max == 0.0 { 1.0 } else { min / max })
+    }
+}
+
+/// `max - min` — absolute variability, the measure most Table 1 rows use
+/// ("variability in execution times", "variability in latencies").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Variability;
+
+impl QualityMeasure for Variability {
+    fn name(&self) -> &'static str {
+        "variability (max - min)"
+    }
+    fn measure(&self, observations: &[f64]) -> QualityValue {
+        let (min, max) = min_max(observations);
+        QualityValue::Finite(max - min)
+    }
+}
+
+/// `(max - min) / max` — variability relative to the worst case, useful
+/// when comparing systems with different absolute speeds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelativeVariability;
+
+impl QualityMeasure for RelativeVariability {
+    fn name(&self) -> &'static str {
+        "relative variability"
+    }
+    fn measure(&self, observations: &[f64]) -> QualityValue {
+        let (min, max) = min_max(observations);
+        QualityValue::Finite(if max == 0.0 { 0.0 } else { (max - min) / max })
+    }
+}
+
+/// Population standard deviation — a smoother notion of jitter for
+/// latency distributions (DRAM and NoC experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StdDev;
+
+impl QualityMeasure for StdDev {
+    fn name(&self) -> &'static str {
+        "standard deviation"
+    }
+    fn measure(&self, observations: &[f64]) -> QualityValue {
+        assert!(!observations.is_empty());
+        let n = observations.len() as f64;
+        let mean = observations.iter().sum::<f64>() / n;
+        let var = observations.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / n;
+        QualityValue::Finite(var.sqrt())
+    }
+}
+
+/// Tightness of a statically computed bound: `observed_max / bound`.
+///
+/// Values close to `1.0` mean the bound is tight; values above `1.0`
+/// indicate an *unsound* bound (the observed behaviour exceeded it) —
+/// the measure reports them faithfully so soundness violations surface
+/// in tests. If no bound exists the measure is [`QualityValue::Unbounded`],
+/// matching the paper's "existence and size of bound" measure for the
+/// predictable DRAM controllers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundTightness {
+    /// The statically computed bound, or `None` if the analysis cannot
+    /// bound the property at all.
+    pub bound: Option<f64>,
+}
+
+impl QualityMeasure for BoundTightness {
+    fn name(&self) -> &'static str {
+        "bound tightness (observed max / bound)"
+    }
+    fn measure(&self, observations: &[f64]) -> QualityValue {
+        let (_, max) = min_max(observations);
+        match self.bound {
+            None => QualityValue::Unbounded,
+            Some(b) if b == 0.0 => {
+                if max == 0.0 {
+                    QualityValue::Finite(1.0)
+                } else {
+                    QualityValue::Unbounded
+                }
+            }
+            Some(b) => QualityValue::Finite(max / b),
+        }
+    }
+}
+
+/// Checks a measured quality against the soundness requirement that the
+/// observed maximum never exceeds the bound; convenience used by tests.
+pub fn bound_is_sound(bound: Option<f64>, observations: &[f64]) -> bool {
+    match bound {
+        None => true,
+        Some(b) => {
+            let (_, max) = min_max(observations);
+            max <= b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS: [f64; 5] = [10.0, 12.0, 15.0, 12.0, 20.0];
+
+    #[test]
+    fn ratio_measure() {
+        assert_eq!(
+            MinMaxRatio.measure(&OBS),
+            QualityValue::Finite(10.0 / 20.0)
+        );
+        assert_eq!(MinMaxRatio.measure(&[0.0, 0.0]), QualityValue::Finite(1.0));
+    }
+
+    #[test]
+    fn variability_measures() {
+        assert_eq!(Variability.measure(&OBS), QualityValue::Finite(10.0));
+        assert_eq!(
+            RelativeVariability.measure(&OBS),
+            QualityValue::Finite(0.5)
+        );
+        assert_eq!(
+            RelativeVariability.measure(&[0.0]),
+            QualityValue::Finite(0.0)
+        );
+    }
+
+    #[test]
+    fn constant_observations_are_perfect() {
+        let obs = [7.0; 9];
+        assert_eq!(MinMaxRatio.measure(&obs), QualityValue::Finite(1.0));
+        assert_eq!(Variability.measure(&obs), QualityValue::Finite(0.0));
+        assert_eq!(StdDev.measure(&obs), QualityValue::Finite(0.0));
+    }
+
+    #[test]
+    fn stddev_is_population_stddev() {
+        let obs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        match StdDev.measure(&obs) {
+            QualityValue::Finite(v) => assert!((v - 2.0).abs() < 1e-12),
+            _ => panic!("finite expected"),
+        }
+    }
+
+    #[test]
+    fn bound_tightness() {
+        let tight = BoundTightness { bound: Some(20.0) };
+        assert_eq!(tight.measure(&OBS), QualityValue::Finite(1.0));
+        let loose = BoundTightness { bound: Some(40.0) };
+        assert_eq!(loose.measure(&OBS), QualityValue::Finite(0.5));
+        let none = BoundTightness { bound: None };
+        assert!(none.measure(&OBS).is_unbounded());
+        let unsound = BoundTightness { bound: Some(10.0) };
+        match unsound.measure(&OBS) {
+            QualityValue::Finite(v) => assert!(v > 1.0),
+            _ => panic!("finite expected"),
+        }
+    }
+
+    #[test]
+    fn soundness_helper() {
+        assert!(bound_is_sound(Some(20.0), &OBS));
+        assert!(!bound_is_sound(Some(19.9), &OBS));
+        assert!(bound_is_sound(None, &OBS));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QualityValue::Finite(0.75).to_string(), "0.7500");
+        assert_eq!(QualityValue::Unbounded.to_string(), "unbounded");
+        assert_eq!(QualityValue::Finite(1.0).finite(), Some(1.0));
+        assert_eq!(QualityValue::Unbounded.finite(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = MinMaxRatio.measure(&[]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The object of prediction: deterministic timed systems (Definition 2).
+//!
+//! The paper's Definition 2 fixes notation: `Q` is the set of hardware
+//! states, `I` the set of program inputs, and `T_p(q, i)` the execution
+//! time of program `p` started in state `q` with input `i`. In this crate
+//! a *program running on a platform* is modelled as a [`TimedSystem`]: a
+//! deterministic, side-effect-free map from `(state, input)` to
+//! [`Cycles`]. Determinism is essential — all variability must come from
+//! the two uncertainty dimensions, never from the simulator itself.
+
+use std::fmt;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An execution time measured in processor clock cycles.
+///
+/// A newtype over `u64` so that cycle counts cannot be confused with other
+/// integer quantities (addresses, indices, iteration counts).
+///
+/// ```
+/// use predictability_core::system::Cycles;
+/// let t = Cycles::new(9) + Cycles::new(3);
+/// assert_eq!(t.get(), 12);
+/// assert_eq!(t.to_string(), "12 cycles");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count as `f64`, for ratio computations.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is `0` if `b > a`.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute difference between two cycle counts.
+    pub fn abs_diff(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.abs_diff(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(v: Cycles) -> Self {
+        v.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (cycle counts are unsigned).
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+/// A deterministic system with an observable execution time.
+///
+/// This is Definition 2 of the paper as a trait: `execution_time(q, i)`
+/// is `T_p(q, i)`. Implementations must be **deterministic**: two calls
+/// with equal `(q, i)` must return equal times. All simulators in this
+/// workspace take `&self` and rebuild any mutable machinery internally so
+/// that this holds by construction.
+///
+/// The "property to be predicted" of the template does not have to be
+/// execution time; the supporting-evidence crates also instantiate this
+/// trait with misprediction counts, cache-miss counts and memory-access
+/// latencies — any property that is a non-negative integer observed on a
+/// terminating run. The quality measures in [`crate::quality`] are
+/// agnostic to the unit.
+pub trait TimedSystem {
+    /// The hardware-state component of the uncertainty (`q ∈ Q`).
+    type State: Clone;
+    /// The program-input component of the uncertainty (`i ∈ I`).
+    type Input: Clone;
+
+    /// Returns `T_p(q, i)`: the execution time (or more generally, the
+    /// observed property value) of an uninterrupted run from hardware
+    /// state `q` with input `i`.
+    fn execution_time(&self, state: &Self::State, input: &Self::Input) -> Cycles;
+}
+
+/// Blanket implementation so `&S` is a system whenever `S` is.
+impl<S: TimedSystem + ?Sized> TimedSystem for &S {
+    type State = S::State;
+    type Input = S::Input;
+    fn execution_time(&self, state: &Self::State, input: &Self::Input) -> Cycles {
+        (**self).execution_time(state, input)
+    }
+}
+
+/// Adapts a closure `(q, i) -> Cycles` into a [`TimedSystem`].
+///
+/// Useful for tests, toy systems and for gluing simulators to the
+/// evaluators without writing adapter structs.
+///
+/// ```
+/// use predictability_core::system::{Cycles, FnSystem, TimedSystem};
+/// let sys = FnSystem::new(|q: &u32, i: &u32| Cycles::new((q + i) as u64));
+/// assert_eq!(sys.execution_time(&3, &4), Cycles::new(7));
+/// ```
+#[derive(Clone, Copy)]
+pub struct FnSystem<Q, I, F> {
+    f: F,
+    _uncertainty: PhantomData<fn(&Q, &I) -> Cycles>,
+}
+
+impl<Q, I, F> fmt::Debug for FnSystem<Q, I, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnSystem").finish_non_exhaustive()
+    }
+}
+
+impl<Q, I, F: Fn(&Q, &I) -> Cycles> FnSystem<Q, I, F> {
+    /// Wraps a closure as a timed system.
+    pub fn new(f: F) -> Self {
+        FnSystem {
+            f,
+            _uncertainty: PhantomData,
+        }
+    }
+}
+
+impl<Q: Clone, I: Clone, F: Fn(&Q, &I) -> Cycles> TimedSystem for FnSystem<Q, I, F> {
+    type State = Q;
+    type Input = I;
+    fn execution_time(&self, state: &Q, input: &I) -> Cycles {
+        (self.f)(state, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        assert_eq!(Cycles::new(5) + Cycles::new(7), Cycles::new(12));
+        assert_eq!(Cycles::new(7) - Cycles::new(5), Cycles::new(2));
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(7)), Cycles::ZERO);
+        assert_eq!(Cycles::new(5).abs_diff(Cycles::new(7)), Cycles::new(2));
+        assert_eq!(Cycles::new(7).abs_diff(Cycles::new(5)), Cycles::new(2));
+    }
+
+    #[test]
+    fn cycles_sum_and_conversions() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(u64::from(Cycles::from(9u64)), 9);
+        assert_eq!(Cycles::new(3).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn cycles_ordering_and_display() {
+        assert!(Cycles::new(3) < Cycles::new(4));
+        assert_eq!(Cycles::default(), Cycles::ZERO);
+        assert_eq!(format!("{}", Cycles::new(42)), "42 cycles");
+        assert!(!format!("{:?}", Cycles::ZERO).is_empty());
+    }
+
+    #[test]
+    fn fn_system_is_deterministic() {
+        let sys = FnSystem::new(|q: &u8, i: &u8| Cycles::new(*q as u64 * 10 + *i as u64));
+        for q in 0..4u8 {
+            for i in 0..4u8 {
+                assert_eq!(sys.execution_time(&q, &i), sys.execution_time(&q, &i));
+            }
+        }
+    }
+
+    #[test]
+    fn reference_to_system_is_system() {
+        fn needs_system<S: TimedSystem<State = u8, Input = u8>>(s: S) -> Cycles {
+            s.execution_time(&1, &2)
+        }
+        let sys = FnSystem::new(|q: &u8, i: &u8| Cycles::new((*q + *i) as u64));
+        assert_eq!(needs_system(&sys), Cycles::new(3));
+        assert_eq!(needs_system(sys), Cycles::new(3));
+    }
+}

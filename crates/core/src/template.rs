@@ -1,0 +1,267 @@
+//! The predictability template (Section 2.1).
+//!
+//! A predictability definition names three things:
+//!
+//! 1. the **property to be predicted** ([`Property`]),
+//! 2. the **sources of uncertainty** that make it hard ([`Uncertainty`]),
+//! 3. a **quality measure** on predictions ([`Quality`]),
+//!
+//! and, as a meta-requirement, the notion must be **inherent** to the
+//! system (quantified over optimal analyses). [`TemplateInstance`]
+//! bundles the three slots with bibliographic context; the
+//! [`crate::catalog`] module instantiates it thirteen times — once per
+//! row of the paper's Tables 1 and 2.
+
+use std::fmt;
+
+/// The property to be predicted (first template slot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Property {
+    /// Execution time of the named granularity (program, basic block,
+    /// task, program path).
+    ExecutionTime {
+        /// What is being timed, e.g. "program", "basic blocks".
+        of: &'static str,
+    },
+    /// A count of discrete events (branch mispredictions, cache hits…).
+    EventCount {
+        /// The counted event, e.g. "branch mispredictions".
+        event: &'static str,
+    },
+    /// A latency of individual operations (memory access, bus transfer,
+    /// DRAM access).
+    Latency {
+        /// The operation whose latency is predicted.
+        of: &'static str,
+    },
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::ExecutionTime { of } => write!(f, "execution time of {of}"),
+            Property::EventCount { event } => write!(f, "number of {event}"),
+            Property::Latency { of } => write!(f, "latency of {of}"),
+        }
+    }
+}
+
+/// A source of uncertainty (second template slot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Uncertainty {
+    /// The initial state of a hardware component is unknown.
+    InitialHardwareState {
+        /// The component, e.g. "pipeline", "cache", "branch predictor".
+        component: &'static str,
+    },
+    /// The program input is unknown.
+    ProgramInput,
+    /// Concurrently executing applications / other threads interfere.
+    ExecutionContext {
+        /// Description of the co-running context.
+        description: &'static str,
+    },
+    /// Addresses of data accesses cannot be resolved statically.
+    DataAddresses,
+    /// Occurrence (phase) of DRAM refreshes.
+    RefreshPhase,
+    /// Cache interference from preempting tasks.
+    PreemptingTasks,
+    /// Input values of variable-latency instructions.
+    VariableLatencyOperands,
+    /// The paper marks some surveyed efforts as really targeting
+    /// *analysis imprecision* rather than an inherent uncertainty; kept
+    /// so the catalog can be faithful to Tables 1 and 2.
+    AnalysisImprecision,
+}
+
+impl fmt::Display for Uncertainty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Uncertainty::InitialHardwareState { component } => {
+                write!(f, "uncertainty about initial {component} state")
+            }
+            Uncertainty::ProgramInput => write!(f, "uncertainty about program inputs"),
+            Uncertainty::ExecutionContext { description } => {
+                write!(f, "execution context: {description}")
+            }
+            Uncertainty::DataAddresses => write!(f, "uncertainty about addresses of data accesses"),
+            Uncertainty::RefreshPhase => write!(f, "occurrence of DRAM refreshes"),
+            Uncertainty::PreemptingTasks => write!(f, "interference due to preempting tasks"),
+            Uncertainty::VariableLatencyOperands => {
+                write!(f, "input values of variable-latency instructions")
+            }
+            Uncertainty::AnalysisImprecision => write!(f, "analysis imprecision"),
+        }
+    }
+}
+
+/// The quality measure (third template slot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Quality {
+    /// Variability (max − min) of the property.
+    Variability {
+        /// What varies, e.g. "execution times".
+        of: &'static str,
+    },
+    /// A statically computed bound on the property.
+    StaticBound {
+        /// What is bounded.
+        of: &'static str,
+    },
+    /// Existence (and size) of a bound at all.
+    BoundExistence {
+        /// What is bounded, e.g. "access latency".
+        of: &'static str,
+    },
+    /// Qualitative: the analysis becomes practically feasible / simple.
+    AnalysisFeasibility,
+    /// Fraction of accesses/events that can be statically classified.
+    ClassifiableFraction,
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quality::Variability { of } => write!(f, "variability in {of}"),
+            Quality::StaticBound { of } => write!(f, "statically computed bound on {of}"),
+            Quality::BoundExistence { of } => write!(f, "existence and size of bound on {of}"),
+            Quality::AnalysisFeasibility => write!(f, "analysis practically feasible"),
+            Quality::ClassifiableFraction => {
+                write!(f, "percentage of accesses statically classifiable")
+            }
+        }
+    }
+}
+
+/// One row of the paper's Tables 1/2: a published approach cast as an
+/// instance of the predictability template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateInstance {
+    /// Stable identifier used by the experiment registry
+    /// (e.g. `"smt"`, `"dram-ctrl"`).
+    pub id: &'static str,
+    /// The approach as named in the paper.
+    pub approach: &'static str,
+    /// The hardware unit(s) concerned.
+    pub hardware_unit: &'static str,
+    /// First template slot.
+    pub property: Property,
+    /// Second template slot (possibly several sources).
+    pub uncertainty: Vec<Uncertainty>,
+    /// Third template slot.
+    pub quality: Quality,
+    /// Whether the paper had to *re-interpret* the approach to fit the
+    /// template (entries in parentheses in Tables 1 and 2).
+    pub reinterpreted: bool,
+    /// Reference keys as cited in the paper, e.g. `["5", "6"]`.
+    pub citations: &'static [&'static str],
+}
+
+impl TemplateInstance {
+    /// Renders the instance as a single table row
+    /// `approach | unit | property | uncertainty | quality`.
+    pub fn to_row(&self) -> String {
+        let unc = self
+            .uncertainty
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        let quality = if self.reinterpreted {
+            format!("({})", self.quality)
+        } else {
+            self.quality.to_string()
+        };
+        format!(
+            "{} | {} | {} | {} | {}",
+            self.approach, self.hardware_unit, self.property, unc, quality
+        )
+    }
+}
+
+impl fmt::Display for TemplateInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "approach:    {} {:?}", self.approach, self.citations)?;
+        writeln!(f, "unit:        {}", self.hardware_unit)?;
+        writeln!(f, "property:    {}", self.property)?;
+        for u in &self.uncertainty {
+            writeln!(f, "uncertainty: {u}")?;
+        }
+        write!(f, "quality:     {}", self.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TemplateInstance {
+        TemplateInstance {
+            id: "sample",
+            approach: "Sample approach",
+            hardware_unit: "Widget",
+            property: Property::ExecutionTime { of: "tasks" },
+            uncertainty: vec![
+                Uncertainty::ProgramInput,
+                Uncertainty::InitialHardwareState {
+                    component: "pipeline",
+                },
+            ],
+            quality: Quality::Variability {
+                of: "execution times",
+            },
+            reinterpreted: false,
+            citations: &["42"],
+        }
+    }
+
+    #[test]
+    fn displays_are_meaningful() {
+        assert_eq!(
+            Property::EventCount {
+                event: "branch mispredictions"
+            }
+            .to_string(),
+            "number of branch mispredictions"
+        );
+        assert_eq!(
+            Uncertainty::InitialHardwareState { component: "cache" }.to_string(),
+            "uncertainty about initial cache state"
+        );
+        assert_eq!(
+            Quality::BoundExistence {
+                of: "access latency"
+            }
+            .to_string(),
+            "existence and size of bound on access latency"
+        );
+    }
+
+    #[test]
+    fn row_contains_all_slots() {
+        let row = sample().to_row();
+        assert!(row.contains("Sample approach"));
+        assert!(row.contains("Widget"));
+        assert!(row.contains("execution time of tasks"));
+        assert!(row.contains("program inputs"));
+        assert!(row.contains("variability in execution times"));
+    }
+
+    #[test]
+    fn reinterpretation_is_parenthesised() {
+        let mut ti = sample();
+        ti.reinterpreted = true;
+        assert!(ti.to_row().contains("(variability in execution times)"));
+    }
+
+    #[test]
+    fn full_display_lists_every_uncertainty() {
+        let s = sample().to_string();
+        assert_eq!(s.matches("uncertainty:").count(), 2);
+        assert!(s.contains("quality:"));
+    }
+}

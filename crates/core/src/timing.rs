@@ -1,0 +1,425 @@
+//! Timing predictability: Definitions 3, 4 and 5 of the paper.
+//!
+//! Given uncertainty sets `Q ⊆ 𝒬` (initial hardware states) and `I ⊆ ℐ`
+//! (program inputs), the paper defines
+//!
+//! ```text
+//! Pr_p(Q, I)   = min_{q1,q2 ∈ Q} min_{i1,i2 ∈ I} T_p(q1,i1) / T_p(q2,i2)   (Def. 3)
+//! SIPr_p(Q, I) = min_{q1,q2 ∈ Q} min_{i ∈ I}     T_p(q1,i)  / T_p(q2,i)    (Def. 4)
+//! IIPr_p(Q, I) = min_{q ∈ Q}     min_{i1,i2 ∈ I} T_p(q,i1)  / T_p(q,i2)    (Def. 5)
+//! ```
+//!
+//! All three lie in `(0, 1]`, with `1` meaning perfectly predictable.
+//! `Pr` quantifies over free pairs of states *and* inputs, so it is the
+//! most pessimistic; `SIPr` isolates the hardware's contribution (fixed
+//! input, varying state) and `IIPr` the software's (fixed state, varying
+//! input). The three are related by a sandwich this module also exposes
+//! as [`sandwich_bounds`] and that the test-suite checks exhaustively:
+//!
+//! ```text
+//! SIPr · IIPr  ≤  Pr  ≤  min(SIPr, IIPr)
+//! ```
+
+use crate::system::{Cycles, TimedSystem};
+use crate::{Error, Result};
+
+/// A witness pair realising the extremal execution times of an evaluation.
+///
+/// Exposing the witnesses (not only the ratio) follows the paper's spirit:
+/// an engineer improving a design needs to know *which* state/input pair
+/// is slow, not merely that some pair is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness<Q, I> {
+    /// State and input of the fastest observed execution.
+    pub fastest: (Q, I),
+    /// State and input of the slowest observed execution.
+    pub slowest: (Q, I),
+}
+
+/// The result of evaluating one of Definitions 3–5 on finite `Q × I`.
+///
+/// Stores the extremal times, their witnesses, and the number of
+/// `(state, input)` pairs examined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predictability<Q, I> {
+    min: Cycles,
+    max: Cycles,
+    witness: Witness<Q, I>,
+    evaluations: usize,
+}
+
+impl<Q: Clone, I: Clone> Predictability<Q, I> {
+    fn new(min: Cycles, max: Cycles, witness: Witness<Q, I>, evaluations: usize) -> Self {
+        debug_assert!(min <= max);
+        Predictability {
+            min,
+            max,
+            witness,
+            evaluations,
+        }
+    }
+
+    /// The predictability ratio in `[0, 1]`.
+    ///
+    /// By convention a system whose extremal times are both zero is
+    /// perfectly predictable (`1.0`); if only the minimum is zero the
+    /// ratio is `0.0`. The paper implicitly assumes positive times.
+    pub fn ratio(&self) -> f64 {
+        if self.max == Cycles::ZERO {
+            1.0
+        } else {
+            self.min.as_f64() / self.max.as_f64()
+        }
+    }
+
+    /// The fastest observed execution time (BCET over the explored sets).
+    pub fn min(&self) -> Cycles {
+        self.min
+    }
+
+    /// The slowest observed execution time (WCET over the explored sets).
+    pub fn max(&self) -> Cycles {
+        self.max
+    }
+
+    /// Witnesses for the extremal times.
+    pub fn witness(&self) -> &Witness<Q, I> {
+        &self.witness
+    }
+
+    /// Number of `(q, i)` evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Absolute variability `max - min`, the quality measure many of the
+    /// surveyed approaches use ("variability in execution times").
+    pub fn variability(&self) -> Cycles {
+        self.max - self.min
+    }
+}
+
+fn check_nonempty<Q, I>(states: &[Q], inputs: &[I]) -> Result<()> {
+    if states.is_empty() {
+        return Err(Error::EmptyStateSet);
+    }
+    if inputs.is_empty() {
+        return Err(Error::EmptyInputSet);
+    }
+    Ok(())
+}
+
+/// Timing predictability `Pr_p(Q, I)` (Definition 3), evaluated
+/// exhaustively over the given finite uncertainty sets.
+///
+/// Because the quantification ranges over *independent* pairs
+/// `(q1, i1), (q2, i2)`, the minimum of the quotient is realised by the
+/// globally fastest and slowest runs, so a single sweep over `Q × I`
+/// suffices.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyStateSet`] / [`Error::EmptyInputSet`] if either
+/// uncertainty set is empty.
+pub fn timing_predictability<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+) -> Result<Predictability<S::State, S::Input>> {
+    check_nonempty(states, inputs)?;
+    let mut min = Cycles::new(u64::MAX);
+    let mut max = Cycles::ZERO;
+    let mut fastest = (states[0].clone(), inputs[0].clone());
+    let mut slowest = fastest.clone();
+    let mut evals = 0;
+    for q in states {
+        for i in inputs {
+            let t = sys.execution_time(q, i);
+            evals += 1;
+            if t < min {
+                min = t;
+                fastest = (q.clone(), i.clone());
+            }
+            if t > max {
+                max = t;
+                slowest = (q.clone(), i.clone());
+            }
+        }
+    }
+    if max == Cycles::ZERO {
+        // All runs took zero time; the slowest witness never updated.
+        min = Cycles::ZERO;
+    }
+    Ok(Predictability::new(
+        min,
+        max,
+        Witness { fastest, slowest },
+        evals,
+    ))
+}
+
+/// State-induced timing predictability `SIPr_p(Q, I)` (Definition 4).
+///
+/// For each fixed input `i`, the state-induced ratio is
+/// `min_q T(q,i) / max_q T(q,i)`; the definition takes the worst (minimum)
+/// over all inputs. This captures the influence of the *hardware* alone.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyStateSet`] / [`Error::EmptyInputSet`] if either
+/// uncertainty set is empty.
+pub fn state_induced<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+) -> Result<Predictability<S::State, S::Input>> {
+    check_nonempty(states, inputs)?;
+    let mut best: Option<Predictability<S::State, S::Input>> = None;
+    let mut evals = 0;
+    for i in inputs {
+        let mut min = Cycles::new(u64::MAX);
+        let mut max = Cycles::ZERO;
+        let mut fast_q = states[0].clone();
+        let mut slow_q = states[0].clone();
+        for q in states {
+            let t = sys.execution_time(q, i);
+            evals += 1;
+            if t < min {
+                min = t;
+                fast_q = q.clone();
+            }
+            if t > max {
+                max = t;
+                slow_q = q.clone();
+            }
+        }
+        if max == Cycles::ZERO {
+            min = Cycles::ZERO;
+        }
+        let cand = Predictability::new(
+            min,
+            max,
+            Witness {
+                fastest: (fast_q, i.clone()),
+                slowest: (slow_q, i.clone()),
+            },
+            0,
+        );
+        let replace = match &best {
+            None => true,
+            Some(b) => cand.ratio() < b.ratio(),
+        };
+        if replace {
+            best = Some(cand);
+        }
+    }
+    let mut out = best.expect("inputs nonempty");
+    out.evaluations = evals;
+    Ok(out)
+}
+
+/// Input-induced timing predictability `IIPr_p(Q, I)` (Definition 5).
+///
+/// Dual to [`state_induced`]: for each fixed state `q` the ratio
+/// `min_i T(q,i) / max_i T(q,i)` is formed, and the worst over all states
+/// is returned. This captures the influence of the *software* (a program
+/// may simply do different amounts of work for different inputs).
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyStateSet`] / [`Error::EmptyInputSet`] if either
+/// uncertainty set is empty.
+pub fn input_induced<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+) -> Result<Predictability<S::State, S::Input>> {
+    check_nonempty(states, inputs)?;
+    let mut best: Option<Predictability<S::State, S::Input>> = None;
+    let mut evals = 0;
+    for q in states {
+        let mut min = Cycles::new(u64::MAX);
+        let mut max = Cycles::ZERO;
+        let mut fast_i = inputs[0].clone();
+        let mut slow_i = inputs[0].clone();
+        for i in inputs {
+            let t = sys.execution_time(q, i);
+            evals += 1;
+            if t < min {
+                min = t;
+                fast_i = i.clone();
+            }
+            if t > max {
+                max = t;
+                slow_i = i.clone();
+            }
+        }
+        if max == Cycles::ZERO {
+            min = Cycles::ZERO;
+        }
+        let cand = Predictability::new(
+            min,
+            max,
+            Witness {
+                fastest: (q.clone(), fast_i),
+                slowest: (q.clone(), slow_i),
+            },
+            0,
+        );
+        let replace = match &best {
+            None => true,
+            Some(b) => cand.ratio() < b.ratio(),
+        };
+        if replace {
+            best = Some(cand);
+        }
+    }
+    let mut out = best.expect("states nonempty");
+    out.evaluations = evals;
+    Ok(out)
+}
+
+/// The sandwich `SIPr · IIPr ≤ Pr ≤ min(SIPr, IIPr)` evaluated on the
+/// given system, returned as `(lower, pr, upper)`.
+///
+/// The upper bound holds because Definitions 4 and 5 quantify over
+/// *subsets* of the pair space of Definition 3. The lower bound follows
+/// by factoring any pair `(q1,i1),(q2,i2)` through the mixed point
+/// `(q1,i2)`:
+/// `T(q1,i1)/T(q2,i2) = [T(q1,i1)/T(q1,i2)] · [T(q1,i2)/T(q2,i2)]
+///  ≥ IIPr · SIPr`.
+///
+/// # Errors
+///
+/// Propagates the errors of the three evaluators.
+pub fn sandwich_bounds<S: TimedSystem>(
+    sys: &S,
+    states: &[S::State],
+    inputs: &[S::Input],
+) -> Result<(f64, f64, f64)> {
+    let pr = timing_predictability(sys, states, inputs)?.ratio();
+    let sipr = state_induced(sys, states, inputs)?.ratio();
+    let iipr = input_induced(sys, states, inputs)?.ratio();
+    Ok((sipr * iipr, pr, sipr.min(iipr)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FnSystem;
+
+    fn toy() -> FnSystem<u8, u8, impl Fn(&u8, &u8) -> Cycles> {
+        // T(q, i) = 10 + 3q + 2i, q in 0..=2, i in 0..=3
+        FnSystem::new(|q: &u8, i: &u8| Cycles::new(10 + 3 * *q as u64 + 2 * *i as u64))
+    }
+
+    const QS: [u8; 3] = [0, 1, 2];
+    const IS: [u8; 4] = [0, 1, 2, 3];
+
+    #[test]
+    fn pr_matches_hand_computation() {
+        let pr = timing_predictability(&toy(), &QS, &IS).unwrap();
+        // min = 10 (q=0,i=0), max = 10+6+6 = 22 (q=2,i=3)
+        assert_eq!(pr.min(), Cycles::new(10));
+        assert_eq!(pr.max(), Cycles::new(22));
+        assert!((pr.ratio() - 10.0 / 22.0).abs() < 1e-12);
+        assert_eq!(pr.evaluations(), 12);
+        assert_eq!(pr.witness().fastest, (0, 0));
+        assert_eq!(pr.witness().slowest, (2, 3));
+        assert_eq!(pr.variability(), Cycles::new(12));
+    }
+
+    #[test]
+    fn sipr_matches_hand_computation() {
+        // For fixed i: min_q = 10+2i, max_q = 16+2i; ratio minimised at i=0:
+        // 10/16.
+        let sipr = state_induced(&toy(), &QS, &IS).unwrap();
+        assert!((sipr.ratio() - 10.0 / 16.0).abs() < 1e-12);
+        assert_eq!(sipr.witness().fastest, (0, 0));
+        assert_eq!(sipr.witness().slowest, (2, 0));
+        assert_eq!(sipr.evaluations(), 12);
+    }
+
+    #[test]
+    fn iipr_matches_hand_computation() {
+        // For fixed q: min_i = 10+3q, max_i = 16+3q; minimised at q=0: 10/16.
+        let iipr = input_induced(&toy(), &QS, &IS).unwrap();
+        assert!((iipr.ratio() - 10.0 / 16.0).abs() < 1e-12);
+        assert_eq!(iipr.witness().fastest, (0, 0));
+        assert_eq!(iipr.witness().slowest, (0, 3));
+    }
+
+    #[test]
+    fn sandwich_holds_on_toy() {
+        let (lo, pr, hi) = sandwich_bounds(&toy(), &QS, &IS).unwrap();
+        assert!(lo <= pr + 1e-12, "lower {lo} vs pr {pr}");
+        assert!(pr <= hi + 1e-12, "pr {pr} vs upper {hi}");
+    }
+
+    #[test]
+    fn perfectly_predictable_system() {
+        let sys = FnSystem::new(|_: &u8, _: &u8| Cycles::new(42));
+        let pr = timing_predictability(&sys, &QS, &IS).unwrap();
+        assert_eq!(pr.ratio(), 1.0);
+        assert_eq!(pr.variability(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn zero_time_conventions() {
+        let all_zero = FnSystem::new(|_: &u8, _: &u8| Cycles::ZERO);
+        assert_eq!(
+            timing_predictability(&all_zero, &QS, &IS).unwrap().ratio(),
+            1.0
+        );
+        let some_zero = FnSystem::new(|q: &u8, _: &u8| Cycles::new(*q as u64));
+        assert_eq!(
+            timing_predictability(&some_zero, &QS, &IS).unwrap().ratio(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        let sys = toy();
+        let empty_q: [u8; 0] = [];
+        let empty_i: [u8; 0] = [];
+        assert_eq!(
+            timing_predictability(&sys, &empty_q, &IS).unwrap_err(),
+            Error::EmptyStateSet
+        );
+        assert_eq!(
+            timing_predictability(&sys, &QS, &empty_i).unwrap_err(),
+            Error::EmptyInputSet
+        );
+        assert_eq!(
+            state_induced(&sys, &empty_q, &IS).unwrap_err(),
+            Error::EmptyStateSet
+        );
+        assert_eq!(
+            input_induced(&sys, &QS, &empty_i).unwrap_err(),
+            Error::EmptyInputSet
+        );
+    }
+
+    #[test]
+    fn singleton_state_set_gives_sipr_one() {
+        let sipr = state_induced(&toy(), &QS[..1], &IS).unwrap();
+        assert_eq!(sipr.ratio(), 1.0);
+    }
+
+    #[test]
+    fn singleton_input_set_gives_iipr_one() {
+        let iipr = input_induced(&toy(), &QS, &IS[..1]).unwrap();
+        assert_eq!(iipr.ratio(), 1.0);
+    }
+
+    #[test]
+    fn shrinking_uncertainty_never_decreases_pr() {
+        // Monotonicity: Q' ⊆ Q implies Pr(Q', I) >= Pr(Q, I).
+        let full = timing_predictability(&toy(), &QS, &IS).unwrap().ratio();
+        let fewer_q = timing_predictability(&toy(), &QS[..2], &IS).unwrap().ratio();
+        let fewer_i = timing_predictability(&toy(), &QS, &IS[..2]).unwrap().ratio();
+        assert!(fewer_q >= full);
+        assert!(fewer_i >= full);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the predictability definitions.
+//!
+//! These check the paper's implicit algebraic facts on randomly generated
+//! finite systems: range containment, the SIPr/IIPr sandwich,
+//! monotonicity under shrinking uncertainty, and the compositional
+//! bounds.
+
+use predictability_core::composition::{parallel_bound, product, serial_bound, Serial};
+use predictability_core::system::{Cycles, FnSystem, TimedSystem};
+use predictability_core::timing::{
+    input_induced, sandwich_bounds, state_induced, timing_predictability,
+};
+use proptest::prelude::*;
+
+/// A random finite timed system represented as an explicit time table
+/// (positive times so ratios are well-defined).
+#[derive(Debug, Clone)]
+struct TableSystem {
+    times: Vec<Vec<u64>>, // times[q][i]
+}
+
+impl TimedSystem for TableSystem {
+    type State = usize;
+    type Input = usize;
+    fn execution_time(&self, q: &usize, i: &usize) -> Cycles {
+        Cycles::new(self.times[*q][*i])
+    }
+}
+
+fn table_system(max_q: usize, max_i: usize) -> impl Strategy<Value = TableSystem> {
+    (1..=max_q, 1..=max_i).prop_flat_map(|(nq, ni)| {
+        proptest::collection::vec(
+            proptest::collection::vec(1u64..10_000, ni..=ni),
+            nq..=nq,
+        )
+        .prop_map(|times| TableSystem { times })
+    })
+}
+
+fn spaces(sys: &TableSystem) -> (Vec<usize>, Vec<usize>) {
+    ((0..sys.times.len()).collect(), (0..sys.times[0].len()).collect())
+}
+
+proptest! {
+    #[test]
+    fn pr_is_in_unit_interval(sys in table_system(6, 6)) {
+        let (qs, is) = spaces(&sys);
+        let pr = timing_predictability(&sys, &qs, &is).unwrap().ratio();
+        prop_assert!(pr > 0.0 && pr <= 1.0);
+    }
+
+    #[test]
+    fn sandwich_inequality(sys in table_system(6, 6)) {
+        let (qs, is) = spaces(&sys);
+        let (lo, pr, hi) = sandwich_bounds(&sys, &qs, &is).unwrap();
+        prop_assert!(lo <= pr + 1e-9, "SIPr*IIPr = {lo} > Pr = {pr}");
+        prop_assert!(pr <= hi + 1e-9, "Pr = {pr} > min(SIPr,IIPr) = {hi}");
+    }
+
+    #[test]
+    fn pr_bounded_by_each_marginal(sys in table_system(5, 5)) {
+        let (qs, is) = spaces(&sys);
+        let pr = timing_predictability(&sys, &qs, &is).unwrap().ratio();
+        let sipr = state_induced(&sys, &qs, &is).unwrap().ratio();
+        let iipr = input_induced(&sys, &qs, &is).unwrap().ratio();
+        prop_assert!(pr <= sipr + 1e-9);
+        prop_assert!(pr <= iipr + 1e-9);
+    }
+
+    #[test]
+    fn monotone_under_shrinking_states(sys in table_system(6, 4)) {
+        let (qs, is) = spaces(&sys);
+        if qs.len() >= 2 {
+            let full = timing_predictability(&sys, &qs, &is).unwrap().ratio();
+            let sub = timing_predictability(&sys, &qs[..qs.len() - 1], &is)
+                .unwrap()
+                .ratio();
+            prop_assert!(sub >= full - 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_under_shrinking_inputs(sys in table_system(4, 6)) {
+        let (qs, is) = spaces(&sys);
+        if is.len() >= 2 {
+            let full = timing_predictability(&sys, &qs, &is).unwrap().ratio();
+            let sub = timing_predictability(&sys, &qs, &is[..is.len() - 1])
+                .unwrap()
+                .ratio();
+            prop_assert!(sub >= full - 1e-9);
+        }
+    }
+
+    #[test]
+    fn witnesses_realise_extrema(sys in table_system(5, 5)) {
+        let (qs, is) = spaces(&sys);
+        let pr = timing_predictability(&sys, &qs, &is).unwrap();
+        let w = pr.witness();
+        prop_assert_eq!(sys.execution_time(&w.fastest.0, &w.fastest.1), pr.min());
+        prop_assert_eq!(sys.execution_time(&w.slowest.0, &w.slowest.1), pr.max());
+    }
+
+    #[test]
+    fn serial_composition_bound(a in table_system(3, 3), b in table_system(3, 3)) {
+        let (qa, ia) = spaces(&a);
+        let (qb, ib) = spaces(&b);
+        let (bound, exact) = serial_bound(&a, &qa, &ia, &b, &qb, &ib).unwrap();
+        prop_assert!(bound <= exact + 1e-9, "serial: bound {bound} > exact {exact}");
+    }
+
+    #[test]
+    fn parallel_composition_bound(a in table_system(3, 3), b in table_system(3, 3)) {
+        let (qa, ia) = spaces(&a);
+        let (qb, ib) = spaces(&b);
+        let (bound, exact) = parallel_bound(&a, &qa, &ia, &b, &qb, &ib).unwrap();
+        prop_assert!(bound <= exact + 1e-9, "parallel: bound {bound} > exact {exact}");
+    }
+
+    #[test]
+    fn serial_time_is_componentwise_sum(a in table_system(3, 3), b in table_system(3, 3)) {
+        let (qa, ia) = spaces(&a);
+        let (qb, ib) = spaces(&b);
+        let comp = Serial::new(a.clone(), b.clone());
+        for q in product(&qa, &qb).into_iter().take(8) {
+            for i in product(&ia, &ib).into_iter().take(8) {
+                let lhs = comp.execution_time(&q, &i);
+                let rhs = a.execution_time(&q.0, &i.0) + b.execution_time(&q.1, &i.1);
+                prop_assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_systems_are_perfectly_predictable(t in 1u64..1_000_000) {
+        let sys = FnSystem::new(move |_: &u8, _: &u8| Cycles::new(t));
+        let qs = [0u8, 1, 2];
+        let is = [0u8, 1];
+        let pr = timing_predictability(&sys, &qs, &is).unwrap();
+        prop_assert_eq!(pr.ratio(), 1.0);
+        let (lo, mid, hi) = sandwich_bounds(&sys, &qs, &is).unwrap();
+        prop_assert_eq!((lo, mid, hi), (1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,172 @@
+//! A bank/row SDRAM timing model.
+//!
+//! Deliberately small but mechanistic: banks with open rows, activate /
+//! precharge / CAS timings, and refresh that stalls the whole device
+//! for `t_rfc`. Latency differences between row hits, row misses and
+//! bank conflicts are what make FR-FCFS fast on average and unbounded
+//! under interference.
+
+/// SDRAM timing parameters, in controller clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row activate (RAS-to-CAS) delay.
+    pub t_rcd: u64,
+    /// Precharge delay.
+    pub t_rp: u64,
+    /// CAS (column access) latency.
+    pub t_cl: u64,
+    /// Refresh cycle time (device blocked per refresh command).
+    pub t_rfc: u64,
+    /// Average refresh interval (one row refresh due every `t_refi`).
+    pub t_refi: u64,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming {
+            t_rcd: 3,
+            t_rp: 3,
+            t_cl: 3,
+            t_rfc: 12,
+            t_refi: 64,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Latency of a row-buffer hit.
+    pub fn hit_latency(&self) -> u64 {
+        self.t_cl
+    }
+
+    /// Latency when the bank has another row open (precharge +
+    /// activate + CAS).
+    pub fn conflict_latency(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl
+    }
+
+    /// Latency when the bank is idle (activate + CAS).
+    pub fn miss_latency(&self) -> u64 {
+        self.t_rcd + self.t_cl
+    }
+}
+
+/// One bank: the currently open row, if any.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bank {
+    /// Open row, or `None` after precharge.
+    pub open_row: Option<u64>,
+}
+
+/// The SDRAM device: banks plus timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramDevice {
+    /// Timing parameters.
+    pub timing: DramTiming,
+    banks: Vec<Bank>,
+}
+
+impl DramDevice {
+    /// Creates a device with `banks` idle banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize, timing: DramTiming) -> DramDevice {
+        assert!(banks > 0);
+        DramDevice {
+            timing,
+            banks: vec![Bank::default(); banks],
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Performs an access to `(bank, row)` in open-page policy,
+    /// returning its latency and updating the row buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn access_open_page(&mut self, bank: usize, row: u64) -> u64 {
+        let b = &mut self.banks[bank];
+        let latency = match b.open_row {
+            Some(r) if r == row => self.timing.hit_latency(),
+            Some(_) => self.timing.conflict_latency(),
+            None => self.timing.miss_latency(),
+        };
+        b.open_row = Some(row);
+        latency
+    }
+
+    /// Performs an access in closed-page policy (activate + CAS +
+    /// precharge; constant latency — the Predator/AMC building block).
+    pub fn access_closed_page(&mut self, bank: usize, _row: u64) -> u64 {
+        self.banks[bank].open_row = None;
+        self.timing.miss_latency() + self.timing.t_rp
+    }
+
+    /// The constant closed-page access latency.
+    pub fn closed_page_latency(&self) -> u64 {
+        self.timing.miss_latency() + self.timing.t_rp
+    }
+
+    /// Precharges all banks (e.g. before a refresh burst).
+    pub fn precharge_all(&mut self) {
+        for b in &mut self.banks {
+            b.open_row = None;
+        }
+    }
+
+    /// True if the bank currently has `row` open.
+    pub fn row_open(&self, bank: usize, row: u64) -> bool {
+        self.banks[bank].open_row == Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_page_latencies() {
+        let t = DramTiming::default();
+        let mut d = DramDevice::new(2, t);
+        assert_eq!(d.access_open_page(0, 5), t.miss_latency()); // idle bank
+        assert_eq!(d.access_open_page(0, 5), t.hit_latency()); // row hit
+        assert_eq!(d.access_open_page(0, 9), t.conflict_latency()); // conflict
+        assert!(d.row_open(0, 9));
+        assert_eq!(d.access_open_page(1, 9), t.miss_latency()); // other bank idle
+    }
+
+    #[test]
+    fn closed_page_is_constant() {
+        let t = DramTiming::default();
+        let mut d = DramDevice::new(2, t);
+        let l1 = d.access_closed_page(0, 5);
+        let l2 = d.access_closed_page(0, 5);
+        let l3 = d.access_closed_page(0, 9);
+        assert_eq!(l1, l2);
+        assert_eq!(l2, l3);
+        assert_eq!(l1, d.closed_page_latency());
+        assert!(!d.row_open(0, 5));
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let t = DramTiming::default();
+        assert!(t.hit_latency() < t.miss_latency());
+        assert!(t.miss_latency() < t.conflict_latency());
+    }
+
+    #[test]
+    fn precharge_all_closes_rows() {
+        let mut d = DramDevice::new(4, DramTiming::default());
+        d.access_open_page(2, 7);
+        d.precharge_all();
+        assert!(!d.row_open(2, 7));
+    }
+}

@@ -1,0 +1,115 @@
+//! Predictable DRAM refresh (Bhat & Mueller; Table 2, row 5).
+//!
+//! Standard controllers refresh rows on a fixed period; where those
+//! refreshes land relative to a task's accesses depends on the *refresh
+//! counter phase* at task start — a hardware state the analysis does
+//! not know, making access latencies (and hence task times) vary. The
+//! fix: execute refreshes in *bursts* scheduled like periodic tasks, so
+//! no refresh ever interleaves a task's execution window.
+//!
+//! The experiment: [`task_time`] computes a fixed task's duration as a
+//! function of the initial refresh phase; distributed refresh shows
+//! phase-induced variability (SIPr < 1 with `Q` = refresh phases),
+//! burst refresh shows none.
+
+use crate::device::DramTiming;
+
+/// The refresh scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshScheme {
+    /// One row refresh every `t_refi`, whenever the counter fires.
+    Distributed,
+    /// All refreshes deferred to inter-task bursts; none fire inside a
+    /// task window.
+    Burst,
+}
+
+/// Computes the completion time of a task performing `accesses` memory
+/// accesses of constant `access_latency`, back to back, starting at
+/// refresh phase `phase` (cycles until the next refresh would fire).
+///
+/// Under [`RefreshScheme::Distributed`], whenever the refresh counter
+/// fires the device stalls for `t_rfc` before the access proceeds.
+/// Under [`RefreshScheme::Burst`] the window is refresh-free (the burst
+/// ran before the task started; its cost is accounted to the schedule,
+/// not the task).
+pub fn task_time(
+    scheme: RefreshScheme,
+    timing: DramTiming,
+    accesses: u64,
+    access_latency: u64,
+    phase: u64,
+) -> u64 {
+    match scheme {
+        RefreshScheme::Burst => accesses * access_latency,
+        RefreshScheme::Distributed => {
+            let mut now = 0u64;
+            let mut next_refresh = phase % timing.t_refi;
+            for _ in 0..accesses {
+                while now >= next_refresh {
+                    now += timing.t_rfc;
+                    next_refresh += timing.t_refi;
+                }
+                now += access_latency;
+            }
+            now
+        }
+    }
+}
+
+/// The burst length needed between tasks to retire `rows` refreshes.
+pub fn burst_duration(timing: DramTiming, rows: u64) -> u64 {
+    rows * timing.t_rfc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramTiming {
+        DramTiming::default() // t_refi = 64, t_rfc = 12
+    }
+
+    #[test]
+    fn burst_task_time_is_phase_independent() {
+        let t = timing();
+        let base = task_time(RefreshScheme::Burst, t, 50, 4, 0);
+        for phase in 0..t.t_refi {
+            assert_eq!(task_time(RefreshScheme::Burst, t, 50, 4, phase), base);
+        }
+        assert_eq!(base, 200);
+    }
+
+    #[test]
+    fn distributed_task_time_varies_with_phase() {
+        let t = timing();
+        let times: Vec<u64> = (0..t.t_refi)
+            .map(|phase| task_time(RefreshScheme::Distributed, t, 50, 4, phase))
+            .collect();
+        let min = *times.iter().min().unwrap();
+        let max = *times.iter().max().unwrap();
+        assert!(max > min, "refresh phase must induce variability");
+        // And distributed is never faster than refresh-free.
+        assert!(min >= task_time(RefreshScheme::Burst, t, 50, 4, 0));
+    }
+
+    #[test]
+    fn refresh_cost_is_bounded_by_expected_count() {
+        let t = timing();
+        let work = 50 * 4;
+        for phase in [0u64, 13, 63] {
+            let total = task_time(RefreshScheme::Distributed, t, 50, 4, phase);
+            let overhead = total - work;
+            // At most ceil(total / t_refi) + 1 refreshes can fire.
+            let max_refreshes = total / t.t_refi + 2;
+            assert!(overhead <= max_refreshes * t.t_rfc);
+        }
+    }
+
+    #[test]
+    fn burst_duration_scales_with_rows() {
+        let t = timing();
+        assert_eq!(burst_duration(t, 8), 8 * t.t_rfc);
+        assert_eq!(burst_duration(t, 0), 0);
+    }
+}

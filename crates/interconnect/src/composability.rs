@@ -1,0 +1,128 @@
+//! Composability measurement (the CoMPSoC property).
+//!
+//! Hansson et al. define composability as "the composition of
+//! applications on one platform does not have any influence on their
+//! timing behavior". The measurable consequence: for every workload of
+//! application A, its latencies with and without co-running application
+//! B are identical — the *composability gap* is zero. TDM arbitration
+//! achieves gap 0; work-conserving arbiters do not.
+
+use crate::bus::{simulate_bus, Arbiter, BusRequest};
+use crate::noc::{route_packets, Mesh, NocMode, NocPacket};
+
+/// Worst-case change in application 0's per-request bus latency caused
+/// by co-runner traffic (0 = perfectly composable).
+pub fn bus_composability_gap(
+    arbiter: Arbiter,
+    n_masters: usize,
+    transfer: u64,
+    app0: &[BusRequest],
+    co_traffic: &[BusRequest],
+) -> u64 {
+    let alone = simulate_bus(arbiter, n_masters, transfer, app0);
+    let mut mixed_reqs = app0.to_vec();
+    mixed_reqs.extend_from_slice(co_traffic);
+    let mixed = simulate_bus(arbiter, n_masters, transfer, &mixed_reqs);
+    let mut gap = 0u64;
+    for a in &alone {
+        let b = mixed
+            .iter()
+            .find(|r| r.request == a.request)
+            .expect("request must be served in both runs");
+        gap = gap.max(b.latency.abs_diff(a.latency));
+    }
+    gap
+}
+
+/// Worst-case change in application 0's packet latency caused by
+/// co-runner packets (0 = perfectly composable).
+pub fn noc_composability_gap(
+    mesh: Mesh,
+    mode: NocMode,
+    app0: &[NocPacket],
+    co_traffic: &[NocPacket],
+) -> u64 {
+    let alone = route_packets(mesh, mode, app0);
+    let mut mixed_pkts = app0.to_vec();
+    mixed_pkts.extend_from_slice(co_traffic);
+    let mixed = route_packets(mesh, mode, &mixed_pkts);
+    let mut gap = 0u64;
+    for (a, b) in alone.iter().zip(mixed.iter()) {
+        gap = gap.max(b.latency.abs_diff(a.latency));
+    }
+    gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app0_bus() -> Vec<BusRequest> {
+        (0..10u64)
+            .map(|k| BusRequest {
+                master: 0,
+                arrival: k * 12,
+            })
+            .collect()
+    }
+
+    fn co_bus() -> Vec<BusRequest> {
+        let mut v = Vec::new();
+        for m in 1..4usize {
+            for k in 0..50u64 {
+                v.push(BusRequest {
+                    master: m,
+                    arrival: k,
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn tdma_bus_gap_is_zero() {
+        assert_eq!(
+            bus_composability_gap(Arbiter::Tdma, 4, 2, &app0_bus(), &co_bus()),
+            0
+        );
+    }
+
+    #[test]
+    fn work_conserving_buses_have_positive_gap() {
+        for arb in [Arbiter::RoundRobin, Arbiter::Fcfs] {
+            let gap = bus_composability_gap(arb, 4, 2, &app0_bus(), &co_bus());
+            assert!(gap > 0, "{arb:?} must show interference");
+        }
+    }
+
+    #[test]
+    fn tdm_noc_gap_is_zero_and_rr_is_not() {
+        let mesh = Mesh {
+            width: 3,
+            height: 3,
+        };
+        let app0: Vec<NocPacket> = (0..5u64)
+            .map(|k| NocPacket {
+                app: 0,
+                src: (0, 0),
+                dst: (2, 1),
+                inject: k * 25,
+                flits: 4,
+            })
+            .collect();
+        let co: Vec<NocPacket> = (0..30u64)
+            .map(|k| NocPacket {
+                app: 1,
+                src: (0, 0),
+                dst: (2, 1),
+                inject: k,
+                flits: 6,
+            })
+            .collect();
+        assert_eq!(
+            noc_composability_gap(mesh, NocMode::Tdm { n_apps: 4 }, &app0, &co),
+            0
+        );
+        assert!(noc_composability_gap(mesh, NocMode::RoundRobin, &app0, &co) > 0);
+    }
+}

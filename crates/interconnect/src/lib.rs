@@ -1,0 +1,27 @@
+//! # interconnect-sim
+//!
+//! Shared-bus arbitration and a TDM network-on-chip for the paper's
+//! CoMPSoC row (Table 1, row 4) and the bus recommendations of the
+//! future-architectures row (Table 1, row 7).
+//!
+//! The template instance: the *property* is memory-access and
+//! communication latency; the *source of uncertainty* is the concurrent
+//! execution of unknown other applications; the *quality measure* is
+//! the variability in latencies. TDM arbitration makes the latency of
+//! one application independent of every other — *composability* — while
+//! FCFS/round-robin/priority arbiters leak interference.
+//!
+//! * [`bus`] — a shared bus with TDMA, round-robin, FCFS and
+//!   fixed-priority arbitration.
+//! * [`noc`] — a TDM-scheduled mesh NoC in the CoMPSoC style, with a
+//!   contention-based round-robin baseline.
+//! * [`composability`] — the measurement harness: how much does app A's
+//!   latency move when app B changes?
+
+pub mod bus;
+pub mod composability;
+pub mod noc;
+
+pub use bus::{simulate_bus, Arbiter, BusRequest, BusResult};
+pub use composability::{bus_composability_gap, noc_composability_gap};
+pub use noc::{route_packets, Mesh, NocPacket};

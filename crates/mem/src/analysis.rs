@@ -1,0 +1,395 @@
+//! Abstract must/may cache analysis for LRU (Ferdinand-style).
+//!
+//! The paper's Section 3.5 observes that most surveyed efforts measure
+//! predictability *through an analysis* — "overapproximating static
+//! analyses provide upper bounds on a system's inherent predictability".
+//! This module is that analysis for LRU instruction caches: the classic
+//! abstract interpretation with age bounds.
+//!
+//! * **Must** cache: per set, an upper bound on each block's LRU age;
+//!   membership guarantees a hit ("always hit").
+//! * **May** cache: per set, a lower bound on each block's age; absence
+//!   guarantees a miss ("always miss") — only sound when the initial
+//!   cache state is known to be *empty* (cold start).
+//!
+//! The classification drives the WCET/BCET bounds of the `wcet-analysis`
+//! crate (Figure 1's UB and LB) and the cache-locking comparison.
+
+use crate::cache::CacheConfig;
+use crate::policy::BlockId;
+use std::collections::BTreeMap;
+use tinyisa::cfg::Cfg;
+use tinyisa::program::Program;
+
+/// Classification of one access point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// The access hits from every reachable state (must information).
+    AlwaysHit,
+    /// The access misses on every execution (may information; requires
+    /// a cold initial cache).
+    AlwaysMiss,
+    /// Neither could be proven.
+    NotClassified,
+}
+
+/// What is known about the initial cache contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialCache {
+    /// The cache starts empty/invalidated: may analysis is sound.
+    Cold,
+    /// The initial contents are arbitrary: only must information (which
+    /// starts empty and is therefore sound) may be used.
+    Unknown,
+}
+
+/// An abstract LRU cache (must or may), mapping blocks to age bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractCache {
+    config: CacheConfig,
+    /// Per set: block -> age bound (0 = most recently used).
+    sets: Vec<BTreeMap<BlockId, u8>>,
+    must: bool,
+}
+
+impl AbstractCache {
+    /// Creates an empty abstract cache; `must` selects the domain.
+    pub fn new(config: CacheConfig, must: bool) -> AbstractCache {
+        AbstractCache {
+            config,
+            sets: vec![BTreeMap::new(); config.sets],
+            must,
+        }
+    }
+
+    /// True if the block at `addr` is guaranteed in the cache (must) /
+    /// possibly in the cache (may).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, block) = self.config.locate(addr);
+        self.sets[set].contains_key(&block)
+    }
+
+    /// Applies one access.
+    pub fn access(&mut self, addr: u64) {
+        let assoc = self.config.assoc as u8;
+        let (set, block) = self.config.locate(addr);
+        let ages = &mut self.sets[set];
+        let old_age = ages.get(&block).copied().unwrap_or(assoc);
+        let mut next = BTreeMap::new();
+        for (&b, &a) in ages.iter() {
+            if b == block {
+                continue;
+            }
+            let bumped = if self.must {
+                // Must (upper bounds): blocks younger than the accessed
+                // block age by one.
+                if a < old_age {
+                    a + 1
+                } else {
+                    a
+                }
+            } else {
+                // May (lower bounds): blocks at least as old as the
+                // accessed block may age by one.
+                if a >= old_age {
+                    a + 1
+                } else {
+                    a
+                }
+            };
+            if bumped < assoc {
+                next.insert(b, bumped);
+            }
+        }
+        next.insert(block, 0);
+        *ages = next;
+    }
+
+    /// Applies an access whose address is statically unknown (e.g. a
+    /// heap access through an unresolvable pointer). In the must domain
+    /// every block of every set may have aged; in the may domain the
+    /// state becomes unusable for always-miss claims, which we encode by
+    /// keeping may unchanged but reporting taint via the return value.
+    pub fn access_unknown(&mut self) {
+        if self.must {
+            let assoc = self.config.assoc as u8;
+            for set in &mut self.sets {
+                let mut next = BTreeMap::new();
+                for (&b, &a) in set.iter() {
+                    if a + 1 < assoc {
+                        next.insert(b, a + 1);
+                    }
+                }
+                *set = next;
+            }
+        }
+        // In the may domain an unknown access could have inserted an
+        // unknown block; absence information about *other* blocks is
+        // unaffected, so nothing to do.
+    }
+
+    /// Joins with another abstract state (control-flow merge).
+    pub fn join(&mut self, other: &AbstractCache) {
+        debug_assert_eq!(self.must, other.must);
+        for (mine, theirs) in self.sets.iter_mut().zip(&other.sets) {
+            if self.must {
+                // Intersection, maximal age.
+                let mut next = BTreeMap::new();
+                for (&b, &a) in mine.iter() {
+                    if let Some(&a2) = theirs.get(&b) {
+                        next.insert(b, a.max(a2));
+                    }
+                }
+                *mine = next;
+            } else {
+                // Union, minimal age.
+                for (&b, &a2) in theirs {
+                    mine.entry(b)
+                        .and_modify(|a| *a = (*a).min(a2))
+                        .or_insert(a2);
+                }
+            }
+        }
+    }
+}
+
+/// The result of an instruction-cache analysis.
+#[derive(Debug, Clone)]
+pub struct ICacheAnalysis {
+    /// Classification per instruction (indexed by pc).
+    pub per_pc: Vec<Classification>,
+}
+
+impl ICacheAnalysis {
+    /// Fraction of instructions classified (not [`Classification::NotClassified`]).
+    pub fn classified_fraction(&self) -> f64 {
+        if self.per_pc.is_empty() {
+            return 1.0;
+        }
+        let c = self
+            .per_pc
+            .iter()
+            .filter(|c| !matches!(c, Classification::NotClassified))
+            .count();
+        c as f64 / self.per_pc.len() as f64
+    }
+
+    /// Number of guaranteed hits.
+    pub fn always_hits(&self) -> usize {
+        self.per_pc
+            .iter()
+            .filter(|c| matches!(c, Classification::AlwaysHit))
+            .count()
+    }
+}
+
+/// Byte address of the fetch of instruction `pc`.
+fn fetch_addr(pc: u32) -> u64 {
+    pc as u64 * crate::trace::WORD_BYTES
+}
+
+/// Runs the must (and, for cold caches, may) instruction-cache analysis
+/// over a program's CFG to a fixpoint, then classifies every
+/// instruction fetch.
+pub fn analyze_icache(
+    program: &Program,
+    cfg: &Cfg,
+    config: CacheConfig,
+    initial: InitialCache,
+) -> ICacheAnalysis {
+    let nblocks = cfg.blocks.len();
+    let mut must_in: Vec<Option<AbstractCache>> = vec![None; nblocks];
+    let mut may_in: Vec<Option<AbstractCache>> = vec![None; nblocks];
+    must_in[0] = Some(AbstractCache::new(config, true));
+    may_in[0] = Some(AbstractCache::new(config, false));
+
+    let rpo = cfg.reverse_post_order();
+    // Fixpoint iteration; the age lattice is finite so this terminates.
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let (Some(must0), Some(may0)) = (must_in[b].clone(), may_in[b].clone()) else {
+                continue;
+            };
+            let mut must = must0;
+            let mut may = may0;
+            for pc in cfg.blocks[b].range() {
+                must.access(fetch_addr(pc as u32));
+                may.access(fetch_addr(pc as u32));
+            }
+            for &s in &cfg.blocks[b].succs {
+                match &mut must_in[s] {
+                    None => {
+                        must_in[s] = Some(must.clone());
+                        changed = true;
+                    }
+                    Some(prev) => {
+                        let mut joined = prev.clone();
+                        joined.join(&must);
+                        if joined != *prev {
+                            *prev = joined;
+                            changed = true;
+                        }
+                    }
+                }
+                match &mut may_in[s] {
+                    None => {
+                        may_in[s] = Some(may.clone());
+                        changed = true;
+                    }
+                    Some(prev) => {
+                        let mut joined = prev.clone();
+                        joined.join(&may);
+                        if joined != *prev {
+                            *prev = joined;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Classify each fetch using the block-entry states.
+    let mut per_pc = vec![Classification::NotClassified; program.len()];
+    for b in &cfg.blocks {
+        let Some(must0) = must_in[b.id].clone() else {
+            continue; // unreachable code stays unclassified
+        };
+        let mut must = must0;
+        let mut may = may_in[b.id].clone().unwrap_or_else(|| AbstractCache::new(config, false));
+        for pc in b.range() {
+            let addr = fetch_addr(pc as u32);
+            per_pc[pc] = if must.contains(addr) {
+                Classification::AlwaysHit
+            } else if initial == InitialCache::Cold && !may.contains(addr) {
+                Classification::AlwaysMiss
+            } else {
+                Classification::NotClassified
+            };
+            must.access(addr);
+            may.access(addr);
+        }
+    }
+
+    ICacheAnalysis { per_pc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::lru_cache;
+    use tinyisa::asm::assemble;
+    use tinyisa::exec::Machine;
+
+    fn small_config() -> CacheConfig {
+        // 2 sets x 2 ways x 8-byte lines (2 instructions per line).
+        CacheConfig::new(2, 2, 8)
+    }
+
+    fn analyze(src: &str) -> (Program, ICacheAnalysis) {
+        let p = assemble(src).unwrap();
+        let cfg = Cfg::build(&p);
+        let a = analyze_icache(&p, &cfg, small_config(), InitialCache::Cold);
+        (p, a)
+    }
+
+    #[test]
+    fn straight_line_cold_classification() {
+        let (_, a) = analyze("nop\nnop\nnop\nnop\nhalt");
+        // First instruction of each line misses (cold), second hits.
+        assert_eq!(a.per_pc[0], Classification::AlwaysMiss);
+        assert_eq!(a.per_pc[1], Classification::AlwaysHit);
+        assert_eq!(a.per_pc[2], Classification::AlwaysMiss);
+        assert_eq!(a.per_pc[3], Classification::AlwaysHit);
+    }
+
+    #[test]
+    fn loop_body_becomes_hit_after_first_iteration() {
+        let (p, a) = analyze(
+            r"
+            li r1, 5
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ",
+        );
+        // The loop block's fetches cannot be always-miss (they hit from
+        // the second iteration) nor always-hit (first iteration misses
+        // the line unless it shares the entry's line).
+        let header = p.resolve("loop").unwrap() as usize;
+        assert_ne!(a.per_pc[header], Classification::AlwaysMiss);
+    }
+
+    #[test]
+    fn must_analysis_is_sound_wrt_simulation() {
+        // For every always-hit fetch, a concrete cold-start run must hit.
+        let src = r"
+            li r1, 6
+        loop:
+            addi r1, r1, -1
+            nop
+            nop
+            bne r1, r0, loop
+            halt
+        ";
+        let (p, a) = analyze(src);
+        let run = Machine::default().run_traced(&p).unwrap();
+        let mut cache = lru_cache(small_config());
+        for op in &run.trace {
+            let hit = cache.access(op.pc as u64 * 4).hit;
+            match a.per_pc[op.pc as usize] {
+                Classification::AlwaysHit => assert!(hit, "pc {} must hit", op.pc),
+                Classification::AlwaysMiss => assert!(!hit, "pc {} must miss", op.pc),
+                Classification::NotClassified => {}
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_initial_state_disables_always_miss() {
+        let p = assemble("nop\nnop\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        let a = analyze_icache(&p, &cfg, small_config(), InitialCache::Unknown);
+        assert!(a
+            .per_pc
+            .iter()
+            .all(|c| !matches!(c, Classification::AlwaysMiss)));
+    }
+
+    #[test]
+    fn unknown_access_damages_must_state() {
+        let cfg = small_config();
+        let mut must = AbstractCache::new(cfg, true);
+        must.access(0);
+        assert!(must.contains(0));
+        must.access_unknown();
+        must.access_unknown();
+        // After assoc unknown accesses nothing is guaranteed anymore.
+        assert!(!must.contains(0));
+    }
+
+    #[test]
+    fn join_is_conservative() {
+        let cfg = small_config();
+        let mut a = AbstractCache::new(cfg, true);
+        let mut b = AbstractCache::new(cfg, true);
+        a.access(0);
+        a.access(64); // different set or tag
+        b.access(0);
+        a.join(&b);
+        assert!(a.contains(0));
+        assert!(!a.contains(64), "must join keeps only common blocks");
+    }
+
+    #[test]
+    fn classified_fraction_counts() {
+        let (_, a) = analyze("nop\nnop\nhalt");
+        assert!(a.classified_fraction() > 0.5);
+        assert!(a.always_hits() >= 1);
+    }
+}

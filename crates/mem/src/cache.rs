@@ -1,0 +1,292 @@
+//! A parametric set-associative cache simulator.
+//!
+//! Addresses are byte addresses; `line_bytes` strips the offset,
+//! `sets` selects the index bits, and whatever remains is the tag (the
+//! [`crate::policy::BlockId`]). Timing is attached by the pipeline and
+//! latency models, not here — the cache reports hits, misses and
+//! evictions only.
+
+use crate::policy::{BlockId, Policy};
+use std::fmt;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating the power-of-two constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if any
+    /// parameter is zero.
+    pub fn new(sets: usize, assoc: usize, line_bytes: usize) -> CacheConfig {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        CacheConfig {
+            sets,
+            assoc,
+            line_bytes,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.assoc * self.line_bytes
+    }
+
+    /// Splits a byte address into `(set index, block id)`.
+    pub fn locate(&self, addr: u64) -> (usize, BlockId) {
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        (set, tag)
+    }
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The set index that was accessed.
+    pub set: usize,
+    /// Block evicted by this access, if any.
+    pub evicted: Option<BlockId>,
+}
+
+/// Aggregate statistics of a cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (1.0 for an unused cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with policy `P`.
+#[derive(Debug, Clone)]
+pub struct Cache<P: Policy> {
+    config: CacheConfig,
+    policy: P,
+    sets: Vec<P::State>,
+    stats: CacheStats,
+}
+
+impl<P: Policy> Cache<P> {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig, policy: P) -> Cache<P> {
+        let sets = (0..config.sets).map(|_| policy.empty(config.assoc)).collect();
+        Cache {
+            config,
+            policy,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses a byte address.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        let (set, block) = self.config.locate(addr);
+        let out = self.policy.access(&self.sets[set], block);
+        self.sets[set] = out.next;
+        if out.hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        AccessResult {
+            hit: out.hit,
+            set,
+            evicted: out.evicted,
+        }
+    }
+
+    /// True if the address would hit (without touching the state).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, block) = self.config.locate(addr);
+        self.policy.contents(&self.sets[set]).contains(&block)
+    }
+
+    /// Replaces a set's state (used by experiments that enumerate
+    /// initial states — the `Q` of Definition 2).
+    pub fn set_state(&mut self, set: usize, state: P::State) {
+        self.sets[set] = state;
+    }
+
+    /// The state of a set.
+    pub fn state(&self, set: usize) -> &P::State {
+        &self.sets[set]
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            *s = self.policy.empty(self.config.assoc);
+        }
+        self.stats = CacheStats::default();
+    }
+
+    /// Runs a whole address trace, returning per-access hit flags.
+    pub fn run_trace(&mut self, addrs: &[u64]) -> Vec<bool> {
+        addrs.iter().map(|&a| self.access(a).hit).collect()
+    }
+}
+
+impl<P: Policy> fmt::Display for Cache<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cache: {} sets x {} ways x {}B ({} B), {} hits / {} accesses",
+            self.policy.name(),
+            self.config.sets,
+            self.config.assoc,
+            self.config.line_bytes,
+            self.config.capacity_bytes(),
+            self.stats.hits,
+            self.stats.accesses()
+        )
+    }
+}
+
+/// Convenience constructor for an LRU cache with enforced associativity.
+pub fn lru_cache(config: CacheConfig) -> Cache<crate::policy::Bounded<crate::policy::Lru>> {
+    Cache::new(
+        config,
+        crate::policy::Bounded {
+            inner: crate::policy::Lru,
+            assoc: config.assoc,
+        },
+    )
+}
+
+/// Convenience constructor for a FIFO cache with enforced associativity.
+pub fn fifo_cache(config: CacheConfig) -> Cache<crate::policy::Bounded<crate::policy::Fifo>> {
+    Cache::new(
+        config,
+        crate::policy::Bounded {
+            inner: crate::policy::Fifo,
+            assoc: config.assoc,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Plru, RandomPolicy};
+
+    #[test]
+    fn locate_splits_addresses() {
+        let c = CacheConfig::new(4, 2, 16);
+        // addr 0x73 = line 7, set 3, tag 1
+        assert_eq!(c.locate(0x73), (3, 1));
+        assert_eq!(c.locate(0x0), (0, 0));
+        assert_eq!(c.capacity_bytes(), 4 * 2 * 16);
+    }
+
+    #[test]
+    fn lru_cache_basics() {
+        let mut c = lru_cache(CacheConfig::new(2, 2, 4));
+        // Addresses 0,8 map to set 0; 4,12 to set 1 (line=addr/4).
+        assert!(!c.access(0).hit);
+        assert!(!c.access(8).hit);
+        assert!(c.access(0).hit);
+        assert!(!c.access(16).hit); // set 0 third distinct line: evicts 8
+        assert!(c.access(0).hit);
+        assert!(!c.access(8).hit);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = lru_cache(CacheConfig::new(2, 2, 4));
+        c.access(0);
+        let before = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = fifo_cache(CacheConfig::new(2, 2, 4));
+        c.access(0);
+        c.access(4);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn whole_trace_hit_pattern() {
+        let mut c = lru_cache(CacheConfig::new(1, 2, 4));
+        let hits = c.run_trace(&[0, 4, 0, 8, 4]);
+        // 0 miss, 4 miss, 0 hit, 8 miss (evict 4), 4 miss.
+        assert_eq!(hits, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn plru_cache_runs() {
+        let mut c = Cache::new(CacheConfig::new(2, 4, 8), Plru);
+        for addr in (0..64).step_by(8) {
+            c.access(addr);
+        }
+        assert!(c.stats().misses > 0);
+        assert_eq!(c.stats().hits, 0); // all distinct lines
+    }
+
+    #[test]
+    fn random_cache_is_reproducible() {
+        let cfg = CacheConfig::new(2, 2, 4);
+        let trace: Vec<u64> = (0..200).map(|i| (i * 37) % 128).collect();
+        let mut a = Cache::new(cfg, RandomPolicy { seed: 3 });
+        let mut b = Cache::new(cfg, RandomPolicy { seed: 3 });
+        assert_eq!(a.run_trace(&trace), b.run_trace(&trace));
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = lru_cache(CacheConfig::new(4, 2, 4));
+        assert_eq!(c.stats().hit_rate(), 1.0);
+        c.access(0);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+}

@@ -1,0 +1,247 @@
+//! Static cache locking (Puaut & Decotigny; Table 2, row 3).
+//!
+//! Lock selected lines into the instruction cache: locked lines always
+//! hit, everything else always misses. This removes both sources of
+//! uncertainty the paper names for this row — the initial cache state
+//! and interference from preempting tasks — at the cost of capacity.
+//! The quality measure is the *statically guaranteed* hit count, which
+//! this module compares against what must-analysis can guarantee on an
+//! unlocked cache, with and without preemption.
+//!
+//! Two low-complexity selection algorithms are provided, mirroring the
+//! original paper's pair: a frequency-greedy one and a conflict-aware
+//! variant that prefers lines from over-subscribed cache sets.
+
+use crate::analysis::{analyze_icache, Classification, InitialCache};
+use crate::cache::CacheConfig;
+use std::collections::BTreeMap;
+use tinyisa::cfg::Cfg;
+use tinyisa::program::Program;
+
+/// Static per-line access-frequency estimate: product of the bounds of
+/// enclosing loops (the standard static weight used by lock-selection
+/// heuristics).
+pub fn line_frequencies(program: &Program, cfg: &Cfg, config: CacheConfig) -> BTreeMap<u64, u64> {
+    // Per-block frequency: product of enclosing loop bounds.
+    let loops = cfg.natural_loops();
+    let mut block_freq: Vec<u64> = vec![1; cfg.blocks.len()];
+    for l in &loops {
+        let header_pc = cfg.blocks[l.header].start;
+        let bound = program
+            .label_at(header_pc)
+            .and_then(|lbl| program.loop_bounds.get(lbl).copied())
+            .unwrap_or(1)
+            .max(1) as u64;
+        for &b in &l.body {
+            block_freq[b] = block_freq[b].saturating_mul(bound);
+        }
+    }
+    let mut freqs: BTreeMap<u64, u64> = BTreeMap::new();
+    for b in &cfg.blocks {
+        for pc in b.range() {
+            let addr = pc as u64 * crate::trace::WORD_BYTES;
+            let line = addr / config.line_bytes as u64;
+            *freqs.entry(line).or_default() += block_freq[b.id];
+        }
+    }
+    freqs
+}
+
+/// The set of locked lines plus the guarantees they yield.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSelection {
+    /// Locked line numbers (addr / line_bytes).
+    pub lines: Vec<u64>,
+    /// Statically guaranteed hit weight (sum of locked lines'
+    /// frequencies).
+    pub guaranteed_hit_weight: u64,
+}
+
+/// Frequency-greedy selection: lock the hottest lines, respecting the
+/// per-set way capacity.
+pub fn select_by_frequency(
+    freqs: &BTreeMap<u64, u64>,
+    config: CacheConfig,
+) -> LockSelection {
+    let mut by_freq: Vec<(u64, u64)> = freqs.iter().map(|(&l, &f)| (l, f)).collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut per_set: Vec<usize> = vec![0; config.sets];
+    let mut lines = Vec::new();
+    let mut weight = 0;
+    for (line, f) in by_freq {
+        let set = (line % config.sets as u64) as usize;
+        if per_set[set] < config.assoc {
+            per_set[set] += 1;
+            lines.push(line);
+            weight += f;
+        }
+    }
+    LockSelection {
+        lines,
+        guaranteed_hit_weight: weight,
+    }
+}
+
+/// Conflict-aware selection: lines in sets with at most `assoc` distinct
+/// lines would be guaranteed hits by must-analysis anyway (after warmup),
+/// so prefer locking hot lines from *conflicting* sets first, then fill
+/// remaining capacity by frequency.
+pub fn select_conflict_aware(
+    freqs: &BTreeMap<u64, u64>,
+    config: CacheConfig,
+) -> LockSelection {
+    let mut lines_per_set: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+    for (&line, &f) in freqs {
+        let set = (line % config.sets as u64) as usize;
+        lines_per_set.entry(set).or_default().push((line, f));
+    }
+    let mut candidates: Vec<(bool, u64, u64)> = Vec::new(); // (conflicting, freq, line)
+    for (_, lines) in &lines_per_set {
+        let conflicting = lines.len() > config.assoc;
+        for &(line, f) in lines {
+            candidates.push((conflicting, f, line));
+        }
+    }
+    // Conflicting sets first, then higher frequency.
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+    let mut per_set: Vec<usize> = vec![0; config.sets];
+    let mut lines = Vec::new();
+    let mut weight = 0;
+    for (_, f, line) in candidates {
+        let set = (line % config.sets as u64) as usize;
+        if per_set[set] < config.assoc {
+            per_set[set] += 1;
+            lines.push(line);
+            weight += f;
+        }
+    }
+    LockSelection {
+        lines,
+        guaranteed_hit_weight: weight,
+    }
+}
+
+/// Statically guaranteed hit weight of an **unlocked** cache: frequency
+/// mass of fetches that must-analysis proves always-hit. With
+/// `preemption`, guarantees are void (a preempting task may have evicted
+/// everything at any point), matching the inter-task interference row of
+/// Table 2.
+pub fn unlocked_guaranteed_weight(
+    program: &Program,
+    cfg: &Cfg,
+    config: CacheConfig,
+    preemption: bool,
+) -> u64 {
+    if preemption {
+        return 0;
+    }
+    let analysis = analyze_icache(program, cfg, config, InitialCache::Unknown);
+    let loops = cfg.natural_loops();
+    let mut block_freq: Vec<u64> = vec![1; cfg.blocks.len()];
+    for l in &loops {
+        let header_pc = cfg.blocks[l.header].start;
+        let bound = program
+            .label_at(header_pc)
+            .and_then(|lbl| program.loop_bounds.get(lbl).copied())
+            .unwrap_or(1)
+            .max(1) as u64;
+        for &b in &l.body {
+            block_freq[b] = block_freq[b].saturating_mul(bound);
+        }
+    }
+    let mut weight = 0;
+    for b in &cfg.blocks {
+        for pc in b.range() {
+            if matches!(analysis.per_pc[pc], Classification::AlwaysHit) {
+                weight += block_freq[b.id];
+            }
+        }
+    }
+    weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::kernels;
+
+    fn setup() -> (Program, Cfg, CacheConfig) {
+        let k = kernels::matmul(4, 256, 272, 288);
+        let cfg = Cfg::build(&k.program);
+        (k.program, cfg, CacheConfig::new(2, 1, 8))
+    }
+
+    #[test]
+    fn frequencies_weight_loop_bodies_higher() {
+        let (p, cfg, config) = setup();
+        let freqs = line_frequencies(&p, &cfg, config);
+        let max = freqs.values().max().copied().unwrap();
+        let min = freqs.values().min().copied().unwrap();
+        assert!(max > min, "inner-loop lines must outweigh straight-line code");
+    }
+
+    #[test]
+    fn selections_respect_capacity() {
+        let (p, cfg, config) = setup();
+        let freqs = line_frequencies(&p, &cfg, config);
+        for sel in [
+            select_by_frequency(&freqs, config),
+            select_conflict_aware(&freqs, config),
+        ] {
+            assert!(sel.lines.len() <= config.sets * config.assoc);
+            let mut per_set = vec![0usize; config.sets];
+            for l in &sel.lines {
+                per_set[(l % config.sets as u64) as usize] += 1;
+            }
+            assert!(per_set.iter().all(|&c| c <= config.assoc));
+        }
+    }
+
+    #[test]
+    fn locking_beats_unlocked_under_preemption() {
+        let (p, cfg, config) = setup();
+        let freqs = line_frequencies(&p, &cfg, config);
+        let locked = select_by_frequency(&freqs, config);
+        let unlocked = unlocked_guaranteed_weight(&p, &cfg, config, true);
+        assert_eq!(unlocked, 0);
+        assert!(locked.guaranteed_hit_weight > 0);
+    }
+
+    #[test]
+    fn greedy_picks_hottest_lines() {
+        let mut freqs = BTreeMap::new();
+        freqs.insert(0u64, 100u64); // set 0
+        freqs.insert(1, 5); // set 1
+        freqs.insert(2, 50); // set 0 (conflicts with line 0)
+        freqs.insert(3, 7); // set 1
+        let config = CacheConfig::new(2, 1, 8);
+        let sel = select_by_frequency(&freqs, config);
+        assert!(sel.lines.contains(&0));
+        assert!(sel.lines.contains(&3));
+        assert_eq!(sel.guaranteed_hit_weight, 107);
+    }
+
+    #[test]
+    fn conflict_aware_prefers_contended_sets() {
+        // Set 0 has 3 lines (conflicting), set 1 has exactly one.
+        let mut freqs = BTreeMap::new();
+        freqs.insert(0u64, 10u64);
+        freqs.insert(2, 20);
+        freqs.insert(4, 30);
+        freqs.insert(1, 1000);
+        let config = CacheConfig::new(2, 1, 8);
+        let sel = select_conflict_aware(&freqs, config);
+        // The conflicting set's hottest line (4) is locked even though
+        // line 1 has higher absolute frequency.
+        assert!(sel.lines.contains(&4));
+        assert!(sel.lines.contains(&1), "leftover capacity still used");
+    }
+
+    #[test]
+    fn unlocked_guarantees_exist_without_preemption() {
+        let (p, cfg, config) = setup();
+        let w = unlocked_guaranteed_weight(&p, &cfg, config, false);
+        // Some loop-body refetches are provable hits.
+        assert!(w > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Schoeberl's method cache (Table 2, row 1).
+//!
+//! Instead of fixed-size lines, the method cache holds *entire
+//! functions*; the instruction stream can only miss at `call` and
+//! `return` points. The paper casts the approach's quality measure as
+//! "simplicity of analysis": the analysis state is the small set of
+//! cached functions rather than per-set line states, and miss points
+//! are syntactically evident. Both claims are made measurable here:
+//! [`MethodCacheRun::misses_only_at_call_ret`] checks the invariant and
+//! [`MethodCacheRun::distinct_states`] counts the states an exact
+//! analysis would track (compare with a conventional I-cache via
+//! [`icache_distinct_states`]).
+
+use crate::cache::CacheConfig;
+use crate::cache::{lru_cache, Cache};
+use crate::policy::{Bounded, Lru};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use tinyisa::exec::TraceOp;
+use tinyisa::instr::OpClass;
+use tinyisa::program::Program;
+
+/// A method cache with FIFO replacement over whole functions.
+#[derive(Debug, Clone)]
+pub struct MethodCache {
+    /// Capacity in instruction words.
+    pub capacity_words: u32,
+    /// Cached functions (by index into [`Program::functions`]) with
+    /// their sizes, oldest first.
+    contents: VecDeque<(usize, u32)>,
+    used: u32,
+}
+
+/// Statistics of a trace replayed through a method cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodCacheRun {
+    /// Number of function loads (misses) at call/return points.
+    pub loads: u64,
+    /// Number of call/return events.
+    pub call_ret_events: u64,
+    /// Total instructions fetched.
+    pub fetches: u64,
+    /// Trace indices at which a miss (function load) occurred.
+    pub miss_positions: Vec<usize>,
+    /// Positions of call/ret events in the trace.
+    pub call_ret_positions: Vec<usize>,
+    /// Number of distinct cache states observed (analysis-state count).
+    pub distinct_states: usize,
+}
+
+impl MethodCacheRun {
+    /// The method cache's defining invariant: misses happen only at
+    /// call/return events.
+    pub fn misses_only_at_call_ret(&self) -> bool {
+        self.miss_positions
+            .iter()
+            .all(|p| self.call_ret_positions.contains(p))
+    }
+}
+
+impl MethodCache {
+    /// Creates an empty method cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_words` is zero.
+    pub fn new(capacity_words: u32) -> MethodCache {
+        assert!(capacity_words > 0);
+        MethodCache {
+            capacity_words,
+            contents: VecDeque::new(),
+            used: 0,
+        }
+    }
+
+    fn is_cached(&self, func: usize) -> bool {
+        self.contents.iter().any(|&(f, _)| f == func)
+    }
+
+    /// Loads a function, evicting FIFO-style until it fits. Returns
+    /// `true` if the function had to be loaded (miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function alone exceeds the capacity.
+    pub fn ensure(&mut self, func: usize, size: u32) -> bool {
+        assert!(
+            size <= self.capacity_words,
+            "function {func} ({size} words) exceeds method-cache capacity"
+        );
+        if self.is_cached(func) {
+            return false;
+        }
+        while self.used + size > self.capacity_words {
+            let (_, s) = self
+                .contents
+                .pop_front()
+                .expect("capacity accounting broken");
+            self.used -= s;
+        }
+        self.contents.push_back((func, size));
+        self.used += size;
+        true
+    }
+
+    /// State fingerprint used for analysis-state counting.
+    fn fingerprint(&self) -> Vec<usize> {
+        self.contents.iter().map(|&(f, _)| f).collect()
+    }
+
+    /// Replays an execution trace. Every instruction fetch hits by
+    /// construction except function (re)loads at call/return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no function extents covering the trace.
+    pub fn run(&mut self, program: &Program, trace: &[TraceOp]) -> MethodCacheRun {
+        let func_of = |pc: u32| -> usize {
+            program
+                .function_index_at(pc)
+                .unwrap_or_else(|| panic!("pc {pc} outside any function"))
+        };
+        let size_of = |f: usize| program.functions[f].len();
+
+        let mut run = MethodCacheRun {
+            loads: 0,
+            call_ret_events: 0,
+            fetches: 0,
+            miss_positions: Vec::new(),
+            call_ret_positions: Vec::new(),
+            distinct_states: 0,
+        };
+        let mut states: BTreeSet<Vec<usize>> = BTreeSet::new();
+
+        if let Some(first) = trace.first() {
+            let f = func_of(first.pc);
+            if self.ensure(f, size_of(f)) {
+                run.loads += 1;
+                run.miss_positions.push(0);
+                // Program start counts as an (implicit) call event.
+                run.call_ret_positions.push(0);
+                run.call_ret_events += 1;
+            }
+        }
+        states.insert(self.fingerprint());
+
+        for (i, op) in trace.iter().enumerate() {
+            run.fetches += 1;
+            if op.class() == OpClass::CallRet {
+                run.call_ret_events += 1;
+                run.call_ret_positions.push(i);
+                let callee = func_of(op.next_pc);
+                if self.ensure(callee, size_of(callee)) {
+                    run.loads += 1;
+                    run.miss_positions.push(i);
+                }
+                states.insert(self.fingerprint());
+            }
+        }
+        run.distinct_states = states.len();
+        run
+    }
+}
+
+/// Counts the distinct per-set states a conventional LRU I-cache goes
+/// through on the same trace — the analysis-state baseline the method
+/// cache is compared against.
+pub fn icache_distinct_states(config: CacheConfig, trace: &[TraceOp]) -> usize {
+    let mut cache: Cache<Bounded<Lru>> = lru_cache(config);
+    let mut states: BTreeSet<String> = BTreeSet::new();
+    states.insert(format!("{cache:?}"));
+    for op in trace {
+        cache.access(op.pc as u64 * crate::trace::WORD_BYTES);
+        states.insert(format!("{cache:?}"));
+    }
+    states.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::exec::Machine;
+    use tinyisa::kernels;
+
+    fn call_tree_trace() -> (Program, Vec<TraceOp>) {
+        let k = kernels::call_tree(4);
+        let run = Machine::default().run_traced(&k.program).unwrap();
+        (k.program, run.trace)
+    }
+
+    #[test]
+    fn misses_are_confined_to_call_ret() {
+        let (p, t) = call_tree_trace();
+        let mut mc = MethodCache::new(64);
+        let run = mc.run(&p, &t);
+        assert!(run.loads >= 3, "three functions must load at least once");
+        assert!(run.misses_only_at_call_ret());
+        assert_eq!(run.fetches, t.len() as u64);
+    }
+
+    #[test]
+    fn big_cache_loads_each_function_once() {
+        let (p, t) = call_tree_trace();
+        let mut mc = MethodCache::new(1024);
+        let run = mc.run(&p, &t);
+        assert_eq!(run.loads, 3);
+    }
+
+    #[test]
+    fn tiny_cache_thrashes_but_keeps_invariant() {
+        let (p, t) = call_tree_trace();
+        // Room for roughly one function at a time.
+        let max_fn = p.functions.iter().map(|f| f.len()).max().unwrap();
+        let mut mc = MethodCache::new(max_fn + 1);
+        let run = mc.run(&p, &t);
+        assert!(run.loads > 3);
+        assert!(run.misses_only_at_call_ret());
+    }
+
+    #[test]
+    fn analysis_state_count_is_smaller_than_icache() {
+        let (p, t) = call_tree_trace();
+        let mut mc = MethodCache::new(64);
+        let run = mc.run(&p, &t);
+        let icache_states =
+            icache_distinct_states(CacheConfig::new(4, 2, 8), &t);
+        assert!(
+            run.distinct_states < icache_states,
+            "method cache: {} states, I-cache: {} states",
+            run.distinct_states,
+            icache_states
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds method-cache capacity")]
+    fn oversized_function_rejected() {
+        let mut mc = MethodCache::new(2);
+        mc.ensure(0, 10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Address-stream extraction from tinyisa execution traces.
+
+use tinyisa::exec::TraceOp;
+use tinyisa::instr::OpClass;
+
+/// Word size of the tinyisa machine in bytes (addresses fed to caches
+/// are byte addresses).
+pub const WORD_BYTES: u64 = 4;
+
+/// One memory reference of a program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRef {
+    /// Instruction fetch at the given byte address.
+    Fetch(u64),
+    /// Data read at the given byte address.
+    Read(u64),
+    /// Data write at the given byte address.
+    Write(u64),
+}
+
+impl MemRef {
+    /// The byte address of the reference.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            MemRef::Fetch(a) | MemRef::Read(a) | MemRef::Write(a) => a,
+        }
+    }
+
+    /// True for instruction fetches.
+    pub fn is_fetch(&self) -> bool {
+        matches!(self, MemRef::Fetch(_))
+    }
+}
+
+/// The instruction-fetch address stream of a trace.
+pub fn fetch_stream(trace: &[TraceOp]) -> Vec<u64> {
+    trace.iter().map(|op| op.pc as u64 * WORD_BYTES).collect()
+}
+
+/// The data address stream (reads and writes) of a trace.
+pub fn data_stream(trace: &[TraceOp]) -> Vec<MemRef> {
+    trace
+        .iter()
+        .filter_map(|op| {
+            op.mem_addr.map(|a| {
+                if op.class() == OpClass::Store {
+                    MemRef::Write(a as u64 * WORD_BYTES)
+                } else {
+                    MemRef::Read(a as u64 * WORD_BYTES)
+                }
+            })
+        })
+        .collect()
+}
+
+/// The combined reference stream in program order: a fetch for every
+/// instruction, followed by its data access if it has one.
+pub fn unified_stream(trace: &[TraceOp]) -> Vec<MemRef> {
+    let mut out = Vec::with_capacity(trace.len() * 2);
+    for op in trace {
+        out.push(MemRef::Fetch(op.pc as u64 * WORD_BYTES));
+        if let Some(a) = op.mem_addr {
+            if op.class() == OpClass::Store {
+                out.push(MemRef::Write(a as u64 * WORD_BYTES));
+            } else {
+                out.push(MemRef::Read(a as u64 * WORD_BYTES));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::asm::assemble;
+    use tinyisa::exec::Machine;
+
+    #[test]
+    fn streams_cover_the_trace() {
+        let prog = assemble(
+            r"
+            li r1, 100
+            ld r2, (r1)
+            st r2, 1(r1)
+            halt
+        ",
+        )
+        .unwrap();
+        let run = Machine::default().run_traced(&prog).unwrap();
+        let fetches = fetch_stream(&run.trace);
+        assert_eq!(fetches, vec![0, 4, 8, 12]);
+        let data = data_stream(&run.trace);
+        assert_eq!(data, vec![MemRef::Read(400), MemRef::Write(404)]);
+        let unified = unified_stream(&run.trace);
+        assert_eq!(unified.len(), 4 + 2);
+        assert!(unified[0].is_fetch());
+        assert_eq!(unified[2], MemRef::Read(400));
+        assert_eq!(MemRef::Write(404).addr(), 404);
+    }
+}

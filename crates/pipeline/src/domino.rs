@@ -1,0 +1,370 @@
+//! The PowerPC 755 domino effect (paper Section 2.2, Equation 4).
+//!
+//! Schneider observed a domino effect in the PPC 755 pipeline involving
+//! "the two asymmetrical integer execution units, a greedy instruction
+//! dispatcher, and an instruction sequence with read-after-write
+//! dependencies": starting the same `n`-iteration loop in state `q1*`
+//! takes `9n + 1` cycles, in `q2*` `12n` cycles, and the pipeline states
+//! recur each iteration, so the gap grows forever and
+//! `SIPr ≤ (9n+1)/12n → 3/4`.
+//!
+//! [`DominoMachine`] is a faithful mechanism-level abstraction of that
+//! description: an in-order machine with two execution units of
+//! different capabilities, a greedy dispatcher (the oldest ready
+//! instruction issues to the lowest-numbered free compatible unit, even
+//! when waiting for a faster unit would win), and RAW dependencies
+//! threading loop iterations. The *hardware state* is the pair of unit
+//! busy times at loop entry. [`schneider_example`] is a machine/loop
+//! configuration found by [`search_configs`] whose two states reproduce
+//! the exact `9n + 1` and `12n` cycle counts of the paper.
+
+/// One instruction of the abstract loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopInstr {
+    /// Operation kind (index into the units' latency tables).
+    pub kind: usize,
+    /// RAW dependency: this instruction reads the result of the
+    /// instruction `dep` positions earlier in the dynamic stream
+    /// (0 = no dependency).
+    pub dep: usize,
+}
+
+/// A dual-unit in-order machine with a greedy dispatcher.
+///
+/// `unit_latency[u][k]` is the latency of kind `k` on unit `u`, or
+/// `None` if unit `u` cannot execute kind `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoMachine {
+    /// Per-unit, per-kind latencies.
+    pub unit_latency: Vec<Vec<Option<u64>>>,
+    /// Instructions dispatchable per cycle (the PPC 755 dispatches two).
+    pub dispatch_width: usize,
+}
+
+impl DominoMachine {
+    /// Number of units.
+    pub fn units(&self) -> usize {
+        self.unit_latency.len()
+    }
+
+    /// Simulates `n` iterations of `body` from the given initial unit
+    /// busy times (the hardware state `q`), returning the total cycle
+    /// count (the completion time of the last instruction).
+    ///
+    /// Dispatch model: single in-order dispatch; the next instruction
+    /// dispatches at the earliest cycle `t` (at least one cycle after
+    /// the previous dispatch) where its operands are available and some
+    /// compatible unit is free; among free compatible units the
+    /// **lowest-numbered** one is chosen greedily — the locally
+    /// earliest, globally myopic decision at the heart of the effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction kind is not executable on any unit.
+    pub fn run_loop(&self, body: &[LoopInstr], n: u32, init_busy: &[u64]) -> u64 {
+        assert_eq!(init_busy.len(), self.units());
+        let total = body.len() * n as usize;
+        let width = self.dispatch_width.max(1);
+        let mut unit_free: Vec<u64> = init_busy.to_vec();
+        let mut complete: Vec<u64> = Vec::with_capacity(total);
+        let mut last_dispatch: u64 = 0;
+        let mut dispatched_in_cycle: usize = 0;
+        let mut finish = 0u64;
+
+        for i in 0..total {
+            let ins = body[i % body.len()];
+            let ready = if ins.dep > 0 && i >= ins.dep {
+                complete[i - ins.dep]
+            } else {
+                0
+            };
+            // In-order dispatch: at or after the previous instruction's
+            // dispatch cycle, respecting the per-cycle width.
+            let min_dispatch = if i == 0 {
+                0
+            } else if dispatched_in_cycle >= width {
+                last_dispatch + 1
+            } else {
+                last_dispatch
+            };
+            let earliest = ready.max(min_dispatch);
+            // Greedy: earliest cycle with any compatible unit free; among
+            // those at that cycle, the lowest-numbered unit.
+            let mut best: Option<(u64, usize)> = None;
+            for (u, lat) in self.unit_latency.iter().enumerate() {
+                if lat[ins.kind].is_none() {
+                    continue;
+                }
+                let t = earliest.max(unit_free[u]);
+                let better = match best {
+                    None => true,
+                    Some((bt, _)) => t < bt,
+                };
+                if better {
+                    best = Some((t, u));
+                }
+            }
+            let (t, u) = best.unwrap_or_else(|| panic!("kind {} unschedulable", ins.kind));
+            let latency = self.unit_latency[u][ins.kind].unwrap();
+            unit_free[u] = t + latency;
+            complete.push(t + latency);
+            finish = finish.max(t + latency);
+            if t == last_dispatch && i > 0 {
+                dispatched_in_cycle += 1;
+            } else {
+                last_dispatch = t;
+                dispatched_in_cycle = 1;
+            }
+        }
+        finish
+    }
+}
+
+/// A configuration exhibiting a domino effect: the machine, the loop
+/// body, and the two cyclic initial states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoConfig {
+    /// The machine.
+    pub machine: DominoMachine,
+    /// The loop body.
+    pub body: Vec<LoopInstr>,
+    /// Fast initial state (`q1*`).
+    pub q1: Vec<u64>,
+    /// Slow initial state (`q2*`).
+    pub q2: Vec<u64>,
+}
+
+impl DominoConfig {
+    /// `(T(q1, p_n), T(q2, p_n))` for the `n`-iteration program family.
+    pub fn times(&self, n: u32) -> (u64, u64) {
+        (
+            self.machine.run_loop(&self.body, n, &self.q1),
+            self.machine.run_loop(&self.body, n, &self.q2),
+        )
+    }
+}
+
+/// Searches small machine/body configurations for one whose two states
+/// cost exactly `slope1 * n + icept1` and `slope2 * n + icept2` cycles
+/// for all `n` in `1..=check_n`.
+///
+/// The space: two units; two instruction kinds; kind latencies up to 8;
+/// unit 1 possibly unable to execute kind 0; dispatch width 1 or 2;
+/// bodies of length up to 4 with dependencies up to distance 2; initial
+/// unit-busy states up to `[2, 6]`. This is expensive (minutes in debug
+/// builds) — [`schneider_example`] hard-codes the found configuration.
+pub fn search_configs(
+    slope1: u64,
+    icept1: u64,
+    slope2: u64,
+    icept2: u64,
+    check_n: u32,
+) -> Option<DominoConfig> {
+    let lat_options: Vec<Option<u64>> = vec![
+        None,
+        Some(1),
+        Some(2),
+        Some(3),
+        Some(4),
+        Some(5),
+        Some(6),
+        Some(7),
+        Some(8),
+    ];
+    for &l00 in &lat_options[1..] {
+        for &l01 in &lat_options[1..] {
+            for &l10 in &lat_options {
+                for &l11 in &lat_options {
+                    if l10.is_none() && l11.is_none() {
+                        continue;
+                    }
+                    for width in [1usize, 2] {
+                    let machine = DominoMachine {
+                        unit_latency: vec![vec![l00, l01], vec![l10, l11]],
+                        dispatch_width: width,
+                    };
+                    for body_len in 2..=4usize {
+                        let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
+                        for code in 0..combos {
+                            let mut c = code;
+                            let mut body = Vec::with_capacity(body_len);
+                            for _ in 0..body_len {
+                                let kind = c % 2;
+                                c /= 2;
+                                let dep = c % 3;
+                                c /= 3;
+                                body.push(LoopInstr { kind, dep });
+                            }
+                            for a1 in 0..=2u64 {
+                                for b1 in 0..=2u64 {
+                                    for a2 in 0..=2u64 {
+                                        for b2 in 0..=6u64 {
+                                            if (a1, b1) == (a2, b2) {
+                                                continue;
+                                            }
+                                            let cfg = DominoConfig {
+                                                machine: machine.clone(),
+                                                body: body.clone(),
+                                                q1: vec![a1, b1],
+                                                q2: vec![a2, b2],
+                                            };
+                                            if matches_family(
+                                                &cfg, slope1, icept1, slope2, icept2, check_n,
+                                            ) {
+                                                return Some(cfg);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn matches_family(
+    cfg: &DominoConfig,
+    slope1: u64,
+    icept1: u64,
+    slope2: u64,
+    icept2: u64,
+    check_n: u32,
+) -> bool {
+    for n in 1..=check_n {
+        let (t1, t2) = cfg.times(n);
+        if t1 != slope1 * n as u64 + icept1 || t2 != slope2 * n as u64 + icept2 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The canonical configuration reproducing the paper's Equation 4
+/// exactly: `T(q1*, p_n) = 9n + 1` and `T(q2*, p_n) = 12n`.
+///
+/// Found offline by the search in `examples/domino_target.rs` over the
+/// space of two-unit greedy machines; hard-coded so constructing it is
+/// O(1). The tests re-verify the counts for `n` up to 64.
+///
+/// Mechanism: unit 0 executes the loop's operation in 3 cycles; the
+/// asymmetric unit 1 also can, but needs 8. The four-instruction body
+/// carries RAW dependencies of distance 1 and 2 across iterations. In
+/// state `q2* = [0, 6]` the greedy dispatcher repeatedly finds unit 1
+/// free *earlier* than unit 0 for one instruction per iteration and
+/// takes it — the locally earliest but globally worse choice — locking
+/// the loop into a 12-cycle steady state whose end-of-iteration unit
+/// occupancy reproduces the entry phase. In `q1* = [1, 1]` that choice
+/// is never available, all work stays on the fast unit, and the loop
+/// settles at 9 cycles with a one-cycle startup offset: `9n + 1` vs
+/// `12n`, never converging — Schneider's domino effect.
+pub fn schneider_example() -> DominoConfig {
+    DominoConfig {
+        machine: DominoMachine {
+            unit_latency: vec![vec![Some(1), Some(3)], vec![None, Some(8)]],
+            dispatch_width: 1,
+        },
+        body: vec![
+            LoopInstr { kind: 1, dep: 0 },
+            LoopInstr { kind: 1, dep: 0 },
+            LoopInstr { kind: 1, dep: 2 },
+            LoopInstr { kind: 1, dep: 1 },
+        ],
+        q1: vec![1, 1],
+        q2: vec![0, 6],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictability_core::domino::{analyze_domino, equation4_bound, DominoVerdict};
+    use predictability_core::system::Cycles;
+
+    #[test]
+    fn schneider_example_matches_equation4_exactly() {
+        let cfg = schneider_example();
+        for n in 1..=64u32 {
+            let (t1, t2) = cfg.times(n);
+            assert_eq!(t1, 9 * n as u64 + 1, "T(q1*, p_{n})");
+            assert_eq!(t2, 12 * n as u64, "T(q2*, p_{n})");
+            // SIPr bound series equals (9n+1)/12n.
+            let ratio = t1 as f64 / t2 as f64;
+            assert!((ratio - equation4_bound(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analyzer_reports_domino_with_limit_three_quarters() {
+        let cfg = schneider_example();
+        let ns: Vec<u32> = (1..=32).collect();
+        let a = analyze_domino(
+            |n| {
+                let (t1, t2) = cfg.times(n);
+                (Cycles::new(t1), Cycles::new(t2))
+            },
+            &ns,
+            0.5,
+        );
+        match a.verdict {
+            DominoVerdict::DominoEffect { per_iteration_gap } => {
+                assert!((per_iteration_gap - 3.0).abs() < 1e-9);
+            }
+            _ => panic!("expected a domino effect"),
+        }
+        assert!((a.sipr_limit - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_dispatch_is_the_culprit() {
+        // With a single (fast) unit the two states converge: the gap is
+        // bounded, no domino effect.
+        let cfg = schneider_example();
+        let mono = DominoMachine {
+            unit_latency: vec![cfg.machine.unit_latency[0].clone()],
+            dispatch_width: 1,
+        };
+        let t_a = |n: u32| mono.run_loop(&cfg.body, n, &[0]);
+        let t_b = |n: u32| mono.run_loop(&cfg.body, n, &[2]);
+        let gap_small = (t_a(1) as i64 - t_b(1) as i64).unsigned_abs();
+        let gap_large = (t_a(20) as i64 - t_b(20) as i64).unsigned_abs();
+        assert!(
+            gap_large <= gap_small.max(4),
+            "single-unit machine must not diverge: {gap_small} -> {gap_large}"
+        );
+    }
+
+    #[test]
+    fn states_recur_every_iteration() {
+        // Cyclicity: per-iteration cost is constant from iteration 2 on.
+        let cfg = schneider_example();
+        for (q, slope) in [(&cfg.q1, 9u64), (&cfg.q2, 12u64)] {
+            let mut prev = cfg.machine.run_loop(&cfg.body, 1, q);
+            for n in 2..=16u32 {
+                let t = cfg.machine.run_loop(&cfg.body, n, q);
+                assert_eq!(t - prev, slope, "iteration {n} cost");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn run_loop_is_deterministic() {
+        let cfg = schneider_example();
+        assert_eq!(cfg.times(7), cfg.times(7));
+    }
+
+    #[test]
+    fn unschedulable_kind_panics() {
+        let m = DominoMachine {
+            unit_latency: vec![vec![Some(1), None]],
+            dispatch_width: 1,
+        };
+        let body = [LoopInstr { kind: 1, dep: 0 }];
+        assert!(std::panic::catch_unwind(|| m.run_loop(&body, 1, &[0])).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Instruction latencies and memory models shared by the pipelines.
+
+use tinyisa::instr::OpClass;
+
+/// Per-class instruction latencies (execute-stage cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Single-cycle ALU operations.
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide (worst case; see `div_variable`).
+    pub div: u64,
+    /// If true, `div` latency varies with the operand (modelled as
+    /// 2..=div cycles depending on a trace-supplied operand hash);
+    /// variable-latency instructions are one of Whitham's uncertainty
+    /// sources.
+    pub div_variable: bool,
+    /// Taken-branch penalty (pipeline refill) on a misprediction.
+    pub branch_penalty: u64,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable {
+            alu: 1,
+            mul: 3,
+            div: 12,
+            div_variable: false,
+            branch_penalty: 2,
+        }
+    }
+}
+
+impl LatencyTable {
+    /// Execute latency of an instruction class; `operand_hint` drives
+    /// variable-latency divides (ignored otherwise).
+    pub fn latency(&self, class: OpClass, operand_hint: u64) -> u64 {
+        match class {
+            OpClass::Mul => self.mul,
+            OpClass::Div => {
+                if self.div_variable {
+                    2 + (operand_hint % (self.div.saturating_sub(1)).max(1))
+                } else {
+                    self.div
+                }
+            }
+            _ => self.alu,
+        }
+    }
+}
+
+/// A data-memory timing model.
+pub trait MemModel {
+    /// Latency in cycles of an access to `addr` (byte address).
+    fn access(&mut self, addr: u64, write: bool) -> u64;
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A constant-latency memory (scratchpad / ideal SRAM).
+#[derive(Debug, Clone, Copy)]
+pub struct PerfectMem {
+    /// The constant latency.
+    pub latency: u64,
+}
+
+impl Default for PerfectMem {
+    fn default() -> Self {
+        PerfectMem { latency: 1 }
+    }
+}
+
+impl MemModel for PerfectMem {
+    fn access(&mut self, _addr: u64, _write: bool) -> u64 {
+        self.latency
+    }
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+}
+
+/// A cache-backed memory: hit latency on hits, miss penalty otherwise.
+#[derive(Debug, Clone)]
+pub struct CachedMem<P: mem_hierarchy::policy::Policy> {
+    /// The cache.
+    pub cache: mem_hierarchy::cache::Cache<P>,
+    /// Latency of a hit.
+    pub hit_latency: u64,
+    /// Latency of a miss.
+    pub miss_latency: u64,
+}
+
+impl<P: mem_hierarchy::policy::Policy> MemModel for CachedMem<P> {
+    fn access(&mut self, addr: u64, _write: bool) -> u64 {
+        if self.cache.access(addr).hit {
+            self.hit_latency
+        } else {
+            self.miss_latency
+        }
+    }
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_hierarchy::cache::{lru_cache, CacheConfig};
+
+    #[test]
+    fn latency_table_defaults() {
+        let t = LatencyTable::default();
+        assert_eq!(t.latency(OpClass::Alu, 0), 1);
+        assert_eq!(t.latency(OpClass::Mul, 0), 3);
+        assert_eq!(t.latency(OpClass::Div, 0), 12);
+        assert_eq!(t.latency(OpClass::Load, 0), 1);
+    }
+
+    #[test]
+    fn variable_divide_depends_on_operands() {
+        let t = LatencyTable {
+            div_variable: true,
+            ..LatencyTable::default()
+        };
+        let l0 = t.latency(OpClass::Div, 0);
+        let l7 = t.latency(OpClass::Div, 7);
+        assert_ne!(l0, l7);
+        assert!(l0 >= 2 && l7 >= 2);
+    }
+
+    #[test]
+    fn cached_mem_latencies() {
+        let mut m = CachedMem {
+            cache: lru_cache(CacheConfig::new(2, 2, 8)),
+            hit_latency: 1,
+            miss_latency: 10,
+        };
+        assert_eq!(m.access(0, false), 10);
+        assert_eq!(m.access(0, false), 1);
+        assert_eq!(m.access(4, true), 1); // same line
+        assert_eq!(PerfectMem::default().access(99, false), 1);
+    }
+}

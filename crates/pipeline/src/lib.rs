@@ -1,0 +1,40 @@
+//! # pipeline-sim
+//!
+//! Cycle-level pipeline models for the predictability reproduction.
+//! Each model is deterministic and trace-driven (it replays a
+//! `tinyisa` execution trace, or an abstract instruction stream for the
+//! domino machine), and each exposes its *initial hardware state* as an
+//! explicit value — the `Q` of the paper's Definition 2.
+//!
+//! * [`latency`] — instruction latencies and memory models shared by
+//!   the pipelines.
+//! * [`inorder`] — a compositional ARM7-class in-order scalar pipeline:
+//!   bounded entry-state effect, no domino effects.
+//! * [`domino`] — the PowerPC-755-style dual-unit machine with a greedy
+//!   dispatcher exhibiting the paper's Section 2.2 domino effect
+//!   (Equation 4: `9n + 1` vs `12n` cycles).
+//! * [`ooo`] — a small out-of-order core (ROB + two asymmetric units)
+//!   whose basic-block times depend on the entry state.
+//! * [`preschedule`] — Rochange & Sainrat's time-predictable execution
+//!   mode: the pipeline drains at basic-block boundaries, making each
+//!   block's time independent of its entry state (Table 1, row 2).
+//! * [`vtrace`] — Whitham & Audsley's virtual traces: constant-latency
+//!   ops and pipeline resets at trace boundaries (Table 1, row 6).
+//! * [`smt`] — an SMT core with optional real-time-thread priority
+//!   (Barre et al., Mische et al.; Table 1, row 3).
+//! * [`pret`] — a PRET-style thread-interleaved pipeline with
+//!   scratchpads and a `deadline` primitive (Lickly et al.; Table 1,
+//!   row 5).
+
+pub mod domino;
+pub mod inorder;
+pub mod latency;
+pub mod ooo;
+pub mod preschedule;
+pub mod pret;
+pub mod smt;
+pub mod vtrace;
+
+pub use domino::{DominoMachine, LoopInstr};
+pub use inorder::{InOrderConfig, InOrderPipeline};
+pub use latency::{LatencyTable, MemModel, PerfectMem};

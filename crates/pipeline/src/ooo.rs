@@ -1,0 +1,215 @@
+//! A small out-of-order core: ROB-windowed dataflow issue over two
+//! asymmetric units.
+//!
+//! This is the baseline that Rochange & Sainrat's prescheduling
+//! ([`crate::preschedule`]) and Whitham & Audsley's virtual traces
+//! ([`crate::vtrace`]) make predictable: its basic-block execution
+//! times depend on the pipeline state at block entry (unit occupancy,
+//! in-flight register producers), which is exactly the uncertainty the
+//! two Table 1 rows name.
+
+use crate::latency::LatencyTable;
+use tinyisa::exec::TraceOp;
+use tinyisa::instr::OpClass;
+use tinyisa::reg::NUM_REGS;
+
+/// Configuration of the out-of-order core.
+#[derive(Debug, Clone, Copy)]
+pub struct OooConfig {
+    /// Reorder-buffer size (issue window).
+    pub rob: usize,
+    /// Instruction latencies (unit 0 executes everything at these
+    /// latencies; unit 1 executes only single-cycle ALU ops — the
+    /// asymmetric-unit structure of the PPC 755).
+    pub latencies: LatencyTable,
+}
+
+impl Default for OooConfig {
+    fn default() -> Self {
+        OooConfig {
+            rob: 8,
+            latencies: LatencyTable::default(),
+        }
+    }
+}
+
+/// The entry state of the core: when each unit becomes free and a
+/// uniform delay on all architectural registers' availability
+/// (modelling in-flight producers from code before this fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OooState {
+    /// Cycles until unit 0 is free.
+    pub unit0_busy: u64,
+    /// Cycles until unit 1 is free.
+    pub unit1_busy: u64,
+    /// Cycles until entry register values are available.
+    pub regs_ready: u64,
+}
+
+impl OooState {
+    /// The drained (empty-pipeline) state.
+    pub const EMPTY: OooState = OooState {
+        unit0_busy: 0,
+        unit1_busy: 0,
+        regs_ready: 0,
+    };
+}
+
+/// The out-of-order core model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OooCore {
+    /// Configuration.
+    pub config: OooConfig,
+}
+
+impl OooCore {
+    /// Creates the core.
+    pub fn new(config: OooConfig) -> Self {
+        OooCore { config }
+    }
+
+    /// Runs a trace fragment from `state`, returning total cycles (the
+    /// completion time of the last instruction).
+    pub fn run(&self, trace: &[TraceOp], state: OooState) -> u64 {
+        let lat = self.config.latencies;
+        let mut reg_ready = [state.regs_ready; NUM_REGS];
+        let mut unit_free = [state.unit0_busy, state.unit1_busy];
+        let mut completions: Vec<u64> = Vec::with_capacity(trace.len());
+        let mut finish = 0u64;
+
+        for (i, op) in trace.iter().enumerate() {
+            let mut ready = 0u64;
+            for r in op.instr.uses() {
+                ready = ready.max(reg_ready[r.index()]);
+            }
+            // ROB window: cannot issue before instruction i-rob completed.
+            if i >= self.config.rob {
+                ready = ready.max(completions[i - self.config.rob]);
+            }
+            let class = op.class();
+            let hint = op.operand_hash;
+            let latency = lat.latency(class, hint);
+            let alu_only = matches!(class, OpClass::Alu | OpClass::Nop);
+            // Dataflow issue: earliest free compatible unit.
+            let t0 = ready.max(unit_free[0]);
+            let (t, u) = if alu_only {
+                let t1 = ready.max(unit_free[1]);
+                if t1 < t0 {
+                    (t1, 1)
+                } else {
+                    (t0, 0)
+                }
+            } else {
+                (t0, 0)
+            };
+            unit_free[u] = t + latency;
+            let done = t + latency;
+            if let Some(rd) = op.instr.def() {
+                reg_ready[rd.index()] = done;
+            }
+            completions.push(done);
+            finish = finish.max(done);
+        }
+        finish
+    }
+
+    /// Per-basic-block times: splits the trace at `is_leader(pc)`
+    /// boundaries and returns each fragment's cycles when entered in
+    /// `state` (used by the prescheduling comparison).
+    pub fn block_times(
+        &self,
+        trace: &[TraceOp],
+        state: OooState,
+        is_leader: &dyn Fn(u32) -> bool,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=trace.len() {
+            if i == trace.len() || is_leader(trace[i].pc) {
+                out.push(self.run(&trace[start..i], state));
+                start = i;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinyisa::exec::Machine;
+    use tinyisa::kernels;
+
+    fn trace() -> Vec<TraceOp> {
+        let k = kernels::matmul(3, 256, 266, 276);
+        Machine::default().run_traced(&k.program).unwrap().trace
+    }
+
+    #[test]
+    fn entry_state_changes_timing() {
+        let core = OooCore::default();
+        let t = trace();
+        let empty = core.run(&t, OooState::EMPTY);
+        let busy = core.run(
+            &t,
+            OooState {
+                unit0_busy: 5,
+                unit1_busy: 3,
+                regs_ready: 2,
+            },
+        );
+        assert!(busy >= empty);
+        assert_ne!(busy, empty, "occupancy must show in the timing");
+    }
+
+    #[test]
+    fn ooo_beats_serial_execution() {
+        // Independent instructions overlap on the two units.
+        let core = OooCore::default();
+        let t = trace();
+        let ooo_time = core.run(&t, OooState::EMPTY);
+        let serial: u64 = t
+            .iter()
+            .map(|op| {
+                core.config
+                    .latencies
+                    .latency(op.class(), op.mem_addr.unwrap_or(op.pc) as u64)
+            })
+            .sum();
+        assert!(ooo_time < serial, "ooo {ooo_time} vs serial {serial}");
+    }
+
+    #[test]
+    fn dependencies_serialise() {
+        use tinyisa::asm::assemble;
+        // A pure RAW chain cannot overlap: time ~ sum of latencies.
+        let p = assemble("li r1, 1\nmul r2, r1, r1\nmul r3, r2, r2\nmul r4, r3, r3\nhalt").unwrap();
+        let t = Machine::default().run_traced(&p).unwrap().trace;
+        let core = OooCore::default();
+        let time = core.run(&t, OooState::EMPTY);
+        assert!(time >= 1 + 3 + 3 + 3, "chain must serialise: {time}");
+    }
+
+    #[test]
+    fn rob_limits_lookahead() {
+        let small = OooCore::new(OooConfig {
+            rob: 1,
+            ..OooConfig::default()
+        });
+        let big = OooCore::new(OooConfig {
+            rob: 32,
+            ..OooConfig::default()
+        });
+        let t = trace();
+        assert!(small.run(&t, OooState::EMPTY) >= big.run(&t, OooState::EMPTY));
+    }
+
+    #[test]
+    fn block_times_cover_whole_trace() {
+        let core = OooCore::default();
+        let t = trace();
+        let times = core.block_times(&t, OooState::EMPTY, &|pc| pc % 4 == 0);
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&c| c > 0));
+    }
+}

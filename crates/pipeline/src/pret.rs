@@ -1,0 +1,135 @@
+//! A PRET-style thread-interleaved pipeline (Table 1, row 5).
+//!
+//! Lickly et al.'s precision-timed architecture interleaves N hardware
+//! threads round-robin through the pipeline: thread `t` may only occupy
+//! the pipeline in cycles `≡ t (mod N)`, so threads cannot interfere
+//! *by construction*, every instruction has a constant observable
+//! latency of `N` cycles per thread-step, and scratchpad memories keep
+//! memory timing constant. The ISA gains timing control: the
+//! [`PretOp::Deadline`] instruction stalls until a given cycle count
+//! since thread start, making code segments take *exact* wall-clock
+//! times regardless of the path taken inside them.
+
+/// One instruction of a PRET thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PretOp {
+    /// An ordinary instruction (scratchpad access included): one
+    /// thread-slot.
+    Work,
+    /// `deadline k`: stall until at least `k` cycles since thread start
+    /// have elapsed, then continue. The PRET ISA extension.
+    Deadline(u64),
+}
+
+/// The completion times of every thread of a PRET run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PretRun {
+    /// Per-thread finish cycle (global clock).
+    pub finish: Vec<u64>,
+}
+
+/// Runs `threads` on an `n_threads`-slot interleaved pipeline
+/// (`threads.len() <= n_threads`; missing threads are idle slots).
+///
+/// # Panics
+///
+/// Panics if more thread programs than hardware threads are supplied.
+pub fn run_pret(threads: &[Vec<PretOp>], n_threads: usize) -> PretRun {
+    assert!(threads.len() <= n_threads, "too many thread programs");
+    let mut finish = vec![0u64; threads.len()];
+    for (t, prog) in threads.iter().enumerate() {
+        // Thread t owns cycles t, t+N, t+2N, ... — nothing any other
+        // thread does can change that, so each thread simulates
+        // independently (that *is* the isolation property).
+        let mut cycle = t as u64; // first owned slot
+        for op in prog {
+            match *op {
+                PretOp::Work => {
+                    cycle += n_threads as u64;
+                }
+                PretOp::Deadline(k) => {
+                    // Stall (consuming owned slots) until k cycles since
+                    // thread start have elapsed.
+                    let target = t as u64 + k;
+                    while cycle < target {
+                        cycle += n_threads as u64;
+                    }
+                }
+            }
+        }
+        finish[t] = cycle;
+    }
+    PretRun { finish }
+}
+
+/// The duration of one thread's program on an `n_threads` machine,
+/// measured from its first owned slot.
+pub fn thread_duration(prog: &[PretOp], n_threads: usize) -> u64 {
+    let run = run_pret(std::slice::from_ref(&prog.to_vec()), n_threads);
+    run.finish[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_latency_is_constant() {
+        // k Work ops take exactly k*N cycles from the thread's slot 0.
+        for n in [2usize, 4, 8] {
+            for k in [1usize, 5, 13] {
+                let prog = vec![PretOp::Work; k];
+                assert_eq!(thread_duration(&prog, n), (k * n) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_cannot_interfere() {
+        let a = vec![PretOp::Work; 7];
+        let long_b = vec![PretOp::Work; 1000];
+        let short_b = vec![PretOp::Work; 1];
+        let with_long = run_pret(&[a.clone(), long_b], 4);
+        let with_short = run_pret(&[a.clone(), short_b], 4);
+        let alone = run_pret(&[a], 4);
+        assert_eq!(with_long.finish[0], alone.finish[0]);
+        assert_eq!(with_short.finish[0], alone.finish[0]);
+    }
+
+    #[test]
+    fn deadline_equalises_paths() {
+        // Two paths of different lengths, both closed by deadline 64:
+        // identical completion time — repeatable timing at the ISA
+        // level, PRET's signature feature.
+        let short = vec![PretOp::Work; 3]
+            .into_iter()
+            .chain([PretOp::Deadline(64)])
+            .collect::<Vec<_>>();
+        let long = vec![PretOp::Work; 11]
+            .into_iter()
+            .chain([PretOp::Deadline(64)])
+            .collect::<Vec<_>>();
+        let n = 4;
+        let a = thread_duration(&short, n);
+        let b = thread_duration(&long, n);
+        assert_eq!(a, b, "deadline must absorb path-length differences");
+        assert!(a >= 64);
+    }
+
+    #[test]
+    fn deadline_already_passed_is_a_nop() {
+        let prog = vec![PretOp::Work; 20]
+            .into_iter()
+            .chain([PretOp::Deadline(4)])
+            .collect::<Vec<_>>();
+        let plain = vec![PretOp::Work; 20];
+        assert_eq!(thread_duration(&prog, 2), thread_duration(&plain, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many thread programs")]
+    fn overcommit_rejected() {
+        let t = vec![PretOp::Work];
+        run_pret(&[t.clone(), t.clone(), t], 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Time-predictable simultaneous multithreading (Table 1, row 3).
+//!
+//! Barre et al. and Mische et al. modify SMT thread scheduling so that
+//! one *real-time thread* has priority over all others: it never waits
+//! for a non-real-time thread, so its execution time is independent of
+//! the co-running context — the row's source of uncertainty. The
+//! baseline is a fair (round-robin) SMT core whose RT-thread timing
+//! varies with the co-runners.
+//!
+//! The model: threads are sequences of instruction latencies; one
+//! instruction may issue per cycle (the shared resource is issue
+//! bandwidth); a thread's next instruction becomes ready when its
+//! previous one completes.
+
+/// A thread workload: per-instruction latencies.
+pub type Workload = Vec<u64>;
+
+/// SMT issue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtPolicy {
+    /// Fair round-robin between all ready threads.
+    Fair,
+    /// Thread 0 (the real-time thread) always wins the issue slot.
+    RtPriority,
+}
+
+/// Per-thread completion times of a multithreaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmtRun {
+    /// Cycle at which each thread finished (0 for empty workloads).
+    pub finish: Vec<u64>,
+}
+
+/// Simulates the SMT core until all threads finish.
+///
+/// # Panics
+///
+/// Panics if `threads` is empty.
+pub fn run_smt(threads: &[Workload], policy: SmtPolicy) -> SmtRun {
+    assert!(!threads.is_empty());
+    let n = threads.len();
+    let mut next_idx = vec![0usize; n]; // next instruction per thread
+    let mut ready_at = vec![0u64; n]; // when that instruction may issue
+    let mut finish = vec![0u64; n];
+    let mut last_rr = 0usize; // round-robin pointer
+    let mut cycle = 0u64;
+
+    loop {
+        let unfinished: Vec<usize> = (0..n).filter(|&t| next_idx[t] < threads[t].len()).collect();
+        if unfinished.is_empty() {
+            break;
+        }
+        // Which threads could issue this cycle?
+        let ready: Vec<usize> = unfinished
+            .iter()
+            .copied()
+            .filter(|&t| ready_at[t] <= cycle)
+            .collect();
+        if ready.is_empty() {
+            cycle += 1;
+            continue;
+        }
+        let chosen = match policy {
+            SmtPolicy::RtPriority => {
+                if ready.contains(&0) {
+                    0
+                } else {
+                    // Non-RT threads share the leftover bandwidth RR.
+                    *ready
+                        .iter()
+                        .find(|&&t| t > last_rr)
+                        .unwrap_or(&ready[0])
+                }
+            }
+            SmtPolicy::Fair => *ready
+                .iter()
+                .find(|&&t| t > last_rr)
+                .unwrap_or(&ready[0]),
+        };
+        if chosen != 0 || policy == SmtPolicy::Fair {
+            last_rr = chosen;
+        }
+        let lat = threads[chosen][next_idx[chosen]];
+        next_idx[chosen] += 1;
+        ready_at[chosen] = cycle + lat;
+        if next_idx[chosen] == threads[chosen].len() {
+            finish[chosen] = cycle + lat;
+        }
+        cycle += 1;
+    }
+    SmtRun { finish }
+}
+
+/// The real-time thread's completion time when running alone (the
+/// context-independence baseline).
+pub fn rt_alone_time(rt: &Workload) -> u64 {
+    run_smt(std::slice::from_ref(rt), SmtPolicy::RtPriority).finish[0]
+}
+
+/// Generates a deterministic pseudo-random co-runner workload.
+pub fn co_runner(seed: u64, len: usize) -> Workload {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(1..=4)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_task() -> Workload {
+        vec![1, 2, 1, 3, 1, 1, 2, 1, 1, 2, 1, 1]
+    }
+
+    #[test]
+    fn priority_makes_rt_time_context_independent() {
+        let rt = rt_task();
+        let alone = rt_alone_time(&rt);
+        for seed in 0..20 {
+            let co1 = co_runner(seed, 30);
+            let co2 = co_runner(seed.wrapping_mul(77).wrapping_add(5), 60);
+            let run = run_smt(&[rt.clone(), co1, co2], SmtPolicy::RtPriority);
+            assert_eq!(
+                run.finish[0], alone,
+                "RT thread must be interference-free (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fair_smt_rt_time_varies_with_context() {
+        let rt = rt_task();
+        let alone = rt_alone_time(&rt);
+        let mut times = std::collections::BTreeSet::new();
+        for seed in 0..20 {
+            let co = co_runner(seed, 40);
+            let run = run_smt(&[rt.clone(), co], SmtPolicy::Fair);
+            assert!(run.finish[0] >= alone);
+            times.insert(run.finish[0]);
+        }
+        assert!(
+            times.len() > 1,
+            "fair SMT must show context-induced variability: {times:?}"
+        );
+    }
+
+    #[test]
+    fn non_rt_threads_still_progress_under_priority() {
+        let rt = rt_task();
+        let co = co_runner(3, 10);
+        let run = run_smt(&[rt, co], SmtPolicy::RtPriority);
+        assert!(run.finish[1] > 0, "background thread must finish");
+    }
+
+    #[test]
+    fn single_thread_time_is_sum_of_latencies_with_issue_gaps() {
+        // With one thread, each instruction issues as soon as the
+        // previous completes: finish == sum of latencies.
+        let w = vec![2u64, 3, 1, 4];
+        assert_eq!(rt_alone_time(&w), 10);
+    }
+
+    #[test]
+    fn fair_is_work_conserving() {
+        // Total finish of all threads is bounded by serialised sum.
+        let a = vec![1u64; 10];
+        let b = vec![1u64; 10];
+        let run = run_smt(&[a, b], SmtPolicy::Fair);
+        assert!(run.finish.iter().all(|&f| f <= 20));
+    }
+}

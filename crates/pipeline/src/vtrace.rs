@@ -1,0 +1,176 @@
+//! Whitham & Audsley's virtual traces (Table 1, row 6).
+//!
+//! "Any aspect of the pipeline that might introduce variability in
+//! timing is either constrained or eliminated": scratchpads replace
+//! caches, dynamic branch prediction is disabled (within a trace,
+//! branches are predicted perfectly), variable-duration instructions
+//! run in constant time, and the pipeline state is reset whenever a
+//! trace is entered or left. Program paths therefore execute in times
+//! that depend on neither the initial state nor variable operand
+//! values.
+
+use crate::latency::LatencyTable;
+use crate::ooo::{OooCore, OooState};
+use tinyisa::exec::TraceOp;
+
+/// Configuration of the virtual-trace execution mode.
+#[derive(Debug, Clone, Copy)]
+pub struct VtraceConfig {
+    /// Maximal number of instructions per virtual trace.
+    pub trace_len: usize,
+    /// Pipeline reset penalty at each trace boundary.
+    pub reset_overhead: u64,
+    /// The constant latency substituted for variable-duration
+    /// instructions (the worst case, to stay sound).
+    pub const_div_latency: u64,
+}
+
+impl Default for VtraceConfig {
+    fn default() -> Self {
+        VtraceConfig {
+            trace_len: 16,
+            reset_overhead: 2,
+            const_div_latency: 12,
+        }
+    }
+}
+
+/// Runs a trace in virtual-trace mode on the given core. Returns total
+/// cycles; the result is independent of `entry` by construction (the
+/// first action is a reset), which the tests verify.
+pub fn run_vtrace(core: &OooCore, config: VtraceConfig, trace: &[TraceOp], _entry: OooState) -> u64 {
+    // Constant-latency core: divides forced to the constant worst case,
+    // no variable operands.
+    let fixed = OooCore {
+        config: crate::ooo::OooConfig {
+            rob: core.config.rob,
+            latencies: LatencyTable {
+                div: config.const_div_latency,
+                div_variable: false,
+                ..core.config.latencies
+            },
+        },
+    };
+    let mut cycles = 0u64;
+    for chunk in trace.chunks(config.trace_len.max(1)) {
+        cycles += config.reset_overhead; // enter trace: pipeline reset
+        cycles += fixed.run(chunk, OooState::EMPTY);
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyTable;
+    use crate::ooo::OooConfig;
+    use tinyisa::exec::Machine;
+
+    fn variable_core() -> OooCore {
+        OooCore::new(OooConfig {
+            rob: 8,
+            latencies: LatencyTable {
+                div_variable: true,
+                ..LatencyTable::default()
+            },
+        })
+    }
+
+    fn div_heavy_trace(divisor: i64) -> Vec<TraceOp> {
+        use tinyisa::asm::assemble;
+        use tinyisa::reg::Reg;
+        let p = assemble(
+            r"
+            li r1, 1000
+        loop:
+            div r3, r1, r2
+            addi r1, r1, -100
+            bne r1, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        Machine::default()
+            .run_traced_with(&p, &[(Reg::new(2), divisor)], &[])
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn vtrace_time_is_entry_state_independent() {
+        let core = variable_core();
+        let t = div_heavy_trace(3);
+        let cfg = VtraceConfig::default();
+        let a = run_vtrace(&core, cfg, &t, OooState::EMPTY);
+        let b = run_vtrace(
+            &core,
+            cfg,
+            &t,
+            OooState {
+                unit0_busy: 9,
+                unit1_busy: 7,
+                regs_ready: 5,
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raw_core_varies_with_entry_state_and_operands() {
+        let core = variable_core();
+        let t = div_heavy_trace(3);
+        let a = core.run(&t, OooState::EMPTY);
+        let b = core.run(
+            &t,
+            OooState {
+                unit0_busy: 9,
+                unit1_busy: 7,
+                regs_ready: 5,
+            },
+        );
+        assert_ne!(a, b, "raw OoO time must depend on entry state");
+    }
+
+    #[test]
+    fn vtrace_pays_reset_overhead() {
+        let core = variable_core();
+        let t = div_heavy_trace(3);
+        let cheap = run_vtrace(
+            &core,
+            VtraceConfig {
+                reset_overhead: 0,
+                ..VtraceConfig::default()
+            },
+            &t,
+            OooState::EMPTY,
+        );
+        let costly = run_vtrace(
+            &core,
+            VtraceConfig {
+                reset_overhead: 5,
+                ..VtraceConfig::default()
+            },
+            &t,
+            OooState::EMPTY,
+        );
+        let boundaries = t.chunks(16).count() as u64;
+        assert_eq!(costly, cheap + 5 * boundaries);
+    }
+
+    #[test]
+    fn same_path_same_time_despite_operand_variation() {
+        // Both runs execute the same dynamic path (same iteration count)
+        // with different divisor operand values; the virtual-trace mode
+        // erases the variable-latency difference.
+        let core = variable_core();
+        let t1 = div_heavy_trace(3);
+        let t2 = div_heavy_trace(7);
+        assert_eq!(t1.len(), t2.len(), "same path length expected");
+        let cfg = VtraceConfig::default();
+        let a = run_vtrace(&core, cfg, &t1, OooState::EMPTY);
+        let b = run_vtrace(&core, cfg, &t2, OooState::EMPTY);
+        assert_eq!(a, b, "constant-latency mode must erase operand effects");
+        // The raw variable-latency core does differ.
+        assert_ne!(core.run(&t1, OooState::EMPTY), core.run(&t2, OooState::EMPTY));
+    }
+}

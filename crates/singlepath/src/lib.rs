@@ -1,0 +1,19 @@
+//! # singlepath
+//!
+//! The single-path paradigm of Puschner & Burns (Table 2, row 6):
+//! eliminate input-induced timing variability by *construction*,
+//! converting input-dependent control flow into predicated straight-line
+//! code. The template instance: the *property* is execution time, the
+//! *source of uncertainty* is the program input, and the *quality
+//! measure* is the variability in execution times — driven to zero, at
+//! the price of always executing both sides of every conditional.
+//!
+//! [`transform::if_convert`] rewrites structured tinyisa programs
+//! (if/else diamonds over side-effect-free arms) into `cmov`-predicated
+//! code. Tests verify *semantic equivalence* on random inputs and
+//! *input-invariance* of the instruction count / pipeline time
+//! (`IIPr = 1` under Definition 5).
+
+pub mod transform;
+
+pub use transform::{if_convert, ConversionError, ConversionReport};

@@ -1,0 +1,454 @@
+//! Basic blocks, control-flow graphs, dominators and natural loops.
+//!
+//! The static analyses of the workspace (WCET bounds, abstract cache
+//! analysis, WCET-oriented branch prediction, single-path conversion)
+//! all work on this CFG. `call` is treated intra-procedurally: the call
+//! block's fall-through successor is the return point and the callee is
+//! recorded separately in [`BasicBlock::call_target`].
+
+use crate::instr::OpClass;
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A maximal straight-line sequence of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block index in [`Cfg::blocks`].
+    pub id: usize,
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block ids (0, 1 or 2 entries).
+    pub succs: Vec<usize>,
+    /// If the block ends in `call`, the pc of the callee entry.
+    pub call_target: Option<u32>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the block is empty (never produced by [`Cfg::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Instruction index range of the block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block.
+    pub header: usize,
+    /// The block whose edge to the header is the back edge.
+    pub latch: usize,
+    /// All blocks in the loop body (including header and latch).
+    pub body: BTreeSet<usize>,
+}
+
+/// A control-flow graph over basic blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// The blocks in program order (block 0 is the entry).
+    pub blocks: Vec<BasicBlock>,
+    block_of_pc: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is empty or fails [`Program::validate`].
+    pub fn build(program: &Program) -> Cfg {
+        assert!(!program.is_empty(), "cannot build a CFG of an empty program");
+        program
+            .validate()
+            .expect("program must validate before CFG construction");
+        let n = program.instrs.len();
+
+        // Leaders: entry, targets of control flow, fall-throughs after
+        // control flow.
+        let mut leaders = BTreeSet::new();
+        leaders.insert(0u32);
+        for (pc, ins) in program.instrs.iter().enumerate() {
+            let pc = pc as u32;
+            match ins.class() {
+                OpClass::Branch | OpClass::Jump => {
+                    if let Some(t) = ins.target() {
+                        leaders.insert(t);
+                    }
+                    if (pc + 1) < n as u32 {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                OpClass::CallRet => {
+                    // Callee entry is a leader too (function analysis).
+                    if let Some(t) = ins.target() {
+                        leaders.insert(t);
+                    }
+                    if (pc + 1) < n as u32 {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                OpClass::Nop if matches!(ins, crate::instr::Instr::Halt) => {
+                    if (pc + 1) < n as u32 {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let starts: Vec<u32> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        let mut start_to_id: BTreeMap<u32, usize> = BTreeMap::new();
+        for (id, &start) in starts.iter().enumerate() {
+            let end = starts.get(id + 1).copied().unwrap_or(n as u32);
+            start_to_id.insert(start, id);
+            blocks.push(BasicBlock {
+                id,
+                start,
+                end,
+                succs: Vec::new(),
+                call_target: None,
+            });
+        }
+
+        let mut block_of_pc = vec![0usize; n];
+        for b in &blocks {
+            for pc in b.range() {
+                block_of_pc[pc] = b.id;
+            }
+        }
+
+        for id in 0..blocks.len() {
+            let last_pc = blocks[id].end - 1;
+            let last = program.instrs[last_pc as usize];
+            let mut succs = Vec::new();
+            match last.class() {
+                OpClass::Branch => {
+                    // Fall-through first, then taken target.
+                    if (last_pc + 1) < n as u32 {
+                        succs.push(start_to_id[&(last_pc + 1)]);
+                    }
+                    if let Some(t) = last.target() {
+                        let t_id = start_to_id[&t];
+                        if !succs.contains(&t_id) {
+                            succs.push(t_id);
+                        }
+                    }
+                }
+                OpClass::Jump => {
+                    if let Some(t) = last.target() {
+                        succs.push(start_to_id[&t]);
+                    }
+                }
+                OpClass::CallRet => match last {
+                    crate::instr::Instr::Call(t) => {
+                        blocks[id].call_target = Some(t);
+                        if (last_pc + 1) < n as u32 {
+                            succs.push(start_to_id[&(last_pc + 1)]);
+                        }
+                    }
+                    // `ret` leaves the function: no intra-procedural succ.
+                    _ => {}
+                },
+                _ => {
+                    if matches!(last, crate::instr::Instr::Halt) {
+                        // terminal
+                    } else if (last_pc + 1) < n as u32 {
+                        succs.push(start_to_id[&(last_pc + 1)]);
+                    }
+                }
+            }
+            blocks[id].succs = succs;
+        }
+
+        Cfg {
+            blocks,
+            block_of_pc,
+        }
+    }
+
+    /// The block containing the given instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn block_of(&self, pc: u32) -> usize {
+        self.block_of_pc[pc as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the CFG has no blocks (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Predecessor lists (computed on demand).
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in &self.blocks {
+            for &s in &b.succs {
+                preds[s].push(b.id);
+            }
+        }
+        preds
+    }
+
+    /// Reverse post-order of the blocks reachable from the entry; the
+    /// canonical iteration order for forward dataflow fixpoints.
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < self.blocks[node].succs.len() {
+                let next = self.blocks[node].succs[*child];
+                *child += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Immediate-dominator-based dominator sets (iterative dataflow;
+    /// fine for the program sizes in this workspace). `dom[b]` contains
+    /// every block dominating `b`, including `b` itself. Unreachable
+    /// blocks get empty sets.
+    pub fn dominators(&self) -> Vec<BTreeSet<usize>> {
+        let nblocks = self.blocks.len();
+        let preds = self.predecessors();
+        let rpo = self.reverse_post_order();
+        let reachable: BTreeSet<usize> = rpo.iter().copied().collect();
+        let all: BTreeSet<usize> = reachable.clone();
+        let mut dom: Vec<BTreeSet<usize>> = vec![all; nblocks];
+        for b in 0..nblocks {
+            if !reachable.contains(&b) {
+                dom[b] = BTreeSet::new();
+            }
+        }
+        dom[0] = BTreeSet::from([0]);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == 0 {
+                    continue;
+                }
+                let mut new: Option<BTreeSet<usize>> = None;
+                for &p in &preds[b] {
+                    if !reachable.contains(&p) {
+                        continue;
+                    }
+                    new = Some(match new {
+                        None => dom[p].clone(),
+                        Some(acc) => acc.intersection(&dom[p]).copied().collect(),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(b);
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Natural loops: for every back edge `latch -> header` (where the
+    /// header dominates the latch), the set of blocks that can reach the
+    /// latch without passing through the header.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let dom = self.dominators();
+        let preds = self.predecessors();
+        let mut loops = Vec::new();
+        for b in &self.blocks {
+            for &s in &b.succs {
+                if dom[b.id].contains(&s) {
+                    // Back edge b -> s.
+                    let header = s;
+                    let latch = b.id;
+                    let mut body = BTreeSet::from([header, latch]);
+                    let mut stack = vec![latch];
+                    while let Some(x) = stack.pop() {
+                        if x == header {
+                            continue;
+                        }
+                        for &p in &preds[x] {
+                            if body.insert(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    loops.push(NaturalLoop {
+                        header,
+                        latch,
+                        body,
+                    });
+                }
+            }
+        }
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn cfg(src: &str) -> (Program, Cfg) {
+        let p = assemble(src).unwrap();
+        let c = Cfg::build(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg("li r1, 1\nadd r2, r1, r1\nhalt");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.blocks[0].succs, Vec::<usize>::new());
+        assert_eq!(c.blocks[0].len(), 3);
+    }
+
+    #[test]
+    fn loop_structure() {
+        let (p, c) = cfg(r"
+            li r1, 5
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ");
+        // Blocks: [li] [addi,bne] [halt]
+        assert_eq!(c.len(), 3);
+        let header = c.block_of(p.resolve("loop").unwrap());
+        assert_eq!(c.blocks[0].succs, vec![header]);
+        let latch = header; // single-block loop
+        assert!(c.blocks[latch].succs.contains(&header));
+        let loops = c.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, header);
+        assert_eq!(loops[0].body, BTreeSet::from([header]));
+    }
+
+    #[test]
+    fn diamond_if_else() {
+        let (_, c) = cfg(r"
+            blt r1, r2, then
+            li r3, 1
+            jmp join
+        then:
+            li r3, 2
+        join:
+            halt
+        ");
+        // b0: blt; b1: li,jmp; b2: li(then); b3: halt(join)
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.blocks[0].succs.len(), 2);
+        assert_eq!(c.blocks[1].succs, vec![3]);
+        assert_eq!(c.blocks[2].succs, vec![3]);
+        assert!(c.natural_loops().is_empty());
+        // Dominators: entry dominates everything, join dominated only by itself and entry.
+        let dom = c.dominators();
+        assert!(dom[3].contains(&0));
+        assert!(!dom[3].contains(&1));
+        assert!(!dom[3].contains(&2));
+    }
+
+    #[test]
+    fn call_block_records_callee() {
+        let (p, c) = cfg(r"
+            call f
+            halt
+        .func f
+            ret
+        .endfunc
+        ");
+        let b0 = &c.blocks[c.block_of(0)];
+        assert_eq!(b0.call_target, Some(p.resolve("f").unwrap_or(2)));
+        // Call falls through to the halt block intra-procedurally.
+        assert_eq!(b0.succs.len(), 1);
+        // Ret has no intra-procedural successors.
+        let ret_block = &c.blocks[c.block_of(2)];
+        assert!(ret_block.succs.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_found() {
+        let (p, c) = cfg(r"
+            li r1, 3
+        outer:
+            li r2, 4
+        inner:
+            addi r2, r2, -1
+            bne r2, r0, inner
+            addi r1, r1, -1
+            bne r1, r0, outer
+            halt
+        ");
+        let loops = c.natural_loops();
+        assert_eq!(loops.len(), 2);
+        let inner_header = c.block_of(p.resolve("inner").unwrap());
+        let outer_header = c.block_of(p.resolve("outer").unwrap());
+        let inner = loops.iter().find(|l| l.header == inner_header).unwrap();
+        let outer = loops.iter().find(|l| l.header == outer_header).unwrap();
+        assert!(inner.body.len() < outer.body.len());
+        assert!(inner.body.iter().all(|b| outer.body.contains(b)));
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry() {
+        let (_, c) = cfg(r"
+            blt r1, r2, a
+            jmp b
+        a:
+            nop
+        b:
+            halt
+        ");
+        let rpo = c.reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        // Every reachable block appears exactly once.
+        let set: BTreeSet<usize> = rpo.iter().copied().collect();
+        assert_eq!(set.len(), rpo.len());
+    }
+
+    #[test]
+    fn block_of_maps_every_pc() {
+        let (p, c) = cfg(r"
+            li r1, 2
+        x:
+            addi r1, r1, -1
+            bne r1, r0, x
+            halt
+        ");
+        for pc in 0..p.len() as u32 {
+            let b = &c.blocks[c.block_of(pc)];
+            assert!(b.range().contains(&(pc as usize)));
+        }
+    }
+}

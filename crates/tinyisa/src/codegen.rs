@@ -1,0 +1,327 @@
+//! Seeded random generation of structured programs.
+//!
+//! The analyses in this workspace (cache must/may, WCET bounds,
+//! single-path conversion, branch-prediction bounds) are property-tested
+//! against randomly generated — but always terminating and memory-safe —
+//! programs. The generator emits structured code only (sequences,
+//! if/else, fixed-bound counted loops), so the resulting CFGs are
+//! reducible, every loop carries a sound `.loopbound` annotation, and
+//! all memory accesses stay inside a designated scratch region.
+
+use crate::kernels::Kernel;
+use crate::reg::Reg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the program generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Maximum nesting depth of loops and conditionals.
+    pub max_depth: u32,
+    /// Maximum number of statements per block.
+    pub max_stmts: u32,
+    /// Maximum iteration count of generated loops.
+    pub max_loop_iters: u32,
+    /// Number of input registers (`r1..=r{n}`), at most 4.
+    pub input_regs: u8,
+    /// Base of the scratch memory region (word address).
+    pub mem_base: u32,
+    /// Length of the scratch region in words; must be a power of two so
+    /// data-dependent addresses can be masked into range.
+    pub mem_len: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 3,
+            max_stmts: 6,
+            max_loop_iters: 8,
+            input_regs: 3,
+            mem_base: 512,
+            mem_len: 64,
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    config: GenConfig,
+    lines: Vec<String>,
+    bounds: Vec<(String, u32)>,
+    next_label: u32,
+}
+
+impl Gen {
+    fn fresh_label(&mut self, stem: &str) -> String {
+        let l = format!("{}_{}", stem, self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Data registers are r1..r9; loop counters r10..r13.
+    fn data_reg(&mut self) -> u8 {
+        self.rng.random_range(1..=9)
+    }
+
+    fn emit(&mut self, line: impl Into<String>) {
+        self.lines.push(format!("    {}", line.into()));
+    }
+
+    fn emit_label(&mut self, label: &str) {
+        self.lines.push(format!("{label}:"));
+    }
+
+    fn statement(&mut self, depth: u32) {
+        let choice = self.rng.random_range(0..100);
+        match choice {
+            // Plain ALU on data registers.
+            0..=39 => {
+                let d = self.data_reg();
+                let a = self.data_reg();
+                let b = self.data_reg();
+                let op = ["add", "sub", "mul", "and", "or", "xor", "slt"]
+                    [self.rng.random_range(0..7)];
+                self.emit(format!("{op} r{d}, r{a}, r{b}"));
+            }
+            40..=49 => {
+                let d = self.data_reg();
+                let a = self.data_reg();
+                let imm = self.rng.random_range(-64..=64);
+                self.emit(format!("addi r{d}, r{a}, {imm}"));
+            }
+            // Fixed-address load/store within the scratch region.
+            50..=59 => {
+                let d = self.data_reg();
+                let off = self.rng.random_range(0..self.config.mem_len);
+                let addr = self.config.mem_base + off;
+                self.emit(format!("li r14, {addr}"));
+                if self.rng.random_bool(0.5) {
+                    self.emit(format!("ld r{d}, (r14)"));
+                } else {
+                    self.emit(format!("st r{d}, (r14)"));
+                }
+            }
+            // Data-dependent (masked) load: address = base + (reg & mask).
+            60..=69 => {
+                let d = self.data_reg();
+                let a = self.data_reg();
+                let mask = self.config.mem_len - 1;
+                self.emit(format!("li r14, {mask}"));
+                self.emit(format!("and r14, r{a}, r14"));
+                self.emit(format!("addi r14, r14, {}", self.config.mem_base));
+                self.emit(format!("ld r{d}, (r14)"));
+            }
+            // Conditional.
+            70..=84 if depth < self.config.max_depth => self.if_else(depth),
+            // Counted loop.
+            85..=99 if depth < self.config.max_depth => self.counted_loop(depth),
+            // At max depth fall back to an ALU op.
+            _ => {
+                let d = self.data_reg();
+                let a = self.data_reg();
+                self.emit(format!("add r{d}, r{a}, r0"));
+            }
+        }
+    }
+
+    fn block(&mut self, depth: u32) {
+        let n = self.rng.random_range(1..=self.config.max_stmts);
+        for _ in 0..n {
+            self.statement(depth);
+        }
+    }
+
+    fn if_else(&mut self, depth: u32) {
+        let a = self.data_reg();
+        let b = self.data_reg();
+        let then_l = self.fresh_label("then");
+        let end_l = self.fresh_label("endif");
+        let cond = ["beq", "bne", "blt", "bge"][self.rng.random_range(0..4)];
+        self.emit(format!("{cond} r{a}, r{b}, {then_l}"));
+        self.block(depth + 1); // else side
+        self.emit(format!("jmp {end_l}"));
+        self.emit_label(&then_l);
+        self.block(depth + 1); // then side
+        self.emit_label(&end_l);
+    }
+
+    fn counted_loop(&mut self, depth: u32) {
+        // Counter register depends on depth so nested loops never clash.
+        let counter = 10 + depth.min(3);
+        let iters = self.rng.random_range(1..=self.config.max_loop_iters);
+        let head = self.fresh_label("loop");
+        self.emit(format!("li r{counter}, {iters}"));
+        self.emit_label(&head);
+        self.block(depth + 1);
+        self.emit(format!("addi r{counter}, r{counter}, -1"));
+        self.emit(format!("bne r{counter}, r0, {head}"));
+        self.bounds.push((head, iters));
+    }
+}
+
+/// Generates a random structured program. Equal `(seed, config)` pairs
+/// generate identical programs.
+///
+/// # Panics
+///
+/// Panics if `config.mem_len` is not a power of two or
+/// `config.input_regs > 4`.
+pub fn generate(seed: u64, config: &GenConfig) -> Kernel {
+    assert!(
+        config.mem_len.is_power_of_two(),
+        "mem_len must be a power of two"
+    );
+    assert!(config.input_regs <= 4, "at most four input registers");
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        config: *config,
+        lines: vec![".func generated".to_string()],
+        bounds: Vec::new(),
+        next_label: 0,
+    };
+    g.block(0);
+    g.emit("halt");
+    g.lines.push(".endfunc".to_string());
+    for (label, iters) in g.bounds.clone() {
+        g.lines.push(format!(".loopbound {label} {iters}"));
+    }
+    let src = g.lines.join("\n");
+    let program = crate::asm::assemble(&src)
+        .unwrap_or_else(|e| panic!("generator produced invalid program: {e}\n{src}"));
+    Kernel {
+        name: "generated",
+        program,
+        input_regs: (1..=config.input_regs).map(Reg::new).collect(),
+        input_mem: Some((config.mem_base, config.mem_len)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::exec::{Machine, MachineConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GenConfig::default();
+        let a = generate(42, &c);
+        let b = generate(42, &c);
+        assert_eq!(a.program, b.program);
+        let c2 = generate(43, &c);
+        assert_ne!(a.program, c2.program);
+    }
+
+    #[test]
+    fn generated_programs_always_halt() {
+        let m = Machine::new(MachineConfig {
+            fuel: 1_000_000,
+            ..MachineConfig::default()
+        });
+        for seed in 0..50 {
+            let k = generate(seed, &GenConfig::default());
+            let run = m.run(&k.program);
+            assert!(run.is_ok(), "seed {seed}: {:?}", run.err());
+        }
+    }
+
+    #[test]
+    fn generated_programs_halt_for_varied_inputs() {
+        let m = Machine::default();
+        let cfg = GenConfig::default();
+        for seed in 0..10 {
+            let k = generate(seed, &cfg);
+            for input in [-100i64, -1, 0, 1, 7, 1 << 40] {
+                let regs: Vec<(Reg, i64)> =
+                    k.input_regs.iter().map(|&r| (r, input)).collect();
+                let run = m.run_with(&k.program, &regs, &[]);
+                assert!(run.is_ok(), "seed {seed} input {input}: {:?}", run.err());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_cfgs_are_buildable_with_sound_loops() {
+        for seed in 0..30 {
+            let k = generate(seed, &GenConfig::default());
+            let cfg = Cfg::build(&k.program);
+            let loops = cfg.natural_loops();
+            // Every annotated loop header corresponds to a natural loop.
+            for (label, _) in &k.program.loop_bounds {
+                let pc = k.program.resolve(label).unwrap();
+                let block = cfg.block_of(pc);
+                assert!(
+                    loops.iter().any(|l| l.header == block),
+                    "seed {seed}: annotated header {label} not a natural loop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_bound_annotations_are_dynamically_sound() {
+        use std::collections::HashMap;
+        let m = Machine::default();
+        for seed in 0..20 {
+            let k = generate(seed, &GenConfig::default());
+            let run = m.run_traced(&k.program).unwrap();
+            // Count back-edge executions per header pc.
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for op in &run.trace {
+                if op.next_pc <= op.pc {
+                    *counts.entry(op.next_pc).or_default() += 1;
+                }
+            }
+            // Total iterations of a loop <= product of enclosing bounds;
+            // at minimum the header's own bound must hold per entry. We
+            // check the weaker global product bound here.
+            let product: u64 = k
+                .program
+                .loop_bounds
+                .values()
+                .map(|&b| b.max(1) as u64)
+                .product();
+            for (label, &bound) in &k.program.loop_bounds {
+                let pc = k.program.resolve(label).unwrap();
+                if let Some(&c) = counts.get(&pc) {
+                    assert!(
+                        (c as u64) <= (bound as u64) * product.max(1),
+                        "seed {seed}: loop {label} exceeded product bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_stays_in_scratch_region() {
+        let m = Machine::default();
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let k = generate(seed, &cfg);
+            let regs: Vec<(Reg, i64)> = k.input_regs.iter().map(|&r| (r, i64::MAX)).collect();
+            let run = m.run_traced_with(&k.program, &regs, &[]).unwrap();
+            for op in &run.trace {
+                if let Some(addr) = op.mem_addr {
+                    assert!(
+                        addr >= cfg.mem_base && addr < cfg.mem_base + cfg.mem_len,
+                        "seed {seed}: access at {addr} outside scratch region"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_region_rejected() {
+        let _ = generate(
+            1,
+            &GenConfig {
+                mem_len: 60,
+                ..GenConfig::default()
+            },
+        );
+    }
+}

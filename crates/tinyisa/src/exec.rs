@@ -1,0 +1,542 @@
+//! The functional interpreter and execution traces.
+//!
+//! Timing models in this workspace are *trace-driven*: the interpreter
+//! fixes the architectural semantics (what is executed, which addresses
+//! are touched, which branches are taken) and the cycle-level models
+//! replay the resulting [`TraceOp`] stream to attach timing. This
+//! separation keeps every simulator deterministic and lets many
+//! micro-architectures consume the same execution.
+
+use crate::instr::{Instr, OpClass};
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Configuration of the abstract machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Data memory size in words.
+    pub mem_words: usize,
+    /// Maximum number of executed instructions before
+    /// [`ExecError::OutOfFuel`] (guards against non-terminating
+    /// programs; all predictability definitions assume termination).
+    pub fuel: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_words: 4096,
+            fuel: 2_000_000,
+        }
+    }
+}
+
+/// Outcome of a conditional branch in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The static target of the branch.
+    pub target: u32,
+}
+
+/// One executed instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The instruction itself (carries class, defs and uses).
+    pub instr: Instr,
+    /// Word address touched, for loads and stores.
+    pub mem_addr: Option<u32>,
+    /// Branch outcome, for conditional branches.
+    pub branch: Option<BranchOutcome>,
+    /// The next program counter (after this instruction).
+    pub next_pc: u32,
+    /// A mix of the source-operand values, used by timing models whose
+    /// instruction latencies are operand-dependent (e.g. early-exit
+    /// dividers — one of Whitham's uncertainty sources).
+    pub operand_hash: u64,
+}
+
+impl TraceOp {
+    /// The timing class of the executed instruction.
+    pub fn class(&self) -> OpClass {
+        self.instr.class()
+    }
+}
+
+/// The result of a (terminating) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Register file at `halt`.
+    pub final_regs: [i64; NUM_REGS],
+    /// Data memory at `halt`.
+    pub final_mem: Vec<i64>,
+    /// Number of executed instructions (including `halt`).
+    pub instr_count: u64,
+    /// The execution trace; empty unless produced by
+    /// [`Machine::run_traced`] / [`Machine::run_traced_with`].
+    pub trace: Vec<TraceOp>,
+}
+
+/// Runtime errors of the abstract machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The program counter left the program without reaching `halt`.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: u32,
+    },
+    /// A load or store computed an address outside data memory.
+    MemOutOfRange {
+        /// The offending word address (possibly negative, hence `i64`).
+        addr: i64,
+        /// Program counter of the access.
+        pc: u32,
+    },
+    /// The fuel limit was exhausted before `halt`.
+    OutOfFuel {
+        /// The configured fuel.
+        fuel: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            ExecError::MemOutOfRange { addr, pc } => {
+                write!(f, "memory address {addr} out of range at pc {pc}")
+            }
+            ExecError::OutOfFuel { fuel } => {
+                write!(f, "program did not halt within {fuel} instructions")
+            }
+        }
+    }
+}
+
+impl StdError for ExecError {}
+
+/// The abstract machine executing tinyisa programs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Machine {
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine { config }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Runs a program from zeroed registers and memory, without tracing.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&self, program: &Program) -> Result<Run, ExecError> {
+        self.exec(program, &[], &[], false)
+    }
+
+    /// Runs with initial register values (pairs `(reg, value)`) and
+    /// initial memory contents (pairs `(word_addr, value)`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_with(
+        &self,
+        program: &Program,
+        regs: &[(Reg, i64)],
+        mem: &[(u32, i64)],
+    ) -> Result<Run, ExecError> {
+        self.exec(program, regs, mem, false)
+    }
+
+    /// Like [`Machine::run`], but records the full execution trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_traced(&self, program: &Program) -> Result<Run, ExecError> {
+        self.exec(program, &[], &[], true)
+    }
+
+    /// Like [`Machine::run_with`], but records the full execution trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_traced_with(
+        &self,
+        program: &Program,
+        regs: &[(Reg, i64)],
+        mem: &[(u32, i64)],
+    ) -> Result<Run, ExecError> {
+        self.exec(program, regs, mem, true)
+    }
+
+    fn exec(
+        &self,
+        program: &Program,
+        init_regs: &[(Reg, i64)],
+        init_mem: &[(u32, i64)],
+        traced: bool,
+    ) -> Result<Run, ExecError> {
+        let mut regs = [0i64; NUM_REGS];
+        for &(r, v) in init_regs {
+            if !r.is_zero() {
+                regs[r.index()] = v;
+            }
+        }
+        let mut mem = vec![0i64; self.config.mem_words];
+        for &(a, v) in init_mem {
+            let idx = a as usize;
+            if idx >= mem.len() {
+                return Err(ExecError::MemOutOfRange {
+                    addr: a as i64,
+                    pc: 0,
+                });
+            }
+            mem[idx] = v;
+        }
+
+        let mut pc: u32 = 0;
+        let mut count: u64 = 0;
+        let mut trace = Vec::new();
+        let n = program.instrs.len() as u32;
+
+        loop {
+            if pc >= n {
+                return Err(ExecError::PcOutOfRange { pc });
+            }
+            if count >= self.config.fuel {
+                return Err(ExecError::OutOfFuel {
+                    fuel: self.config.fuel,
+                });
+            }
+            let instr = program.instrs[pc as usize];
+            count += 1;
+
+            let get = |r: Reg| -> i64 {
+                if r.is_zero() {
+                    0
+                } else {
+                    regs[r.index()]
+                }
+            };
+            let mut mem_addr = None;
+            let mut branch = None;
+            let mut next_pc = pc + 1;
+            let mut halted = false;
+            // Source-operand mix for operand-dependent timing models;
+            // computed before any destination is written.
+            let operand_hash = if traced {
+                let mut h = 0u64;
+                for r in instr.uses() {
+                    h = h.rotate_left(7).wrapping_add(get(r) as u64);
+                }
+                h
+            } else {
+                0
+            };
+
+            macro_rules! set {
+                ($r:expr, $v:expr) => {
+                    if !$r.is_zero() {
+                        regs[$r.index()] = $v;
+                    }
+                };
+            }
+
+            match instr {
+                Instr::Add(d, a, b) => set!(d, get(a).wrapping_add(get(b))),
+                Instr::Sub(d, a, b) => set!(d, get(a).wrapping_sub(get(b))),
+                Instr::Mul(d, a, b) => set!(d, get(a).wrapping_mul(get(b))),
+                Instr::Div(d, a, b) => {
+                    let rhs = get(b);
+                    set!(d, if rhs == 0 { 0 } else { get(a).wrapping_div(rhs) });
+                }
+                Instr::And(d, a, b) => set!(d, get(a) & get(b)),
+                Instr::Or(d, a, b) => set!(d, get(a) | get(b)),
+                Instr::Xor(d, a, b) => set!(d, get(a) ^ get(b)),
+                Instr::Slt(d, a, b) => set!(d, (get(a) < get(b)) as i64),
+                Instr::Sll(d, a, b) => set!(d, get(a).wrapping_shl(get(b) as u32 & 63)),
+                Instr::Srl(d, a, b) => {
+                    set!(d, ((get(a) as u64).wrapping_shr(get(b) as u32 & 63)) as i64)
+                }
+                Instr::Cmov { rd, rs, rc } => {
+                    if get(rc) != 0 {
+                        set!(rd, get(rs));
+                    }
+                }
+                Instr::Addi(d, a, imm) => set!(d, get(a).wrapping_add(imm as i64)),
+                Instr::Slti(d, a, imm) => set!(d, (get(a) < imm as i64) as i64),
+                Instr::Li(d, imm) => set!(d, imm),
+                Instr::Ld { rd, base, offset } => {
+                    let addr = get(base).wrapping_add(offset as i64);
+                    let idx = usize::try_from(addr)
+                        .ok()
+                        .filter(|&i| i < mem.len())
+                        .ok_or(ExecError::MemOutOfRange { addr, pc })?;
+                    set!(rd, mem[idx]);
+                    mem_addr = Some(addr as u32);
+                }
+                Instr::St { rs, base, offset } => {
+                    let addr = get(base).wrapping_add(offset as i64);
+                    let idx = usize::try_from(addr)
+                        .ok()
+                        .filter(|&i| i < mem.len())
+                        .ok_or(ExecError::MemOutOfRange { addr, pc })?;
+                    mem[idx] = get(rs);
+                    mem_addr = Some(addr as u32);
+                }
+                Instr::Beq(a, b, t) => {
+                    let taken = get(a) == get(b);
+                    if taken {
+                        next_pc = t;
+                    }
+                    branch = Some(BranchOutcome { taken, target: t });
+                }
+                Instr::Bne(a, b, t) => {
+                    let taken = get(a) != get(b);
+                    if taken {
+                        next_pc = t;
+                    }
+                    branch = Some(BranchOutcome { taken, target: t });
+                }
+                Instr::Blt(a, b, t) => {
+                    let taken = get(a) < get(b);
+                    if taken {
+                        next_pc = t;
+                    }
+                    branch = Some(BranchOutcome { taken, target: t });
+                }
+                Instr::Bge(a, b, t) => {
+                    let taken = get(a) >= get(b);
+                    if taken {
+                        next_pc = t;
+                    }
+                    branch = Some(BranchOutcome { taken, target: t });
+                }
+                Instr::Jmp(t) => next_pc = t,
+                Instr::Call(t) => {
+                    set!(Reg::LINK, (pc + 1) as i64);
+                    next_pc = t;
+                }
+                Instr::Ret => {
+                    let ra = get(Reg::LINK);
+                    next_pc =
+                        u32::try_from(ra).map_err(|_| ExecError::PcOutOfRange { pc })?;
+                }
+                Instr::Nop => {}
+                Instr::Halt => halted = true,
+            }
+
+            if traced {
+                trace.push(TraceOp {
+                    pc,
+                    instr,
+                    mem_addr,
+                    branch,
+                    next_pc: if halted { pc } else { next_pc },
+                    operand_hash,
+                });
+            }
+            if halted {
+                return Ok(Run {
+                    final_regs: regs,
+                    final_mem: mem,
+                    instr_count: count,
+                    trace,
+                });
+            }
+            pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Run {
+        Machine::new(MachineConfig::default())
+            .run(&assemble(src).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let r = run(r"
+            li r1, 7
+            li r2, 3
+            add r3, r1, r2
+            sub r4, r1, r2
+            mul r5, r1, r2
+            div r6, r1, r2
+            div r7, r1, r0   ; divide by zero -> 0
+            slt r8, r2, r1
+            xor r9, r1, r2
+            halt
+        ");
+        assert_eq!(r.final_regs[3], 10);
+        assert_eq!(r.final_regs[4], 4);
+        assert_eq!(r.final_regs[5], 21);
+        assert_eq!(r.final_regs[6], 2);
+        assert_eq!(r.final_regs[7], 0);
+        assert_eq!(r.final_regs[8], 1);
+        assert_eq!(r.final_regs[9], 7 ^ 3);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let r = run("li r0, 99\nadd r1, r0, r0\nhalt");
+        assert_eq!(r.final_regs[0], 0);
+        assert_eq!(r.final_regs[1], 0);
+    }
+
+    #[test]
+    fn memory_and_shifts() {
+        let r = run(r"
+            li r1, 100
+            li r2, 42
+            st r2, 5(r1)
+            ld r3, 5(r1)
+            li r4, 2
+            sll r5, r2, r4
+            srl r6, r2, r4
+            halt
+        ");
+        assert_eq!(r.final_regs[3], 42);
+        assert_eq!(r.final_mem[105], 42);
+        assert_eq!(r.final_regs[5], 168);
+        assert_eq!(r.final_regs[6], 10);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let r = run(r"
+            call f
+            halt
+        .func f
+            li r1, 5
+            ret
+        .endfunc
+        ");
+        assert_eq!(r.final_regs[1], 5);
+        assert_eq!(r.final_regs[15], 1); // link register held return addr
+    }
+
+    #[test]
+    fn cmov_predication() {
+        let r = run(r"
+            li r1, 11
+            li r2, 22
+            li r3, 1
+            cmov r4, r1, r3    ; taken: r4 = 11
+            cmov r5, r2, r0    ; not taken: r5 stays 0
+            halt
+        ");
+        assert_eq!(r.final_regs[4], 11);
+        assert_eq!(r.final_regs[5], 0);
+    }
+
+    #[test]
+    fn initial_state_is_respected() {
+        let prog = assemble("add r3, r1, r2\nld r4, (r5)\nhalt").unwrap();
+        let r = Machine::default()
+            .run_with(
+                &prog,
+                &[(Reg::new(1), 4), (Reg::new(2), 6), (Reg::new(5), 10)],
+                &[(10, 77)],
+            )
+            .unwrap();
+        assert_eq!(r.final_regs[3], 10);
+        assert_eq!(r.final_regs[4], 77);
+    }
+
+    #[test]
+    fn trace_records_branches_and_memory() {
+        let prog = assemble(
+            r"
+            li r1, 2
+        loop:
+            st r1, (r1)
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let r = Machine::default().run_traced(&prog).unwrap();
+        assert_eq!(r.trace.len() as u64, r.instr_count);
+        let branches: Vec<_> = r.trace.iter().filter_map(|t| t.branch).collect();
+        assert_eq!(branches.len(), 2);
+        assert!(branches[0].taken);
+        assert!(!branches[1].taken);
+        let mems: Vec<_> = r.trace.iter().filter_map(|t| t.mem_addr).collect();
+        assert_eq!(mems, vec![2, 1]);
+        // next_pc of a taken branch is the target.
+        let taken = r.trace.iter().find(|t| t.branch.is_some()).unwrap();
+        assert_eq!(taken.next_pc, 1);
+    }
+
+    #[test]
+    fn untraced_run_has_empty_trace() {
+        let r = run("halt");
+        assert!(r.trace.is_empty());
+        assert_eq!(r.instr_count, 1);
+    }
+
+    #[test]
+    fn errors() {
+        let m = Machine::default();
+        // Running off the end.
+        let p = assemble("nop").unwrap();
+        assert!(matches!(m.run(&p), Err(ExecError::PcOutOfRange { pc: 1 })));
+        // Memory out of range.
+        let p = assemble("li r1, -5\nld r2, (r1)\nhalt").unwrap();
+        assert!(matches!(
+            m.run(&p),
+            Err(ExecError::MemOutOfRange { addr: -5, pc: 1 })
+        ));
+        // Fuel exhaustion.
+        let p = assemble("x: jmp x").unwrap();
+        let m = Machine::new(MachineConfig {
+            fuel: 100,
+            ..MachineConfig::default()
+        });
+        assert!(matches!(m.run(&p), Err(ExecError::OutOfFuel { fuel: 100 })));
+    }
+
+    #[test]
+    fn determinism() {
+        let prog = assemble(
+            r"
+            li r1, 50
+        loop:
+            mul r2, r1, r1
+            st r2, (r1)
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let m = Machine::default();
+        let a = m.run_traced(&prog).unwrap();
+        let b = m.run_traced(&prog).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,628 @@
+//! Hand-written workload kernels with loop-bound annotations.
+//!
+//! These play the role of the benchmark suites in the surveyed papers:
+//! small, realistic kernels whose execution time depends on program
+//! inputs (searching, sorting) or does not (fixed-bound numeric loops),
+//! with and without input-dependent control flow. Every kernel documents
+//! which registers and which memory region constitute its *input* — the
+//! `I` of the paper's Definition 2.
+
+use crate::asm::assemble;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// A workload kernel: a program plus a description of its input
+/// interface.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (for tables and reports).
+    pub name: &'static str,
+    /// The assembled program.
+    pub program: Program,
+    /// Registers that act as program input.
+    pub input_regs: Vec<Reg>,
+    /// Memory region `(base, len)` in words that acts as program input.
+    pub input_mem: Option<(u32, u32)>,
+}
+
+fn build(name: &'static str, src: String, input_regs: Vec<Reg>, input_mem: Option<(u32, u32)>) -> Kernel {
+    let program = assemble(&src)
+        .unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}\n{src}"));
+    Kernel {
+        name,
+        program,
+        input_regs,
+        input_mem,
+    }
+}
+
+/// `sum_loop(n)`: sums the integers `n..1` in a fixed-bound loop.
+/// No input at all — a perfectly input-predictable baseline.
+pub fn sum_loop(n: u32) -> Kernel {
+    assert!(n > 0, "sum_loop needs n > 0");
+    build(
+        "sum_loop",
+        format!(
+            r"
+        .func sum_loop
+            li   r1, {n}
+            li   r2, 0
+        loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        .endfunc
+        .loopbound loop {bound}
+        ",
+            n = n,
+            bound = n - 1,
+        ),
+        vec![],
+        None,
+    )
+}
+
+/// `linear_search(len, base)`: scans `len` words at `base` for the key
+/// in `r1`, leaving the index (or -1) in `r5`. Execution time depends
+/// strongly on the input — the canonical IIPr < 1 kernel.
+pub fn linear_search(len: u32, base: u32) -> Kernel {
+    assert!(len > 0);
+    build(
+        "linear_search",
+        format!(
+            r"
+        .func linear_search
+            li   r2, {base}
+            li   r3, {end}
+        loop:
+            bge  r2, r3, notfound
+            ld   r4, (r2)
+            beq  r4, r1, found
+            addi r2, r2, 1
+            jmp  loop
+        found:
+            li   r6, {base}
+            sub  r5, r2, r6
+            halt
+        notfound:
+            li   r5, -1
+            halt
+        .endfunc
+        .loopbound loop {len}
+        ",
+            base = base,
+            end = base + len,
+            len = len,
+        ),
+        vec![Reg::new(1)],
+        Some((base, len)),
+    )
+}
+
+/// `binary_search(len, base)`: searches a sorted array; key in `r1`,
+/// result index (or -1) in `r8`. Fewer, data-dependent iterations.
+pub fn binary_search(len: u32, base: u32) -> Kernel {
+    assert!(len > 0);
+    let bound = 33 - (len.leading_zeros()); // ceil(log2(len)) + 1
+    build(
+        "binary_search",
+        format!(
+            r"
+        .func binary_search
+            li   r2, 0
+            li   r3, {len}
+        loop:
+            bge  r2, r3, notfound
+            add  r4, r2, r3
+            li   r5, 2
+            div  r4, r4, r5
+            addi r6, r4, {base}
+            ld   r7, (r6)
+            beq  r7, r1, found
+            blt  r7, r1, right
+            add  r3, r0, r4
+            jmp  loop
+        right:
+            addi r2, r4, 1
+            jmp  loop
+        found:
+            add  r8, r0, r4
+            halt
+        notfound:
+            li   r8, -1
+            halt
+        .endfunc
+        .loopbound loop {bound}
+        ",
+            len = len,
+            base = base,
+            bound = bound,
+        ),
+        vec![Reg::new(1)],
+        Some((base, len)),
+    )
+}
+
+/// `bubble_sort(n, base)`: sorts `n` words at `base` in place. The swap
+/// branches make both the branch-prediction and cache behaviour
+/// input-dependent while the iteration structure stays fixed.
+pub fn bubble_sort(n: u32, base: u32) -> Kernel {
+    assert!(n >= 2);
+    build(
+        "bubble_sort",
+        format!(
+            r"
+        .func bubble_sort
+            li   r2, {base}
+            li   r1, {n}
+            addi r7, r1, -1
+            addi r6, r1, -1
+        outer:
+            beq  r6, r0, done
+            li   r3, 0
+        inner:
+            bge  r3, r7, inner_done
+            add  r8, r2, r3
+            ld   r4, (r8)
+            ld   r5, 1(r8)
+            bge  r5, r4, noswap
+            st   r5, (r8)
+            st   r4, 1(r8)
+        noswap:
+            addi r3, r3, 1
+            jmp  inner
+        inner_done:
+            addi r6, r6, -1
+            jmp  outer
+        done:
+            halt
+        .endfunc
+        .loopbound outer {outer_bound}
+        .loopbound inner {inner_bound}
+        ",
+            base = base,
+            n = n,
+            outer_bound = n - 1,
+            inner_bound = n - 1,
+        ),
+        vec![],
+        Some((base, n)),
+    )
+}
+
+/// `fib(max_n)`: iterative Fibonacci of `r1` (clamped by fuel); result
+/// in `r3`. Time is proportional to the input value.
+pub fn fib(max_n: u32) -> Kernel {
+    build(
+        "fib",
+        format!(
+            r"
+        .func fib
+            li   r2, 0
+            li   r3, 1
+        loop:
+            beq  r1, r0, done
+            add  r4, r2, r3
+            add  r2, r0, r3
+            add  r3, r0, r4
+            addi r1, r1, -1
+            jmp  loop
+        done:
+            halt
+        .endfunc
+        .loopbound loop {max_n}
+        "
+        ),
+        vec![Reg::new(1)],
+        None,
+    )
+}
+
+/// `matmul(d, a, b, c)`: dense `d x d` matrix multiply of the arrays at
+/// word addresses `a` and `b` into `c`. Memory-intensive with a regular
+/// (input-independent) access pattern.
+pub fn matmul(d: u32, a: u32, b: u32, c: u32) -> Kernel {
+    assert!(d > 0);
+    build(
+        "matmul",
+        format!(
+            r"
+        .func matmul
+            li   r1, 0
+        iloop:
+            li   r2, 0
+        jloop:
+            li   r3, 0
+            li   r10, 0
+        kloop:
+            li   r4, {d}
+            mul  r5, r1, r4
+            add  r5, r5, r3
+            addi r5, r5, {a}
+            ld   r6, (r5)
+            mul  r7, r3, r4
+            add  r7, r7, r2
+            addi r7, r7, {b}
+            ld   r8, (r7)
+            mul  r9, r6, r8
+            add  r10, r10, r9
+            addi r3, r3, 1
+            blt  r3, r4, kloop
+            mul  r5, r1, r4
+            add  r5, r5, r2
+            addi r5, r5, {c}
+            st   r10, (r5)
+            addi r2, r2, 1
+            blt  r2, r4, jloop
+            addi r1, r1, 1
+            blt  r1, r4, iloop
+            halt
+        .endfunc
+        .loopbound iloop {bound}
+        .loopbound jloop {bound}
+        .loopbound kloop {bound}
+        ",
+            d = d,
+            a = a,
+            b = b,
+            c = c,
+            bound = d.saturating_sub(1),
+        ),
+        vec![],
+        Some((a, 2 * d * d)),
+    )
+}
+
+/// `memcpy(len, src, dst)`: copies `len` words.
+pub fn memcpy(len: u32, src: u32, dst: u32) -> Kernel {
+    assert!(len > 0);
+    build(
+        "memcpy",
+        format!(
+            r"
+        .func memcpy
+            li   r1, 0
+        loop:
+            addi r2, r1, {src}
+            ld   r3, (r2)
+            addi r4, r1, {dst}
+            st   r3, (r4)
+            addi r1, r1, 1
+            li   r5, {len}
+            blt  r1, r5, loop
+            halt
+        .endfunc
+        .loopbound loop {bound}
+        ",
+            src = src,
+            dst = dst,
+            len = len,
+            bound = len - 1,
+        ),
+        vec![],
+        Some((src, len)),
+    )
+}
+
+/// `popcount_branchy(bits)`: counts set bits of `r1` with one branch per
+/// bit — the canonical target for single-path conversion.
+pub fn popcount_branchy(bits: u32) -> Kernel {
+    assert!(bits > 0 && bits <= 63);
+    build(
+        "popcount_branchy",
+        format!(
+            r"
+        .func popcount
+            li   r2, 0
+            li   r3, {bits}
+        loop:
+            li   r5, 1
+            and  r4, r1, r5
+            beq  r4, r0, skip
+            addi r2, r2, 1
+        skip:
+            srl  r1, r1, r5
+            addi r3, r3, -1
+            bne  r3, r0, loop
+            halt
+        .endfunc
+        .loopbound loop {bound}
+        ",
+            bits = bits,
+            bound = bits - 1,
+        ),
+        vec![Reg::new(1)],
+        None,
+    )
+}
+
+/// `vector_max(len, base)`: branchless maximum via `slt`+`cmov`; fixed
+/// iteration count, so the time is input-independent by construction.
+pub fn vector_max(len: u32, base: u32) -> Kernel {
+    assert!(len > 0);
+    build(
+        "vector_max",
+        format!(
+            r"
+        .func vector_max
+            li   r2, {base}
+            li   r3, {len}
+            ld   r4, (r2)
+            li   r5, 1
+        loop:
+            bge  r5, r3, done
+            add  r6, r2, r5
+            ld   r7, (r6)
+            slt  r8, r4, r7
+            cmov r4, r7, r8
+            addi r5, r5, 1
+            jmp  loop
+        done:
+            halt
+        .endfunc
+        .loopbound loop {len}
+        ",
+            base = base,
+            len = len,
+        ),
+        vec![],
+        Some((base, len)),
+    )
+}
+
+/// `call_tree(n)`: a main loop calling two worker functions `n` times —
+/// the multi-function workload for the method-cache experiments.
+pub fn call_tree(n: u32) -> Kernel {
+    assert!(n > 0);
+    build(
+        "call_tree",
+        format!(
+            r"
+        .func main
+            li   r1, {n}
+        mainloop:
+            beq  r1, r0, done
+            call work_a
+            call work_b
+            addi r1, r1, -1
+            jmp  mainloop
+        done:
+            halt
+        .endfunc
+        .func work_a
+            li   r2, 3
+            mul  r3, r2, r2
+            add  r4, r3, r2
+            ret
+        .endfunc
+        .func work_b
+            li   r5, 5
+            add  r6, r5, r5
+            mul  r7, r6, r5
+            sub  r8, r7, r6
+            ret
+        .endfunc
+        .loopbound mainloop {n}
+        "
+        ),
+        vec![],
+        None,
+    )
+}
+
+/// All kernels with small default parameters (for smoke tests and
+/// sweeps). Memory inputs live at word 256 upward, away from address 0.
+pub fn all_default() -> Vec<Kernel> {
+    vec![
+        sum_loop(16),
+        linear_search(16, 256),
+        binary_search(16, 256),
+        bubble_sort(8, 256),
+        fib(24),
+        matmul(4, 256, 272, 288),
+        memcpy(16, 256, 300),
+        popcount_branchy(16),
+        vector_max(16, 256),
+        call_tree(6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Machine, MachineConfig};
+    use crate::reg::Reg;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn sum_loop_computes_triangle_number() {
+        let k = sum_loop(10);
+        let run = machine().run(&k.program).unwrap();
+        assert_eq!(run.final_regs[2], 55);
+    }
+
+    #[test]
+    fn linear_search_finds_and_misses() {
+        let k = linear_search(8, 256);
+        let mem: Vec<(u32, i64)> = (0..8).map(|i| (256 + i, (i as i64) * 10)).collect();
+        let hit = machine()
+            .run_with(&k.program, &[(Reg::new(1), 30)], &mem)
+            .unwrap();
+        assert_eq!(hit.final_regs[5], 3);
+        let miss = machine()
+            .run_with(&k.program, &[(Reg::new(1), 31)], &mem)
+            .unwrap();
+        assert_eq!(miss.final_regs[5], -1);
+        // Early exit is faster.
+        let early = machine()
+            .run_with(&k.program, &[(Reg::new(1), 0)], &mem)
+            .unwrap();
+        assert!(early.instr_count < miss.instr_count);
+    }
+
+    #[test]
+    fn binary_search_on_sorted_array() {
+        let k = binary_search(16, 256);
+        let mem: Vec<(u32, i64)> = (0..16).map(|i| (256 + i, (i as i64) * 2)).collect();
+        for want in 0..16i64 {
+            let run = machine()
+                .run_with(&k.program, &[(Reg::new(1), want * 2)], &mem)
+                .unwrap();
+            assert_eq!(run.final_regs[8], want, "key {}", want * 2);
+        }
+        let miss = machine()
+            .run_with(&k.program, &[(Reg::new(1), 7)], &mem)
+            .unwrap();
+        assert_eq!(miss.final_regs[8], -1);
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let k = bubble_sort(8, 256);
+        let values = [5i64, -3, 9, 1, 0, 7, 2, 2];
+        let mem: Vec<(u32, i64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (256 + i as u32, v))
+            .collect();
+        let run = machine().run_with(&k.program, &[], &mem).unwrap();
+        let mut sorted = values;
+        sorted.sort();
+        for (i, &v) in sorted.iter().enumerate() {
+            assert_eq!(run.final_mem[256 + i], v);
+        }
+    }
+
+    #[test]
+    fn fib_is_fibonacci() {
+        let k = fib(30);
+        for (n, want) in [(0i64, 1i64), (1, 1), (2, 2), (3, 3), (4, 5), (10, 89)] {
+            let run = machine()
+                .run_with(&k.program, &[(Reg::new(1), n)], &[])
+                .unwrap();
+            assert_eq!(run.final_regs[3], want, "fib chain at n={n}");
+        }
+    }
+
+    #[test]
+    fn matmul_multiplies() {
+        let k = matmul(2, 256, 260, 264);
+        // A = [1 2; 3 4], B = [5 6; 7 8]  => C = [19 22; 43 50]
+        let mem = vec![
+            (256, 1),
+            (257, 2),
+            (258, 3),
+            (259, 4),
+            (260, 5),
+            (261, 6),
+            (262, 7),
+            (263, 8),
+        ];
+        let run = machine().run_with(&k.program, &[], &mem).unwrap();
+        assert_eq!(&run.final_mem[264..268], &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let k = memcpy(4, 256, 300);
+        let mem = vec![(256, 9), (257, 8), (258, 7), (259, 6)];
+        let run = machine().run_with(&k.program, &[], &mem).unwrap();
+        assert_eq!(&run.final_mem[300..304], &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let k = popcount_branchy(16);
+        for (x, want) in [(0i64, 0i64), (1, 1), (0b1011, 3), (0xFFFF, 16)] {
+            let run = machine()
+                .run_with(&k.program, &[(Reg::new(1), x)], &[])
+                .unwrap();
+            assert_eq!(run.final_regs[2], want, "popcount({x})");
+        }
+    }
+
+    #[test]
+    fn vector_max_is_branchless_and_correct() {
+        let k = vector_max(8, 256);
+        let values = [3i64, 9, -2, 9, 0, 8, 1, 4];
+        let mem: Vec<(u32, i64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (256 + i as u32, v))
+            .collect();
+        let run = machine().run_traced_with(&k.program, &[], &mem).unwrap();
+        assert_eq!(run.final_regs[4], 9);
+        // Fixed instruction count regardless of data: rerun with other data.
+        let mem2: Vec<(u32, i64)> = (0..8).map(|i| (256 + i, -(i as i64))).collect();
+        let run2 = machine().run_with(&k.program, &[], &mem2).unwrap();
+        assert_eq!(run.instr_count, run2.instr_count);
+    }
+
+    #[test]
+    fn call_tree_runs_and_uses_functions() {
+        let k = call_tree(3);
+        assert_eq!(k.program.functions.len(), 3);
+        let run = machine().run_traced(&k.program).unwrap();
+        let calls = run
+            .trace
+            .iter()
+            .filter(|t| matches!(t.instr, crate::instr::Instr::Call(_)))
+            .count();
+        assert_eq!(calls, 6); // two calls per iteration, three iterations
+    }
+
+    #[test]
+    fn all_kernels_assemble_validate_and_run() {
+        for k in all_default() {
+            k.program.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            // Provide plausible inputs: zero regs, ascending memory.
+            let mem: Vec<(u32, i64)> = k
+                .input_mem
+                .map(|(base, len)| (0..len).map(|i| (base + i, i as i64)).collect())
+                .unwrap_or_default();
+            let run = machine()
+                .run_with(&k.program, &[], &mem)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
+            assert!(run.instr_count > 0, "{} executed nothing", k.name);
+        }
+    }
+
+    #[test]
+    fn loop_bounds_are_sound_on_sample_runs() {
+        // Dynamic back-edge counts must not exceed the annotations.
+        use std::collections::HashMap;
+        for k in all_default() {
+            let mem: Vec<(u32, i64)> = k
+                .input_mem
+                .map(|(base, len)| (0..len).map(|i| (base + i, (len - i) as i64)).collect())
+                .unwrap_or_default();
+            let regs: Vec<(Reg, i64)> = k.input_regs.iter().map(|&r| (r, 13)).collect();
+            let run = machine().run_traced_with(&k.program, &regs, &mem).unwrap();
+            let mut back_edge_counts: HashMap<u32, u32> = HashMap::new();
+            for op in &run.trace {
+                if op.next_pc <= op.pc {
+                    *back_edge_counts.entry(op.next_pc).or_default() += 1;
+                }
+            }
+            for (label, &bound) in &k.program.loop_bounds {
+                let header = k.program.resolve(label).unwrap();
+                if let Some(&count) = back_edge_counts.get(&header) {
+                    // Total back-edge executions can exceed the per-entry
+                    // bound only for nested loops (bound * entries); the
+                    // single-entry kernels here keep it direct except the
+                    // nested ones, which we scale conservatively.
+                    let entries_cap = 64;
+                    assert!(
+                        count <= bound * entries_cap,
+                        "{}: loop {label} ran {count} > bound {bound} x {entries_cap}",
+                        k.name
+                    );
+                }
+            }
+        }
+    }
+}

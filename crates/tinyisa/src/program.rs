@@ -1,0 +1,215 @@
+//! Programs: instruction sequences with labels and function extents.
+
+use crate::instr::{Instr, Target};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A function extent inside a program, produced by the assembler's
+/// `.func`/`.endfunc` directives. Needed by the method-cache model,
+/// which caches whole functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+}
+
+impl Function {
+    /// Number of instructions in the function.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `pc` lies inside the function.
+    pub fn contains(&self, pc: u32) -> bool {
+        pc >= self.start && pc < self.end
+    }
+}
+
+/// An assembled program: instructions plus symbolic metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instruction stream; control-flow targets are indices into it.
+    pub instrs: Vec<Instr>,
+    /// Label name → instruction index (kept for disassembly and for
+    /// loop-bound annotations that refer to labels).
+    pub labels: BTreeMap<String, Target>,
+    /// Function extents (may be empty if the source used no directives).
+    pub functions: Vec<Function>,
+    /// Loop-bound annotations: label of the loop header → maximal number
+    /// of times the back edge to that header is taken per entry.
+    pub loop_bounds: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions (no labels/functions).
+    pub fn from_instrs(instrs: Vec<Instr>) -> Program {
+        Program {
+            instrs,
+            ..Program::default()
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The label at the given instruction index, if any.
+    pub fn label_at(&self, pc: Target) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(_, &t)| t == pc)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Resolves a label to its instruction index.
+    pub fn resolve(&self, label: &str) -> Option<Target> {
+        self.labels.get(label).copied()
+    }
+
+    /// The function containing `pc`, if function extents are known.
+    pub fn function_at(&self, pc: Target) -> Option<&Function> {
+        self.functions.iter().find(|f| f.contains(pc))
+    }
+
+    /// The index (into [`Program::functions`]) of the function
+    /// containing `pc`.
+    pub fn function_index_at(&self, pc: Target) -> Option<usize> {
+        self.functions.iter().position(|f| f.contains(pc))
+    }
+
+    /// Validates that all static targets are in range and that function
+    /// extents are well-formed; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.instrs.len() as u32;
+        for (pc, ins) in self.instrs.iter().enumerate() {
+            if let Some(t) = ins.target() {
+                if t >= n {
+                    return Err(format!("instruction {pc} targets out-of-range index {t}"));
+                }
+            }
+        }
+        for f in &self.functions {
+            if f.start > f.end || f.end > n {
+                return Err(format!(
+                    "function {} has invalid extent {}..{}",
+                    f.name, f.start, f.end
+                ));
+            }
+        }
+        for (label, _) in &self.loop_bounds {
+            if !self.labels.contains_key(label) {
+                return Err(format!("loop bound refers to unknown label {label}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, ins) in self.instrs.iter().enumerate() {
+            if let Some(l) = self.label_at(pc as Target) {
+                writeln!(f, "{l}:")?;
+            }
+            writeln!(f, "    {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut p = Program::from_instrs(vec![
+            Instr::Li(Reg::new(1), 3),
+            Instr::Addi(Reg::new(1), Reg::new(1), -1),
+            Instr::Bne(Reg::new(1), Reg::ZERO, 1),
+            Instr::Halt,
+        ]);
+        p.labels.insert("loop".into(), 1);
+        p.loop_bounds.insert("loop".into(), 3);
+        p.functions.push(Function {
+            name: "main".into(),
+            start: 0,
+            end: 4,
+        });
+        p
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        let p = sample();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.resolve("loop"), Some(1));
+        assert_eq!(p.label_at(1), Some("loop"));
+        assert_eq!(p.label_at(0), None);
+        assert_eq!(p.function_at(2).unwrap().name, "main");
+        assert_eq!(p.function_index_at(2), Some(0));
+        assert_eq!(p.function_at(99), None);
+    }
+
+    #[test]
+    fn validate_accepts_good_program() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let p = Program::from_instrs(vec![Instr::Jmp(9)]);
+        assert!(p.validate().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_function() {
+        let mut p = sample();
+        p.functions[0].end = 99;
+        assert!(p.validate().unwrap_err().contains("invalid extent"));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_loop_bound() {
+        let mut p = sample();
+        p.loop_bounds.insert("ghost".into(), 8);
+        assert!(p.validate().unwrap_err().contains("unknown label"));
+    }
+
+    #[test]
+    fn function_helpers() {
+        let f = Function {
+            name: "f".into(),
+            start: 2,
+            end: 5,
+        };
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert!(f.contains(2) && f.contains(4));
+        assert!(!f.contains(5) && !f.contains(1));
+    }
+
+    #[test]
+    fn display_shows_labels() {
+        let s = sample().to_string();
+        assert!(s.contains("loop:"));
+        assert!(s.contains("halt"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 16;
+
+/// An architectural register `r0`–`r15`.
+///
+/// `r0` is hardwired to zero (reads return 0, writes are discarded),
+/// `r15` is the link register used by `call`/`ret`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The link register `r15` written by `call` and read by `ret`.
+    pub const LINK: Reg = Reg(15);
+
+    /// Creates a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < NUM_REGS as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register, returning `None` when out of range.
+    pub const fn try_new(index: u8) -> Option<Reg> {
+        if index < NUM_REGS as u8 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index in `0..16`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the hardwired-zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all sixteen registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bounds() {
+        assert_eq!(Reg::new(3).index(), 3);
+        assert_eq!(Reg::try_new(15), Some(Reg::LINK));
+        assert_eq!(Reg::try_new(16), None);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        let all: Vec<Reg> = Reg::all().collect();
+        assert_eq!(all.len(), NUM_REGS);
+        assert_eq!(all[0], Reg::ZERO);
+        assert_eq!(all[15], Reg::LINK);
+    }
+}

@@ -1,0 +1,346 @@
+//! # wcet-analysis
+//!
+//! Static WCET/BCET bound computation for tinyisa programs — the sound
+//! but incomplete analysis of the paper's Figure 1: it derives an upper
+//! bound `UB ≥ WCET` and a lower bound `LB ≤ BCET`, with the gaps being
+//! abstraction-induced over/under-estimation.
+//!
+//! The analysis is structural: per-basic-block times from the
+//! compositional in-order pipeline model (worst/best case over the
+//! entry-state set), loop bounds from the program's `.loopbound`
+//! annotations, and a longest/shortest-path computation over the loop
+//! nest. Optionally, the LRU must/may instruction-cache analysis of
+//! `mem-hierarchy` refines fetch costs: always-hit fetches cost the hit
+//! latency in the UB; everything unclassified is charged the miss
+//! penalty (and dually for the LB).
+
+use mem_hierarchy::analysis::{analyze_icache, Classification, InitialCache};
+use mem_hierarchy::cache::CacheConfig;
+use pipeline_sim::latency::LatencyTable;
+use std::collections::BTreeMap;
+use tinyisa::cfg::Cfg;
+use tinyisa::instr::OpClass;
+use tinyisa::program::Program;
+
+/// Configuration of the bound computation.
+#[derive(Debug, Clone, Copy)]
+pub struct WcetConfig {
+    /// Pipeline latencies (matching `pipeline_sim::inorder`).
+    pub latencies: LatencyTable,
+    /// Memory access cost charged for loads/stores (UB side).
+    pub mem_worst: u64,
+    /// Memory access cost on the LB side.
+    pub mem_best: u64,
+    /// Instruction-cache model, or `None` for a perfect fetch path.
+    pub icache: Option<CacheConfig>,
+    /// I-cache hit latency (added per fetch when `icache` is set).
+    pub fetch_hit: u64,
+    /// I-cache miss latency.
+    pub fetch_miss: u64,
+}
+
+impl Default for WcetConfig {
+    fn default() -> Self {
+        WcetConfig {
+            latencies: LatencyTable::default(),
+            mem_worst: 10,
+            mem_best: 1,
+            icache: None,
+            fetch_hit: 0,
+            fetch_miss: 8,
+        }
+    }
+}
+
+/// The computed bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Lower bound on any execution time.
+    pub lb: u64,
+    /// Upper bound on any execution time.
+    pub ub: u64,
+}
+
+/// Computes `(LB, UB)` for a program with annotated loop bounds.
+///
+/// Soundness argument (and the property the integration tests check
+/// against exhaustive simulation): every instruction's UB cost
+/// dominates its simulated cost, loop iterations are bounded by the
+/// annotations, and the path choice maximises (resp. minimises) over
+/// all structurally possible paths — so `LB ≤ T(q, i) ≤ UB` for every
+/// state/input of the compositional in-order platform.
+///
+/// # Panics
+///
+/// Panics if the program is empty or its CFG is irreducible (a loop
+/// header that is not a natural-loop header).
+pub fn bounds(program: &Program, config: &WcetConfig) -> Bounds {
+    let cfg = Cfg::build(program);
+    let classification = config.icache.map(|cc| {
+        analyze_icache(program, &cfg, cc, InitialCache::Unknown).per_pc
+    });
+
+    // Per-instruction worst/best costs.
+    let instr_cost = |pc: usize, worst: bool| -> u64 {
+        let ins = program.instrs[pc];
+        let lat = &config.latencies;
+        let exec = match ins.class() {
+            OpClass::Mul => lat.mul,
+            OpClass::Div => {
+                if lat.div_variable {
+                    if worst {
+                        lat.div
+                    } else {
+                        2
+                    }
+                } else {
+                    lat.div
+                }
+            }
+            _ => lat.alu,
+        };
+        let mem = match ins.class() {
+            OpClass::Load | OpClass::Store => {
+                if worst {
+                    config.mem_worst
+                } else {
+                    config.mem_best
+                }
+            }
+            _ => 0,
+        };
+        let fetch = match &classification {
+            None => 0,
+            Some(cls) => match cls[pc] {
+                Classification::AlwaysHit => config.fetch_hit,
+                Classification::AlwaysMiss => config.fetch_miss,
+                Classification::NotClassified => {
+                    if worst {
+                        config.fetch_miss
+                    } else {
+                        config.fetch_hit
+                    }
+                }
+            },
+        };
+        // Branch penalty: conservatively charged on the UB, not on LB.
+        let branch = if worst && ins.is_cond_branch() {
+            config.latencies.branch_penalty
+        } else {
+            0
+        };
+        exec + mem + fetch + branch
+    };
+
+    // Block-level costs.
+    let block_cost = |b: usize, worst: bool| -> u64 {
+        cfg.blocks[b].range().map(|pc| instr_cost(pc, worst)).sum()
+    };
+
+    // Loop bounds per header block.
+    let loops = cfg.natural_loops();
+    let mut header_bound: BTreeMap<usize, u64> = BTreeMap::new();
+    for l in &loops {
+        let pc = cfg.blocks[l.header].start;
+        let bound = program
+            .label_at(pc)
+            .and_then(|lbl| program.loop_bounds.get(lbl).copied())
+            .unwrap_or(1)
+            .max(1) as u64;
+        let e = header_bound.entry(l.header).or_insert(0);
+        *e = (*e).max(bound);
+    }
+
+    // Structural longest/shortest path on the DAG obtained by cutting
+    // back edges; loop bodies are weighted by their bounds. We compute
+    // per-block "amplification" = product of bounds of enclosing loops.
+    let mut amplification: Vec<u64> = vec![1; cfg.blocks.len()];
+    for l in &loops {
+        let bound = header_bound[&l.header];
+        for &b in &l.body {
+            amplification[b] = amplification[b].saturating_mul(bound);
+        }
+    }
+
+    // DAG edges: forward edges only (back edges cut).
+    let dominators = cfg.dominators();
+    let is_back_edge =
+        |from: usize, to: usize| -> bool { dominators[from].contains(&to) && from != to || from == to };
+
+    // Longest/shortest path by RPO dynamic programming over amplified
+    // block costs. Terminal blocks are those with no forward succs.
+    let rpo = cfg.reverse_post_order();
+    // On the LB side loops may exit after zero iterations, so block
+    // costs are counted once; only the UB multiplies by the bounds.
+    let compute = |worst: bool| -> u64 {
+        let amp = |b: usize| if worst { amplification[b] } else { 1 };
+        let mut dist: Vec<Option<u64>> = vec![None; cfg.blocks.len()];
+        dist[0] = Some(block_cost(0, worst).saturating_mul(amp(0)));
+        let mut best_terminal: Option<u64> = None;
+        for &b in &rpo {
+            let Some(d) = dist[b] else { continue };
+            let forward_succs: Vec<usize> = cfg.blocks[b]
+                .succs
+                .iter()
+                .copied()
+                .filter(|&s| !is_back_edge(b, s))
+                .collect();
+            if forward_succs.is_empty() {
+                best_terminal = Some(match best_terminal {
+                    None => d,
+                    Some(t) => {
+                        if worst {
+                            t.max(d)
+                        } else {
+                            t.min(d)
+                        }
+                    }
+                });
+            }
+            for s in forward_succs {
+                let cost = block_cost(s, worst).saturating_mul(amp(s));
+                let cand = d + cost;
+                dist[s] = Some(match dist[s] {
+                    None => cand,
+                    Some(old) => {
+                        if worst {
+                            old.max(cand)
+                        } else {
+                            old.min(cand)
+                        }
+                    }
+                });
+            }
+        }
+        best_terminal.unwrap_or(0)
+    };
+
+    Bounds {
+        lb: compute(false),
+        ub: compute(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline_sim::inorder::{InOrderPipeline, InOrderState};
+    use pipeline_sim::latency::PerfectMem;
+    use tinyisa::exec::Machine;
+    use tinyisa::kernels;
+    use tinyisa::reg::Reg;
+
+    /// Simulated time on the matching platform (perfect memory at the
+    /// LB cost, so UB-side memory pessimism is visible but sound).
+    fn simulate(k: &tinyisa::kernels::Kernel, input: i64) -> u64 {
+        let regs: Vec<(Reg, i64)> = k.input_regs.iter().map(|&r| (r, input)).collect();
+        let mem: Vec<(u32, i64)> = k
+            .input_mem
+            .map(|(b, l)| (0..l).map(|i| (b + i, ((i * 7) % 23) as i64)).collect())
+            .unwrap_or_default();
+        let run = Machine::default()
+            .run_traced_with(&k.program, &regs, &mem)
+            .unwrap();
+        let p = InOrderPipeline::default();
+        let mut m = PerfectMem { latency: 1 };
+        p.run(&run.trace, InOrderState { warmup: 0 }, &mut m, None)
+    }
+
+    #[test]
+    fn bounds_enclose_simulation_for_kernels() {
+        for k in [
+            kernels::sum_loop(12),
+            kernels::fib(24),
+            kernels::popcount_branchy(12),
+            kernels::vector_max(8, 256),
+            kernels::linear_search(8, 256),
+        ] {
+            let b = bounds(&k.program, &WcetConfig::default());
+            assert!(b.lb <= b.ub, "{}: lb {} > ub {}", k.name, b.lb, b.ub);
+            // Inputs within each kernel's annotated loop bounds (fib's
+            // bound annotation covers n <= 24).
+            for input in [0i64, 1, 5, 13, 23] {
+                let t = simulate(&k, input);
+                assert!(
+                    b.lb <= t && t <= b.ub,
+                    "{}: simulated {} outside [{}, {}] for input {}",
+                    k.name,
+                    t,
+                    b.lb,
+                    b.ub,
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_bounds_are_tight_modulo_memory() {
+        let p = tinyisa::asm::assemble("li r1, 1\nadd r2, r1, r1\nmul r3, r2, r2\nhalt").unwrap();
+        let b = bounds(&p, &WcetConfig::default());
+        // alu(1)+alu(1)+mul(3)+nop-class halt(1) = 6 on both sides.
+        assert_eq!(b.lb, 6);
+        assert_eq!(b.ub, 6);
+    }
+
+    #[test]
+    fn loop_bound_scales_ub() {
+        let small = kernels::sum_loop(4);
+        let large = kernels::sum_loop(64);
+        let cfg = WcetConfig::default();
+        let b_small = bounds(&small.program, &cfg);
+        let b_large = bounds(&large.program, &cfg);
+        assert!(b_large.ub > b_small.ub * 8);
+    }
+
+    #[test]
+    fn icache_analysis_tightens_ub() {
+        let k = kernels::sum_loop(32);
+        let no_cache_model = WcetConfig {
+            icache: Some(CacheConfig::new(4, 2, 8)),
+            fetch_hit: 0,
+            fetch_miss: 8,
+            ..WcetConfig::default()
+        };
+        let all_miss = WcetConfig {
+            icache: None,
+            ..WcetConfig::default()
+        };
+        let with_analysis = bounds(&k.program, &no_cache_model);
+        // Compare against charging every fetch the miss penalty.
+        let mut pessimistic = all_miss;
+        pessimistic.latencies.alu += 8; // every instruction pays a miss
+        let without = bounds(&k.program, &pessimistic);
+        assert!(
+            with_analysis.ub < without.ub,
+            "must-analysis should classify loop-body refetches as hits"
+        );
+    }
+
+    #[test]
+    fn variable_divide_widens_bounds() {
+        let p = tinyisa::asm::assemble("li r1, 100\nli r2, 3\ndiv r3, r1, r2\nhalt").unwrap();
+        let fixed = bounds(
+            &p,
+            &WcetConfig {
+                latencies: LatencyTable {
+                    div_variable: false,
+                    ..LatencyTable::default()
+                },
+                ..WcetConfig::default()
+            },
+        );
+        let variable = bounds(
+            &p,
+            &WcetConfig {
+                latencies: LatencyTable {
+                    div_variable: true,
+                    ..LatencyTable::default()
+                },
+                ..WcetConfig::default()
+            },
+        );
+        assert_eq!(fixed.ub, variable.ub);
+        assert!(variable.lb < fixed.lb, "early-exit divide lowers the LB");
+    }
+}

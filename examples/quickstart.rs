@@ -1,0 +1,53 @@
+//! Quickstart: the predictability template on a real kernel.
+//!
+//! Computes Pr (Definition 3), SIPr (Definition 4) and IIPr
+//! (Definition 5) for a linear-search kernel on the compositional
+//! in-order pipeline, with Q = pipeline warmup states and I = search
+//! keys — then prints the sandwich SIPr * IIPr <= Pr <= min(SIPr, IIPr).
+
+use predictability_repro::core::system::{Cycles, FnSystem};
+use predictability_repro::core::timing::{
+    input_induced, sandwich_bounds, state_induced, timing_predictability,
+};
+use predictability_repro::pipeline::inorder::{InOrderPipeline, InOrderState};
+use predictability_repro::pipeline::latency::PerfectMem;
+use predictability_repro::tinyisa::exec::Machine;
+use predictability_repro::tinyisa::kernels;
+use predictability_repro::tinyisa::reg::Reg;
+
+fn main() {
+    let kernel = kernels::linear_search(16, 256);
+    let machine = Machine::default();
+    let array: Vec<(u32, i64)> = (0..16).map(|i| (256 + i, (i as i64) * 3)).collect();
+
+    // T_p(q, i): run the interpreter for input i, replay on the pipeline
+    // from warmup state q.
+    let sys = FnSystem::new(move |q: &u64, key: &i64| {
+        let run = machine
+            .run_traced_with(&kernel.program, &[(Reg::new(1), *key)], &array)
+            .expect("kernel runs");
+        let pipeline = InOrderPipeline::default();
+        let mut mem = PerfectMem::default();
+        Cycles::new(pipeline.run(&run.trace, InOrderState { warmup: *q }, &mut mem, None))
+    });
+
+    let states: Vec<u64> = (0..4).collect(); // Q: residual pipeline work
+    let inputs: Vec<i64> = (0..20).map(|k| k * 3 - 6).collect(); // I: keys (hits & misses)
+
+    let pr = timing_predictability(&sys, &states, &inputs).unwrap();
+    let sipr = state_induced(&sys, &states, &inputs).unwrap();
+    let iipr = input_induced(&sys, &states, &inputs).unwrap();
+    let (lo, mid, hi) = sandwich_bounds(&sys, &states, &inputs).unwrap();
+
+    println!("linear_search(16) on the in-order pipeline");
+    println!("  BCET = {}, WCET = {}", pr.min(), pr.max());
+    println!("  Pr   (Def. 3) = {:.4}", pr.ratio());
+    println!("  SIPr (Def. 4) = {:.4}   (hardware: warmup state)", sipr.ratio());
+    println!("  IIPr (Def. 5) = {:.4}   (software: early exit on the key)", iipr.ratio());
+    println!("  sandwich: {lo:.4} <= {mid:.4} <= {hi:.4}");
+    println!(
+        "  slowest run: key {:?} from state {:?}",
+        pr.witness().slowest.1,
+        pr.witness().slowest.0
+    );
+}

@@ -1,0 +1,52 @@
+//! The single-path paradigm: if-conversion kills input-induced
+//! variability (IIPr becomes exactly 1).
+
+use predictability_repro::core::system::{Cycles, FnSystem};
+use predictability_repro::core::timing::input_induced;
+use predictability_repro::pipeline::inorder::{InOrderPipeline, InOrderState};
+use predictability_repro::pipeline::latency::PerfectMem;
+use predictability_repro::singlepath::if_convert;
+use predictability_repro::tinyisa::asm::assemble;
+use predictability_repro::tinyisa::exec::Machine;
+use predictability_repro::tinyisa::reg::Reg;
+
+fn main() {
+    let src = r"
+        li   r2, 5
+        blt  r1, r2, then
+        sub  r3, r1, r2
+        mul  r4, r3, r3
+        jmp  join
+    then:
+        sub  r3, r2, r1
+    join:
+        halt
+    ";
+    let original = assemble(src).unwrap();
+    let report = if_convert(&original).unwrap();
+    println!(
+        "converted {} diamond(s); program grew by {} instructions",
+        report.converted, report.size_delta
+    );
+
+    let machine = Machine::default();
+    let time = move |prog: tinyisa::program::Program| {
+        FnSystem::new(move |_: &u8, x: &i64| {
+            let run = machine.run_traced_with(&prog, &[(Reg::new(1), *x)], &[]).unwrap();
+            let mut mem = PerfectMem::default();
+            Cycles::new(InOrderPipeline::default().run(
+                &run.trace,
+                InOrderState { warmup: 0 },
+                &mut mem,
+                None,
+            ))
+        })
+    };
+    let states = [0u8];
+    let inputs: Vec<i64> = (-10..=10).collect();
+    let before = input_induced(&time(original), &states, &inputs).unwrap();
+    let after = input_induced(&time(report.program), &states, &inputs).unwrap();
+    println!("IIPr before: {:.4}  (times {}..{})", before.ratio(), before.min(), before.max());
+    println!("IIPr after:  {:.4}  (times {}..{})", after.ratio(), after.min(), after.max());
+    assert_eq!(after.ratio(), 1.0);
+}

@@ -1,0 +1,16 @@
+//! Meta-crate re-exporting the whole reproduction workspace.
+//!
+//! This crate exists so that `examples/` and the cross-crate integration
+//! tests in `tests/` have a single dependency root. Library users should
+//! depend on the individual crates instead.
+
+pub use branch_pred as branch;
+pub use dram_sim as dram;
+pub use dynsys;
+pub use interconnect_sim as interconnect;
+pub use mem_hierarchy as mem;
+pub use pipeline_sim as pipeline;
+pub use predictability_core as core;
+pub use singlepath;
+pub use tinyisa;
+pub use wcet_analysis as wcet;

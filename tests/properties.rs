@@ -1,0 +1,61 @@
+//! Cross-crate property tests.
+
+use predictability_repro::core::system::{Cycles, FnSystem};
+use predictability_repro::core::timing::timing_predictability;
+use predictability_repro::mem::cache::{lru_cache, CacheConfig};
+use predictability_repro::tinyisa::asm::{assemble, disassemble};
+use predictability_repro::tinyisa::codegen::{generate, GenConfig};
+use predictability_repro::tinyisa::exec::Machine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn assembler_round_trip_on_generated_programs(seed in 0u64..500) {
+        let k = generate(seed, &GenConfig::default());
+        let text = disassemble(&k.program);
+        let again = assemble(&text).unwrap();
+        prop_assert_eq!(&k.program.instrs, &again.instrs);
+        prop_assert_eq!(&k.program.loop_bounds, &again.loop_bounds);
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(seed in 0u64..500, input in -1000i64..1000) {
+        let k = generate(seed, &GenConfig::default());
+        let m = Machine::default();
+        let regs: Vec<_> = k.input_regs.iter().map(|&r| (r, input)).collect();
+        let a = m.run_traced_with(&k.program, &regs, &[]).unwrap();
+        let b = m.run_traced_with(&k.program, &regs, &[]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_hit_rate_monotone_in_associativity(stride in 1u64..8) {
+        // For a fixed trace, a bigger LRU cache (more ways, same sets)
+        // never hits less (LRU inclusion property).
+        let trace: Vec<u64> = (0..256u64).map(|i| (i * stride) % 128).collect();
+        let mut prev_hits = 0;
+        for assoc in [1usize, 2, 4, 8] {
+            let mut c = lru_cache(CacheConfig::new(4, assoc, 8));
+            c.run_trace(&trace);
+            prop_assert!(c.stats().hits >= prev_hits, "assoc {assoc}");
+            prev_hits = c.stats().hits;
+        }
+    }
+
+    #[test]
+    fn pr_of_instruction_counts_is_well_defined(seed in 0u64..200) {
+        // Instruction count as the predicted property (the template is
+        // property-agnostic): Pr over inputs lies in (0, 1].
+        let k = generate(seed, &GenConfig::default());
+        let m = Machine::default();
+        let sys = FnSystem::new(move |_: &u8, input: &i64| {
+            let regs: Vec<_> = k.input_regs.iter().map(|&r| (r, *input)).collect();
+            Cycles::new(m.run_with(&k.program, &regs, &[]).unwrap().instr_count)
+        });
+        let inputs: Vec<i64> = (-3..4).collect();
+        let pr = timing_predictability(&sys, &[0u8], &inputs).unwrap();
+        prop_assert!(pr.ratio() > 0.0 && pr.ratio() <= 1.0);
+    }
+}
