@@ -26,25 +26,37 @@ fn bench_eq4(c: &mut Criterion) {
 fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_evidence");
     g.sample_size(10);
-    g.bench_function("branch_static", |b| b.iter(repro_bench::evidence::branch_static));
-    g.bench_function("preschedule", |b| b.iter(repro_bench::evidence::preschedule));
+    g.bench_function("branch_static", |b| {
+        b.iter(repro_bench::evidence::branch_static)
+    });
+    g.bench_function("preschedule", |b| {
+        b.iter(repro_bench::evidence::preschedule)
+    });
     g.bench_function("smt", |b| b.iter(repro_bench::evidence::smt));
     g.bench_function("compsoc", |b| b.iter(repro_bench::evidence::compsoc));
     g.bench_function("pret", |b| b.iter(repro_bench::evidence::pret));
     g.bench_function("vtrace", |b| b.iter(repro_bench::evidence::vtrace));
-    g.bench_function("future_arch", |b| b.iter(repro_bench::evidence::future_arch));
+    g.bench_function("future_arch", |b| {
+        b.iter(repro_bench::evidence::future_arch)
+    });
     g.finish();
 }
 
 fn bench_table2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_evidence");
     g.sample_size(10);
-    g.bench_function("method_cache", |b| b.iter(repro_bench::evidence::method_cache));
-    g.bench_function("split_cache", |b| b.iter(repro_bench::evidence::split_cache));
+    g.bench_function("method_cache", |b| {
+        b.iter(repro_bench::evidence::method_cache)
+    });
+    g.bench_function("split_cache", |b| {
+        b.iter(repro_bench::evidence::split_cache)
+    });
     g.bench_function("locking", |b| b.iter(repro_bench::evidence::locking));
     g.bench_function("dram_ctrl", |b| b.iter(repro_bench::evidence::dram_ctrl));
     g.bench_function("refresh", |b| b.iter(repro_bench::evidence::refresh));
-    g.bench_function("single_path", |b| b.iter(repro_bench::evidence::single_path));
+    g.bench_function("single_path", |b| {
+        b.iter(repro_bench::evidence::single_path)
+    });
     g.finish();
 }
 
@@ -55,17 +67,37 @@ fn bench_cache_metrics(c: &mut Criterion) {
     g.sample_size(10);
     for k in [2usize, 3, 4] {
         g.bench_with_input(BenchmarkId::new("lru", k), &k, |b, &k| {
-            b.iter(|| compute_metrics(&Bounded { inner: Lru, assoc: k }, k, 3 * k as u32 + 2));
+            b.iter(|| {
+                compute_metrics(
+                    &Bounded {
+                        inner: Lru,
+                        assoc: k,
+                    },
+                    k,
+                    3 * k as u32 + 2,
+                )
+            });
         });
         g.bench_with_input(BenchmarkId::new("fifo", k), &k, |b, &k| {
-            b.iter(|| compute_metrics(&Bounded { inner: Fifo, assoc: k }, k, 3 * k as u32 + 2));
+            b.iter(|| {
+                compute_metrics(
+                    &Bounded {
+                        inner: Fifo,
+                        assoc: k,
+                    },
+                    k,
+                    3 * k as u32 + 2,
+                )
+            });
         });
     }
     g.finish();
 }
 
 fn bench_dynsys(c: &mut Criterion) {
-    c.bench_function("dynsys_horizons", |b| b.iter(repro_bench::dynsys_horizon::rows));
+    c.bench_function("dynsys_horizons", |b| {
+        b.iter(repro_bench::dynsys_horizon::rows)
+    });
 }
 
 criterion_group!(

@@ -26,7 +26,12 @@ fn bench_pipelines(c: &mut Criterion) {
         let p = InOrderPipeline::default();
         b.iter(|| {
             let mut mem = PerfectMem::default();
-            p.run(black_box(&trace), InOrderState { warmup: 0 }, &mut mem, None)
+            p.run(
+                black_box(&trace),
+                InOrderState { warmup: 0 },
+                &mut mem,
+                None,
+            )
         });
     });
     g.bench_function("ooo", |b| {

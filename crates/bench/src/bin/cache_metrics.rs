@@ -1,4 +1,7 @@
 //! Regenerates the evict/fill predictability metrics table (§4).
 fn main() {
-    print!("{}", repro_bench::cache_metrics::render(&repro_bench::cache_metrics::rows()));
+    print!(
+        "{}",
+        repro_bench::cache_metrics::render(&repro_bench::cache_metrics::rows())
+    );
 }

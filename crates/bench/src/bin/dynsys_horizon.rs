@@ -1,4 +1,7 @@
 //! Regenerates the dynamical-system prediction-horizon table (§4).
 fn main() {
-    print!("{}", repro_bench::dynsys_horizon::render(&repro_bench::dynsys_horizon::rows()));
+    print!(
+        "{}",
+        repro_bench::dynsys_horizon::render(&repro_bench::dynsys_horizon::rows())
+    );
 }

@@ -5,6 +5,9 @@ fn main() {
     let catalog_only = std::env::args().any(|a| a == "--catalog");
     println!("{}", catalog::format_table(&catalog::table1()));
     if !catalog_only {
-        print!("{}", repro_bench::evidence::render(&repro_bench::evidence::table1_evidence()));
+        print!(
+            "{}",
+            repro_bench::evidence::render(&repro_bench::evidence::table1_evidence())
+        );
     }
 }

@@ -24,12 +24,26 @@ pub fn rows() -> Vec<MetricsRow> {
         out.push(MetricsRow {
             policy: "LRU",
             assoc: k,
-            metrics: compute_metrics(&Bounded { inner: Lru, assoc: k }, k, budget),
+            metrics: compute_metrics(
+                &Bounded {
+                    inner: Lru,
+                    assoc: k,
+                },
+                k,
+                budget,
+            ),
         });
         out.push(MetricsRow {
             policy: "FIFO",
             assoc: k,
-            metrics: compute_metrics(&Bounded { inner: Fifo, assoc: k }, k, budget),
+            metrics: compute_metrics(
+                &Bounded {
+                    inner: Fifo,
+                    assoc: k,
+                },
+                k,
+                budget,
+            ),
         });
         out.push(MetricsRow {
             policy: "PLRU",

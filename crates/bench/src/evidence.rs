@@ -21,12 +21,12 @@ use mem_hierarchy::locking::{
 };
 use mem_hierarchy::method_cache::{icache_distinct_states, MethodCache};
 use mem_hierarchy::split_cache::{split_classifiability, unified_classifiability, workload};
+use pipeline_sim::latency::LatencyTable;
 use pipeline_sim::ooo::{OooConfig, OooCore, OooState};
 use pipeline_sim::preschedule::block_time_variability;
 use pipeline_sim::pret::{run_pret, thread_duration, PretOp};
 use pipeline_sim::smt::{co_runner, rt_alone_time, run_smt, SmtPolicy};
 use pipeline_sim::vtrace::{run_vtrace, VtraceConfig};
-use pipeline_sim::latency::LatencyTable;
 use predictability_core::catalog;
 use tinyisa::cfg::Cfg;
 use tinyisa::exec::Machine;
@@ -62,24 +62,7 @@ impl EvidenceRow {
 }
 
 fn ooo_entry_states() -> Vec<OooState> {
-    vec![
-        OooState::EMPTY,
-        OooState {
-            unit0_busy: 4,
-            unit1_busy: 0,
-            regs_ready: 1,
-        },
-        OooState {
-            unit0_busy: 0,
-            unit1_busy: 6,
-            regs_ready: 3,
-        },
-        OooState {
-            unit0_busy: 7,
-            unit1_busy: 7,
-            regs_ready: 5,
-        },
-    ]
+    pipeline_sim::ooo::default_entry_states()
 }
 
 /// T1.R1 — WCET-oriented static branch prediction.
@@ -144,10 +127,7 @@ pub fn smt() -> EvidenceRow {
     EvidenceRow {
         id: "smt",
         measure: "RT-thread completion-time variability over 24 co-runner mixes (cycles)".into(),
-        baseline: (
-            "fair SMT".into(),
-            (fair_spread.1 - fair_spread.0) as f64,
-        ),
+        baseline: ("fair SMT".into(), (fair_spread.1 - fair_spread.0) as f64),
         enhanced: (
             "RT-priority SMT".into(),
             (prio_spread.1 - prio_spread.0) as f64,
@@ -234,7 +214,10 @@ pub fn pret() -> EvidenceRow {
     EvidenceRow {
         id: "pret",
         measure: "task-time variability over co-runner contexts (cycles)".into(),
-        baseline: ("shared pipeline, fair issue".into(), (fair.1 - fair.0) as f64),
+        baseline: (
+            "shared pipeline, fair issue".into(),
+            (fair.1 - fair.0) as f64,
+        ),
         enhanced: (
             "thread-interleaved PRET pipeline".into(),
             (spread.1 - spread.0) as f64,
@@ -306,7 +289,10 @@ pub fn future_arch() -> EvidenceRow {
     EvidenceRow {
         id: "future-arch",
         measure: "state-induced execution-time gap, 16-iteration loop (cycles)".into(),
-        baseline: ("domino-prone pipeline (PPC755-style)".into(), domino_gap as f64),
+        baseline: (
+            "domino-prone pipeline (PPC755-style)".into(),
+            domino_gap as f64,
+        ),
         enhanced: (
             "compositional in-order (ARM7-style)".into(),
             compositional_gap as f64,
@@ -363,7 +349,10 @@ pub fn locking() -> EvidenceRow {
         id: "locking",
         measure: "statically guaranteed hit weight under preemption".into(),
         baseline: ("unlocked cache (must-analysis)".into(), unlocked as f64),
-        enhanced: ("locked cache (best of 2 algorithms)".into(), best_locked as f64),
+        enhanced: (
+            "locked cache (best of 2 algorithms)".into(),
+            best_locked as f64,
+        ),
         smaller_is_better: false,
     }
 }
@@ -394,7 +383,9 @@ pub fn dram_ctrl() -> EvidenceRow {
     let bound = amc.latency_bound(timing, n, 0).unwrap();
     EvidenceRow {
         id: "dram-ctrl",
-        measure: format!("worst client-0 latency, {n} clients (cycles; AMC analytic bound {bound})"),
+        measure: format!(
+            "worst client-0 latency, {n} clients (cycles; AMC analytic bound {bound})"
+        ),
         baseline: ("FR-FCFS (no bound exists)".into(), frfcfs_worst as f64),
         enhanced: ("AMC TDM (bounded)".into(), bound as f64),
         smaller_is_better: true,
@@ -457,7 +448,9 @@ pub fn single_path() -> EvidenceRow {
     let iipr_orig = input_induced(&orig_sys, &states, &inputs).unwrap().ratio();
     let m2 = Machine::default();
     let conv_sys = FnSystem::new(move |_: &u8, i: &i64| {
-        let run = m2.run_traced_with(&conv, &[(Reg::new(1), *i)], &[]).unwrap();
+        let run = m2
+            .run_traced_with(&conv, &[(Reg::new(1), *i)], &[])
+            .unwrap();
         let pipe = pipeline_sim::inorder::InOrderPipeline::default();
         let mut mem = pipeline_sim::latency::PerfectMem::default();
         Cycles::new(pipe.run(

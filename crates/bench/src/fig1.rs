@@ -78,12 +78,8 @@ pub fn distribution(input_samples: u64) -> (Vec<Cycles>, TimeBounds) {
             ..WcetConfig::default()
         },
     );
-    let tb = TimeBounds::from_observations(
-        &obs,
-        Cycles::new(b.lb),
-        Cycles::new(b.ub + WARMUP_MAX),
-    )
-    .expect("static bounds must enclose all observations");
+    let tb = TimeBounds::from_observations(&obs, Cycles::new(b.lb), Cycles::new(b.ub + WARMUP_MAX))
+        .expect("static bounds must enclose all observations");
     (obs, tb)
 }
 
@@ -92,7 +88,9 @@ pub fn render(input_samples: u64, buckets: usize) -> String {
     let (obs, tb) = distribution(input_samples);
     let h = Histogram::new(&obs, buckets);
     let mut out = String::new();
-    out.push_str("Figure 1 — distribution of execution times (bubble sort, in-order + LRU cache)\n");
+    out.push_str(
+        "Figure 1 — distribution of execution times (bubble sort, in-order + LRU cache)\n",
+    );
     out.push_str(&format!(
         "{} observations over Q = warmup x cache-state, I = input permutations\n\n",
         obs.len()

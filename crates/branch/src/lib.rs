@@ -21,7 +21,5 @@
 pub mod predictors;
 pub mod wcet_oriented;
 
-pub use predictors::{
-    AlwaysTaken, BackwardTaken, Bimodal, Gshare, OneBit, Predictor, StaticHints,
-};
+pub use predictors::{AlwaysTaken, BackwardTaken, Bimodal, Gshare, OneBit, Predictor, StaticHints};
 pub use wcet_oriented::{assign_hints, misprediction_bounds, BoundComparison};

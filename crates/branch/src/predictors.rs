@@ -234,7 +234,10 @@ mod tests {
         // Always-taken mispredicts only the exit.
         assert_eq!(count_mispredictions(&mut AlwaysTaken, &loop_branch(10)), 1);
         // BTFN also predicts the backward loop branch taken.
-        assert_eq!(count_mispredictions(&mut BackwardTaken, &loop_branch(10)), 1);
+        assert_eq!(
+            count_mispredictions(&mut BackwardTaken, &loop_branch(10)),
+            1
+        );
         // A forward branch that is never taken: BTFN is perfect.
         let fwd: Vec<_> = (0..5).map(|_| (4u32, 20u32, false)).collect();
         assert_eq!(count_mispredictions(&mut BackwardTaken, &fwd), 0);
@@ -278,7 +281,7 @@ mod tests {
         hints.hints.insert(8, false); // predict loop branch not-taken
         let m = count_mispredictions(&mut hints.clone(), &loop_branch(10));
         assert_eq!(m, 9); // mispredicts all taken iterations
-        // Without the hint it behaves like BTFN.
+                          // Without the hint it behaves like BTFN.
         let m2 = count_mispredictions(&mut StaticHints::default(), &loop_branch(10));
         assert_eq!(m2, 1);
     }

@@ -93,7 +93,11 @@ fn simulate_counter(outcomes: &[bool], init: u8) -> u64 {
         if (c >= 2) != taken {
             miss += 1;
         }
-        c = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+        c = if taken {
+            (c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
     }
     miss
 }

@@ -205,10 +205,7 @@ impl Histogram {
             let bar = "#".repeat((count * bar_width).div_ceil(peak).min(bar_width));
             let mut marks = String::new();
             if let Some(tb) = bounds {
-                for (label, v) in [
-                    ("BCET", tb.bcet().get()),
-                    ("WCET", tb.wcet().get()),
-                ] {
+                for (label, v) in [("BCET", tb.bcet().get()), ("WCET", tb.wcet().get())] {
                     if v >= from && v <= to {
                         marks.push_str("  <-- ");
                         marks.push_str(label);

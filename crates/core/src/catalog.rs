@@ -34,9 +34,7 @@ pub fn table1() -> Vec<TemplateInstance> {
             id: "preschedule",
             approach: "Time-predictable execution mode for superscalar pipelines",
             hardware_unit: "Superscalar out-of-order pipeline",
-            property: Property::ExecutionTime {
-                of: "basic blocks",
-            },
+            property: Property::ExecutionTime { of: "basic blocks" },
             uncertainty: vec![
                 Uncertainty::AnalysisImprecision,
                 Uncertainty::InitialHardwareState {
@@ -119,7 +117,8 @@ pub fn table1() -> Vec<TemplateInstance> {
         },
         TemplateInstance {
             id: "future-arch",
-            approach: "Memory hierarchies, pipelines, and buses for future time-critical architectures",
+            approach:
+                "Memory hierarchies, pipelines, and buses for future time-critical architectures",
             hardware_unit: "Pipeline, memory hierarchy, and buses",
             property: Property::ExecutionTime {
                 of: "programs (plus memory/bus latencies)",
@@ -189,7 +188,9 @@ pub fn table2() -> Vec<TemplateInstance> {
             id: "dram-ctrl",
             approach: "Predictable DRAM controllers (Predator, AMC)",
             hardware_unit: "DRAM controller in multi-core system",
-            property: Property::Latency { of: "DRAM accesses" },
+            property: Property::Latency {
+                of: "DRAM accesses",
+            },
             uncertainty: vec![
                 Uncertainty::RefreshPhase,
                 Uncertainty::ExecutionContext {
@@ -206,7 +207,9 @@ pub fn table2() -> Vec<TemplateInstance> {
             id: "refresh",
             approach: "Predictable DRAM refreshes",
             hardware_unit: "DRAM controller",
-            property: Property::Latency { of: "DRAM accesses" },
+            property: Property::Latency {
+                of: "DRAM accesses",
+            },
             uncertainty: vec![Uncertainty::RefreshPhase],
             quality: Quality::Variability { of: "latencies" },
             reinterpreted: false,
@@ -336,7 +339,13 @@ mod tests {
         // In the paper, parenthesised cells appear for rows 1, 2 of
         // Table 1 and rows 1-3 of Table 2.
         let flags: Vec<(&str, bool)> = all().iter().map(|t| (t.id, t.reinterpreted)).collect();
-        let expect_true = ["branch-static", "preschedule", "method-cache", "split-cache", "locking"];
+        let expect_true = [
+            "branch-static",
+            "preschedule",
+            "method-cache",
+            "split-cache",
+            "locking",
+        ];
         for (id, flag) in flags {
             assert_eq!(
                 flag,

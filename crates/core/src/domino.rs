@@ -147,8 +147,8 @@ where
         .collect();
     let gap_fit = fit_linear(&xs, &gaps);
 
-    let growing = gaps.windows(2).all(|w| w[1] >= w[0])
-        && gaps.last().unwrap() > gaps.first().unwrap();
+    let growing =
+        gaps.windows(2).all(|w| w[1] >= w[0]) && gaps.last().unwrap() > gaps.first().unwrap();
     let verdict = if gap_fit.slope > slope_epsilon && growing {
         DominoVerdict::DominoEffect {
             per_iteration_gap: gap_fit.slope,
@@ -159,8 +159,14 @@ where
         }
     };
 
-    let fit1 = fit_linear(&xs, &times_q1.iter().map(|c| c.as_f64()).collect::<Vec<_>>());
-    let fit2 = fit_linear(&xs, &times_q2.iter().map(|c| c.as_f64()).collect::<Vec<_>>());
+    let fit1 = fit_linear(
+        &xs,
+        &times_q1.iter().map(|c| c.as_f64()).collect::<Vec<_>>(),
+    );
+    let fit2 = fit_linear(
+        &xs,
+        &times_q2.iter().map(|c| c.as_f64()).collect::<Vec<_>>(),
+    );
     let (lo, hi) = if fit1.slope <= fit2.slope {
         (fit1.slope, fit2.slope)
     } else {

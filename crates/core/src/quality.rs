@@ -63,7 +63,10 @@ pub trait QualityMeasure {
 }
 
 fn min_max(obs: &[f64]) -> (f64, f64) {
-    assert!(!obs.is_empty(), "quality measures need at least one observation");
+    assert!(
+        !obs.is_empty(),
+        "quality measures need at least one observation"
+    );
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     for &o in obs {
@@ -158,16 +161,17 @@ impl QualityMeasure for BoundTightness {
     }
     fn measure(&self, observations: &[f64]) -> QualityValue {
         let (_, max) = min_max(observations);
-        match self.bound {
-            None => QualityValue::Unbounded,
-            Some(b) if b == 0.0 => {
-                if max == 0.0 {
-                    QualityValue::Finite(1.0)
-                } else {
-                    QualityValue::Unbounded
-                }
+        let Some(b) = self.bound else {
+            return QualityValue::Unbounded;
+        };
+        if b == 0.0 {
+            if max == 0.0 {
+                QualityValue::Finite(1.0)
+            } else {
+                QualityValue::Unbounded
             }
-            Some(b) => QualityValue::Finite(max / b),
+        } else {
+            QualityValue::Finite(max / b)
         }
     }
 }
@@ -192,20 +196,14 @@ mod tests {
 
     #[test]
     fn ratio_measure() {
-        assert_eq!(
-            MinMaxRatio.measure(&OBS),
-            QualityValue::Finite(10.0 / 20.0)
-        );
+        assert_eq!(MinMaxRatio.measure(&OBS), QualityValue::Finite(10.0 / 20.0));
         assert_eq!(MinMaxRatio.measure(&[0.0, 0.0]), QualityValue::Finite(1.0));
     }
 
     #[test]
     fn variability_measures() {
         assert_eq!(Variability.measure(&OBS), QualityValue::Finite(10.0));
-        assert_eq!(
-            RelativeVariability.measure(&OBS),
-            QualityValue::Finite(0.5)
-        );
+        assert_eq!(RelativeVariability.measure(&OBS), QualityValue::Finite(0.5));
         assert_eq!(
             RelativeVariability.measure(&[0.0]),
             QualityValue::Finite(0.0)

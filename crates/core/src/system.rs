@@ -224,7 +224,7 @@ mod tests {
             s.execution_time(&1, &2)
         }
         let sys = FnSystem::new(|q: &u8, i: &u8| Cycles::new((*q + *i) as u64));
-        assert_eq!(needs_system(&sys), Cycles::new(3));
+        assert_eq!(needs_system(sys), Cycles::new(3));
         assert_eq!(needs_system(sys), Cycles::new(3));
     }
 }

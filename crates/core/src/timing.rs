@@ -417,8 +417,12 @@ mod tests {
     fn shrinking_uncertainty_never_decreases_pr() {
         // Monotonicity: Q' ⊆ Q implies Pr(Q', I) >= Pr(Q, I).
         let full = timing_predictability(&toy(), &QS, &IS).unwrap().ratio();
-        let fewer_q = timing_predictability(&toy(), &QS[..2], &IS).unwrap().ratio();
-        let fewer_i = timing_predictability(&toy(), &QS, &IS[..2]).unwrap().ratio();
+        let fewer_q = timing_predictability(&toy(), &QS[..2], &IS)
+            .unwrap()
+            .ratio();
+        let fewer_i = timing_predictability(&toy(), &QS, &IS[..2])
+            .unwrap()
+            .ratio();
         assert!(fewer_q >= full);
         assert!(fewer_i >= full);
     }

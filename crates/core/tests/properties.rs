@@ -29,16 +29,16 @@ impl TimedSystem for TableSystem {
 
 fn table_system(max_q: usize, max_i: usize) -> impl Strategy<Value = TableSystem> {
     (1..=max_q, 1..=max_i).prop_flat_map(|(nq, ni)| {
-        proptest::collection::vec(
-            proptest::collection::vec(1u64..10_000, ni..=ni),
-            nq..=nq,
-        )
-        .prop_map(|times| TableSystem { times })
+        proptest::collection::vec(proptest::collection::vec(1u64..10_000, ni..=ni), nq..=nq)
+            .prop_map(|times| TableSystem { times })
     })
 }
 
 fn spaces(sys: &TableSystem) -> (Vec<usize>, Vec<usize>) {
-    ((0..sys.times.len()).collect(), (0..sys.times[0].len()).collect())
+    (
+        (0..sys.times.len()).collect(),
+        (0..sys.times[0].len()).collect(),
+    )
 }
 
 proptest! {

@@ -292,10 +292,7 @@ mod tests {
                     // per-request service latency excludes self-queueing in
                     // the analytic model, so compare against bound x own
                     // backlog.
-                    assert!(
-                        w <= bound * 16,
-                        "client {c} of {n}: {w} vs bound {bound}"
-                    );
+                    assert!(w <= bound * 16, "client {c} of {n}: {w} vs bound {bound}");
                 }
             }
         }
@@ -357,8 +354,18 @@ mod tests {
         let mut dev = DramDevice::new(2, timing);
         dev.access_open_page(0, 5); // open row 5 in bank 0
         let reqs = vec![
-            Request { client: 0, arrival: 0, bank: 0, row: 9 }, // older, conflict
-            Request { client: 1, arrival: 0, bank: 0, row: 5 }, // younger, hit
+            Request {
+                client: 0,
+                arrival: 0,
+                bank: 0,
+                row: 9,
+            }, // older, conflict
+            Request {
+                client: 1,
+                arrival: 0,
+                bank: 0,
+                row: 5,
+            }, // younger, hit
         ];
         let res = simulate(Controller::FrFcfs, &mut dev, &reqs, 2);
         assert_eq!(res[0].request.client, 1, "row hit served first");
@@ -368,7 +375,9 @@ mod tests {
     fn bounds_exist_exactly_for_predictable_controllers() {
         let t = DramTiming::default();
         assert!(Controller::FrFcfs.latency_bound(t, 4, 0).is_none());
-        assert!(Controller::Predator { sigma: 8 }.latency_bound(t, 4, 2).is_some());
+        assert!(Controller::Predator { sigma: 8 }
+            .latency_bound(t, 4, 2)
+            .is_some());
         assert!(Controller::Amc { slot: 9 }.latency_bound(t, 4, 2).is_some());
     }
 }

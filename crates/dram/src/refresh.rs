@@ -24,6 +24,24 @@ pub enum RefreshScheme {
     Burst,
 }
 
+impl RefreshScheme {
+    /// Every scheme, for registry-driven sweeps.
+    pub const ALL: [RefreshScheme; 2] = [RefreshScheme::Distributed, RefreshScheme::Burst];
+
+    /// Stable lower-case name (usable as a matrix-axis value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefreshScheme::Distributed => "distributed",
+            RefreshScheme::Burst => "burst",
+        }
+    }
+
+    /// Parses a [`RefreshScheme::name`] back to the scheme.
+    pub fn by_name(name: &str) -> Option<RefreshScheme> {
+        RefreshScheme::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
 /// Computes the completion time of a task performing `accesses` memory
 /// accesses of constant `access_latency`, back to back, starting at
 /// refresh phase `phase` (cycles until the next refresh would fire).

@@ -174,9 +174,9 @@ mod tests {
         // (about eps/delta steps); the contraction never exceeds it.
         let c = chaotic.expect("logistic horizon exists");
         assert!(c < 100, "chaotic horizon {c} should be short");
-        match rigid {
-            Some(r) => assert!(r > c * 10, "translation {r} vs logistic {c}"),
-            None => {} // even better: never exceeded in 500 steps
+        if let Some(r) = rigid {
+            // `None` would be even better: never exceeded in 500 steps.
+            assert!(r > c * 10, "translation {r} vs logistic {c}");
         }
         assert_eq!(stable, None, "contraction stays within tolerance");
     }

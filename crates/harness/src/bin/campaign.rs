@@ -1,0 +1,176 @@
+//! The campaign CLI: list scenarios, run filtered matrices, print the
+//! evidence summary.
+//!
+//! ```text
+//! cargo run -p harness --bin campaign -- list
+//! cargo run -p harness --bin campaign -- run [--scenario ID]... [--filter AXIS=VALUE]...
+//!         [--threads N] [--seed S] [--store PATH] [--json PATH] [--csv PATH] [--quiet]
+//! cargo run -p harness --bin campaign -- report [same flags as run]
+//! ```
+//!
+//! `run` prints per-cell metrics; `report` prints the Table-1/2-style
+//! evidence summary joined against `predictability_core::catalog`.
+//! Both memoize through `--store` (results persist across invocations).
+
+use harness::exec::{run_campaign, ExecConfig};
+use harness::matrix::Filter;
+use harness::registry::Registry;
+use harness::report;
+use harness::store::ResultStore;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    scenarios: Vec<String>,
+    filters: Vec<String>,
+    threads: usize,
+    seed: u64,
+    store: Option<PathBuf>,
+    json: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "\
+usage: campaign <list|run|report> [options]
+
+options (run/report):
+  --scenario ID      run only this scenario (repeatable; default: all)
+  --filter A=V       keep only cells with axis A = value V (repeatable;
+                     several values for one axis union, axes intersect)
+  --threads N        worker threads (default: available parallelism)
+  --seed S           campaign seed (default 0)
+  --store PATH       memoize results in PATH (JSON; created if missing)
+  --json PATH        write the campaign as deterministic JSON
+  --csv PATH         write the campaign as long-format CSV
+  --quiet            suppress per-cell output
+";
+
+fn parse(mut args: std::env::Args) -> Result<Options, String> {
+    let _argv0 = args.next();
+    let command = args.next().ok_or_else(|| USAGE.to_string())?;
+    let mut options = Options {
+        command,
+        scenarios: Vec::new(),
+        filters: Vec::new(),
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        seed: 0,
+        store: None,
+        json: None,
+        csv: None,
+        quiet: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => options.scenarios.push(value("--scenario")?),
+            "--filter" => options.filters.push(value("--filter")?),
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--store" => options.store = Some(PathBuf::from(value("--store")?)),
+            "--json" => options.json = Some(PathBuf::from(value("--json")?)),
+            "--csv" => options.csv = Some(PathBuf::from(value("--csv")?)),
+            "--quiet" => options.quiet = true,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    match parse(std::env::args()) {
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+        Ok(options) => match run(options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("campaign: {message}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn run(options: Options) -> Result<(), String> {
+    let registry = Registry::builtin();
+    match options.command.as_str() {
+        "list" => {
+            print!("{}", report::list_scenarios(&registry));
+            Ok(())
+        }
+        "run" | "report" => {
+            let filter = Filter::parse(&options.filters)?;
+            let mut store = match &options.store {
+                Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
+                None => ResultStore::new(),
+            };
+            let campaign = run_campaign(
+                &registry,
+                &options.scenarios,
+                &filter,
+                &ExecConfig {
+                    threads: options.threads,
+                    seed: options.seed,
+                },
+                &mut store,
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = &options.store {
+                store.save(path).map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = &options.json {
+                std::fs::write(path, report::campaign_json(&campaign))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+            if let Some(path) = &options.csv {
+                std::fs::write(path, report::campaign_csv(&campaign))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+            if options.command == "report" {
+                print!("{}", report::evidence_summary(&campaign, &registry));
+                return Ok(());
+            }
+            if !options.quiet {
+                for cell in &campaign.cells {
+                    let metrics: Vec<String> = cell
+                        .result
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    println!(
+                        "{:<20} {:<44} {}{}",
+                        cell.scenario,
+                        cell.params.key(),
+                        metrics.join(" "),
+                        if cell.memoized { "  (memoized)" } else { "" }
+                    );
+                }
+            }
+            // The one-line summary prints even under --quiet: the flag
+            // suppresses per-cell output, not the run's confirmation.
+            println!(
+                "{} cells: {} executed, {} memoized (seed {})",
+                campaign.cells.len(),
+                campaign.executed,
+                campaign.memoized,
+                campaign.seed
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,482 @@
+//! The parallel campaign executor.
+//!
+//! A campaign is a deterministic function of `(selected scenarios,
+//! filter, campaign seed)` — never of thread count or scheduling. The
+//! executor fixes the cell order up front (scenarios in registration
+//! order, cells in row-major matrix order), derives every cell's seed
+//! by hashing `(campaign seed, scenario id, cell key)`, resolves
+//! memoized cells from the [`ResultStore`], and fans the remaining
+//! *jobs* out over worker threads that pull from a shared cursor.
+//! Workers write results back by job index, so the assembled campaign
+//! is identical whether one thread ran it or sixteen did.
+
+use crate::matrix::{expand, Filter};
+use crate::registry::Registry;
+use crate::scenario::{CellResult, Params, Scenario, ScenarioError};
+use crate::store::ResultStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Campaign-level knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads (1 = run inline on the caller).
+    pub threads: usize,
+    /// The campaign seed every cell seed derives from.
+    pub seed: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated cell of a finished campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Scenario id.
+    pub scenario: String,
+    /// Cell coordinates.
+    pub params: Params,
+    /// The derived cell seed.
+    pub seed: u64,
+    /// Measured metrics.
+    pub result: CellResult,
+    /// True if the result came from the store without executing.
+    pub memoized: bool,
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// The campaign seed.
+    pub seed: u64,
+    /// All cells, in deterministic order.
+    pub cells: Vec<CampaignCell>,
+    /// Cells actually executed this run.
+    pub executed: usize,
+    /// Cells resolved from the store.
+    pub memoized: usize,
+}
+
+/// Derives the deterministic seed of one cell.
+pub fn cell_seed(campaign_seed: u64, scenario_id: &str, params: &Params) -> u64 {
+    let mut h = crate::store::FNV_OFFSET ^ campaign_seed.rotate_left(17);
+    for bytes in [
+        scenario_id.as_bytes(),
+        b"\xff" as &[u8],
+        params.key().as_bytes(),
+    ] {
+        h = crate::store::fnv1a(bytes, h);
+    }
+    // SplitMix64 finalizer: spreads FNV's low-entropy high bits.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Job<'a> {
+    cell_index: usize,
+    scenario: &'a dyn Scenario,
+    scenario_id: &'a str,
+    scenario_version: u32,
+    params: Params,
+    seed: u64,
+}
+
+/// Runs the selected scenarios' filtered matrices.
+///
+/// `select` lists scenario ids (empty = every registered scenario;
+/// repeated ids are deduplicated, first occurrence wins the order).
+/// Memoized cells are taken from `store`; fresh results are inserted
+/// into it. Scenario errors abort the campaign deterministically (the
+/// error of the lowest-indexed failing cell wins).
+pub fn run_campaign(
+    registry: &Registry,
+    select: &[String],
+    filter: &Filter,
+    config: &ExecConfig,
+    store: &mut ResultStore,
+) -> Result<Campaign, ScenarioError> {
+    let scenarios: Vec<&dyn Scenario> = if select.is_empty() {
+        registry.scenarios().collect()
+    } else {
+        let mut seen = std::collections::BTreeSet::new();
+        select
+            .iter()
+            .filter(|id| seen.insert(id.as_str()))
+            .map(|id| {
+                registry
+                    .get(id)
+                    .ok_or_else(|| ScenarioError::UnknownScenario(id.clone()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+
+    // A filter clause must name an axis of at least one selected
+    // scenario — otherwise it is a typo that would silently run the
+    // whole unfiltered campaign.
+    for axis in filter.constrained_axes() {
+        let known = specs
+            .iter()
+            .any(|spec| spec.axes.iter().any(|a| a.name == axis));
+        if !known {
+            return Err(ScenarioError::UnknownFilterAxis(axis.to_string()));
+        }
+    }
+
+    // Fix the cell order and resolve memoization up front.
+    let mut cells: Vec<CampaignCell> = Vec::new();
+    let mut jobs: Vec<Job<'_>> = Vec::new();
+    for (scenario, spec) in scenarios.iter().zip(&specs) {
+        for params in expand(&spec.axes) {
+            if !filter.matches(&params) {
+                continue;
+            }
+            let seed = cell_seed(config.seed, spec.id, &params);
+            let memoized = store.get(spec.id, spec.version, &params, seed).cloned();
+            let cell_index = cells.len();
+            match memoized {
+                Some(hit) => cells.push(CampaignCell {
+                    scenario: spec.id.to_string(),
+                    params,
+                    seed,
+                    result: hit.result,
+                    memoized: true,
+                }),
+                None => {
+                    cells.push(CampaignCell {
+                        scenario: spec.id.to_string(),
+                        params: params.clone(),
+                        seed,
+                        // Placeholder; overwritten from the job result.
+                        result: CellResult {
+                            metrics: Vec::new(),
+                        },
+                        memoized: false,
+                    });
+                    jobs.push(Job {
+                        cell_index,
+                        scenario: *scenario,
+                        scenario_id: spec.id,
+                        scenario_version: spec.version,
+                        params,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+
+    let executed = jobs.len();
+    let memoized = cells.len() - executed;
+    let outcomes = execute_jobs(&jobs, config.threads.max(1));
+
+    // Deterministic error selection: lowest cell index wins. Every
+    // successful result is persisted to the store even when a sibling
+    // cell errors — cells are deterministic, so a retry after a partial
+    // failure should memoize the work that did complete.
+    let mut first_error: Option<(usize, ScenarioError)> = None;
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        match outcome.expect("every job must produce an outcome") {
+            Ok(result) => {
+                store.insert(
+                    job.scenario_id,
+                    job.scenario_version,
+                    &job.params,
+                    job.seed,
+                    result.clone(),
+                );
+                cells[job.cell_index].result = result;
+            }
+            Err(e) => {
+                if first_error
+                    .as_ref()
+                    .is_none_or(|(i, _)| job.cell_index < *i)
+                {
+                    first_error = Some((job.cell_index, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    Ok(Campaign {
+        seed: config.seed,
+        cells,
+        executed,
+        memoized,
+    })
+}
+
+type Outcome = Result<CellResult, ScenarioError>;
+
+fn execute_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<Option<Outcome>> {
+    let cursor = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Option<Outcome>>> = Mutex::new(vec![None; jobs.len()]);
+    let workers = threads.min(jobs.len()).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let outcome = job.scenario.run(&job.params, job.seed);
+                outcomes.lock().expect("worker poisoned the outcome lock")[i] = Some(outcome);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("scenario worker panicked");
+        }
+    });
+    outcomes.into_inner().expect("outcome lock poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Axis, ScenarioSpec};
+
+    /// A deterministic toy scenario: metric = f(params, seed).
+    struct Toy;
+
+    impl Scenario for Toy {
+        fn spec(&self) -> ScenarioSpec {
+            ScenarioSpec {
+                id: "toy",
+                version: 1,
+                title: "toy",
+                source_crate: "harness",
+                property: "p",
+                uncertainty: "u",
+                quality: "q",
+                catalog_id: None,
+                axes: vec![Axis::new("a", [1, 2, 3]), Axis::new("b", [10, 20])],
+                headline_metric: "value",
+                smaller_is_better: true,
+            }
+        }
+
+        fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+            let a = params.get_u64("a")?;
+            let b = params.get_u64("b")?;
+            Ok(CellResult::new(vec![(
+                "value",
+                (a * 1000 + b) as f64 + (seed % 97) as f64 / 100.0,
+            )]))
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::empty();
+        r.register(Box::new(Toy));
+        r
+    }
+
+    fn run(threads: usize, seed: u64, store: &mut ResultStore) -> Campaign {
+        run_campaign(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig { threads, seed },
+            store,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let single = run(1, 42, &mut ResultStore::new());
+        let parallel = run(4, 42, &mut ResultStore::new());
+        assert_eq!(single.cells, parallel.cells);
+        assert_eq!(single.executed, 6);
+    }
+
+    #[test]
+    fn campaign_seed_changes_cell_seeds() {
+        let a = run(2, 1, &mut ResultStore::new());
+        let b = run(2, 2, &mut ResultStore::new());
+        assert_ne!(a.cells, b.cells);
+        let seeds: std::collections::HashSet<u64> = a.cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), a.cells.len(), "cell seeds are distinct");
+    }
+
+    #[test]
+    fn second_run_is_fully_memoized() {
+        let mut store = ResultStore::new();
+        let first = run(4, 7, &mut store);
+        assert_eq!(first.executed, 6);
+        assert_eq!(first.memoized, 0);
+        let second = run(4, 7, &mut store);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.memoized, 6);
+        assert_eq!(
+            first.cells.iter().map(|c| &c.result).collect::<Vec<_>>(),
+            second.cells.iter().map(|c| &c.result).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn filters_restrict_the_matrix() {
+        let campaign = run_campaign(
+            &registry(),
+            &[],
+            &Filter::all().with("a", "2"),
+            &ExecConfig {
+                threads: 2,
+                seed: 0,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap();
+        assert_eq!(campaign.cells.len(), 2);
+        assert!(campaign
+            .cells
+            .iter()
+            .all(|c| c.params.get("a").unwrap() == "2"));
+    }
+
+    #[test]
+    fn repeated_selection_is_deduplicated() {
+        let campaign = run_campaign(
+            &registry(),
+            &["toy".to_string(), "toy".to_string()],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 0,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap();
+        assert_eq!(campaign.cells.len(), 6, "matrix must not be duplicated");
+        assert_eq!(campaign.executed, 6);
+    }
+
+    #[test]
+    fn version_bump_invalidates_memoized_cells() {
+        /// Same id and behaviour as [`Toy`], different version.
+        struct Toy2;
+        impl Scenario for Toy2 {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    version: 2,
+                    ..Toy.spec()
+                }
+            }
+            fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+                Toy.run(params, seed)
+            }
+        }
+        let mut store = ResultStore::new();
+        run(1, 3, &mut store);
+        let mut v2 = Registry::empty();
+        v2.register(Box::new(Toy2));
+        let campaign = run_campaign(
+            &v2,
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 3,
+            },
+            &mut store,
+        )
+        .unwrap();
+        assert_eq!(
+            campaign.memoized, 0,
+            "old-version results must not be served"
+        );
+        assert_eq!(campaign.executed, 6);
+    }
+
+    #[test]
+    fn unknown_selection_errors() {
+        let err = run_campaign(
+            &registry(),
+            &["nope".to_string()],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownScenario("nope".into()));
+    }
+
+    #[test]
+    fn typoed_filter_axis_errors() {
+        let err = run_campaign(
+            &registry(),
+            &[],
+            &Filter::all().with("polcy", "lru"),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownFilterAxis("polcy".into()));
+    }
+
+    #[test]
+    fn partial_failure_persists_completed_cells() {
+        /// Errors on the cell `a=2`; succeeds elsewhere.
+        struct Flaky;
+        impl Scenario for Flaky {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: "flaky",
+                    axes: vec![Axis::new("a", [1, 2, 3])],
+                    ..Toy.spec()
+                }
+            }
+            fn run(&self, params: &Params, _seed: u64) -> Result<CellResult, ScenarioError> {
+                match params.get_u64("a")? {
+                    2 => Err(ScenarioError::BadParam {
+                        axis: "a".into(),
+                        value: "2".into(),
+                    }),
+                    a => Ok(CellResult::new(vec![("value", a as f64)])),
+                }
+            }
+        }
+        let mut registry = Registry::empty();
+        registry.register(Box::new(Flaky));
+        let mut store = ResultStore::new();
+        let err = run_campaign(
+            &registry,
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+            },
+            &mut store,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadParam { .. }));
+        assert_eq!(store.len(), 2, "completed cells memoized despite the error");
+    }
+
+    #[test]
+    fn cell_seed_is_stable_and_input_sensitive() {
+        let p = Params::new(vec![("a".into(), "1".into())]);
+        let s = cell_seed(5, "toy", &p);
+        assert_eq!(s, cell_seed(5, "toy", &p));
+        assert_ne!(s, cell_seed(6, "toy", &p));
+        assert_ne!(s, cell_seed(5, "other", &p));
+    }
+}

@@ -1,0 +1,416 @@
+//! A minimal, dependency-free JSON value with deterministic rendering
+//! and a recursive-descent parser.
+//!
+//! The result store and campaign serialization need exactly three
+//! properties from their wire format: (1) byte-stable output — equal
+//! campaigns render to equal bytes, so golden tests and memoization
+//! fingerprints are meaningful; (2) round-tripping — a store written by
+//! one run loads in the next; (3) zero external dependencies. Object
+//! members keep insertion order (no hash-map scrambling), numbers
+//! render integers without a fractional part and everything else via
+//! Rust's shortest-roundtrip `f64` formatting.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline —
+    /// the byte-stable on-disk format.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf; the store never produces them (metrics
+        // that do not exist are omitted), but render defensively.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x:?}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: combine with the low half
+                            // of the pair (standard JSON non-BMP escape).
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("lone high surrogate".into());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err("bad low surrogate".into());
+                            }
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            *pos += 6;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar (multi-byte chars pass
+                // through unescaped).
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+        .map_err(|_| "bad \\u escape".to_string())
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str("campaign")),
+            ("seed".into(), Json::Num(42.0)),
+            ("ratio".into(), Json::Num(0.75)),
+            (
+                "flags".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Null]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+            ("quote\"\n".into(), Json::str("tab\there")),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_value_and_order() {
+        let v = sample();
+        let text = v.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.pretty(), text, "render is a fixed point");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(sample().pretty(), sample().pretty());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(42.0).pretty(), "42\n");
+        assert_eq!(Json::Num(-3.0).pretty(), "-3\n");
+        assert_eq!(Json::Num(0.5).pretty(), "0.5\n");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let v = sample();
+        assert_eq!(v.get("seed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("campaign"));
+        assert_eq!(
+            v.get("flags").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_surrogate_pair_escapes() {
+        let v = Json::parse(r#""\ud83d\ude00 ok""#).unwrap();
+        assert_eq!(v, Json::str("\u{1F600} ok"));
+        // Raw (unescaped) non-BMP characters also pass through.
+        assert_eq!(Json::parse("\"😀\"").unwrap(), Json::str("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(
+            Json::parse(r#""\ud83dA""#).is_err(),
+            "high surrogate needs a low surrogate"
+        );
+    }
+
+    #[test]
+    fn parses_standard_documents() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "xA"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).unwrap()[2],
+            Json::str("xA")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+}

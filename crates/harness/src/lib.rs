@@ -1,0 +1,81 @@
+//! # harness
+//!
+//! The scenario-matrix evaluation engine: the subsystem that turns
+//! every simulator crate in this workspace into a registered, runnable
+//! workload and executes whole experiment *campaigns* over them.
+//!
+//! The paper's template (a property to be predicted × sources of
+//! uncertainty × a quality measure) only yields *evidence* when
+//! instantiated over many concrete systems. This crate is that
+//! instantiation engine, in four layers:
+//!
+//! * [`scenario`] + [`scenarios`] — the [`Scenario`] trait and
+//!   declarative [`ScenarioSpec`] (system under test, uncertainty axes,
+//!   quality metrics), with built-in registrations covering cache
+//!   replacement (`mem-hierarchy`), in-order vs. out-of-order pipelines
+//!   including the domino example (`pipeline-sim`), DRAM refresh and
+//!   controllers (`dram-sim`), bus arbitration (`interconnect-sim`),
+//!   branch predictors (`branch-pred`), WCET bound tightness
+//!   (`wcet-analysis`), single-path conversion (`singlepath`) and
+//!   dynamical-system horizons (`dynsys`).
+//! * [`exec`] — the parallel executor: the cartesian parameter matrix
+//!   of each selected scenario fans out across worker threads with
+//!   deterministic per-cell seeding, so results are identical whether
+//!   the campaign ran on one thread or sixteen.
+//! * [`store`] — the memoizing [`ResultStore`]: completed cells are
+//!   keyed by a fingerprint of `(schema, scenario, params, seed)` and
+//!   persist as deterministic JSON; re-running a campaign executes only
+//!   cells the store has never seen.
+//! * [`report`] — campaign serialization (JSON/CSV) and the Table-1/2
+//!   style evidence summary joining results against
+//!   `predictability_core::catalog`; driven by the `campaign` CLI
+//!   (`cargo run -p harness --bin campaign`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harness::exec::{run_campaign, ExecConfig};
+//! use harness::matrix::Filter;
+//! use harness::registry::Registry;
+//! use harness::store::ResultStore;
+//!
+//! let registry = Registry::builtin();
+//! let mut store = ResultStore::new();
+//! let campaign = run_campaign(
+//!     &registry,
+//!     &["pipeline-domino".to_string()],
+//!     &Filter::all().with("n", "16"),
+//!     &ExecConfig { threads: 4, seed: 42 },
+//!     &mut store,
+//! )
+//! .unwrap();
+//! assert_eq!(campaign.cells.len(), 1);
+//! let sipr = campaign.cells[0].result.metric("sipr").unwrap();
+//! assert!((sipr - (9.0 * 16.0 + 1.0) / (12.0 * 16.0)).abs() < 1e-12);
+//!
+//! // A second run against the same store executes zero cells.
+//! let again = run_campaign(
+//!     &registry,
+//!     &["pipeline-domino".to_string()],
+//!     &Filter::all().with("n", "16"),
+//!     &ExecConfig { threads: 4, seed: 42 },
+//!     &mut store,
+//! )
+//! .unwrap();
+//! assert_eq!(again.executed, 0);
+//! ```
+
+pub mod exec;
+pub mod json;
+pub mod matrix;
+pub mod registry;
+pub mod report;
+pub mod scenario;
+pub mod scenarios;
+pub mod store;
+
+pub use exec::{run_campaign, Campaign, CampaignCell, ExecConfig};
+pub use matrix::Filter;
+pub use registry::Registry;
+pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+pub use store::ResultStore;

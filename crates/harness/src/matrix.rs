@@ -1,0 +1,146 @@
+//! Matrix expansion and cell filtering.
+//!
+//! A scenario's axes span a cartesian product; [`expand`] enumerates it
+//! in deterministic row-major order (first axis slowest), which fixes
+//! cell indices independently of thread count. A [`Filter`] restricts a
+//! campaign to matching cells with `axis=value` clauses — several
+//! values for the same axis union, clauses across different axes
+//! intersect.
+
+use crate::scenario::{Axis, Params};
+
+/// Enumerates every cell of the axes' cartesian product, first axis
+/// varying slowest. An empty axis list yields the single empty cell.
+pub fn expand(axes: &[Axis]) -> Vec<Params> {
+    let mut cells: Vec<Vec<(String, String)>> = vec![Vec::new()];
+    for axis in axes {
+        let mut next = Vec::with_capacity(cells.len() * axis.values.len());
+        for prefix in &cells {
+            for value in &axis.values {
+                let mut cell = prefix.clone();
+                cell.push((axis.name.to_string(), value.clone()));
+                next.push(cell);
+            }
+        }
+        cells = next;
+    }
+    cells.into_iter().map(Params::new).collect()
+}
+
+/// An `axis=value` conjunction-of-disjunctions filter.
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    clauses: Vec<(String, String)>,
+}
+
+impl Filter {
+    /// The match-everything filter.
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Parses clauses of the form `axis=value`.
+    pub fn parse(clauses: &[String]) -> Result<Filter, String> {
+        let mut parsed = Vec::with_capacity(clauses.len());
+        for clause in clauses {
+            match clause.split_once('=') {
+                Some((axis, value)) if !axis.is_empty() && !value.is_empty() => {
+                    parsed.push((axis.to_string(), value.to_string()));
+                }
+                _ => return Err(format!("bad filter `{clause}` (expected axis=value)")),
+            }
+        }
+        Ok(Filter { clauses: parsed })
+    }
+
+    /// Adds one clause.
+    pub fn with(mut self, axis: &str, value: &str) -> Filter {
+        self.clauses.push((axis.to_string(), value.to_string()));
+        self
+    }
+
+    /// True if the cell satisfies every constrained axis *it has*.
+    /// Clauses naming axes the cell lacks are vacuously satisfied, so a
+    /// campaign mixing scenarios can constrain one scenario's axis
+    /// (`assoc=2`) without silencing every other scenario.
+    pub fn matches(&self, params: &Params) -> bool {
+        let mut constrained_axes: Vec<&str> =
+            self.clauses.iter().map(|(a, _)| a.as_str()).collect();
+        constrained_axes.sort_unstable();
+        constrained_axes.dedup();
+        constrained_axes.iter().all(|axis| {
+            let Ok(cell_value) = params.get(axis) else {
+                return true;
+            };
+            self.clauses
+                .iter()
+                .filter(|(a, _)| a == axis)
+                .any(|(_, v)| cell_value == v)
+        })
+    }
+
+    /// True if no clause constrains anything.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The axis names the clauses constrain (with duplicates).
+    pub fn constrained_axes(&self) -> impl Iterator<Item = &str> {
+        self.clauses.iter().map(|(a, _)| a.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Axis;
+
+    fn axes() -> Vec<Axis> {
+        vec![Axis::new("a", [1, 2]), Axis::new("b", ["x", "y", "z"])]
+    }
+
+    #[test]
+    fn expansion_is_row_major_and_complete() {
+        let cells = expand(&axes());
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].key(), "a=1,b=x");
+        assert_eq!(cells[1].key(), "a=1,b=y");
+        assert_eq!(cells[5].key(), "a=2,b=z");
+    }
+
+    #[test]
+    fn empty_axes_give_one_cell() {
+        let cells = expand(&[]);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].key(), "");
+    }
+
+    #[test]
+    fn filter_same_axis_unions_other_axes_intersect() {
+        let cells = expand(&axes());
+        let f = Filter::all().with("b", "x").with("b", "z").with("a", "2");
+        let kept: Vec<String> = cells
+            .iter()
+            .filter(|c| f.matches(c))
+            .map(Params::key)
+            .collect();
+        assert_eq!(kept, vec!["a=2,b=x", "a=2,b=z"]);
+    }
+
+    #[test]
+    fn filter_on_absent_axis_is_vacuous() {
+        let cells = expand(&axes());
+        let f = Filter::all().with("policy", "lru");
+        assert!(cells.iter().all(|c| f.matches(c)));
+        // But combined with a present axis, that axis still constrains.
+        let f = f.with("a", "1");
+        assert_eq!(cells.iter().filter(|c| f.matches(c)).count(), 3);
+    }
+
+    #[test]
+    fn parse_accepts_good_and_rejects_bad() {
+        assert!(Filter::parse(&["a=1".into(), "b=x".into()]).is_ok());
+        assert!(Filter::parse(&["justanaxis".into()]).is_err());
+        assert!(Filter::parse(&["=v".into()]).is_err());
+    }
+}

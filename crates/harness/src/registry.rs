@@ -1,0 +1,130 @@
+//! The scenario registry.
+
+use crate::scenario::{Scenario, ScenarioSpec};
+
+/// An ordered collection of registered scenarios. Registration order is
+//  part of the campaign's deterministic cell order.
+#[derive(Default)]
+pub struct Registry {
+    scenarios: Vec<Box<dyn Scenario>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry::default()
+    }
+
+    /// A registry pre-populated with every built-in scenario.
+    pub fn builtin() -> Registry {
+        let mut registry = Registry::empty();
+        for scenario in crate::scenarios::all() {
+            registry.register(scenario);
+        }
+        registry
+    }
+
+    /// Registers a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario with the same id is already registered —
+    /// ids are fingerprint components, so a collision would silently
+    /// cross-contaminate memoized results.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+        let id = scenario.spec().id;
+        assert!(
+            self.get(id).is_none(),
+            "scenario id `{id}` registered twice"
+        );
+        self.scenarios.push(scenario);
+    }
+
+    /// Looks a scenario up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Scenario> {
+        self.scenarios
+            .iter()
+            .find(|s| s.spec().id == id)
+            .map(AsRef::as_ref)
+    }
+
+    /// All scenarios, in registration order.
+    pub fn scenarios(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.scenarios.iter().map(AsRef::as_ref)
+    }
+
+    /// All specs, in registration order.
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        self.scenarios.iter().map(|s| s.spec()).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn builtin_registry_spans_the_workspace() {
+        let registry = Registry::builtin();
+        assert!(registry.len() >= 6, "at least six scenarios");
+        let crates: BTreeSet<&str> = registry.specs().iter().map(|s| s.source_crate).collect();
+        assert!(
+            crates.len() >= 5,
+            "scenarios must span at least five crates, got {crates:?}"
+        );
+        for required in [
+            "mem-hierarchy",
+            "pipeline-sim",
+            "dram-sim",
+            "interconnect-sim",
+            "branch-pred",
+            "wcet-analysis",
+        ] {
+            assert!(
+                crates.contains(required),
+                "missing scenarios for {required}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let registry = Registry::builtin();
+        let ids: BTreeSet<&str> = registry.specs().iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), registry.len());
+        for id in ids {
+            assert!(registry.get(id).is_some());
+        }
+        assert!(registry.get("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn catalog_ids_resolve_in_core_catalog() {
+        for spec in Registry::builtin().specs() {
+            if let Some(catalog_id) = spec.catalog_id {
+                assert!(
+                    predictability_core::catalog::by_id(catalog_id).is_some(),
+                    "{}: catalog id `{catalog_id}` not in core::catalog",
+                    spec.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domino_example_is_registered() {
+        // The issue's checklist names the domino example explicitly.
+        assert!(Registry::builtin().get("pipeline-domino").is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! Campaign serialization (JSON/CSV) and the evidence summary that
+//! joins campaign results against `predictability_core::catalog`.
+
+use crate::exec::Campaign;
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::scenario::ScenarioSpec;
+use predictability_core::catalog;
+use std::fmt::Write as _;
+
+/// Serializes a campaign deterministically: equal campaigns render to
+/// equal bytes (the golden-file contract).
+pub fn campaign_json(campaign: &Campaign) -> String {
+    Json::Obj(vec![
+        // Decimal string: u64 seeds exceed f64's exact integer range.
+        ("seed".into(), Json::str(campaign.seed.to_string())),
+        ("executed".into(), Json::Num(campaign.executed as f64)),
+        ("memoized".into(), Json::Num(campaign.memoized as f64)),
+        (
+            "cells".into(),
+            Json::Arr(
+                campaign
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        Json::Obj(vec![
+                            ("scenario".into(), Json::str(&cell.scenario)),
+                            ("params".into(), Json::str(cell.params.key())),
+                            // Hex: u64 seeds exceed f64's exact range.
+                            ("seed".into(), Json::str(format!("{:016x}", cell.seed))),
+                            (
+                                "metrics".into(),
+                                Json::Obj(
+                                    cell.result
+                                        .metrics
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Long-format CSV: one row per metric, schema-free across scenarios.
+pub fn campaign_csv(campaign: &Campaign) -> String {
+    let mut out = String::from("scenario,params,seed,metric,value\n");
+    for cell in &campaign.cells {
+        for (metric, value) in &cell.result.metrics {
+            let _ = writeln!(
+                out,
+                "{},\"{}\",{},{},{}",
+                cell.scenario,
+                cell.params.key(),
+                cell.seed,
+                metric,
+                fmt_value(*value)
+            );
+        }
+    }
+    out
+}
+
+fn fmt_value(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 9e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:?}")
+    }
+}
+
+/// Renders the scenario listing for `campaign list`.
+pub fn list_scenarios(registry: &Registry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:<6} {:<16} title",
+        "id", "cells", "source crate"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for spec in registry.specs() {
+        let _ = writeln!(
+            out,
+            "{:<20} {:<6} {:<16} {}",
+            spec.id,
+            spec.matrix_size(),
+            spec.source_crate,
+            spec.title
+        );
+        let axes: Vec<String> = spec
+            .axes
+            .iter()
+            .map(|a| format!("{}={{{}}}", a.name, a.values.join("|")))
+            .collect();
+        let _ = writeln!(out, "{:<20} {:<6} matrix: {}", "", "", axes.join(" × "));
+    }
+    out
+}
+
+/// The Table-1/2-style evidence summary: per scenario, the template
+/// slots, the joined catalog row (approach, paper citations) where one
+/// exists, and every cell's headline metric with the extremes marked.
+pub fn evidence_summary(campaign: &Campaign, registry: &Registry) -> String {
+    let mut out = String::new();
+    for spec in registry.specs() {
+        let cells: Vec<_> = campaign
+            .cells
+            .iter()
+            .filter(|c| c.scenario == spec.id)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "== {} [{}]", spec.title, spec.id);
+        if let Some(row) = spec.catalog_id.and_then(catalog::by_id) {
+            let _ = writeln!(
+                out,
+                "   catalog:     {} — {} (citations {})",
+                row.id,
+                row.approach,
+                row.citations.join(", ")
+            );
+        }
+        let _ = writeln!(out, "   property:    {}", spec.property);
+        let _ = writeln!(out, "   uncertainty: {}", spec.uncertainty);
+        let _ = writeln!(out, "   quality:     {}", spec.quality);
+        let headline = spec.headline_metric;
+        let values: Vec<Option<f64>> = cells.iter().map(|c| c.result.metric(headline)).collect();
+        let best = fold_extreme(&values, spec.smaller_is_better);
+        let worst = fold_extreme(&values, !spec.smaller_is_better);
+        for (cell, value) in cells.iter().zip(&values) {
+            let rendered = match value {
+                Some(v) => fmt_value(*v),
+                None => "—".to_string(),
+            };
+            let marker = match value {
+                Some(v) if Some(*v) == best && best != worst => "  <- best",
+                Some(v) if Some(*v) == worst && best != worst => "  <- worst",
+                _ => "",
+            };
+            let memo = if cell.memoized { " (memoized)" } else { "" };
+            let _ = writeln!(
+                out,
+                "   {:<44} {headline} = {rendered}{marker}{memo}",
+                cell.params.key()
+            );
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{} cells: {} executed, {} memoized (campaign seed {})",
+        campaign.cells.len(),
+        campaign.executed,
+        campaign.memoized,
+        campaign.seed
+    );
+    out
+}
+
+fn fold_extreme(values: &[Option<f64>], smaller: bool) -> Option<f64> {
+    values
+        .iter()
+        .flatten()
+        .copied()
+        .reduce(|a, b| if (b < a) == smaller { b } else { a })
+}
+
+/// Renders one spec's template slots (used by `campaign list
+/// --verbose`-style output and kept public for reuse).
+pub fn spec_summary(spec: &ScenarioSpec) -> String {
+    format!(
+        "{} [{}]: property = {}; uncertainty = {}; quality = {}",
+        spec.title, spec.id, spec.property, spec.uncertainty, spec.quality
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_campaign, ExecConfig};
+    use crate::matrix::Filter;
+    use crate::store::ResultStore;
+
+    fn small_campaign() -> (Campaign, Registry) {
+        let registry = Registry::builtin();
+        let campaign = run_campaign(
+            &registry,
+            &["pipeline-domino".to_string(), "dram-refresh".to_string()],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 1,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap();
+        (campaign, registry)
+    }
+
+    #[test]
+    fn json_and_csv_are_deterministic() {
+        let (a, _) = small_campaign();
+        let (b, _) = small_campaign();
+        assert_eq!(campaign_json(&a), campaign_json(&b));
+        assert_eq!(campaign_csv(&a), campaign_csv(&b));
+    }
+
+    #[test]
+    fn csv_has_a_row_per_metric() {
+        let (campaign, _) = small_campaign();
+        let rows: usize = campaign.cells.iter().map(|c| c.result.metrics.len()).sum();
+        assert_eq!(campaign_csv(&campaign).lines().count(), rows + 1);
+    }
+
+    #[test]
+    fn summary_joins_the_catalog() {
+        let (campaign, registry) = small_campaign();
+        let s = evidence_summary(&campaign, &registry);
+        assert!(s.contains("pipeline-domino"));
+        // The refresh row's catalog join (approach text from core).
+        assert!(s.contains("Predictable DRAM refreshes"));
+        assert!(s.contains("citations"));
+        assert!(s.contains("<- best"));
+    }
+
+    #[test]
+    fn listing_mentions_every_scenario_and_axis() {
+        let registry = Registry::builtin();
+        let s = list_scenarios(&registry);
+        for spec in registry.specs() {
+            assert!(s.contains(spec.id));
+            for axis in &spec.axes {
+                assert!(s.contains(axis.name), "axis {} missing", axis.name);
+            }
+        }
+    }
+}

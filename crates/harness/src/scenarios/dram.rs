@@ -1,0 +1,184 @@
+//! DRAM scenarios (`dram-sim`): refresh-phase variability and
+//! controller latency bounds (Table 2 rows 4 and 5).
+
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use dram_sim::controller::{simulate, worst_latency, Controller, Request};
+use dram_sim::device::{DramDevice, DramTiming};
+use dram_sim::refresh::{task_time, RefreshScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Task-time variability over every refresh phase: distributed refresh
+/// leaks the phase into task times, burst refresh does not.
+pub struct DramRefresh;
+
+impl Scenario for DramRefresh {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "dram-refresh",
+            version: 1,
+            title: "DRAM refresh: phase-induced task-time variability",
+            source_crate: "dram-sim",
+            property: "completion time of a fixed access burst",
+            uncertainty: "refresh counter phase at task start",
+            quality: "task-time variability over all phases (cycles)",
+            catalog_id: Some("refresh"),
+            axes: vec![
+                Axis::new(
+                    "scheme",
+                    RefreshScheme::ALL.iter().map(|s| s.name().to_string()),
+                ),
+                Axis::new("accesses", [50u64, 200]),
+            ],
+            headline_metric: "variability",
+            smaller_is_better: true,
+        }
+    }
+
+    fn run(&self, params: &Params, _seed: u64) -> Result<CellResult, ScenarioError> {
+        let scheme_name = params.get("scheme")?;
+        let scheme =
+            RefreshScheme::by_name(scheme_name).ok_or_else(|| ScenarioError::BadParam {
+                axis: "scheme".to_string(),
+                value: scheme_name.to_string(),
+            })?;
+        let accesses = params.get_u64("accesses")?;
+        let timing = DramTiming::default();
+        let times: Vec<u64> = (0..timing.t_refi)
+            .map(|phase| task_time(scheme, timing, accesses, 4, phase))
+            .collect();
+        let min = *times.iter().min().expect("phase sweep is non-empty");
+        let max = *times.iter().max().expect("phase sweep is non-empty");
+        Ok(CellResult::new(vec![
+            ("variability", (max - min) as f64),
+            ("t_best", min as f64),
+            ("t_worst", max as f64),
+            ("sipr", min as f64 / max as f64),
+        ]))
+    }
+}
+
+/// Worst observed client-0 latency (and the analytic bound, where one
+/// exists) under FR-FCFS, Predator-style and AMC-style controllers with
+/// seeded interfering traffic.
+pub struct DramController;
+
+fn controller_by_name(name: &str, timing: DramTiming) -> Option<Controller> {
+    let slot = timing.t_rcd + timing.t_cl + timing.t_rp;
+    match name {
+        "frfcfs" => Some(Controller::FrFcfs),
+        "predator" => Some(Controller::Predator { sigma: slot }),
+        "amc" => Some(Controller::Amc { slot }),
+        _ => None,
+    }
+}
+
+impl Scenario for DramController {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "dram-controller",
+            version: 1,
+            title: "DRAM controllers: per-client latency bounds under interference",
+            source_crate: "dram-sim",
+            property: "latency of client-0 DRAM accesses",
+            uncertainty: "interference from concurrently executing clients",
+            quality: "existence and size of a per-client latency bound",
+            catalog_id: Some("dram-ctrl"),
+            axes: vec![
+                Axis::new("controller", ["frfcfs", "predator", "amc"]),
+                Axis::new("clients", [2u64, 8]),
+            ],
+            headline_metric: "worst_observed",
+            smaller_is_better: true,
+        }
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+        let timing = DramTiming::default();
+        let name = params.get("controller")?;
+        let controller =
+            controller_by_name(name, timing).ok_or_else(|| ScenarioError::BadParam {
+                axis: "controller".to_string(),
+                value: name.to_string(),
+            })?;
+        let clients = params.get_u64("clients")? as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The analytic bounds assume regulated admission (at most one
+        // outstanding request per client), so each client spaces its
+        // requests at least one full TDM round apart; within the window
+        // arrivals jitter per seed. Self-queueing would otherwise
+        // inflate observed latencies past the interference bound.
+        let slot = timing.t_rcd + timing.t_cl + timing.t_rp;
+        let round = clients as u64 * slot + slot;
+        let mut requests = Vec::new();
+        for client in 0..clients {
+            for k in 0..16u64 {
+                requests.push(Request {
+                    client,
+                    arrival: k * round + rng.random_range(0..slot),
+                    bank: rng.random_range(0..4),
+                    row: rng.random_range(0..8),
+                });
+            }
+        }
+        let mut device = DramDevice::new(4, timing);
+        let served = simulate(controller, &mut device, &requests, clients);
+        let worst = worst_latency(&served, 0).expect("client 0 issued requests") as f64;
+        let mut metrics = vec![("worst_observed".to_string(), worst)];
+        if let Some(bound) = controller.latency_bound(timing, clients, 0) {
+            metrics.push(("analytic_bound".to_string(), bound as f64));
+            metrics.push((
+                "bound_respected".to_string(),
+                f64::from(u8::from(worst <= bound as f64)),
+            ));
+        }
+        Ok(CellResult { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_refresh_has_zero_variability() {
+        let p = Params::new(vec![
+            ("scheme".into(), "burst".into()),
+            ("accesses".into(), "50".into()),
+        ]);
+        let r = DramRefresh.run(&p, 0).unwrap();
+        assert_eq!(r.metric("variability"), Some(0.0));
+        assert_eq!(r.metric("sipr"), Some(1.0));
+    }
+
+    #[test]
+    fn distributed_refresh_varies() {
+        let p = Params::new(vec![
+            ("scheme".into(), "distributed".into()),
+            ("accesses".into(), "50".into()),
+        ]);
+        let r = DramRefresh.run(&p, 0).unwrap();
+        assert!(r.metric("variability").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn amc_bound_exists_and_holds() {
+        let p = Params::new(vec![
+            ("controller".into(), "amc".into()),
+            ("clients".into(), "8".into()),
+        ]);
+        let r = DramController.run(&p, 3).unwrap();
+        assert_eq!(r.metric("bound_respected"), Some(1.0));
+    }
+
+    #[test]
+    fn frfcfs_has_no_bound() {
+        let p = Params::new(vec![
+            ("controller".into(), "frfcfs".into()),
+            ("clients".into(), "8".into()),
+        ]);
+        let r = DramController.run(&p, 3).unwrap();
+        assert_eq!(r.metric("analytic_bound"), None);
+        assert!(r.metric("worst_observed").is_some());
+    }
+}

@@ -1,0 +1,98 @@
+//! Dynamical-systems scenario (`dynsys`): Bernardes-style prediction
+//! horizons under per-step δ-perturbation (Section 4 of the paper).
+
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use dynsys::{horizon, Contraction, Logistic, Translation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPSILON: f64 = 0.05;
+const MAX_STEPS: usize = 200;
+
+/// How many steps ahead can an optimal interval analysis predict the
+/// orbit within tolerance ε? Chaotic maps lose the orbit in a handful
+/// of steps; isometries degrade linearly; contractions never exceed ε.
+pub struct DynsysHorizon;
+
+impl Scenario for DynsysHorizon {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "dynsys-horizon",
+            version: 1,
+            title: "Dynamical systems: prediction horizon under perturbation",
+            source_crate: "dynsys",
+            property: "the orbit of the system",
+            uncertainty: "δ-perturbation of every step",
+            quality: "steps until worst-case deviation exceeds ε",
+            catalog_id: None,
+            axes: vec![
+                Axis::new("map", ["logistic", "translation", "contraction"]),
+                Axis::new("delta", ["1e-6", "1e-3"]),
+            ],
+            headline_metric: "horizon",
+            smaller_is_better: false,
+        }
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+        let delta = params.get_f64("delta")?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A generic start point away from fixed points of all three maps.
+        let a = 0.1 + (rng.random_range(0..=800u64) as f64) / 1000.0;
+        let h = match params.get("map")? {
+            "logistic" => horizon(&Logistic { r: 4.0 }, a, delta, EPSILON, MAX_STEPS),
+            "translation" => horizon(&Translation { alpha: 0.137 }, a, delta, EPSILON, MAX_STEPS),
+            "contraction" => horizon(&Contraction { c: 0.5 }, a, delta, EPSILON, MAX_STEPS),
+            other => {
+                return Err(ScenarioError::BadParam {
+                    axis: "map".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        let mut metrics = vec![(
+            "predictable_at_max_steps".to_string(),
+            f64::from(u8::from(h.is_none())),
+        )];
+        if let Some(steps) = h {
+            metrics.insert(0, ("horizon".to_string(), steps as f64));
+        } else {
+            metrics.insert(0, ("horizon".to_string(), MAX_STEPS as f64));
+        }
+        Ok(CellResult { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(map: &str, delta: &str) -> Params {
+        Params::new(vec![
+            ("map".into(), map.into()),
+            ("delta".into(), delta.into()),
+        ])
+    }
+
+    #[test]
+    fn chaos_loses_the_orbit_fast() {
+        let r = DynsysHorizon.run(&cell("logistic", "1e-3"), 2).unwrap();
+        assert!(r.metric("horizon").unwrap() < 30.0);
+        assert_eq!(r.metric("predictable_at_max_steps"), Some(0.0));
+    }
+
+    #[test]
+    fn contraction_stays_predictable() {
+        let r = DynsysHorizon.run(&cell("contraction", "1e-3"), 2).unwrap();
+        assert_eq!(r.metric("predictable_at_max_steps"), Some(1.0));
+    }
+
+    #[test]
+    fn smaller_delta_never_shortens_the_horizon() {
+        for map in ["logistic", "translation"] {
+            let coarse = DynsysHorizon.run(&cell(map, "1e-3"), 7).unwrap();
+            let fine = DynsysHorizon.run(&cell(map, "1e-6"), 7).unwrap();
+            assert!(fine.metric("horizon").unwrap() >= coarse.metric("horizon").unwrap());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared-bus composability scenario (`interconnect-sim`): the CoMPSoC
+//! property measured across arbiters (Table 1, row 4).
+
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use interconnect_sim::bus::{simulate_bus, worst_latency, Arbiter, BusRequest};
+use interconnect_sim::composability::bus_composability_gap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MASTERS: usize = 4;
+const TRANSFER: u64 = 2;
+
+/// How much does application 0's worst bus latency move when co-runner
+/// traffic appears? TDM arbitration achieves a gap of zero —
+/// composability — while every work-conserving arbiter leaks
+/// interference.
+pub struct BusArbitration;
+
+impl Scenario for BusArbitration {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "bus-arbitration",
+            version: 1,
+            title: "Shared bus: composability gap across arbiters",
+            source_crate: "interconnect-sim",
+            property: "latency of application 0's bus transactions",
+            uncertainty: "concurrent execution of unknown other applications",
+            quality: "worst latency shift caused by co-runners (cycles)",
+            catalog_id: Some("compsoc"),
+            axes: vec![
+                Axis::new("arbiter", Arbiter::ALL.iter().map(|a| a.name().to_string())),
+                Axis::new("co_masters", [1u64, 3]),
+            ],
+            headline_metric: "gap",
+            smaller_is_better: true,
+        }
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+        let arbiter_name = params.get("arbiter")?;
+        let arbiter = Arbiter::by_name(arbiter_name).ok_or_else(|| ScenarioError::BadParam {
+            axis: "arbiter".to_string(),
+            value: arbiter_name.to_string(),
+        })?;
+        let co_masters = params.get_u64("co_masters")? as usize;
+        let app0: Vec<BusRequest> = (0..10u64)
+            .map(|k| BusRequest {
+                master: 0,
+                arrival: k * 12,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut co = Vec::new();
+        for master in 1..=co_masters.min(MASTERS - 1) {
+            for _ in 0..50u64 {
+                co.push(BusRequest {
+                    master,
+                    arrival: rng.random_range(0..60),
+                });
+            }
+        }
+        let gap = bus_composability_gap(arbiter, MASTERS, TRANSFER, &app0, &co);
+        let alone = simulate_bus(arbiter, MASTERS, TRANSFER, &app0);
+        let worst_alone = worst_latency(&alone, 0).expect("app 0 issued requests");
+        Ok(CellResult::new(vec![
+            ("gap", gap as f64),
+            ("worst_alone", worst_alone as f64),
+            ("composable", f64::from(u8::from(gap == 0))),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(arbiter: &str, co: u64) -> Params {
+        Params::new(vec![
+            ("arbiter".into(), arbiter.into()),
+            ("co_masters".into(), co.to_string()),
+        ])
+    }
+
+    #[test]
+    fn tdma_is_composable() {
+        let r = BusArbitration.run(&cell("tdma", 3), 5).unwrap();
+        assert_eq!(r.metric("gap"), Some(0.0));
+        assert_eq!(r.metric("composable"), Some(1.0));
+    }
+
+    #[test]
+    fn fcfs_leaks_interference() {
+        let r = BusArbitration.run(&cell("fcfs", 3), 5).unwrap();
+        assert!(r.metric("gap").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_arbiter_rejected() {
+        assert!(matches!(
+            BusArbitration.run(&cell("lottery", 1), 0),
+            Err(ScenarioError::BadParam { .. })
+        ));
+    }
+}

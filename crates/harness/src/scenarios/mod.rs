@@ -1,0 +1,47 @@
+//! Built-in scenario registrations: one module per workspace crate
+//! family, each turning that crate's simulators into registered,
+//! matrix-runnable workloads.
+
+pub mod branch;
+pub mod cache;
+pub mod dram;
+pub mod dynsys_maps;
+pub mod interconnect;
+pub mod pipeline;
+pub mod singlepath_conv;
+pub mod wcet;
+
+use crate::scenario::{Scenario, ScenarioError};
+use tinyisa::kernels::{self, Kernel};
+
+/// Resolves a `kernel` axis value to its fixed-size benchmark kernel —
+/// the one dispatch shared by every scenario with a kernel axis, so
+/// axis vocabularies cannot silently drift between scenarios.
+pub(crate) fn kernel_by_name(name: &str) -> Result<Kernel, ScenarioError> {
+    match name {
+        "sum_loop" => Ok(kernels::sum_loop(12)),
+        "popcount" => Ok(kernels::popcount_branchy(12)),
+        "linear_search" => Ok(kernels::linear_search(8, 256)),
+        "vector_max" => Ok(kernels::vector_max(8, 256)),
+        _ => Err(ScenarioError::BadParam {
+            axis: "kernel".to_string(),
+            value: name.to_string(),
+        }),
+    }
+}
+
+/// Every built-in scenario, in registration order.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(cache::CacheEvictFill),
+        Box::new(pipeline::PipelineSipr),
+        Box::new(pipeline::DominoEffect),
+        Box::new(dram::DramRefresh),
+        Box::new(dram::DramController),
+        Box::new(interconnect::BusArbitration),
+        Box::new(branch::BranchMispredict),
+        Box::new(wcet::WcetTightness),
+        Box::new(singlepath_conv::SinglePathIipr),
+        Box::new(dynsys_maps::DynsysHorizon),
+    ]
+}

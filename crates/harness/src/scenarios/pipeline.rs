@@ -1,0 +1,181 @@
+//! Pipeline scenarios (`pipeline-sim`): state-induced predictability of
+//! in-order vs. out-of-order cores, and the Section 2.2 domino effect.
+
+use super::kernel_by_name;
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use pipeline_sim::domino::schneider_example;
+use pipeline_sim::inorder::{InOrderPipeline, InOrderState};
+use pipeline_sim::latency::PerfectMem;
+use pipeline_sim::ooo::{default_entry_states, OooCore};
+use predictability_core::domino::equation4_bound;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinyisa::exec::Machine;
+use tinyisa::kernels::Kernel;
+use tinyisa::reg::Reg;
+
+/// Runs `kernel` once with a seed-derived input and returns the trace.
+fn traced(kernel: &Kernel, seed: u64) -> Vec<tinyisa::exec::TraceOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let regs: Vec<(Reg, i64)> = kernel
+        .input_regs
+        .iter()
+        .map(|&r| (r, rng.random_range(0..4096)))
+        .collect();
+    let mem: Vec<(u32, i64)> = kernel
+        .input_mem
+        .map(|(base, len)| {
+            (0..len)
+                .map(|i| (base + i, rng.random_range(-64..=64)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Machine::default()
+        .run_traced_with(&kernel.program, &regs, &mem)
+        .expect("kernel must terminate")
+        .trace
+}
+
+/// State-induced predictability of the compositional in-order pipeline
+/// versus the out-of-order core, over each core's canonical entry-state
+/// uncertainty set (Definition 4 on concrete hardware models).
+pub struct PipelineSipr;
+
+impl Scenario for PipelineSipr {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "pipeline-sipr",
+            version: 1,
+            title: "In-order vs. out-of-order: state-induced predictability",
+            source_crate: "pipeline-sim",
+            property: "execution time of a fixed program and input",
+            uncertainty: "initial pipeline state",
+            quality: "SIPr (Definition 4) and the worst state-induced gap",
+            catalog_id: Some("preschedule"),
+            axes: vec![
+                Axis::new("pipeline", ["inorder", "ooo"]),
+                Axis::new("kernel", ["sum_loop", "popcount", "linear_search"]),
+            ],
+            headline_metric: "sipr",
+            smaller_is_better: false,
+        }
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+        let kernel = kernel_by_name(params.get("kernel")?)?;
+        let trace = traced(&kernel, seed);
+        let times: Vec<u64> = match params.get("pipeline")? {
+            "inorder" => {
+                let pipeline = InOrderPipeline::default();
+                (0..=3u64)
+                    .map(|warmup| {
+                        let mut mem = PerfectMem::default();
+                        pipeline.run(&trace, InOrderState { warmup }, &mut mem, None)
+                    })
+                    .collect()
+            }
+            "ooo" => {
+                let core = OooCore::default();
+                default_entry_states()
+                    .into_iter()
+                    .map(|q| core.run(&trace, q))
+                    .collect()
+            }
+            other => {
+                return Err(ScenarioError::BadParam {
+                    axis: "pipeline".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        let min = *times.iter().min().expect("state set is non-empty");
+        let max = *times.iter().max().expect("state set is non-empty");
+        Ok(CellResult::new(vec![
+            ("sipr", min as f64 / max as f64),
+            ("gap_cycles", (max - min) as f64),
+            ("t_best", min as f64),
+            ("t_worst", max as f64),
+        ]))
+    }
+}
+
+/// The Schneider/PPC755 domino effect: `T(q1*, p_n) = 9n + 1` vs.
+/// `T(q2*, p_n) = 12n`, hence `SIPr ≤ (9n+1)/12n → 3/4` (Equation 4).
+pub struct DominoEffect;
+
+impl Scenario for DominoEffect {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "pipeline-domino",
+            version: 1,
+            title: "Domino effect on the dual-unit greedy machine (Eq. 4)",
+            source_crate: "pipeline-sim",
+            property: "execution time of the n-iteration loop family",
+            uncertainty: "initial unit-busy state (q1* vs q2*)",
+            quality: "SIPr upper-bound series (9n+1)/12n",
+            catalog_id: Some("future-arch"),
+            axes: vec![Axis::new("n", [1u32, 4, 16, 64])],
+            headline_metric: "sipr",
+            smaller_is_better: false,
+        }
+    }
+
+    fn run(&self, params: &Params, _seed: u64) -> Result<CellResult, ScenarioError> {
+        let n = params.get_u64("n")? as u32;
+        let config = schneider_example();
+        let (t_fast, t_slow) = config.times(n);
+        let sipr = t_fast as f64 / t_slow as f64;
+        let matches_eq4 = (sipr - equation4_bound(n)).abs() < 1e-12;
+        Ok(CellResult::new(vec![
+            ("sipr", sipr),
+            ("t_fast", t_fast as f64),
+            ("t_slow", t_slow as f64),
+            ("gap_cycles", (t_slow - t_fast) as f64),
+            ("matches_eq4", f64::from(u8::from(matches_eq4))),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domino_reproduces_equation4() {
+        for n in [1u32, 16] {
+            let p = Params::new(vec![("n".into(), n.to_string())]);
+            let r = DominoEffect.run(&p, 0).unwrap();
+            assert_eq!(r.metric("t_fast"), Some(9.0 * n as f64 + 1.0));
+            assert_eq!(r.metric("t_slow"), Some(12.0 * n as f64));
+            assert_eq!(r.metric("matches_eq4"), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn inorder_is_more_state_predictable_than_ooo() {
+        let run = |pipeline: &str| {
+            let p = Params::new(vec![
+                ("pipeline".into(), pipeline.into()),
+                ("kernel".into(), "sum_loop".into()),
+            ]);
+            PipelineSipr.run(&p, 1).unwrap()
+        };
+        let inorder = run("inorder");
+        let ooo = run("ooo");
+        assert!(inorder.metric("sipr").unwrap() >= ooo.metric("sipr").unwrap());
+        // The compositional in-order core's gap is bounded by its warmup.
+        assert!(inorder.metric("gap_cycles").unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let p = Params::new(vec![
+            ("pipeline".into(), "ooo".into()),
+            ("kernel".into(), "linear_search".into()),
+        ]);
+        assert_eq!(
+            PipelineSipr.run(&p, 9).unwrap(),
+            PipelineSipr.run(&p, 9).unwrap()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Single-path scenario (`singlepath`): input-induced predictability of
+//! a branchy program before and after if-conversion (Table 2, row 6).
+
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use pipeline_sim::inorder::{InOrderPipeline, InOrderState};
+use pipeline_sim::latency::PerfectMem;
+use tinyisa::exec::Machine;
+use tinyisa::program::Program;
+use tinyisa::reg::Reg;
+
+const BRANCHY_SRC: &str = r"
+    li   r2, 5
+    blt  r1, r2, then
+    sub  r3, r1, r2
+    mul  r4, r3, r3
+    jmp  join
+then:
+    sub  r3, r2, r1
+join:
+    halt
+";
+
+/// IIPr (Definition 5) of the branchy conditional versus its
+/// if-converted single-path form: conversion drives IIPr to exactly 1.
+pub struct SinglePathIipr;
+
+fn time_of(program: &Program, input: i64) -> u64 {
+    let run = Machine::default()
+        .run_traced_with(program, &[(Reg::new(1), input)], &[])
+        .expect("program must terminate");
+    let mut mem = PerfectMem::default();
+    InOrderPipeline::default().run(&run.trace, InOrderState { warmup: 0 }, &mut mem, None)
+}
+
+impl Scenario for SinglePathIipr {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "singlepath-iipr",
+            version: 1,
+            title: "Single-path conversion: input-induced predictability",
+            source_crate: "singlepath",
+            property: "execution time of the program",
+            uncertainty: "program input",
+            quality: "IIPr (Definition 5); 1 = perfectly input-predictable",
+            catalog_id: Some("single-path"),
+            axes: vec![Axis::new("variant", ["branchy", "converted"])],
+            headline_metric: "iipr",
+            smaller_is_better: false,
+        }
+    }
+
+    fn run(&self, params: &Params, _seed: u64) -> Result<CellResult, ScenarioError> {
+        let branchy = tinyisa::asm::assemble(BRANCHY_SRC).expect("source assembles");
+        let program = match params.get("variant")? {
+            "branchy" => branchy,
+            "converted" => {
+                singlepath::if_convert(&branchy)
+                    .expect("program is convertible")
+                    .program
+            }
+            other => {
+                return Err(ScenarioError::BadParam {
+                    axis: "variant".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        let times: Vec<u64> = (-10..=10).map(|input| time_of(&program, input)).collect();
+        let min = *times.iter().min().expect("input sweep is non-empty");
+        let max = *times.iter().max().expect("input sweep is non-empty");
+        Ok(CellResult::new(vec![
+            ("iipr", min as f64 / max as f64),
+            ("t_best", min as f64),
+            ("t_worst", max as f64),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(variant: &str) -> Params {
+        Params::new(vec![("variant".into(), variant.into())])
+    }
+
+    #[test]
+    fn conversion_reaches_perfect_iipr() {
+        let branchy = SinglePathIipr.run(&cell("branchy"), 0).unwrap();
+        let converted = SinglePathIipr.run(&cell("converted"), 0).unwrap();
+        assert!(branchy.metric("iipr").unwrap() < 1.0);
+        assert_eq!(converted.metric("iipr"), Some(1.0));
+    }
+}

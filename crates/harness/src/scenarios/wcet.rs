@@ -1,0 +1,140 @@
+//! WCET bound-tightness scenario (`wcet-analysis`): the Figure 1
+//! picture `LB ≤ observed ≤ UB` quantified per kernel and memory model.
+
+use super::kernel_by_name;
+use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use mem_hierarchy::cache::{lru_cache, CacheConfig};
+use pipeline_sim::inorder::{InOrderPipeline, InOrderState};
+use pipeline_sim::latency::{CachedMem, PerfectMem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tinyisa::exec::Machine;
+use tinyisa::reg::Reg;
+use wcet_analysis::{bounds, WcetConfig};
+
+const HIT: u64 = 1;
+const MISS: u64 = 10;
+const WARMUP_MAX: u64 = 3;
+
+/// Static LB/UB from `wcet-analysis` against observed in-order
+/// execution times over a `(warmup × seeded-input)` uncertainty sweep:
+/// soundness (every observation enclosed) and tightness (how much of
+/// the bound the worst observation reaches).
+pub struct WcetTightness;
+
+impl Scenario for WcetTightness {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            id: "wcet-tightness",
+            version: 1,
+            title: "WCET analysis: bound soundness and tightness",
+            source_crate: "wcet-analysis",
+            property: "execution time of whole programs",
+            uncertainty: "pipeline warmup state and program input",
+            quality: "UB tightness (worst observed / UB) with soundness check",
+            catalog_id: None,
+            axes: vec![
+                Axis::new("kernel", ["sum_loop", "linear_search", "vector_max"]),
+                Axis::new("memory", ["perfect", "cached"]),
+            ],
+            headline_metric: "tightness",
+            smaller_is_better: false,
+        }
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Result<CellResult, ScenarioError> {
+        let kernel = kernel_by_name(params.get("kernel")?)?;
+        let memory = params.get("memory")?;
+        let config = match memory {
+            "perfect" => WcetConfig {
+                mem_worst: HIT,
+                mem_best: HIT,
+                ..WcetConfig::default()
+            },
+            "cached" => WcetConfig {
+                mem_worst: MISS,
+                mem_best: HIT,
+                ..WcetConfig::default()
+            },
+            other => {
+                return Err(ScenarioError::BadParam {
+                    axis: "memory".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        let b = bounds(&kernel.program, &config);
+
+        let machine = Machine::default();
+        let pipeline = InOrderPipeline::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut observed: Vec<u64> = Vec::new();
+        let mut sound = true;
+        for _ in 0..5 {
+            let input: i64 = rng.random_range(0..24);
+            let regs: Vec<(Reg, i64)> = kernel.input_regs.iter().map(|&r| (r, input)).collect();
+            let mem_init: Vec<(u32, i64)> = kernel
+                .input_mem
+                .map(|(base, len)| {
+                    (0..len)
+                        .map(|i| (base + i, ((i as i64) * 7) % 23))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let run = machine
+                .run_traced_with(&kernel.program, &regs, &mem_init)
+                .expect("kernel must terminate");
+            for warmup in 0..=WARMUP_MAX {
+                let state = InOrderState { warmup };
+                let t = match memory {
+                    "perfect" => {
+                        let mut mem: PerfectMem = PerfectMem { latency: HIT };
+                        pipeline.run(&run.trace, state, &mut mem, None)
+                    }
+                    _ => {
+                        let mut mem: CachedMem<_> = CachedMem {
+                            cache: lru_cache(CacheConfig::new(4, 2, 8)),
+                            hit_latency: HIT,
+                            miss_latency: MISS,
+                        };
+                        pipeline.run(&run.trace, state, &mut mem, None)
+                    }
+                };
+                // The warmup is part of Q, not the program: the static UB
+                // covers the program, so enclosure is `ub + warmup`.
+                sound &= b.lb <= t && t <= b.ub + warmup;
+                observed.push(t);
+            }
+        }
+        let obs_min = *observed.iter().min().expect("sweep is non-empty");
+        let obs_max = *observed.iter().max().expect("sweep is non-empty");
+        Ok(CellResult::new(vec![
+            ("lb", b.lb as f64),
+            ("ub", b.ub as f64),
+            ("obs_min", obs_min as f64),
+            ("obs_max", obs_max as f64),
+            ("tightness", obs_max as f64 / b.ub as f64),
+            ("sound", f64::from(u8::from(sound))),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_sound_on_every_cell() {
+        for kernel in ["sum_loop", "linear_search", "vector_max"] {
+            for memory in ["perfect", "cached"] {
+                let p = Params::new(vec![
+                    ("kernel".into(), kernel.into()),
+                    ("memory".into(), memory.into()),
+                ]);
+                let r = WcetTightness.run(&p, 13).unwrap();
+                assert_eq!(r.metric("sound"), Some(1.0), "{kernel}/{memory}");
+                assert!(r.metric("tightness").unwrap() <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The memoizing result store.
+//!
+//! Every evaluated cell is stored under a *fingerprint* of everything
+//! its result can depend on: the store schema version, the scenario id,
+//! the canonical parameter key and the cell seed. Re-running a campaign
+//! against the same store therefore executes only cells it has never
+//! seen — a second identical run executes zero cells — while any change
+//! to a scenario's identity, parameters or seeding naturally misses.
+//! The store serializes to the deterministic JSON of [`crate::json`],
+//! sorted by fingerprint, so equal stores are byte-equal on disk.
+
+use crate::json::Json;
+use crate::scenario::{CellResult, Params, ScenarioError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Bump when the fingerprint inputs or stored layout change; old
+/// entries then miss instead of being misread.
+const SCHEMA_VERSION: u32 = 1;
+
+/// One stored cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredCell {
+    /// Scenario id.
+    pub scenario: String,
+    /// Scenario implementation version the result was computed under.
+    pub version: u32,
+    /// Canonical parameter key (`axis=value,...`).
+    pub params_key: String,
+    /// The cell seed the result was computed under.
+    pub seed: u64,
+    /// The measured metrics.
+    pub result: CellResult,
+}
+
+/// The FNV-1a-64 offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a-64: the workspace's stable non-cryptographic hash.
+pub(crate) fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint a cell is memoized under: everything its result can
+/// depend on — store schema, scenario identity *and implementation
+/// version*, canonical parameters, and the cell seed.
+pub fn fingerprint(scenario_id: &str, version: u32, params: &Params, seed: u64) -> String {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(&SCHEMA_VERSION.to_le_bytes(), h);
+    h = fnv1a(scenario_id.as_bytes(), h);
+    h = fnv1a(&[0xff], h); // domain separator
+    h = fnv1a(&version.to_le_bytes(), h);
+    h = fnv1a(params.key().as_bytes(), h);
+    h = fnv1a(&seed.to_le_bytes(), h);
+    format!("{h:016x}")
+}
+
+/// The memoizing store: fingerprint → stored cell.
+#[derive(Debug, Clone, Default)]
+pub struct ResultStore {
+    cells: BTreeMap<String, StoredCell>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> ResultStore {
+        ResultStore::default()
+    }
+
+    /// Number of memoized cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks up a memoized result.
+    pub fn get(
+        &self,
+        scenario_id: &str,
+        version: u32,
+        params: &Params,
+        seed: u64,
+    ) -> Option<&StoredCell> {
+        self.cells
+            .get(&fingerprint(scenario_id, version, params, seed))
+    }
+
+    /// Memoizes one result.
+    pub fn insert(
+        &mut self,
+        scenario_id: &str,
+        version: u32,
+        params: &Params,
+        seed: u64,
+        result: CellResult,
+    ) {
+        self.cells.insert(
+            fingerprint(scenario_id, version, params, seed),
+            StoredCell {
+                scenario: scenario_id.to_string(),
+                version,
+                params_key: params.key(),
+                seed,
+                result,
+            },
+        );
+    }
+
+    /// Serializes the store (sorted by fingerprint — deterministic).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
+            (
+                "cells".into(),
+                Json::Obj(
+                    self.cells
+                        .iter()
+                        .map(|(fp, cell)| {
+                            (
+                                fp.clone(),
+                                Json::Obj(vec![
+                                    ("scenario".into(), Json::str(&cell.scenario)),
+                                    ("version".into(), Json::Num(cell.version as f64)),
+                                    ("params".into(), Json::str(&cell.params_key)),
+                                    // Hex: u64 seeds exceed f64's exact
+                                    // integer range.
+                                    ("seed".into(), Json::str(format!("{:016x}", cell.seed))),
+                                    (
+                                        "metrics".into(),
+                                        Json::Obj(
+                                            cell.result
+                                                .metrics
+                                                .iter()
+                                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a store; entries from other schema versions are
+    /// dropped (they would be recomputed anyway).
+    pub fn from_json(doc: &Json) -> Result<ResultStore, ScenarioError> {
+        let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+        if schema != SCHEMA_VERSION {
+            return Ok(ResultStore::new());
+        }
+        let mut cells = BTreeMap::new();
+        if let Some(Json::Obj(members)) = doc.get("cells") {
+            for (fp, cell) in members {
+                let bad = |what: &str| ScenarioError::Store(format!("cell {fp}: bad {what}"));
+                let scenario = cell
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("scenario"))?
+                    .to_string();
+                let version = cell
+                    .get("version")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("version"))? as u32;
+                let params_key = cell
+                    .get("params")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("params"))?
+                    .to_string();
+                let seed = cell
+                    .get("seed")
+                    .and_then(Json::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| bad("seed"))?;
+                let metrics = match cell.get("metrics") {
+                    Some(Json::Obj(ms)) => ms
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_f64()
+                                .map(|x| (k.clone(), x))
+                                .ok_or_else(|| bad("metric"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad("metrics")),
+                };
+                cells.insert(
+                    fp.clone(),
+                    StoredCell {
+                        scenario,
+                        version,
+                        params_key,
+                        seed,
+                        result: CellResult { metrics },
+                    },
+                );
+            }
+        }
+        Ok(ResultStore { cells })
+    }
+
+    /// Loads a store from disk; a missing file is an empty store.
+    pub fn load(path: &Path) -> Result<ResultStore, ScenarioError> {
+        if !path.exists() {
+            return Ok(ResultStore::new());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Store(format!("read {}: {e}", path.display())))?;
+        let doc = Json::parse(&text).map_err(ScenarioError::Store)?;
+        ResultStore::from_json(&doc)
+    }
+
+    /// Writes the store to disk (creating parent directories).
+    pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
+        }
+        std::fs::write(path, self.to_json().pretty())
+            .map_err(|e| ScenarioError::Store(format!("write {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(vec![("n".into(), "4".into())])
+    }
+
+    #[test]
+    fn fingerprint_separates_all_inputs() {
+        let p = params();
+        let base = fingerprint("s", 1, &p, 1);
+        assert_eq!(base, fingerprint("s", 1, &p, 1));
+        assert_ne!(base, fingerprint("s2", 1, &p, 1));
+        assert_ne!(base, fingerprint("s", 2, &p, 1), "version bump must miss");
+        assert_ne!(base, fingerprint("s", 1, &p, 2));
+        let p2 = Params::new(vec![("n".into(), "5".into())]);
+        assert_ne!(base, fingerprint("s", 1, &p2, 1));
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut store = ResultStore::new();
+        assert!(store.get("s", 1, &params(), 7).is_none());
+        store.insert("s", 1, &params(), 7, CellResult::new(vec![("m", 1.5)]));
+        assert!(
+            store.get("s", 2, &params(), 7).is_none(),
+            "other version misses"
+        );
+        let hit = store.get("s", 1, &params(), 7).unwrap();
+        assert_eq!(hit.result.metric("m"), Some(1.5));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_store() {
+        let mut store = ResultStore::new();
+        store.insert("a", 1, &params(), 1, CellResult::new(vec![("x", 2.0)]));
+        store.insert(
+            "b",
+            3,
+            &params(),
+            2,
+            CellResult::new(vec![("y", 0.25), ("z", 3.0)]),
+        );
+        let doc = store.to_json();
+        let back = ResultStore::from_json(&Json::parse(&doc.pretty()).unwrap()).unwrap();
+        assert_eq!(back.cells, store.cells);
+        assert_eq!(back.to_json().pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn unknown_schema_loads_empty() {
+        let doc = Json::Obj(vec![("schema".into(), Json::Num(999.0))]);
+        assert!(ResultStore::from_json(&doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_empty_store() {
+        let store = ResultStore::load(Path::new("/nonexistent/store.json")).unwrap();
+        assert!(store.is_empty());
+    }
+}

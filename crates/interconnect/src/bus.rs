@@ -41,6 +41,31 @@ pub enum Arbiter {
     FixedPriority,
 }
 
+impl Arbiter {
+    /// Every arbitration policy, for registry-driven sweeps.
+    pub const ALL: [Arbiter; 4] = [
+        Arbiter::Tdma,
+        Arbiter::RoundRobin,
+        Arbiter::Fcfs,
+        Arbiter::FixedPriority,
+    ];
+
+    /// Stable lower-case name (usable as a matrix-axis value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arbiter::Tdma => "tdma",
+            Arbiter::RoundRobin => "roundrobin",
+            Arbiter::Fcfs => "fcfs",
+            Arbiter::FixedPriority => "priority",
+        }
+    }
+
+    /// Parses an [`Arbiter::name`] back to the arbiter.
+    pub fn by_name(name: &str) -> Option<Arbiter> {
+        Arbiter::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
 /// Simulates the bus; `transfer` is the duration of one transaction
 /// (for TDMA, also the slot length).
 ///
@@ -91,8 +116,9 @@ pub fn simulate_bus(
             Arbiter::Fcfs => (0..n_masters)
                 .filter(|&m| queues[m].front().is_some_and(|r| r.arrival <= slot_start))
                 .min_by_key(|&m| queues[m].front().unwrap().arrival),
-            Arbiter::FixedPriority => (0..n_masters)
-                .find(|&m| queues[m].front().is_some_and(|r| r.arrival <= slot_start)),
+            Arbiter::FixedPriority => {
+                (0..n_masters).find(|&m| queues[m].front().is_some_and(|r| r.arrival <= slot_start))
+            }
         };
         if let Some(m) = pick {
             let r = queues[m].pop_front().unwrap();

@@ -93,6 +93,9 @@ pub enum NocMode {
     RoundRobin,
 }
 
+/// A mesh node coordinate.
+type Node = (usize, usize);
+
 /// Routes packets through the mesh, store-and-forward at flit
 /// granularity, returning deliveries in input order.
 pub fn route_packets(mesh: Mesh, mode: NocMode, packets: &[NocPacket]) -> Vec<Delivery> {
@@ -120,7 +123,7 @@ pub fn route_packets(mesh: Mesh, mode: NocMode, packets: &[NocPacket]) -> Vec<De
             // Event-driven per-link queues: each link serves one flit per
             // cycle, round-robin over packets. Simplified: packets hold a
             // whole link for their duration per hop (wormhole-ish).
-            let mut link_free: BTreeMap<((usize, usize), (usize, usize)), u64> = BTreeMap::new();
+            let mut link_free: BTreeMap<(Node, Node), u64> = BTreeMap::new();
             let mut order: Vec<usize> = (0..packets.len()).collect();
             order.sort_by_key(|&i| packets[i].inject);
             let mut out = vec![

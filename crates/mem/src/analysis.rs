@@ -260,7 +260,9 @@ pub fn analyze_icache(
             continue; // unreachable code stays unclassified
         };
         let mut must = must0;
-        let mut may = may_in[b.id].clone().unwrap_or_else(|| AbstractCache::new(config, false));
+        let mut may = may_in[b.id]
+            .clone()
+            .unwrap_or_else(|| AbstractCache::new(config, false));
         for pc in b.range() {
             let addr = fetch_addr(pc as u32);
             per_pc[pc] = if must.contains(addr) {

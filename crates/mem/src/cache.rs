@@ -29,7 +29,10 @@ impl CacheConfig {
     /// parameter is zero.
     pub fn new(sets: usize, assoc: usize, line_bytes: usize) -> CacheConfig {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         CacheConfig {
             sets,
@@ -100,7 +103,9 @@ pub struct Cache<P: Policy> {
 impl<P: Policy> Cache<P> {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig, policy: P) -> Cache<P> {
-        let sets = (0..config.sets).map(|_| policy.empty(config.assoc)).collect();
+        let sets = (0..config.sets)
+            .map(|_| policy.empty(config.assoc))
+            .collect();
         Cache {
             config,
             policy,

@@ -59,10 +59,7 @@ pub struct LockSelection {
 
 /// Frequency-greedy selection: lock the hottest lines, respecting the
 /// per-set way capacity.
-pub fn select_by_frequency(
-    freqs: &BTreeMap<u64, u64>,
-    config: CacheConfig,
-) -> LockSelection {
+pub fn select_by_frequency(freqs: &BTreeMap<u64, u64>, config: CacheConfig) -> LockSelection {
     let mut by_freq: Vec<(u64, u64)> = freqs.iter().map(|(&l, &f)| (l, f)).collect();
     by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut per_set: Vec<usize> = vec![0; config.sets];
@@ -86,17 +83,14 @@ pub fn select_by_frequency(
 /// lines would be guaranteed hits by must-analysis anyway (after warmup),
 /// so prefer locking hot lines from *conflicting* sets first, then fill
 /// remaining capacity by frequency.
-pub fn select_conflict_aware(
-    freqs: &BTreeMap<u64, u64>,
-    config: CacheConfig,
-) -> LockSelection {
+pub fn select_conflict_aware(freqs: &BTreeMap<u64, u64>, config: CacheConfig) -> LockSelection {
     let mut lines_per_set: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
     for (&line, &f) in freqs {
         let set = (line % config.sets as u64) as usize;
         lines_per_set.entry(set).or_default().push((line, f));
     }
     let mut candidates: Vec<(bool, u64, u64)> = Vec::new(); // (conflicting, freq, line)
-    for (_, lines) in &lines_per_set {
+    for lines in lines_per_set.values() {
         let conflicting = lines.len() > config.assoc;
         for &(line, f) in lines {
             candidates.push((conflicting, f, line));
@@ -177,7 +171,10 @@ mod tests {
         let freqs = line_frequencies(&p, &cfg, config);
         let max = freqs.values().max().copied().unwrap();
         let min = freqs.values().min().copied().unwrap();
-        assert!(max > min, "inner-loop lines must outweigh straight-line code");
+        assert!(
+            max > min,
+            "inner-loop lines must outweigh straight-line code"
+        );
     }
 
     #[test]

@@ -222,8 +222,7 @@ mod tests {
         let (p, t) = call_tree_trace();
         let mut mc = MethodCache::new(64);
         let run = mc.run(&p, &t);
-        let icache_states =
-            icache_distinct_states(CacheConfig::new(4, 2, 8), &t);
+        let icache_states = icache_distinct_states(CacheConfig::new(4, 2, 8), &t);
         assert!(
             run.distinct_states < icache_states,
             "method cache: {} states, I-cache: {} states",

@@ -49,7 +49,13 @@ fn unknown_block(i: usize) -> BlockId {
 }
 
 fn combinations(pool: &[BlockId], k: usize) -> Vec<Vec<BlockId>> {
-    fn rec(pool: &[BlockId], k: usize, start: usize, cur: &mut Vec<BlockId>, out: &mut Vec<Vec<BlockId>>) {
+    fn rec(
+        pool: &[BlockId],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<BlockId>,
+        out: &mut Vec<Vec<BlockId>>,
+    ) {
         if cur.len() == k {
             out.push(cur.clone());
             return;
@@ -137,23 +143,50 @@ pub fn compute_metrics<P: Policy>(
     }
 }
 
+/// Computes evict/fill for a policy named at runtime (`"lru"`,
+/// `"fifo"`, `"plru"`, `"mru"`, case-insensitive), dispatching to the
+/// matching policy automaton. Returns `None` for unknown names. This is
+/// the entry point used by registry-driven callers (the scenario
+/// harness, CLIs) that carry the policy as data rather than as a type.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`compute_metrics`], and if
+/// `"plru"` is requested at a non-power-of-two associativity.
+pub fn compute_metrics_by_name(
+    policy: &str,
+    assoc: usize,
+    max_accesses: u32,
+) -> Option<PredictabilityMetrics> {
+    use crate::policy::{Bounded, Fifo, Lru, Mru, Plru};
+    match policy.to_ascii_lowercase().as_str() {
+        "lru" => Some(compute_metrics(
+            &Bounded { inner: Lru, assoc },
+            assoc,
+            max_accesses,
+        )),
+        "fifo" => Some(compute_metrics(
+            &Bounded { inner: Fifo, assoc },
+            assoc,
+            max_accesses,
+        )),
+        "plru" => Some(compute_metrics(&Plru, assoc, max_accesses)),
+        "mru" => Some(compute_metrics(&Mru, assoc, max_accesses)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{Bounded, Fifo, Lru, Mru, Plru};
 
     fn lru(assoc: usize) -> Bounded<Lru> {
-        Bounded {
-            inner: Lru,
-            assoc,
-        }
+        Bounded { inner: Lru, assoc }
     }
 
     fn fifo(assoc: usize) -> Bounded<Fifo> {
-        Bounded {
-            inner: Fifo,
-            assoc,
-        }
+        Bounded { inner: Fifo, assoc }
     }
 
     #[test]

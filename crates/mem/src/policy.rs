@@ -1,7 +1,7 @@
 //! Replacement policies as explicit per-set automata.
 //!
-//! Each policy exposes its per-set state as a value type with `Eq + Ord
-//! + Hash`, so the same implementation drives both the concrete cache
+//! Each policy exposes its per-set state as a value type with
+//! `Eq + Ord + Hash`, so the same implementation drives both the concrete cache
 //! simulator ([`crate::cache`]) and the exhaustive uncertainty-set
 //! exploration behind the evict/fill predictability metrics
 //! ([`crate::metrics`]). Keeping the state explicit is what makes the
@@ -561,7 +561,10 @@ mod tests {
 
     #[test]
     fn lru_stack_property() {
-        let p = Bounded { inner: Lru, assoc: 4 };
+        let p = Bounded {
+            inner: Lru,
+            assoc: 4,
+        };
         let (s, hits) = drive(&p, 4, &[1, 2, 3, 4, 1, 5, 2]);
         // 1,2,3,4 miss; 1 hits; 5 misses evicting 2 (LRU order after
         // "1,4,3,2" access history); then 2 misses again.
@@ -580,7 +583,10 @@ mod tests {
 
     #[test]
     fn fifo_hits_do_not_reorder() {
-        let p = Bounded { inner: Fifo, assoc: 3 };
+        let p = Bounded {
+            inner: Fifo,
+            assoc: 3,
+        };
         let s = vec![3, 2, 1];
         let out = p.access(&s, 1);
         assert!(out.hit);
@@ -594,7 +600,10 @@ mod tests {
 
     #[test]
     fn bounded_fills_before_evicting() {
-        let p = Bounded { inner: Lru, assoc: 4 };
+        let p = Bounded {
+            inner: Lru,
+            assoc: 4,
+        };
         let mut s = p.empty(4);
         for b in 1..=4u64 {
             let out = p.access(&s, b);

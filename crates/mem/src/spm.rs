@@ -92,10 +92,26 @@ mod tests {
 
     fn items() -> Vec<SpmItem> {
         vec![
-            SpmItem { id: 1, size: 4, frequency: 400 }, // density 100
-            SpmItem { id: 2, size: 2, frequency: 60 },  // density 30
-            SpmItem { id: 3, size: 8, frequency: 80 },  // density 10
-            SpmItem { id: 4, size: 1, frequency: 90 },  // density 90
+            SpmItem {
+                id: 1,
+                size: 4,
+                frequency: 400,
+            }, // density 100
+            SpmItem {
+                id: 2,
+                size: 2,
+                frequency: 60,
+            }, // density 30
+            SpmItem {
+                id: 3,
+                size: 8,
+                frequency: 80,
+            }, // density 10
+            SpmItem {
+                id: 4,
+                size: 1,
+                frequency: 90,
+            }, // density 90
         ]
     }
 
@@ -135,6 +151,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-sized")]
     fn zero_size_rejected() {
-        allocate_greedy(&[SpmItem { id: 0, size: 0, frequency: 1 }], 4);
+        allocate_greedy(
+            &[SpmItem {
+                id: 0,
+                size: 0,
+                frequency: 1,
+            }],
+            4,
+        );
     }
 }

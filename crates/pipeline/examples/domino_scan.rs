@@ -7,12 +7,16 @@ fn family(cfg: &DominoConfig, check_n: u32) -> Option<(u64, i64, u64, i64)> {
     let (t1b, t2b) = cfg.times(2);
     let s1 = t1b as i64 - t1a as i64;
     let s2 = t2b as i64 - t2a as i64;
-    if s1 <= 0 || s2 <= 0 { return None; }
+    if s1 <= 0 || s2 <= 0 {
+        return None;
+    }
     let c1 = t1a as i64 - s1;
     let c2 = t2a as i64 - s2;
     for n in 3..=check_n {
         let (t1, t2) = cfg.times(n);
-        if t1 as i64 != s1 * n as i64 + c1 || t2 as i64 != s2 * n as i64 + c2 { return None; }
+        if t1 as i64 != s1 * n as i64 + c1 || t2 as i64 != s2 * n as i64 + c2 {
+            return None;
+        }
     }
     Some((s1 as u64, c1, s2 as u64, c2))
 }
@@ -20,34 +24,64 @@ fn family(cfg: &DominoConfig, check_n: u32) -> Option<(u64, i64, u64, i64)> {
 fn main() {
     let lat: Vec<Option<u64>> = vec![None, Some(1), Some(2), Some(3), Some(4), Some(5)];
     let mut fams: BTreeSet<(u64, i64, u64, i64)> = BTreeSet::new();
-    for &l00 in &lat[1..] { for &l01 in &lat[1..] {
-    for &l10 in &lat { for &l11 in &lat {
-        if l10.is_none() && l11.is_none() { continue; }
-        for width in [1usize, 2] {
-        let machine = DominoMachine { unit_latency: vec![vec![l00, l01], vec![l10, l11]], dispatch_width: width };
-        for body_len in 2..=4usize {
-            let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
-            for code in 0..combos {
-                let mut c = code;
-                let mut body = Vec::new();
-                for _ in 0..body_len {
-                    let kind = c % 2; c /= 2;
-                    let dep = c % 3; c /= 3;
-                    body.push(LoopInstr { kind, dep });
-                }
-                for a in 0..=2u64 { for b in 0..=4u64 {
-                    if a == 0 && b == 0 { continue; }
-                    let cfg = DominoConfig { machine: machine.clone(), body: body.clone(), q1: vec![0,0], q2: vec![a,b] };
-                    if let Some((s1,c1,s2,c2)) = family(&cfg, 10) {
-                        if s1 != s2 && fams.insert((s1,c1,s2,c2))
-                            && ((s1==12 && s2==9) || (s1==9 && s2==12)) {
-                            println!("HIT {:?} cfg={:?}", (s1,c1,s2,c2), cfg);
+    for &l00 in &lat[1..] {
+        for &l01 in &lat[1..] {
+            for &l10 in &lat {
+                for &l11 in &lat {
+                    if l10.is_none() && l11.is_none() {
+                        continue;
+                    }
+                    for width in [1usize, 2] {
+                        let machine = DominoMachine {
+                            unit_latency: vec![vec![l00, l01], vec![l10, l11]],
+                            dispatch_width: width,
+                        };
+                        for body_len in 2..=4usize {
+                            let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
+                            for code in 0..combos {
+                                let mut c = code;
+                                let mut body = Vec::new();
+                                for _ in 0..body_len {
+                                    let kind = c % 2;
+                                    c /= 2;
+                                    let dep = c % 3;
+                                    c /= 3;
+                                    body.push(LoopInstr { kind, dep });
+                                }
+                                for a in 0..=2u64 {
+                                    for b in 0..=4u64 {
+                                        if a == 0 && b == 0 {
+                                            continue;
+                                        }
+                                        let cfg = DominoConfig {
+                                            machine: machine.clone(),
+                                            body: body.clone(),
+                                            q1: vec![0, 0],
+                                            q2: vec![a, b],
+                                        };
+                                        if let Some((s1, c1, s2, c2)) = family(&cfg, 10) {
+                                            if s1 != s2
+                                                && fams.insert((s1, c1, s2, c2))
+                                                && ((s1 == 12 && s2 == 9) || (s1 == 9 && s2 == 12))
+                                            {
+                                                println!(
+                                                    "HIT {:?} cfg={:?}",
+                                                    (s1, c1, s2, c2),
+                                                    cfg
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
-                }}
+                }
             }
         }
-    }}}}}
-    for f in &fams { println!("{:?}", f); }
+    }
+    for f in &fams {
+        println!("{:?}", f);
+    }
     eprintln!("{} distinct diverging families", fams.len());
 }

@@ -4,48 +4,92 @@ use pipeline_sim::domino::{DominoConfig, DominoMachine, LoopInstr};
 fn is_family(cfg: &DominoConfig, s1: u64, c1: u64, s2: u64, c2: u64, check: u32) -> bool {
     for n in 1..=check {
         let (t1, t2) = cfg.times(n);
-        if t1 != s1 * n as u64 + c1 || t2 != s2 * n as u64 + c2 { return false; }
+        if t1 != s1 * n as u64 + c1 || t2 != s2 * n as u64 + c2 {
+            return false;
+        }
     }
     true
 }
 
 fn main() {
-    let lat: Vec<Option<u64>> = vec![None, Some(1), Some(2), Some(3), Some(4), Some(5), Some(6), Some(7), Some(8), Some(9)];
+    let lat: Vec<Option<u64>> = vec![
+        None,
+        Some(1),
+        Some(2),
+        Some(3),
+        Some(4),
+        Some(5),
+        Some(6),
+        Some(7),
+        Some(8),
+        Some(9),
+    ];
     let mut checked = 0u64;
-    for &l00 in &lat[1..] { for &l01 in &lat[1..] {
-    for &l10 in &lat { for &l11 in &lat {
-        if l10.is_none() && l11.is_none() { continue; }
-        for width in [1usize, 2] {
-            let machine = DominoMachine { unit_latency: vec![vec![l00, l01], vec![l10, l11]], dispatch_width: width };
-            for body_len in 2..=4usize {
-                let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
-                for code in 0..combos {
-                    let mut c = code;
-                    let mut body = Vec::new();
-                    for _ in 0..body_len {
-                        let kind = c % 2; c /= 2;
-                        let dep = c % 3; c /= 3;
-                        body.push(LoopInstr { kind, dep });
+    for &l00 in &lat[1..] {
+        for &l01 in &lat[1..] {
+            for &l10 in &lat {
+                for &l11 in &lat {
+                    if l10.is_none() && l11.is_none() {
+                        continue;
                     }
-                    // Quick screen: slopes from [0,0] must be 9 or 12.
-                    let probe = DominoConfig { machine: machine.clone(), body: body.clone(), q1: vec![0,0], q2: vec![0,0] };
-                    let (a1, _) = probe.times(2);
-                    let (a0, _) = probe.times(1);
-                    let s = a1 - a0;
-                    if s != 9 && s != 12 { continue; }
-                    for a1 in 0..=6u64 { for b1 in 0..=6u64 {
-                    for a2 in 0..=6u64 { for b2 in 0..=6u64 {
-                        if (a1, b1) == (a2, b2) { continue; }
-                        checked += 1;
-                        let cfg = DominoConfig { machine: machine.clone(), body: body.clone(), q1: vec![a1,b1], q2: vec![a2,b2] };
-                        if is_family(&cfg, 9, 1, 12, 0, 12) {
-                            println!("FOUND {cfg:?}");
-                            return;
+                    for width in [1usize, 2] {
+                        let machine = DominoMachine {
+                            unit_latency: vec![vec![l00, l01], vec![l10, l11]],
+                            dispatch_width: width,
+                        };
+                        for body_len in 2..=4usize {
+                            let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
+                            for code in 0..combos {
+                                let mut c = code;
+                                let mut body = Vec::new();
+                                for _ in 0..body_len {
+                                    let kind = c % 2;
+                                    c /= 2;
+                                    let dep = c % 3;
+                                    c /= 3;
+                                    body.push(LoopInstr { kind, dep });
+                                }
+                                // Quick screen: slopes from [0,0] must be 9 or 12.
+                                let probe = DominoConfig {
+                                    machine: machine.clone(),
+                                    body: body.clone(),
+                                    q1: vec![0, 0],
+                                    q2: vec![0, 0],
+                                };
+                                let (a1, _) = probe.times(2);
+                                let (a0, _) = probe.times(1);
+                                let s = a1 - a0;
+                                if s != 9 && s != 12 {
+                                    continue;
+                                }
+                                for a1 in 0..=6u64 {
+                                    for b1 in 0..=6u64 {
+                                        for a2 in 0..=6u64 {
+                                            for b2 in 0..=6u64 {
+                                                if (a1, b1) == (a2, b2) {
+                                                    continue;
+                                                }
+                                                checked += 1;
+                                                let cfg = DominoConfig {
+                                                    machine: machine.clone(),
+                                                    body: body.clone(),
+                                                    q1: vec![a1, b1],
+                                                    q2: vec![a2, b2],
+                                                };
+                                                if is_family(&cfg, 9, 1, 12, 0, 12) {
+                                                    println!("FOUND {cfg:?}");
+                                                    return;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
                         }
-                    }}}}
+                    }
                 }
             }
         }
-    }}}}
+    }
     eprintln!("no exact family; {checked} state pairs checked");
 }

@@ -179,46 +179,46 @@ pub fn search_configs(
                         continue;
                     }
                     for width in [1usize, 2] {
-                    let machine = DominoMachine {
-                        unit_latency: vec![vec![l00, l01], vec![l10, l11]],
-                        dispatch_width: width,
-                    };
-                    for body_len in 2..=4usize {
-                        let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
-                        for code in 0..combos {
-                            let mut c = code;
-                            let mut body = Vec::with_capacity(body_len);
-                            for _ in 0..body_len {
-                                let kind = c % 2;
-                                c /= 2;
-                                let dep = c % 3;
-                                c /= 3;
-                                body.push(LoopInstr { kind, dep });
-                            }
-                            for a1 in 0..=2u64 {
-                                for b1 in 0..=2u64 {
-                                    for a2 in 0..=2u64 {
-                                        for b2 in 0..=6u64 {
-                                            if (a1, b1) == (a2, b2) {
-                                                continue;
-                                            }
-                                            let cfg = DominoConfig {
-                                                machine: machine.clone(),
-                                                body: body.clone(),
-                                                q1: vec![a1, b1],
-                                                q2: vec![a2, b2],
-                                            };
-                                            if matches_family(
-                                                &cfg, slope1, icept1, slope2, icept2, check_n,
-                                            ) {
-                                                return Some(cfg);
+                        let machine = DominoMachine {
+                            unit_latency: vec![vec![l00, l01], vec![l10, l11]],
+                            dispatch_width: width,
+                        };
+                        for body_len in 2..=4usize {
+                            let combos = 2usize.pow(body_len as u32) * 3usize.pow(body_len as u32);
+                            for code in 0..combos {
+                                let mut c = code;
+                                let mut body = Vec::with_capacity(body_len);
+                                for _ in 0..body_len {
+                                    let kind = c % 2;
+                                    c /= 2;
+                                    let dep = c % 3;
+                                    c /= 3;
+                                    body.push(LoopInstr { kind, dep });
+                                }
+                                for a1 in 0..=2u64 {
+                                    for b1 in 0..=2u64 {
+                                        for a2 in 0..=2u64 {
+                                            for b2 in 0..=6u64 {
+                                                if (a1, b1) == (a2, b2) {
+                                                    continue;
+                                                }
+                                                let cfg = DominoConfig {
+                                                    machine: machine.clone(),
+                                                    body: body.clone(),
+                                                    q1: vec![a1, b1],
+                                                    q2: vec![a2, b2],
+                                                };
+                                                if matches_family(
+                                                    &cfg, slope1, icept1, slope2, icept2, check_n,
+                                                ) {
+                                                    return Some(cfg);
+                                                }
                                             }
                                         }
                                     }
                                 }
                             }
                         }
-                    }
                     }
                 }
             }

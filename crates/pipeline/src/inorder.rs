@@ -14,18 +14,10 @@ use tinyisa::exec::TraceOp;
 use tinyisa::instr::OpClass;
 
 /// Configuration of the in-order pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct InOrderConfig {
     /// Instruction latencies.
     pub latencies: LatencyTable,
-}
-
-impl Default for InOrderConfig {
-    fn default() -> Self {
-        InOrderConfig {
-            latencies: LatencyTable::default(),
-        }
-    }
 }
 
 /// The pipeline's initial hardware state: how many residual cycles of

@@ -55,6 +55,31 @@ impl OooState {
     };
 }
 
+/// The canonical entry-state uncertainty set used by the evidence
+/// experiments and the scenario harness: the drained pipeline plus
+/// three partially busy states exercising each unit and the register
+/// file.
+pub fn default_entry_states() -> Vec<OooState> {
+    vec![
+        OooState::EMPTY,
+        OooState {
+            unit0_busy: 4,
+            unit1_busy: 0,
+            regs_ready: 1,
+        },
+        OooState {
+            unit0_busy: 0,
+            unit1_busy: 6,
+            regs_ready: 3,
+        },
+        OooState {
+            unit0_busy: 7,
+            unit1_busy: 7,
+            regs_ready: 5,
+        },
+    ]
+}
+
 /// The out-of-order core model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OooCore {

@@ -66,16 +66,10 @@ pub fn run_smt(threads: &[Workload], policy: SmtPolicy) -> SmtRun {
                     0
                 } else {
                     // Non-RT threads share the leftover bandwidth RR.
-                    *ready
-                        .iter()
-                        .find(|&&t| t > last_rr)
-                        .unwrap_or(&ready[0])
+                    *ready.iter().find(|&&t| t > last_rr).unwrap_or(&ready[0])
                 }
             }
-            SmtPolicy::Fair => *ready
-                .iter()
-                .find(|&&t| t > last_rr)
-                .unwrap_or(&ready[0]),
+            SmtPolicy::Fair => *ready.iter().find(|&&t| t > last_rr).unwrap_or(&ready[0]),
         };
         if chosen != 0 || policy == SmtPolicy::Fair {
             last_rr = chosen;

@@ -38,7 +38,12 @@ impl Default for VtraceConfig {
 /// Runs a trace in virtual-trace mode on the given core. Returns total
 /// cycles; the result is independent of `entry` by construction (the
 /// first action is a reset), which the tests verify.
-pub fn run_vtrace(core: &OooCore, config: VtraceConfig, trace: &[TraceOp], _entry: OooState) -> u64 {
+pub fn run_vtrace(
+    core: &OooCore,
+    config: VtraceConfig,
+    trace: &[TraceOp],
+    _entry: OooState,
+) -> u64 {
     // Constant-latency core: divides forced to the constant worst case,
     // no variable operands.
     let fixed = OooCore {
@@ -171,6 +176,9 @@ mod tests {
         let b = run_vtrace(&core, cfg, &t2, OooState::EMPTY);
         assert_eq!(a, b, "constant-latency mode must erase operand effects");
         // The raw variable-latency core does differ.
-        assert_ne!(core.run(&t1, OooState::EMPTY), core.run(&t2, OooState::EMPTY));
+        assert_ne!(
+            core.run(&t1, OooState::EMPTY),
+            core.run(&t2, OooState::EMPTY)
+        );
     }
 }

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io registry, so this shim keeps
+//! the workspace's benches compiling and runnable. It implements the
+//! used surface — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`criterion_group!`] and [`criterion_main!`] — and
+//! measures plain wall-clock medians over a fixed iteration budget. No
+//! statistics engine, no HTML reports; the printed `name ... time/iter`
+//! lines are the whole output.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per measurement batch (picked for sub-second benches on
+/// the simulators in this workspace).
+const BATCHES: usize = 5;
+const ITERS_PER_BATCH: usize = 3;
+
+/// The bench context handed to registered functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it report as
+    /// `group/param`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named family of parameterised benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's iteration budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id from a function name and a parameter value.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Runs the measured closure and records timings.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Vec<u128>,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its result alive via `black_box` so the
+    /// optimiser cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup iteration outside measurement.
+        std::hint::black_box(f());
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_BATCH {
+                std::hint::black_box(f());
+            }
+            self.nanos_per_iter
+                .push(start.elapsed().as_nanos() / ITERS_PER_BATCH as u128);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.nanos_per_iter.is_empty() {
+            println!("{name:<40}  (no measurement)");
+            return;
+        }
+        self.nanos_per_iter.sort_unstable();
+        let median = self.nanos_per_iter[self.nanos_per_iter.len() / 2];
+        println!("{name:<40}  {} / iter", human(median));
+    }
+}
+
+fn human(nanos: u128) -> String {
+    match nanos {
+        0..=9_999 => format!("{nanos} ns"),
+        10_000..=9_999_999 => format!("{:.2} µs", nanos as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2} ms", nanos as f64 / 1e6),
+        _ => format!("{:.2} s", nanos as f64 / 1e9),
+    }
+}
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(12), "12 ns");
+        assert_eq!(human(12_000), "12.00 µs");
+        assert_eq!(human(12_000_000), "12.00 ms");
+        assert_eq!(human(12_000_000_000), "12.00 s");
+    }
+}

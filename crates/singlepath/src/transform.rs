@@ -157,7 +157,7 @@ pub fn if_convert(program: &Program) -> Result<ConversionReport, ConversionError
         }
         out.push(Instr::Slti(not_cond, cond, 1));
 
-        let mut emit_arm = |range: std::ops::Range<u32>, pred: Reg, out: &mut Vec<Instr>| {
+        let emit_arm = |range: std::ops::Range<u32>, pred: Reg, out: &mut Vec<Instr>| {
             for p in range {
                 let arm_ins = program.instrs[p as usize];
                 let Some(rd) = arm_ins.def() else {
@@ -278,7 +278,11 @@ mod tests {
             "single-path code must execute the same count for all inputs: {counts:?}"
         );
         let orig_counts: Vec<u64> = (-20..=20i64)
-            .map(|x| m.run_with(&p, &[(Reg::new(1), x)], &[]).unwrap().instr_count)
+            .map(|x| {
+                m.run_with(&p, &[(Reg::new(1), x)], &[])
+                    .unwrap()
+                    .instr_count
+            })
             .collect();
         assert!(orig_counts.windows(2).any(|w| w[0] != w[1]));
     }

@@ -47,12 +47,10 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let rest = tok
-        .strip_prefix('r')
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("expected register, found `{tok}`"),
-        })?;
+    let rest = tok.strip_prefix('r').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected register, found `{tok}`"),
+    })?;
     let idx: u8 = rest.parse().map_err(|_| AsmError {
         line,
         message: format!("invalid register `{tok}`"),
@@ -116,7 +114,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     for (lineno, raw) in source.lines().enumerate() {
         let line = lineno + 1;
         let mut text = raw;
-        if let Some(pos) = text.find(|c| c == ';' || c == '#') {
+        if let Some(pos) = text.find([';', '#']) {
             text = &text[..pos];
         }
         let text = text.trim();
@@ -162,12 +160,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let (Some(label), Some(count)) = (it.next(), it.next()) else {
                 return err(line, ".loopbound requires `label count`");
             };
-            let count: u32 = count
-                .parse()
-                .map_err(|_| AsmError {
-                    line,
-                    message: format!("invalid loop bound `{count}`"),
-                })?;
+            let count: u32 = count.parse().map_err(|_| AsmError {
+                line,
+                message: format!("invalid loop bound `{count}`"),
+            })?;
             loop_bounds.insert(label.to_string(), count);
             continue;
         }
@@ -345,10 +341,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         functions,
         loop_bounds,
     };
-    program.validate().map_err(|message| AsmError {
-        line: 0,
-        message,
-    })?;
+    program
+        .validate()
+        .map_err(|message| AsmError { line: 0, message })?;
     Ok(program)
 }
 
@@ -502,13 +497,34 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        assert!(assemble("bogus r1, r2").unwrap_err().message.contains("unknown mnemonic"));
-        assert!(assemble("add r1, r2").unwrap_err().message.contains("expects 3"));
-        assert!(assemble("jmp nowhere").unwrap_err().message.contains("undefined label"));
-        assert!(assemble("li r99, 1").unwrap_err().message.contains("out of range"));
-        assert!(assemble("x:\nx:\nhalt").unwrap_err().message.contains("duplicate"));
-        assert!(assemble(".func f\nnop").unwrap_err().message.contains("never closed"));
-        assert!(assemble(".endfunc").unwrap_err().message.contains("without .func"));
+        assert!(assemble("bogus r1, r2")
+            .unwrap_err()
+            .message
+            .contains("unknown mnemonic"));
+        assert!(assemble("add r1, r2")
+            .unwrap_err()
+            .message
+            .contains("expects 3"));
+        assert!(assemble("jmp nowhere")
+            .unwrap_err()
+            .message
+            .contains("undefined label"));
+        assert!(assemble("li r99, 1")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(assemble("x:\nx:\nhalt")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(assemble(".func f\nnop")
+            .unwrap_err()
+            .message
+            .contains("never closed"));
+        assert!(assemble(".endfunc")
+            .unwrap_err()
+            .message
+            .contains("without .func"));
         let e = assemble("nop\nadd r1").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().starts_with("line 2:"));

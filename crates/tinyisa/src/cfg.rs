@@ -68,7 +68,10 @@ impl Cfg {
     ///
     /// Panics if the program is empty or fails [`Program::validate`].
     pub fn build(program: &Program) -> Cfg {
-        assert!(!program.is_empty(), "cannot build a CFG of an empty program");
+        assert!(
+            !program.is_empty(),
+            "cannot build a CFG of an empty program"
+        );
         program
             .validate()
             .expect("program must validate before CFG construction");
@@ -98,10 +101,8 @@ impl Cfg {
                         leaders.insert(pc + 1);
                     }
                 }
-                OpClass::Nop if matches!(ins, crate::instr::Instr::Halt) => {
-                    if (pc + 1) < n as u32 {
-                        leaders.insert(pc + 1);
-                    }
+                OpClass::Nop if matches!(ins, crate::instr::Instr::Halt) && (pc + 1) < n as u32 => {
+                    leaders.insert(pc + 1);
                 }
                 _ => {}
             }
@@ -129,8 +130,8 @@ impl Cfg {
             }
         }
 
-        for id in 0..blocks.len() {
-            let last_pc = blocks[id].end - 1;
+        for block in &mut blocks {
+            let last_pc = block.end - 1;
             let last = program.instrs[last_pc as usize];
             let mut succs = Vec::new();
             match last.class() {
@@ -151,16 +152,15 @@ impl Cfg {
                         succs.push(start_to_id[&t]);
                     }
                 }
-                OpClass::CallRet => match last {
-                    crate::instr::Instr::Call(t) => {
-                        blocks[id].call_target = Some(t);
+                OpClass::CallRet => {
+                    // `ret` leaves the function: no intra-procedural succ.
+                    if let crate::instr::Instr::Call(t) = last {
+                        block.call_target = Some(t);
                         if (last_pc + 1) < n as u32 {
                             succs.push(start_to_id[&(last_pc + 1)]);
                         }
                     }
-                    // `ret` leaves the function: no intra-procedural succ.
-                    _ => {}
-                },
+                }
                 _ => {
                     if matches!(last, crate::instr::Instr::Halt) {
                         // terminal
@@ -169,7 +169,7 @@ impl Cfg {
                     }
                 }
             }
-            blocks[id].succs = succs;
+            block.succs = succs;
         }
 
         Cfg {
@@ -244,9 +244,9 @@ impl Cfg {
         let reachable: BTreeSet<usize> = rpo.iter().copied().collect();
         let all: BTreeSet<usize> = reachable.clone();
         let mut dom: Vec<BTreeSet<usize>> = vec![all; nblocks];
-        for b in 0..nblocks {
+        for (b, d) in dom.iter_mut().enumerate() {
             if !reachable.contains(&b) {
-                dom[b] = BTreeSet::new();
+                *d = BTreeSet::new();
             }
         }
         dom[0] = BTreeSet::from([0]);

@@ -80,8 +80,8 @@ impl Gen {
                 let d = self.data_reg();
                 let a = self.data_reg();
                 let b = self.data_reg();
-                let op = ["add", "sub", "mul", "and", "or", "xor", "slt"]
-                    [self.rng.random_range(0..7)];
+                let op =
+                    ["add", "sub", "mul", "and", "or", "xor", "slt"][self.rng.random_range(0..7)];
                 self.emit(format!("{op} r{d}, r{a}, r{b}"));
             }
             40..=49 => {
@@ -233,8 +233,7 @@ mod tests {
         for seed in 0..10 {
             let k = generate(seed, &cfg);
             for input in [-100i64, -1, 0, 1, 7, 1 << 40] {
-                let regs: Vec<(Reg, i64)> =
-                    k.input_regs.iter().map(|&r| (r, input)).collect();
+                let regs: Vec<(Reg, i64)> = k.input_regs.iter().map(|&r| (r, input)).collect();
                 let run = m.run_with(&k.program, &regs, &[]);
                 assert!(run.is_ok(), "seed {seed} input {input}: {:?}", run.err());
             }
@@ -248,7 +247,7 @@ mod tests {
             let cfg = Cfg::build(&k.program);
             let loops = cfg.natural_loops();
             // Every annotated loop header corresponds to a natural loop.
-            for (label, _) in &k.program.loop_bounds {
+            for label in k.program.loop_bounds.keys() {
                 let pc = k.program.resolve(label).unwrap();
                 let block = cfg.block_of(pc);
                 assert!(

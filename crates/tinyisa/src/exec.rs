@@ -264,7 +264,14 @@ impl Machine {
                 Instr::Mul(d, a, b) => set!(d, get(a).wrapping_mul(get(b))),
                 Instr::Div(d, a, b) => {
                     let rhs = get(b);
-                    set!(d, if rhs == 0 { 0 } else { get(a).wrapping_div(rhs) });
+                    set!(
+                        d,
+                        if rhs == 0 {
+                            0
+                        } else {
+                            get(a).wrapping_div(rhs)
+                        }
+                    );
                 }
                 Instr::And(d, a, b) => set!(d, get(a) & get(b)),
                 Instr::Or(d, a, b) => set!(d, get(a) | get(b)),
@@ -335,8 +342,7 @@ impl Machine {
                 }
                 Instr::Ret => {
                     let ra = get(Reg::LINK);
-                    next_pc =
-                        u32::try_from(ra).map_err(|_| ExecError::PcOutOfRange { pc })?;
+                    next_pc = u32::try_from(ra).map_err(|_| ExecError::PcOutOfRange { pc })?;
                 }
                 Instr::Nop => {}
                 Instr::Halt => halted = true,

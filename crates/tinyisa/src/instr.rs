@@ -100,8 +100,18 @@ impl Instr {
     pub fn class(&self) -> OpClass {
         use Instr::*;
         match self {
-            Add(..) | Sub(..) | And(..) | Or(..) | Xor(..) | Slt(..) | Sll(..) | Srl(..)
-            | Cmov { .. } | Addi(..) | Slti(..) | Li(..) => OpClass::Alu,
+            Add(..)
+            | Sub(..)
+            | And(..)
+            | Or(..)
+            | Xor(..)
+            | Slt(..)
+            | Sll(..)
+            | Srl(..)
+            | Cmov { .. }
+            | Addi(..)
+            | Slti(..)
+            | Li(..) => OpClass::Alu,
             Mul(..) => OpClass::Mul,
             Div(..) => OpClass::Div,
             Ld { .. } => OpClass::Load,
@@ -117,9 +127,19 @@ impl Instr {
     pub fn def(&self) -> Option<Reg> {
         use Instr::*;
         match *self {
-            Add(rd, ..) | Sub(rd, ..) | Mul(rd, ..) | Div(rd, ..) | And(rd, ..) | Or(rd, ..)
-            | Xor(rd, ..) | Slt(rd, ..) | Sll(rd, ..) | Srl(rd, ..) | Addi(rd, ..)
-            | Slti(rd, ..) | Li(rd, ..) => Some(rd),
+            Add(rd, ..)
+            | Sub(rd, ..)
+            | Mul(rd, ..)
+            | Div(rd, ..)
+            | And(rd, ..)
+            | Or(rd, ..)
+            | Xor(rd, ..)
+            | Slt(rd, ..)
+            | Sll(rd, ..)
+            | Srl(rd, ..)
+            | Addi(rd, ..)
+            | Slti(rd, ..)
+            | Li(rd, ..) => Some(rd),
             Cmov { rd, .. } => Some(rd),
             Ld { rd, .. } => Some(rd),
             Call(..) => Some(Reg::LINK),
@@ -131,8 +151,16 @@ impl Instr {
     pub fn uses(&self) -> Vec<Reg> {
         use Instr::*;
         match *self {
-            Add(_, a, b) | Sub(_, a, b) | Mul(_, a, b) | Div(_, a, b) | And(_, a, b)
-            | Or(_, a, b) | Xor(_, a, b) | Slt(_, a, b) | Sll(_, a, b) | Srl(_, a, b) => {
+            Add(_, a, b)
+            | Sub(_, a, b)
+            | Mul(_, a, b)
+            | Div(_, a, b)
+            | And(_, a, b)
+            | Or(_, a, b)
+            | Xor(_, a, b)
+            | Slt(_, a, b)
+            | Sll(_, a, b)
+            | Srl(_, a, b) => {
                 vec![a, b]
             }
             // Cmov reads its own destination (it may keep the old value).
@@ -160,9 +188,7 @@ impl Instr {
     pub fn target(&self) -> Option<Target> {
         use Instr::*;
         match *self {
-            Beq(_, _, t) | Bne(_, _, t) | Blt(_, _, t) | Bge(_, _, t) | Jmp(t) | Call(t) => {
-                Some(t)
-            }
+            Beq(_, _, t) | Bne(_, _, t) | Blt(_, _, t) | Bge(_, _, t) | Jmp(t) | Call(t) => Some(t),
             _ => None,
         }
     }

@@ -25,9 +25,14 @@ pub struct Kernel {
     pub input_mem: Option<(u32, u32)>,
 }
 
-fn build(name: &'static str, src: String, input_regs: Vec<Reg>, input_mem: Option<(u32, u32)>) -> Kernel {
-    let program = assemble(&src)
-        .unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}\n{src}"));
+fn build(
+    name: &'static str,
+    src: String,
+    input_regs: Vec<Reg>,
+    input_mem: Option<(u32, u32)>,
+) -> Kernel {
+    let program =
+        assemble(&src).unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}\n{src}"));
     Kernel {
         name,
         program,
@@ -578,7 +583,9 @@ mod tests {
     #[test]
     fn all_kernels_assemble_validate_and_run() {
         for k in all_default() {
-            k.program.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
             // Provide plausible inputs: zero regs, ascending memory.
             let mem: Vec<(u32, i64)> = k
                 .input_mem

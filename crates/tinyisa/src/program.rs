@@ -112,7 +112,7 @@ impl Program {
                 ));
             }
         }
-        for (label, _) in &self.loop_bounds {
+        for label in self.loop_bounds.keys() {
             if !self.labels.contains_key(label) {
                 return Err(format!("loop bound refers to unknown label {label}"));
             }

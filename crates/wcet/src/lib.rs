@@ -76,9 +76,9 @@ pub struct Bounds {
 /// header that is not a natural-loop header).
 pub fn bounds(program: &Program, config: &WcetConfig) -> Bounds {
     let cfg = Cfg::build(program);
-    let classification = config.icache.map(|cc| {
-        analyze_icache(program, &cfg, cc, InitialCache::Unknown).per_pc
-    });
+    let classification = config
+        .icache
+        .map(|cc| analyze_icache(program, &cfg, cc, InitialCache::Unknown).per_pc);
 
     // Per-instruction worst/best costs.
     let instr_cost = |pc: usize, worst: bool| -> u64 {
@@ -164,8 +164,9 @@ pub fn bounds(program: &Program, config: &WcetConfig) -> Bounds {
 
     // DAG edges: forward edges only (back edges cut).
     let dominators = cfg.dominators();
+    // An edge into a dominator (or a self-edge) is a back edge.
     let is_back_edge =
-        |from: usize, to: usize| -> bool { dominators[from].contains(&to) && from != to || from == to };
+        |from: usize, to: usize| -> bool { dominators[from].contains(&to) || from == to };
 
     // Longest/shortest path by RPO dynamic programming over amplified
     // block costs. Terminal blocks are those with no forward succs.

@@ -13,8 +13,22 @@ fn main() {
     println!("evict / fill by uncertainty-set exploration (k = 4):");
     let k = 4usize;
     let budget = 3 * k as u32 + 2;
-    let lru = compute_metrics(&Bounded { inner: Lru, assoc: k }, k, budget);
-    let fifo = compute_metrics(&Bounded { inner: Fifo, assoc: k }, k, budget);
+    let lru = compute_metrics(
+        &Bounded {
+            inner: Lru,
+            assoc: k,
+        },
+        k,
+        budget,
+    );
+    let fifo = compute_metrics(
+        &Bounded {
+            inner: Fifo,
+            assoc: k,
+        },
+        k,
+        budget,
+    );
     let plru = compute_metrics(&Plru, k, budget);
     let mru = compute_metrics(&Mru, k, 16);
     for (name, m) in [("LRU", lru), ("FIFO", fifo), ("PLRU", plru), ("MRU", mru)] {

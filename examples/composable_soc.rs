@@ -16,30 +16,64 @@ use predictability_repro::interconnect::noc::{Mesh, NocMode, NocPacket};
 
 fn main() {
     // --- bus ---
-    let app0: Vec<BusRequest> = (0..12u64).map(|k| BusRequest { master: 0, arrival: k * 12 }).collect();
+    let app0: Vec<BusRequest> = (0..12u64)
+        .map(|k| BusRequest {
+            master: 0,
+            arrival: k * 12,
+        })
+        .collect();
     let mut co = Vec::new();
     for m in 1..4usize {
         for k in 0..60u64 {
-            co.push(BusRequest { master: m, arrival: k });
+            co.push(BusRequest {
+                master: m,
+                arrival: k,
+            });
         }
     }
     println!("bus latency shift of app 0 under co-runner load:");
-    for arb in [Arbiter::Tdma, Arbiter::RoundRobin, Arbiter::Fcfs, Arbiter::FixedPriority] {
+    for arb in [
+        Arbiter::Tdma,
+        Arbiter::RoundRobin,
+        Arbiter::Fcfs,
+        Arbiter::FixedPriority,
+    ] {
         let gap = bus_composability_gap(arb, 4, 2, &app0, &co);
         println!("  {arb:?}: {gap} cycles");
     }
 
     // --- NoC ---
-    let mesh = Mesh { width: 3, height: 3 };
+    let mesh = Mesh {
+        width: 3,
+        height: 3,
+    };
     let pkts: Vec<NocPacket> = (0..6u64)
-        .map(|k| NocPacket { app: 0, src: (0, 0), dst: (2, 1), inject: k * 25, flits: 4 })
+        .map(|k| NocPacket {
+            app: 0,
+            src: (0, 0),
+            dst: (2, 1),
+            inject: k * 25,
+            flits: 4,
+        })
         .collect();
     let co_pkts: Vec<NocPacket> = (0..40u64)
-        .map(|k| NocPacket { app: 1, src: (0, 0), dst: (2, 1), inject: k, flits: 6 })
+        .map(|k| NocPacket {
+            app: 1,
+            src: (0, 0),
+            dst: (2, 1),
+            inject: k,
+            flits: 6,
+        })
         .collect();
     println!("\nNoC latency shift of app 0 under co-runner load:");
-    for (name, mode) in [("TDM", NocMode::Tdm { n_apps: 4 }), ("round-robin", NocMode::RoundRobin)] {
-        println!("  {name}: {} cycles", noc_composability_gap(mesh, mode, &pkts, &co_pkts));
+    for (name, mode) in [
+        ("TDM", NocMode::Tdm { n_apps: 4 }),
+        ("round-robin", NocMode::RoundRobin),
+    ] {
+        println!(
+            "  {name}: {} cycles",
+            noc_composability_gap(mesh, mode, &pkts, &co_pkts)
+        );
     }
 
     // --- DRAM ---
@@ -49,13 +83,20 @@ fn main() {
         let mut reqs = Vec::new();
         for c in 0..n {
             for k in 0..16u64 {
-                reqs.push(Request { client: c, arrival: k * 2, bank: (k % 4) as usize, row: k % 8 });
+                reqs.push(Request {
+                    client: c,
+                    arrival: k * 2,
+                    bank: (k % 4) as usize,
+                    row: k % 8,
+                });
             }
         }
         let mut dev = DramDevice::new(4, timing);
         let frfcfs = worst_latency(&simulate(Controller::FrFcfs, &mut dev, &reqs, n), 0).unwrap();
         let slot = timing.t_rcd + timing.t_cl + timing.t_rp;
-        let bound = Controller::Amc { slot }.latency_bound(timing, n, 0).unwrap();
+        let bound = Controller::Amc { slot }
+            .latency_bound(timing, n, 0)
+            .unwrap();
         println!("  {n} clients: FR-FCFS observed {frfcfs:>4}, AMC analytic bound {bound:>4}");
     }
 }

@@ -10,7 +10,10 @@ use predictability_repro::pipeline::domino::schneider_example;
 
 fn main() {
     let cfg = schneider_example();
-    println!("{:>4} {:>8} {:>8} {:>10} {:>10}", "n", "T(q1*)", "T(q2*)", "SIPr<=", "paper");
+    println!(
+        "{:>4} {:>8} {:>8} {:>10} {:>10}",
+        "n", "T(q1*)", "T(q2*)", "SIPr<=", "paper"
+    );
     for n in [1u32, 2, 4, 8, 16, 64, 256] {
         let (t1, t2) = cfg.times(n);
         println!(

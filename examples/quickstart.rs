@@ -42,8 +42,14 @@ fn main() {
     println!("linear_search(16) on the in-order pipeline");
     println!("  BCET = {}, WCET = {}", pr.min(), pr.max());
     println!("  Pr   (Def. 3) = {:.4}", pr.ratio());
-    println!("  SIPr (Def. 4) = {:.4}   (hardware: warmup state)", sipr.ratio());
-    println!("  IIPr (Def. 5) = {:.4}   (software: early exit on the key)", iipr.ratio());
+    println!(
+        "  SIPr (Def. 4) = {:.4}   (hardware: warmup state)",
+        sipr.ratio()
+    );
+    println!(
+        "  IIPr (Def. 5) = {:.4}   (software: early exit on the key)",
+        iipr.ratio()
+    );
     println!("  sandwich: {lo:.4} <= {mid:.4} <= {hi:.4}");
     println!(
         "  slowest run: key {:?} from state {:?}",

@@ -32,7 +32,9 @@ fn main() {
     let machine = Machine::default();
     let time = move |prog: tinyisa::program::Program| {
         FnSystem::new(move |_: &u8, x: &i64| {
-            let run = machine.run_traced_with(&prog, &[(Reg::new(1), *x)], &[]).unwrap();
+            let run = machine
+                .run_traced_with(&prog, &[(Reg::new(1), *x)], &[])
+                .unwrap();
             let mut mem = PerfectMem::default();
             Cycles::new(InOrderPipeline::default().run(
                 &run.trace,
@@ -46,7 +48,17 @@ fn main() {
     let inputs: Vec<i64> = (-10..=10).collect();
     let before = input_induced(&time(original), &states, &inputs).unwrap();
     let after = input_induced(&time(report.program), &states, &inputs).unwrap();
-    println!("IIPr before: {:.4}  (times {}..{})", before.ratio(), before.min(), before.max());
-    println!("IIPr after:  {:.4}  (times {}..{})", after.ratio(), after.min(), after.max());
+    println!(
+        "IIPr before: {:.4}  (times {}..{})",
+        before.ratio(),
+        before.min(),
+        before.max()
+    );
+    println!(
+        "IIPr after:  {:.4}  (times {}..{})",
+        after.ratio(),
+        after.min(),
+        after.max()
+    );
     assert_eq!(after.ratio(), 1.0);
 }

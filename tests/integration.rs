@@ -5,10 +5,10 @@
 use predictability_repro::core::catalog;
 use predictability_repro::core::system::{Cycles, FnSystem};
 use predictability_repro::core::timing::{sandwich_bounds, state_induced};
+use predictability_repro::mem::cache::{lru_cache, CacheConfig};
 use predictability_repro::pipeline::domino::schneider_example;
 use predictability_repro::pipeline::inorder::{InOrderPipeline, InOrderState};
 use predictability_repro::pipeline::latency::{CachedMem, PerfectMem};
-use predictability_repro::mem::cache::{lru_cache, CacheConfig};
 use predictability_repro::tinyisa::exec::Machine;
 use predictability_repro::tinyisa::kernels;
 use predictability_repro::tinyisa::reg::Reg;
@@ -39,12 +39,8 @@ fn end_to_end_bounds_enclose_end_to_end_simulation() {
                 hit_latency: 1,
                 miss_latency: 10,
             };
-            let t = InOrderPipeline::default().run(
-                &run.trace,
-                InOrderState { warmup },
-                &mut mem,
-                None,
-            );
+            let t =
+                InOrderPipeline::default().run(&run.trace, InOrderState { warmup }, &mut mem, None);
             assert!(
                 b.lb <= t && t <= b.ub + warmup,
                 "t = {t} outside [{}, {}] for key {key}, warmup {warmup}",
