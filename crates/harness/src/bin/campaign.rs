@@ -1,24 +1,42 @@
 //! The campaign CLI: list scenarios, run filtered matrices, print the
-//! evidence summary.
+//! evidence summary — and drive distributed campaigns end-to-end
+//! (plan → shard → merge → diff).
 //!
 //! ```text
 //! cargo run -p harness --bin campaign -- list
 //! cargo run -p harness --bin campaign -- run [--scenario ID]... [--filter AXIS=VALUE]...
 //!         [--threads N] [--seed S] [--store PATH] [--json PATH] [--csv PATH] [--quiet]
 //! cargo run -p harness --bin campaign -- report [same flags as run]
+//! cargo run -p harness --bin campaign -- plan --shards N --manifest PATH
+//!         [--scenario ID]... [--filter A=V]... [--seed S]
+//! cargo run -p harness --bin campaign -- shard --manifest PATH --index I
+//!         [--store PATH] [--threads N] [--json PATH] [--csv PATH] [--quiet]
+//! cargo run -p harness --bin campaign -- merge --out PATH [--manifest PATH] STORE...
+//! cargo run -p harness --bin campaign -- diff BASELINE COMPARED [--tol METRIC=EPS]...
+//!         [--tol-default EPS] [--quiet]
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
 //! evidence summary joined against `predictability_core::catalog`.
 //! Both memoize through `--store` (results persist across invocations).
+//!
+//! Exit status: 0 on success; 1 when `diff` finds differences; 2 on
+//! any error (bad usage, unknown scenario id, bad filter or tolerance
+//! clause, unreadable store or manifest, merge conflict).
 
-use harness::exec::{run_campaign, ExecConfig};
+use harness::dist;
+use harness::exec::{run_campaign, Campaign, ExecConfig};
 use harness::matrix::Filter;
 use harness::registry::Registry;
 use harness::report;
 use harness::store::ResultStore;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// `diff` found differences (distinct from errors, like `diff(1)`).
+const EXIT_DIFFERENCES: u8 = 1;
+/// Any error: usage, unknown scenario, unreadable artifact, conflict.
+const EXIT_ERROR: u8 = 2;
 
 struct Options {
     command: String,
@@ -30,10 +48,20 @@ struct Options {
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
     quiet: bool,
+    // dist flags
+    shards: Option<u32>,
+    index: Option<u32>,
+    manifest: Option<PathBuf>,
+    out: Option<PathBuf>,
+    tols: Vec<String>,
+    tol_default: Option<f64>,
+    positional: Vec<PathBuf>,
+    /// Every `--flag` seen, for per-command applicability checks.
+    given: Vec<String>,
 }
 
 const USAGE: &str = "\
-usage: campaign <list|run|report> [options]
+usage: campaign <list|run|report|plan|shard|merge|diff> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
@@ -45,6 +73,19 @@ options (run/report):
   --json PATH        write the campaign as deterministic JSON
   --csv PATH         write the campaign as long-format CSV
   --quiet            suppress per-cell output
+
+distributed campaigns:
+  plan   --shards N --manifest PATH [--scenario]... [--filter]... [--seed S]
+         partition the campaign into N shards; write the manifest
+  shard  --manifest PATH --index I [--store PATH] [--threads N]
+         run exactly shard I against its own store
+  merge  --out PATH [--manifest PATH] STORE...
+         fuse shard stores (conflict = determinism violation -> exit 2);
+         with --manifest, also verify exact planned-cell coverage
+  diff   BASELINE COMPARED [--tol METRIC=EPS]... [--tol-default EPS]
+         compare two stores cell-by-cell; exit 1 if they differ
+
+exit status: 0 success; 1 diff found differences; 2 error
 ";
 
 fn parse(mut args: std::env::Args) -> Result<Options, String> {
@@ -60,29 +101,60 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         json: None,
         csv: None,
         quiet: false,
+        shards: None,
+        index: None,
+        manifest: None,
+        out: None,
+        tols: Vec::new(),
+        tol_default: None,
+        positional: Vec::new(),
+        given: Vec::new(),
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| -> Result<String, String> {
             args.next().ok_or(format!("{flag} needs a value"))
         };
+        let number = |flag: &str, raw: String| -> Result<u64, String> {
+            raw.parse().map_err(|_| format!("{flag} needs an integer"))
+        };
+        // u32 flags parse as u32 directly: an out-of-range value must
+        // error, not silently truncate to a different shard/index.
+        let small = |flag: &str, raw: String| -> Result<u32, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag} needs a small integer"))
+        };
+        if flag.starts_with("--") {
+            options.given.push(flag.clone());
+        }
         match flag.as_str() {
             "--scenario" => options.scenarios.push(value("--scenario")?),
             "--filter" => options.filters.push(value("--filter")?),
             "--threads" => {
-                options.threads = value("--threads")?
-                    .parse()
-                    .map_err(|_| "--threads needs an integer".to_string())?;
+                options.threads = number("--threads", value("--threads")?)? as usize;
             }
-            "--seed" => {
-                options.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed needs an integer".to_string())?;
-            }
+            "--seed" => options.seed = number("--seed", value("--seed")?)?,
             "--store" => options.store = Some(PathBuf::from(value("--store")?)),
             "--json" => options.json = Some(PathBuf::from(value("--json")?)),
             "--csv" => options.csv = Some(PathBuf::from(value("--csv")?)),
             "--quiet" => options.quiet = true,
-            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+            "--shards" => options.shards = Some(small("--shards", value("--shards")?)?),
+            "--index" => options.index = Some(small("--index", value("--index")?)?),
+            "--manifest" => options.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--out" => options.out = Some(PathBuf::from(value("--out")?)),
+            "--tol" => options.tols.push(value("--tol")?),
+            "--tol-default" => {
+                options.tol_default = Some(
+                    value("--tol-default")?
+                        .parse()
+                        .ok()
+                        .filter(|eps: &f64| *eps >= 0.0)
+                        .ok_or("--tol-default needs a number >= 0")?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n\n{USAGE}"))
+            }
+            path => options.positional.push(PathBuf::from(path)),
         }
     }
     Ok(options)
@@ -92,85 +164,250 @@ fn main() -> ExitCode {
     match parse(std::env::args()) {
         Err(message) => {
             eprintln!("{message}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERROR)
         }
         Ok(options) => match run(options) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => ExitCode::from(code),
             Err(message) => {
                 eprintln!("campaign: {message}");
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_ERROR)
             }
         },
     }
 }
 
-fn run(options: Options) -> Result<(), String> {
+fn run(options: Options) -> Result<u8, String> {
     let registry = Registry::builtin();
+    // Flags a subcommand does not read are rejected, not silently
+    // ignored — `shard --seed 7` runs with the *manifest's* seed, and
+    // accepting the flag would misattribute the results.
+    let allowed: &[&str] = match options.command.as_str() {
+        "list" => &[],
+        "run" | "report" => &[
+            "--scenario",
+            "--filter",
+            "--threads",
+            "--seed",
+            "--store",
+            "--json",
+            "--csv",
+            "--quiet",
+        ],
+        "plan" => &[
+            "--scenario",
+            "--filter",
+            "--seed",
+            "--shards",
+            "--manifest",
+            "--quiet",
+        ],
+        "shard" => &[
+            "--manifest",
+            "--index",
+            "--threads",
+            "--store",
+            "--json",
+            "--csv",
+            "--quiet",
+        ],
+        "merge" => &["--out", "--manifest"],
+        "diff" => &["--tol", "--tol-default", "--quiet"],
+        other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    if let Some(flag) = options
+        .given
+        .iter()
+        .find(|f| !allowed.contains(&f.as_str()))
+    {
+        return Err(format!(
+            "`{flag}` does not apply to `{}`\n\n{USAGE}",
+            options.command
+        ));
+    }
+    if !matches!(options.command.as_str(), "merge" | "diff") && !options.positional.is_empty() {
+        return Err(format!(
+            "unexpected argument `{}`\n\n{USAGE}",
+            options.positional[0].display()
+        ));
+    }
     match options.command.as_str() {
         "list" => {
             print!("{}", report::list_scenarios(&registry));
-            Ok(())
+            Ok(0)
         }
-        "run" | "report" => {
-            let filter = Filter::parse(&options.filters)?;
-            let mut store = match &options.store {
-                Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
-                None => ResultStore::new(),
-            };
-            let campaign = run_campaign(
-                &registry,
-                &options.scenarios,
-                &filter,
-                &ExecConfig {
-                    threads: options.threads,
-                    seed: options.seed,
-                },
-                &mut store,
-            )
-            .map_err(|e| e.to_string())?;
-            if let Some(path) = &options.store {
-                store.save(path).map_err(|e| e.to_string())?;
-            }
-            if let Some(path) = &options.json {
-                std::fs::write(path, report::campaign_json(&campaign))
-                    .map_err(|e| format!("write {}: {e}", path.display()))?;
-            }
-            if let Some(path) = &options.csv {
-                std::fs::write(path, report::campaign_csv(&campaign))
-                    .map_err(|e| format!("write {}: {e}", path.display()))?;
-            }
-            if options.command == "report" {
-                print!("{}", report::evidence_summary(&campaign, &registry));
-                return Ok(());
-            }
-            if !options.quiet {
-                for cell in &campaign.cells {
-                    let metrics: Vec<String> = cell
-                        .result
-                        .metrics
-                        .iter()
-                        .map(|(k, v)| format!("{k}={v}"))
-                        .collect();
-                    println!(
-                        "{:<20} {:<44} {}{}",
-                        cell.scenario,
-                        cell.params.key(),
-                        metrics.join(" "),
-                        if cell.memoized { "  (memoized)" } else { "" }
-                    );
-                }
-            }
-            // The one-line summary prints even under --quiet: the flag
-            // suppresses per-cell output, not the run's confirmation.
-            println!(
-                "{} cells: {} executed, {} memoized (seed {})",
-                campaign.cells.len(),
-                campaign.executed,
-                campaign.memoized,
-                campaign.seed
-            );
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        "run" | "report" => run_or_report(&registry, &options),
+        "plan" => plan(&registry, &options),
+        "shard" => shard(&registry, &options),
+        "merge" => merge(&registry, &options),
+        "diff" => diff(&options),
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
+    let filter = Filter::parse(&options.filters)?;
+    let mut store = match &options.store {
+        Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
+        None => ResultStore::new(),
+    };
+    let campaign = run_campaign(
+        registry,
+        &options.scenarios,
+        &filter,
+        &ExecConfig {
+            threads: options.threads,
+            seed: options.seed,
+        },
+        &mut store,
+    )
+    .map_err(|e| e.to_string())?;
+    write_artifacts(&campaign, &store, options)?;
+    if options.command == "report" {
+        print!("{}", report::evidence_summary(&campaign, registry));
+        return Ok(0);
+    }
+    print_cells(&campaign, options.quiet);
+    println!(
+        "{} cells: {} executed, {} memoized (seed {})",
+        campaign.cells.len(),
+        campaign.executed,
+        campaign.memoized,
+        campaign.seed
+    );
+    Ok(0)
+}
+
+fn plan(registry: &Registry, options: &Options) -> Result<u8, String> {
+    let shards = options.shards.ok_or("plan needs --shards N")?;
+    let path = options
+        .manifest
+        .as_deref()
+        .ok_or("plan needs --manifest PATH")?;
+    let (manifest, planned) = dist::plan_with_cells(
+        registry,
+        &options.scenarios,
+        &options.filters,
+        options.seed,
+        shards,
+    )
+    .map_err(|e| e.to_string())?;
+    manifest.save(path).map_err(|e| e.to_string())?;
+    if !options.quiet {
+        print!("{}", report::plan_summary(&manifest, &planned));
+    }
+    println!("manifest written to {}", path.display());
+    Ok(0)
+}
+
+fn shard(registry: &Registry, options: &Options) -> Result<u8, String> {
+    let path = options
+        .manifest
+        .as_deref()
+        .ok_or("shard needs --manifest PATH")?;
+    let index = options.index.ok_or("shard needs --index I")?;
+    let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
+    let mut store = match &options.store {
+        Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
+        None => ResultStore::new(),
+    };
+    let campaign = dist::run_shard(registry, &manifest, index, options.threads, &mut store)
+        .map_err(|e| e.to_string())?;
+    write_artifacts(&campaign, &store, options)?;
+    print_cells(&campaign, options.quiet);
+    println!(
+        "shard {index}/{}: {} cells: {} executed, {} memoized (seed {})",
+        manifest.shards,
+        campaign.cells.len(),
+        campaign.executed,
+        campaign.memoized,
+        campaign.seed
+    );
+    Ok(0)
+}
+
+fn merge(registry: &Registry, options: &Options) -> Result<u8, String> {
+    let out = options.out.as_deref().ok_or("merge needs --out PATH")?;
+    if options.positional.is_empty() {
+        return Err("merge needs at least one input store".into());
+    }
+    let stores = options
+        .positional
+        .iter()
+        .map(|p| ResultStore::load_required(p).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let (fused, stats) = dist::merge_stores(&stores).map_err(|e| e.to_string())?;
+    if let Some(path) = &options.manifest {
+        let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
+        dist::merge::verify_coverage(registry, &manifest, &fused).map_err(|e| e.to_string())?;
+    }
+    fused.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "merged {} stores into {}: {} cells ({} duplicate)",
+        stores.len(),
+        out.display(),
+        stats.cells,
+        stats.duplicates
+    );
+    Ok(0)
+}
+
+fn diff(options: &Options) -> Result<u8, String> {
+    let [baseline, compared] = options.positional.as_slice() else {
+        return Err("diff needs exactly two store paths (BASELINE COMPARED)".into());
+    };
+    let mut tol = dist::Tolerances::parse(&options.tols).map_err(|e| e.to_string())?;
+    if let Some(eps) = options.tol_default {
+        tol = tol.with_default(eps);
+    }
+    let load = |p: &Path| ResultStore::load_required(p).map_err(|e| e.to_string());
+    let (a, b) = (load(baseline)?, load(compared)?);
+    let report = dist::diff_stores(&a, &b, &tol);
+    if !options.quiet || !report.is_empty() {
+        print!("{}", report::diff_summary(&report));
+    }
+    Ok(if report.is_empty() {
+        0
+    } else {
+        EXIT_DIFFERENCES
+    })
+}
+
+fn write_artifacts(
+    campaign: &Campaign,
+    store: &ResultStore,
+    options: &Options,
+) -> Result<(), String> {
+    if let Some(path) = &options.store {
+        store.save(path).map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &options.json {
+        std::fs::write(path, report::campaign_json(campaign))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &options.csv {
+        std::fs::write(path, report::campaign_csv(campaign))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+fn print_cells(campaign: &Campaign, quiet: bool) {
+    if quiet {
+        return;
+    }
+    for cell in &campaign.cells {
+        let metrics: Vec<String> = cell
+            .result
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:<20} {:<44} {}{}",
+            cell.scenario,
+            cell.params.key(),
+            metrics.join(" "),
+            if cell.memoized { "  (memoized)" } else { "" }
+        );
     }
 }

@@ -1,0 +1,301 @@
+//! The campaign differ: cell-by-cell comparison of two result stores.
+//!
+//! This answers the ROADMAP's "did a simulator change move any
+//! metric?": diff the store a changed tree produces against a committed
+//! baseline store and gate CI on the result. Cells are matched by
+//! fingerprint (so only genuinely comparable cells — same scenario,
+//! version, params, seed — are compared metric-by-metric); cells
+//! present on one side only are reported as added/removed, and metric
+//! values are compared under per-metric absolute tolerances with an
+//! exact-match default.
+
+use crate::scenario::ScenarioError;
+use crate::store::ResultStore;
+
+/// Absolute per-metric tolerances with a default for unnamed metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Tolerances {
+    default: f64,
+    per_metric: Vec<(String, f64)>,
+}
+
+impl Tolerances {
+    /// Exact comparison: any difference counts.
+    pub fn exact() -> Tolerances {
+        Tolerances::default()
+    }
+
+    /// Sets the tolerance applied to metrics without their own entry.
+    pub fn with_default(mut self, eps: f64) -> Tolerances {
+        self.default = eps;
+        self
+    }
+
+    /// Sets one metric's tolerance.
+    pub fn with(mut self, metric: &str, eps: f64) -> Tolerances {
+        self.per_metric.push((metric.to_string(), eps));
+        self
+    }
+
+    /// Parses `metric=eps` clauses (the CLI's `--tol` flag).
+    pub fn parse(clauses: &[String]) -> Result<Tolerances, ScenarioError> {
+        let mut tol = Tolerances::exact();
+        for clause in clauses {
+            let parsed = clause
+                .split_once('=')
+                .and_then(|(m, e)| e.parse::<f64>().ok().map(|e| (m, e)))
+                .filter(|(m, e)| !m.is_empty() && *e >= 0.0);
+            match parsed {
+                Some((metric, eps)) => tol.per_metric.push((metric.to_string(), eps)),
+                None => {
+                    return Err(ScenarioError::Dist(format!(
+                        "bad tolerance `{clause}` (expected metric=eps, eps >= 0)"
+                    )))
+                }
+            }
+        }
+        Ok(tol)
+    }
+
+    /// The tolerance for one metric.
+    pub fn tolerance(&self, metric: &str) -> f64 {
+        self.per_metric
+            .iter()
+            .find(|(m, _)| m == metric)
+            .map_or(self.default, |(_, eps)| *eps)
+    }
+}
+
+/// One metric's change within a cell present on both sides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub metric: String,
+    /// Value in the baseline store (`None` = metric absent there).
+    pub before: Option<f64>,
+    /// Value in the compared store (`None` = metric absent there).
+    pub after: Option<f64>,
+}
+
+/// One differing cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// The cell's fingerprint.
+    pub fingerprint: String,
+    /// Scenario id.
+    pub scenario: String,
+    /// Canonical parameter key.
+    pub params_key: String,
+    /// What changed.
+    pub kind: DeltaKind,
+}
+
+/// How a cell differs between the two stores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaKind {
+    /// Present only in the compared (second) store.
+    Added,
+    /// Present only in the baseline (first) store.
+    Removed,
+    /// Present in both with metric differences beyond tolerance.
+    Changed(Vec<MetricDelta>),
+}
+
+/// The full cell-by-cell comparison, in fingerprint order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Every differing cell.
+    pub deltas: Vec<CellDelta>,
+    /// Cells present in both stores with all metrics within tolerance.
+    pub unchanged: usize,
+}
+
+impl DiffReport {
+    /// True if the stores are equivalent under the tolerances.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Count of one delta kind.
+    fn count(&self, pred: impl Fn(&DeltaKind) -> bool) -> usize {
+        self.deltas.iter().filter(|d| pred(&d.kind)).count()
+    }
+
+    /// Cells only in the compared store.
+    pub fn added(&self) -> usize {
+        self.count(|k| matches!(k, DeltaKind::Added))
+    }
+
+    /// Cells only in the baseline store.
+    pub fn removed(&self) -> usize {
+        self.count(|k| matches!(k, DeltaKind::Removed))
+    }
+
+    /// Cells whose metrics moved beyond tolerance.
+    pub fn changed(&self) -> usize {
+        self.count(|k| matches!(k, DeltaKind::Changed(_)))
+    }
+}
+
+/// Diffs `b` (compared) against `a` (baseline) under `tol`.
+pub fn diff_stores(a: &ResultStore, b: &ResultStore, tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (fp, cell) in a.iter() {
+        match b.get_by_fingerprint(fp) {
+            None => report.deltas.push(CellDelta {
+                fingerprint: fp.to_string(),
+                scenario: cell.scenario.clone(),
+                params_key: cell.params_key.clone(),
+                kind: DeltaKind::Removed,
+            }),
+            Some(other) => {
+                let changes = diff_metrics(cell, other, tol);
+                if changes.is_empty() {
+                    report.unchanged += 1;
+                } else {
+                    report.deltas.push(CellDelta {
+                        fingerprint: fp.to_string(),
+                        scenario: cell.scenario.clone(),
+                        params_key: cell.params_key.clone(),
+                        kind: DeltaKind::Changed(changes),
+                    });
+                }
+            }
+        }
+    }
+    for (fp, cell) in b.iter() {
+        if a.get_by_fingerprint(fp).is_none() {
+            report.deltas.push(CellDelta {
+                fingerprint: fp.to_string(),
+                scenario: cell.scenario.clone(),
+                params_key: cell.params_key.clone(),
+                kind: DeltaKind::Added,
+            });
+        }
+    }
+    // Both passes emit in each store's fingerprint order; interleave
+    // into one canonical order so reports are deterministic.
+    report
+        .deltas
+        .sort_by(|x, y| x.fingerprint.cmp(&y.fingerprint));
+    report
+}
+
+fn diff_metrics(
+    a: &crate::store::StoredCell,
+    b: &crate::store::StoredCell,
+    tol: &Tolerances,
+) -> Vec<MetricDelta> {
+    let mut deltas = Vec::new();
+    // a's metrics in declaration order, then metrics only b has.
+    for (metric, before) in &a.result.metrics {
+        let before = *before;
+        let after = b.result.metric(metric);
+        let within = after.is_some_and(|after| (after - before).abs() <= tol.tolerance(metric));
+        if !within {
+            deltas.push(MetricDelta {
+                metric: metric.clone(),
+                before: Some(before),
+                after,
+            });
+        }
+    }
+    for (metric, after) in &b.result.metrics {
+        if a.result.metric(metric).is_none() {
+            deltas.push(MetricDelta {
+                metric: metric.clone(),
+                before: None,
+                after: Some(*after),
+            });
+        }
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CellResult, Params};
+
+    fn params(n: u64) -> Params {
+        Params::new(vec![("n".into(), n.to_string())])
+    }
+
+    fn store_with(cells: &[(u64, &[(&str, f64)])]) -> ResultStore {
+        let mut s = ResultStore::new();
+        for &(n, metrics) in cells {
+            s.insert("s", 1, &params(n), n, CellResult::new(metrics.to_vec()));
+        }
+        s
+    }
+
+    #[test]
+    fn identical_stores_diff_empty() {
+        let a = store_with(&[(1, &[("m", 1.0)]), (2, &[("m", 2.0)])]);
+        let report = diff_stores(&a, &a.clone(), &Tolerances::exact());
+        assert!(report.is_empty());
+        assert_eq!(report.unchanged, 2);
+    }
+
+    #[test]
+    fn added_removed_and_changed_are_distinguished() {
+        let a = store_with(&[(1, &[("m", 1.0)]), (2, &[("m", 2.0)])]);
+        let b = store_with(&[(2, &[("m", 2.5)]), (3, &[("m", 3.0)])]);
+        let report = diff_stores(&a, &b, &Tolerances::exact());
+        assert_eq!(report.removed(), 1);
+        assert_eq!(report.added(), 1);
+        assert_eq!(report.changed(), 1);
+        assert_eq!(report.unchanged, 0);
+        let changed = report
+            .deltas
+            .iter()
+            .find_map(|d| match &d.kind {
+                DeltaKind::Changed(m) => Some(m),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            changed,
+            &vec![MetricDelta {
+                metric: "m".into(),
+                before: Some(2.0),
+                after: Some(2.5),
+            }]
+        );
+    }
+
+    #[test]
+    fn tolerances_absorb_small_moves() {
+        let a = store_with(&[(1, &[("m", 1.0), ("k", 5.0)])]);
+        let b = store_with(&[(1, &[("m", 1.05), ("k", 5.4)])]);
+        assert_eq!(diff_stores(&a, &b, &Tolerances::exact()).changed(), 1);
+        let tol = Tolerances::exact().with("m", 0.1).with("k", 0.5);
+        assert!(diff_stores(&a, &b, &tol).is_empty());
+        let default_tol = Tolerances::exact().with_default(0.5);
+        assert!(diff_stores(&a, &b, &default_tol).is_empty());
+        // Per-metric entries override the default.
+        let tight = Tolerances::exact().with_default(0.5).with("k", 0.01);
+        assert_eq!(diff_stores(&a, &b, &tight).changed(), 1);
+    }
+
+    #[test]
+    fn metric_appearing_or_vanishing_is_a_change() {
+        let a = store_with(&[(1, &[("m", 1.0)])]);
+        let b = store_with(&[(1, &[("m", 1.0), ("extra", 9.0)])]);
+        let report = diff_stores(&a, &b, &Tolerances::exact().with_default(1e9));
+        assert_eq!(report.changed(), 1, "tolerance cannot excuse absence");
+        assert_eq!(diff_stores(&b, &a, &Tolerances::exact()).changed(), 1);
+    }
+
+    #[test]
+    fn parse_accepts_good_and_rejects_bad() {
+        let tol = Tolerances::parse(&["m=0.5".into(), "k=1e-9".into()]).unwrap();
+        assert_eq!(tol.tolerance("m"), 0.5);
+        assert_eq!(tol.tolerance("k"), 1e-9);
+        assert_eq!(tol.tolerance("other"), 0.0);
+        assert!(Tolerances::parse(&["m".into()]).is_err());
+        assert!(Tolerances::parse(&["m=notanumber".into()]).is_err());
+        assert!(Tolerances::parse(&["m=-1".into()]).is_err());
+        assert!(Tolerances::parse(&["=1".into()]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! The merge engine: fuses shard stores into one canonical store.
+//!
+//! Because the store is keyed by cell fingerprint and serializes sorted
+//! by fingerprint, merging is a set union: the fused store of N
+//! disjoint shard runs is byte-identical to the store a single-process
+//! run of the same campaign would have written. Two safety nets guard
+//! that equivalence: a fingerprint appearing in several inputs with
+//! *different* results is reported as a determinism violation (some
+//! worker broke the `run(params, seed)` purity contract), and
+//! [`verify_coverage`] checks a fused store against the manifest's
+//! planned cell set, catching lost shards or stray extra cells.
+
+use crate::dist::plan::{check_drift, Manifest};
+use crate::registry::Registry;
+use crate::scenario::ScenarioError;
+use crate::store::ResultStore;
+
+/// What a merge did, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Cells in the fused store.
+    pub cells: usize,
+    /// Inputs' cells that were already present with an identical
+    /// result (harmless overlap, e.g. re-run shards).
+    pub duplicates: usize,
+}
+
+/// Fuses shard stores (in order) into one store. Identical duplicate
+/// cells are tolerated and counted; a fingerprint collision with
+/// *conflicting* results aborts the merge — that can only happen when
+/// a scenario violated determinism, and silently picking a winner
+/// would launder the violation into the canonical store.
+pub fn merge_stores(stores: &[ResultStore]) -> Result<(ResultStore, MergeStats), ScenarioError> {
+    let mut fused = ResultStore::new();
+    let mut stats = MergeStats::default();
+    for (i, store) in stores.iter().enumerate() {
+        for (fp, cell) in store.iter() {
+            match fused.get_by_fingerprint(fp) {
+                None => fused.insert_cell(fp.to_string(), cell.clone()),
+                Some(existing) if existing == cell => stats.duplicates += 1,
+                Some(existing) => {
+                    return Err(ScenarioError::Dist(format!(
+                        "determinism violation merging input {i}: fingerprint {fp} \
+                         ({} {}) has conflicting results {:?} vs {:?}",
+                        cell.scenario, cell.params_key, existing.result, cell.result
+                    )));
+                }
+            }
+        }
+    }
+    stats.cells = fused.len();
+    Ok((fused, stats))
+}
+
+/// Verifies a fused store covers *exactly* the manifest's planned cell
+/// set: every planned fingerprint present, no extras. With the
+/// determinism contract this makes the fused store byte-identical to a
+/// single-process run's store of the same campaign.
+pub fn verify_coverage(
+    registry: &Registry,
+    manifest: &Manifest,
+    store: &ResultStore,
+) -> Result<(), ScenarioError> {
+    let planned = check_drift(registry, manifest)?;
+    for cell in &planned {
+        if !store.contains(&cell.fingerprint) {
+            return Err(ScenarioError::Dist(format!(
+                "merged store is missing planned cell {} ({} {}) — shard {} lost?",
+                cell.fingerprint, cell.scenario, cell.params, cell.shard
+            )));
+        }
+    }
+    if store.len() != planned.len() {
+        return Err(ScenarioError::Dist(format!(
+            "merged store has {} cells but the manifest plans {} — \
+             extra cells from an unrelated campaign?",
+            store.len(),
+            planned.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CellResult, Params};
+
+    fn params(n: u64) -> Params {
+        Params::new(vec![("n".into(), n.to_string())])
+    }
+
+    fn store_with(cells: &[(u64, f64)]) -> ResultStore {
+        let mut s = ResultStore::new();
+        for &(n, v) in cells {
+            s.insert("s", 1, &params(n), n, CellResult::new(vec![("m", v)]));
+        }
+        s
+    }
+
+    #[test]
+    fn disjoint_stores_union() {
+        let a = store_with(&[(1, 1.0), (2, 2.0)]);
+        let b = store_with(&[(3, 3.0)]);
+        let (fused, stats) = merge_stores(&[a, b]).unwrap();
+        assert_eq!(fused.len(), 3);
+        assert_eq!(
+            stats,
+            MergeStats {
+                cells: 3,
+                duplicates: 0
+            }
+        );
+    }
+
+    #[test]
+    fn identical_overlap_is_counted_not_fatal() {
+        let a = store_with(&[(1, 1.0), (2, 2.0)]);
+        let b = store_with(&[(2, 2.0), (3, 3.0)]);
+        let (fused, stats) = merge_stores(&[a, b]).unwrap();
+        assert_eq!(fused.len(), 3);
+        assert_eq!(stats.duplicates, 1);
+    }
+
+    #[test]
+    fn conflicting_results_abort() {
+        let a = store_with(&[(1, 1.0)]);
+        let b = store_with(&[(1, 1.5)]);
+        let err = merge_stores(&[a, b]).unwrap_err();
+        assert!(matches!(err, ScenarioError::Dist(ref m) if m.contains("determinism")));
+    }
+
+    #[test]
+    fn merge_of_empty_inputs_is_empty() {
+        let (fused, stats) = merge_stores(&[]).unwrap();
+        assert!(fused.is_empty());
+        assert_eq!(stats.cells, 0);
+    }
+}

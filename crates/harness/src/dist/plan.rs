@@ -1,0 +1,372 @@
+//! The shard planner and campaign manifest.
+//!
+//! [`plan`] deterministically partitions the expanded scenario matrix
+//! into N disjoint shards by cell fingerprint and captures everything a
+//! worker needs — scenario ids, filter clauses, campaign seed, shard
+//! count, schema version — in a [`Manifest`]. The manifest is small on
+//! purpose: workers re-expand the matrix themselves, so shard `i/N` can
+//! be claimed by any process that holds the manifest and the same
+//! registry, with no coordinator in the loop. The planned cell count
+//! *and a digest of every planned fingerprint* are recorded so registry
+//! drift (a scenario whose matrix, version or axis values changed since
+//! planning) is detected instead of silently producing a partial or
+//! mispartitioned merge.
+
+use crate::exec::{cell_seed, select_scenarios, shard_of, validate_filter};
+use crate::json::Json;
+use crate::matrix::{expand, Filter};
+use crate::registry::Registry;
+use crate::scenario::{Params, ScenarioError};
+use crate::store::fingerprint;
+use std::path::Path;
+
+/// Bump when the manifest layout or the shard assignment rule changes;
+/// workers then refuse stale manifests instead of mispartitioning.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Everything a worker needs to independently claim one shard of a
+/// campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The campaign seed every cell seed derives from.
+    pub seed: u64,
+    /// Number of shards the cell set is partitioned into.
+    pub shards: u32,
+    /// Resolved scenario ids, in campaign (registration) order.
+    pub scenarios: Vec<String>,
+    /// Raw `axis=value` filter clauses, as given at plan time.
+    pub filter: Vec<String>,
+    /// Total matched cells at plan time (drift check).
+    pub cells: usize,
+    /// Digest of every planned cell fingerprint, in plan order. Catches
+    /// count-preserving registry drift (a version bump or axis-value
+    /// rename leaves the cell count intact but changes every
+    /// fingerprint — and therefore the partition).
+    pub digest: String,
+}
+
+/// Hashes the planned fingerprints (order-sensitive) into the
+/// manifest's drift digest.
+pub fn digest_of(cells: &[PlannedCell]) -> String {
+    let mut h = crate::store::FNV_OFFSET;
+    for cell in cells {
+        h = crate::store::fnv1a(cell.fingerprint.as_bytes(), h);
+        h = crate::store::fnv1a(&[0xff], h);
+    }
+    format!("{h:016x}")
+}
+
+/// One cell of the planned partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedCell {
+    /// Scenario id.
+    pub scenario: String,
+    /// Cell coordinates.
+    pub params: Params,
+    /// The derived cell seed.
+    pub seed: u64,
+    /// The cell's store fingerprint.
+    pub fingerprint: String,
+    /// The shard that owns the cell.
+    pub shard: u32,
+}
+
+impl Manifest {
+    /// Parses the stored filter clauses.
+    pub fn parsed_filter(&self) -> Result<Filter, ScenarioError> {
+        Filter::parse(&self.filter).map_err(ScenarioError::Dist)
+    }
+
+    /// Serializes deterministically (equal manifests are byte-equal).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(MANIFEST_SCHEMA as f64)),
+            // Decimal string: u64 seeds exceed f64's exact range.
+            ("seed".into(), Json::str(self.seed.to_string())),
+            ("shards".into(), Json::Num(f64::from(self.shards))),
+            ("cells".into(), Json::Num(self.cells as f64)),
+            ("digest".into(), Json::str(&self.digest)),
+            (
+                "scenarios".into(),
+                Json::Arr(self.scenarios.iter().map(Json::str).collect()),
+            ),
+            (
+                "filter".into(),
+                Json::Arr(self.filter.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes a manifest; unlike the result store, a schema
+    /// mismatch is an error — a worker must never run a partition rule
+    /// it does not implement.
+    pub fn from_json(doc: &Json) -> Result<Manifest, ScenarioError> {
+        let bad = |what: &str| ScenarioError::Dist(format!("manifest: bad {what}"));
+        let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+        if schema != MANIFEST_SCHEMA {
+            return Err(ScenarioError::Dist(format!(
+                "manifest schema {schema} != supported {MANIFEST_SCHEMA}"
+            )));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("seed"))?;
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_f64)
+            .filter(|s| *s >= 1.0)
+            .ok_or_else(|| bad("shards"))? as u32;
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_f64)
+            .filter(|c| *c >= 0.0)
+            .ok_or_else(|| bad("cells"))? as usize;
+        let strings = |key: &'static str| -> Result<Vec<String>, ScenarioError> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(key))?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string).ok_or_else(|| bad(key)))
+                .collect()
+        };
+        let digest = doc
+            .get("digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("digest"))?
+            .to_string();
+        Ok(Manifest {
+            seed,
+            shards,
+            scenarios: strings("scenarios")?,
+            filter: strings("filter")?,
+            cells,
+            digest,
+        })
+    }
+
+    /// Loads a manifest from disk.
+    pub fn load(path: &Path) -> Result<Manifest, ScenarioError> {
+        let doc = Json::parse_file(path).map_err(ScenarioError::Dist)?;
+        Manifest::from_json(&doc)
+    }
+
+    /// Writes the manifest to disk (atomically, like the store).
+    pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
+        crate::store::write_atomic(path, &self.to_json().pretty())
+    }
+}
+
+/// Plans a campaign into `shards` disjoint shards: validates selection,
+/// filter and shard count exactly like a run would, then records the
+/// resolved scenario ids, matched cell count and fingerprint digest in
+/// a [`Manifest`].
+pub fn plan(
+    registry: &Registry,
+    select: &[String],
+    filter_clauses: &[String],
+    seed: u64,
+    shards: u32,
+) -> Result<Manifest, ScenarioError> {
+    plan_with_cells(registry, select, filter_clauses, seed, shards).map(|(m, _)| m)
+}
+
+/// [`plan`], also returning the planned cells (callers that need the
+/// partition — e.g. to print per-shard counts — avoid re-expanding).
+pub fn plan_with_cells(
+    registry: &Registry,
+    select: &[String],
+    filter_clauses: &[String],
+    seed: u64,
+    shards: u32,
+) -> Result<(Manifest, Vec<PlannedCell>), ScenarioError> {
+    if shards == 0 {
+        return Err(ScenarioError::Dist("shard count must be >= 1".into()));
+    }
+    let filter = Filter::parse(filter_clauses).map_err(ScenarioError::Dist)?;
+    let scenarios = select_scenarios(registry, select)?;
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+    validate_filter(&specs, &filter)?;
+    let mut manifest = Manifest {
+        seed,
+        shards,
+        scenarios: specs.iter().map(|s| s.id.to_string()).collect(),
+        filter: filter_clauses.to_vec(),
+        cells: 0,
+        digest: String::new(),
+    };
+    let cells = planned_cells(registry, &manifest)?;
+    manifest.cells = cells.len();
+    manifest.digest = digest_of(&cells);
+    Ok((manifest, cells))
+}
+
+/// Expands the manifest's campaign into its planned cells, in the
+/// executor's deterministic order, each tagged with its fingerprint and
+/// owning shard. Every worker computes the identical partition from
+/// this — that is the whole coordination protocol.
+pub fn planned_cells(
+    registry: &Registry,
+    manifest: &Manifest,
+) -> Result<Vec<PlannedCell>, ScenarioError> {
+    let filter = manifest.parsed_filter()?;
+    let scenarios = select_scenarios(registry, &manifest.scenarios)?;
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+    validate_filter(&specs, &filter)?;
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for params in expand(&spec.axes) {
+            if !filter.matches(&params) {
+                continue;
+            }
+            let seed = cell_seed(manifest.seed, spec.id, &params);
+            let fp = fingerprint(spec.id, spec.version, &params, seed);
+            cells.push(PlannedCell {
+                scenario: spec.id.to_string(),
+                params,
+                seed,
+                shard: shard_of(&fp, manifest.shards),
+                fingerprint: fp,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Re-expands the manifest and errors if the registry has drifted since
+/// plan time: a different cell count (matrix grew or shrank) or a
+/// different fingerprint digest (version bump, axis-value rename —
+/// anything that silently changes the partition). Either way, shard
+/// unions would no longer equal the planned campaign, so re-plan.
+pub fn check_drift(
+    registry: &Registry,
+    manifest: &Manifest,
+) -> Result<Vec<PlannedCell>, ScenarioError> {
+    let cells = planned_cells(registry, manifest)?;
+    if cells.len() != manifest.cells {
+        return Err(ScenarioError::Dist(format!(
+            "registry drift: manifest plans {} cells but the registry expands to {} — re-plan",
+            manifest.cells,
+            cells.len()
+        )));
+    }
+    let digest = digest_of(&cells);
+    if digest != manifest.digest {
+        return Err(ScenarioError::Dist(format!(
+            "registry drift: manifest digest {} != registry digest {digest} \
+             (same cell count, different fingerprints — version bump or axis rename?) — re-plan",
+            manifest.digest
+        )));
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> Registry {
+        Registry::builtin()
+    }
+
+    fn domino_select() -> Vec<String> {
+        vec!["pipeline-domino".to_string(), "dram-refresh".to_string()]
+    }
+
+    #[test]
+    fn plan_counts_cells_and_resolves_ids() {
+        let m = plan(&registry(), &domino_select(), &[], 42, 3).unwrap();
+        assert_eq!(m.shards, 3);
+        assert_eq!(m.scenarios, domino_select());
+        assert!(m.cells > 0);
+        assert_eq!(planned_cells(&registry(), &m).unwrap().len(), m.cells);
+    }
+
+    #[test]
+    fn plan_rejects_bad_inputs() {
+        let r = registry();
+        assert!(matches!(
+            plan(&r, &["nope".into()], &[], 0, 2),
+            Err(ScenarioError::UnknownScenario(_))
+        ));
+        assert!(matches!(
+            plan(&r, &domino_select(), &["notanaxis=1".into()], 0, 2),
+            Err(ScenarioError::UnknownFilterAxis(_))
+        ));
+        assert!(matches!(
+            plan(&r, &domino_select(), &["garbage".into()], 0, 2),
+            Err(ScenarioError::Dist(_))
+        ));
+        assert!(matches!(
+            plan(&r, &domino_select(), &[], 0, 0),
+            Err(ScenarioError::Dist(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_json_round_trips_and_rejects_other_schema() {
+        let m = plan(&registry(), &domino_select(), &["n=16".into()], 7, 2).unwrap();
+        let back = Manifest::from_json(&Json::parse(&m.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let mut doc = m.to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::Num(99.0);
+        }
+        assert!(matches!(
+            Manifest::from_json(&doc),
+            Err(ScenarioError::Dist(_))
+        ));
+    }
+
+    #[test]
+    fn drift_check_catches_cell_count_changes() {
+        let mut m = plan(&registry(), &domino_select(), &[], 1, 2).unwrap();
+        assert!(check_drift(&registry(), &m).is_ok());
+        m.cells += 1;
+        assert!(matches!(
+            check_drift(&registry(), &m),
+            Err(ScenarioError::Dist(_))
+        ));
+    }
+
+    #[test]
+    fn drift_check_catches_count_preserving_version_bumps() {
+        use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioSpec};
+
+        /// Fixed 2-cell matrix; only the version varies.
+        struct Versioned(u32);
+        impl Scenario for Versioned {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: "versioned",
+                    version: self.0,
+                    title: "v",
+                    source_crate: "harness",
+                    property: "p",
+                    uncertainty: "u",
+                    quality: "q",
+                    catalog_id: None,
+                    axes: vec![Axis::new("a", [1, 2])],
+                    headline_metric: "m",
+                    smaller_is_better: true,
+                }
+            }
+            fn run(&self, _: &Params, _: u64) -> Result<CellResult, ScenarioError> {
+                Ok(CellResult::new(vec![("m", 0.0)]))
+            }
+        }
+
+        let reg = |version| {
+            let mut r = Registry::empty();
+            r.register(Box::new(Versioned(version)));
+            r
+        };
+        let m = plan(&reg(1), &["versioned".into()], &[], 0, 2).unwrap();
+        assert!(check_drift(&reg(1), &m).is_ok());
+        // Same cell count under v2, but every fingerprint changed: the
+        // digest must catch what the count cannot.
+        let err = check_drift(&reg(2), &m).unwrap_err();
+        assert!(matches!(err, ScenarioError::Dist(ref msg) if msg.contains("digest")));
+    }
+}

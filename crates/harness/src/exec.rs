@@ -12,8 +12,8 @@
 
 use crate::matrix::{expand, Filter};
 use crate::registry::Registry;
-use crate::scenario::{CellResult, Params, Scenario, ScenarioError};
-use crate::store::ResultStore;
+use crate::scenario::{CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
+use crate::store::{fingerprint, ResultStore};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -63,6 +63,51 @@ pub struct Campaign {
     pub memoized: usize,
 }
 
+/// One slice of a sharded campaign: this process owns every cell whose
+/// fingerprint maps to `index` under [`shard_of`] with `count` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Which shard this worker claims (`0 <= index < count`).
+    pub index: u32,
+    /// Total number of shards the campaign was partitioned into.
+    pub count: u32,
+}
+
+impl Shard {
+    /// Validates the pair.
+    pub fn new(index: u32, count: u32) -> Result<Shard, ScenarioError> {
+        if count == 0 {
+            return Err(ScenarioError::Dist("shard count must be >= 1".into()));
+        }
+        if index >= count {
+            return Err(ScenarioError::Dist(format!(
+                "shard index {index} out of range (count {count})"
+            )));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// True if this shard owns the fingerprinted cell.
+    pub fn owns(&self, fp: &str) -> bool {
+        shard_of(fp, self.count) == self.index
+    }
+}
+
+/// Maps a cell fingerprint to its shard. The assignment depends on
+/// nothing but the fingerprint, which is what lets every worker
+/// partition independently. Fingerprints are raw FNV-1a values whose
+/// residues correlate for near-identical inputs, so the hash is pushed
+/// through a SplitMix64 finalizer before the modulus to keep shard
+/// loads balanced.
+pub fn shard_of(fp: &str, shards: u32) -> u32 {
+    let h = u64::from_str_radix(fp, 16).expect("fingerprints are 16 hex digits");
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % u64::from(shards.max(1))) as u32
+}
+
 /// Derives the deterministic seed of one cell.
 pub fn cell_seed(campaign_seed: u64, scenario_id: &str, params: &Params) -> u64 {
     let mut h = crate::store::FNV_OFFSET ^ campaign_seed.rotate_left(17);
@@ -103,26 +148,37 @@ pub fn run_campaign(
     config: &ExecConfig,
     store: &mut ResultStore,
 ) -> Result<Campaign, ScenarioError> {
-    let scenarios: Vec<&dyn Scenario> = if select.is_empty() {
-        registry.scenarios().collect()
-    } else {
-        let mut seen = std::collections::BTreeSet::new();
-        select
-            .iter()
-            .filter(|id| seen.insert(id.as_str()))
-            .map(|id| {
-                registry
-                    .get(id)
-                    .ok_or_else(|| ScenarioError::UnknownScenario(id.clone()))
-            })
-            .collect::<Result<_, _>>()?
-    };
+    run_campaign_shard(registry, select, filter, config, store, None)
+}
 
-    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+/// Resolves a selection against the registry (empty = every scenario;
+/// repeated ids deduplicated, first occurrence wins the order).
+pub(crate) fn select_scenarios<'a>(
+    registry: &'a Registry,
+    select: &[String],
+) -> Result<Vec<&'a dyn Scenario>, ScenarioError> {
+    if select.is_empty() {
+        return Ok(registry.scenarios().collect());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    select
+        .iter()
+        .filter(|id| seen.insert(id.as_str()))
+        .map(|id| {
+            registry
+                .get(id)
+                .ok_or_else(|| ScenarioError::UnknownScenario(id.clone()))
+        })
+        .collect()
+}
 
-    // A filter clause must name an axis of at least one selected
-    // scenario — otherwise it is a typo that would silently run the
-    // whole unfiltered campaign.
+/// A filter clause must name an axis of at least one selected scenario
+/// — otherwise it is a typo that would silently run the whole
+/// unfiltered campaign.
+pub(crate) fn validate_filter(
+    specs: &[ScenarioSpec],
+    filter: &Filter,
+) -> Result<(), ScenarioError> {
     for axis in filter.constrained_axes() {
         let known = specs
             .iter()
@@ -131,6 +187,32 @@ pub fn run_campaign(
             return Err(ScenarioError::UnknownFilterAxis(axis.to_string()));
         }
     }
+    Ok(())
+}
+
+/// [`run_campaign`], restricted to one shard of the cell partition.
+///
+/// With `shard: None` every matching cell runs. With `Some(shard)`,
+/// only cells whose fingerprint the shard [owns](Shard::owns) are
+/// evaluated; the resulting campaign (and store writes) cover exactly
+/// that slice, so N disjoint shard runs merge into the same store a
+/// single-process run would have produced.
+pub fn run_campaign_shard(
+    registry: &Registry,
+    select: &[String],
+    filter: &Filter,
+    config: &ExecConfig,
+    store: &mut ResultStore,
+    shard: Option<Shard>,
+) -> Result<Campaign, ScenarioError> {
+    if let Some(s) = shard {
+        // Re-validate: a Shard built by hand instead of Shard::new must
+        // not silently claim nothing (index >= count matches no cell).
+        Shard::new(s.index, s.count)?;
+    }
+    let scenarios = select_scenarios(registry, select)?;
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+    validate_filter(&specs, filter)?;
 
     // Fix the cell order and resolve memoization up front.
     let mut cells: Vec<CampaignCell> = Vec::new();
@@ -141,7 +223,13 @@ pub fn run_campaign(
                 continue;
             }
             let seed = cell_seed(config.seed, spec.id, &params);
-            let memoized = store.get(spec.id, spec.version, &params, seed).cloned();
+            let fp = fingerprint(spec.id, spec.version, &params, seed);
+            if let Some(s) = shard {
+                if !s.owns(&fp) {
+                    continue;
+                }
+            }
+            let memoized = store.get_by_fingerprint(&fp).cloned();
             let cell_index = cells.len();
             match memoized {
                 Some(hit) => cells.push(CampaignCell {
@@ -469,6 +557,57 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, ScenarioError::BadParam { .. }));
         assert_eq!(store.len(), 2, "completed cells memoized despite the error");
+    }
+
+    #[test]
+    fn shards_partition_the_campaign() {
+        let full = run(2, 9, &mut ResultStore::new());
+        for count in [1u32, 2, 3, 4] {
+            let mut sharded: Vec<CampaignCell> = Vec::new();
+            for index in 0..count {
+                let slice = run_campaign_shard(
+                    &registry(),
+                    &[],
+                    &Filter::all(),
+                    &ExecConfig {
+                        threads: 2,
+                        seed: 9,
+                    },
+                    &mut ResultStore::new(),
+                    Some(Shard::new(index, count).unwrap()),
+                )
+                .unwrap();
+                sharded.extend(slice.cells);
+            }
+            assert_eq!(sharded.len(), full.cells.len(), "count {count} covers");
+            // Same multiset of cells (shard order permutes the list).
+            let key = |c: &CampaignCell| (c.scenario.clone(), c.params.key());
+            let mut a: Vec<_> = sharded.iter().map(key).collect();
+            let mut b: Vec<_> = full.cells.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "count {count} is a permutation");
+        }
+    }
+
+    #[test]
+    fn invalid_shards_are_rejected() {
+        assert!(Shard::new(0, 0).is_err());
+        assert!(Shard::new(3, 3).is_err());
+        assert!(Shard::new(2, 3).is_ok());
+        let err = run_campaign_shard(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+            },
+            &mut ResultStore::new(),
+            Some(Shard { index: 5, count: 2 }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Dist(_)));
     }
 
     #[test]

@@ -123,6 +123,14 @@ impl Json {
         }
     }
 
+    /// Reads and parses a JSON file; errors carry the path (the shared
+    /// entry point for stores, manifests and the diff CLI).
+    pub fn parse_file(path: &std::path::Path) -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();

@@ -30,6 +30,12 @@
 //!   style evidence summary joining results against
 //!   `predictability_core::catalog`; driven by the `campaign` CLI
 //!   (`cargo run -p harness --bin campaign`).
+//! * [`dist`] — the distributed layer: a deterministic shard planner
+//!   and manifest, a one-shard-per-process worker mode, a merge engine
+//!   that fuses shard stores into the byte-identical single-process
+//!   store, and a cell-by-cell campaign differ with per-metric
+//!   tolerances (the CI regression gate). See the `plan` / `shard` /
+//!   `merge` / `diff` subcommands of the campaign CLI.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +71,7 @@
 //! assert_eq!(again.executed, 0);
 //! ```
 
+pub mod dist;
 pub mod exec;
 pub mod json;
 pub mod matrix;
@@ -74,7 +81,8 @@ pub mod scenario;
 pub mod scenarios;
 pub mod store;
 
-pub use exec::{run_campaign, Campaign, CampaignCell, ExecConfig};
+pub use dist::{diff_stores, merge_stores, DiffReport, Manifest, Tolerances};
+pub use exec::{run_campaign, run_campaign_shard, Campaign, CampaignCell, ExecConfig, Shard};
 pub use matrix::Filter;
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};

@@ -1,6 +1,10 @@
-//! Campaign serialization (JSON/CSV) and the evidence summary that
-//! joins campaign results against `predictability_core::catalog`.
+//! Campaign serialization (JSON/CSV), the evidence summary that joins
+//! campaign results against `predictability_core::catalog`, and the
+//! human-readable renderings of the `dist` layer's artifacts (shard
+//! plans, store diffs).
 
+use crate::dist::diff::{DeltaKind, DiffReport};
+use crate::dist::plan::{Manifest, PlannedCell};
 use crate::exec::Campaign;
 use crate::json::Json;
 use crate::registry::Registry;
@@ -171,6 +175,70 @@ fn fold_extreme(values: &[Option<f64>], smaller: bool) -> Option<f64> {
         .reduce(|a, b| if (b < a) == smaller { b } else { a })
 }
 
+/// Renders a shard plan: the manifest's identity line plus each
+/// shard's cell count (the partition balance at a glance).
+pub fn plan_summary(manifest: &Manifest, planned: &[PlannedCell]) -> String {
+    let mut counts = vec![0usize; manifest.shards as usize];
+    for cell in planned {
+        counts[cell.shard as usize] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "planned {} cells over {} shards (seed {}, scenarios: {})",
+        planned.len(),
+        manifest.shards,
+        manifest.seed,
+        manifest.scenarios.join(", ")
+    );
+    for (shard, count) in counts.iter().enumerate() {
+        let _ = writeln!(out, "  shard {shard}: {count} cells");
+    }
+    out
+}
+
+/// Renders a store diff, unified-diff style: `-` removed cells, `+`
+/// added cells, `~` metric changes, then a one-line total.
+pub fn diff_summary(report: &DiffReport) -> String {
+    let mut out = String::new();
+    for delta in &report.deltas {
+        let head = format!(
+            "{:<20} {:<44} [{}]",
+            delta.scenario, delta.params_key, delta.fingerprint
+        );
+        match &delta.kind {
+            DeltaKind::Removed => {
+                let _ = writeln!(out, "- {head} (only in baseline)");
+            }
+            DeltaKind::Added => {
+                let _ = writeln!(out, "+ {head} (only in compared)");
+            }
+            DeltaKind::Changed(metrics) => {
+                let _ = writeln!(out, "~ {head}");
+                for m in metrics {
+                    let fmt = |v: Option<f64>| v.map_or("—".to_string(), fmt_value);
+                    let _ = writeln!(
+                        out,
+                        "    {}: {} -> {}",
+                        m.metric,
+                        fmt(m.before),
+                        fmt(m.after)
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "diff: {} added, {} removed, {} changed, {} unchanged",
+        report.added(),
+        report.removed(),
+        report.changed(),
+        report.unchanged
+    );
+    out
+}
+
 /// Renders one spec's template slots (used by `campaign list
 /// --verbose`-style output and kept public for reuse).
 pub fn spec_summary(spec: &ScenarioSpec) -> String {
@@ -227,6 +295,39 @@ mod tests {
         assert!(s.contains("Predictable DRAM refreshes"));
         assert!(s.contains("citations"));
         assert!(s.contains("<- best"));
+    }
+
+    #[test]
+    fn plan_summary_counts_every_shard() {
+        let registry = Registry::builtin();
+        let manifest =
+            crate::dist::plan(&registry, &["pipeline-domino".into()], &[], 1, 3).unwrap();
+        let planned = crate::dist::planned_cells(&registry, &manifest).unwrap();
+        let s = plan_summary(&manifest, &planned);
+        for shard in 0..3 {
+            assert!(s.contains(&format!("shard {shard}:")));
+        }
+        assert!(s.contains(&format!("planned {} cells", planned.len())));
+    }
+
+    #[test]
+    fn diff_summary_renders_every_delta_kind() {
+        use crate::dist::diff::{diff_stores, Tolerances};
+        use crate::scenario::{CellResult, Params};
+        use crate::store::ResultStore;
+        let p = |n: u64| Params::new(vec![("n".into(), n.to_string())]);
+        let mut a = ResultStore::new();
+        let mut b = ResultStore::new();
+        a.insert("s", 1, &p(1), 1, CellResult::new(vec![("m", 1.0)]));
+        a.insert("s", 1, &p(2), 2, CellResult::new(vec![("m", 2.0)]));
+        b.insert("s", 1, &p(2), 2, CellResult::new(vec![("m", 2.5)]));
+        b.insert("s", 1, &p(3), 3, CellResult::new(vec![("m", 3.0)]));
+        let s = diff_summary(&diff_stores(&a, &b, &Tolerances::exact()));
+        assert!(s.contains("- s"));
+        assert!(s.contains("+ s"));
+        assert!(s.contains("~ s"));
+        assert!(s.contains("m: 2 -> 2.5"));
+        assert!(s.contains("1 added, 1 removed, 1 changed, 0 unchanged"));
     }
 
     #[test]

@@ -178,6 +178,10 @@ pub enum ScenarioError {
     UnknownFilterAxis(String),
     /// Reading or writing the result store failed.
     Store(String),
+    /// Distributed-campaign plumbing failed: a bad shard spec, a
+    /// manifest that no longer matches the registry, or shard stores
+    /// that disagree on a fingerprint (a determinism violation).
+    Dist(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -195,6 +199,7 @@ impl fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::Store(msg) => write!(f, "result store error: {msg}"),
+            ScenarioError::Dist(msg) => write!(f, "distributed campaign error: {msg}"),
         }
     }
 }

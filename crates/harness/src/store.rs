@@ -93,6 +93,27 @@ impl ResultStore {
             .get(&fingerprint(scenario_id, version, params, seed))
     }
 
+    /// Looks up a memoized result by an already-computed fingerprint.
+    pub fn get_by_fingerprint(&self, fp: &str) -> Option<&StoredCell> {
+        self.cells.get(fp)
+    }
+
+    /// True if the store holds a cell under this fingerprint.
+    pub fn contains(&self, fp: &str) -> bool {
+        self.cells.contains_key(fp)
+    }
+
+    /// All cells, ordered by fingerprint (the canonical store order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StoredCell)> {
+        self.cells.iter().map(|(fp, cell)| (fp.as_str(), cell))
+    }
+
+    /// Inserts a cell under an already-computed fingerprint (the merge
+    /// engine fuses shard stores without re-deriving fingerprints).
+    pub(crate) fn insert_cell(&mut self, fp: String, cell: StoredCell) {
+        self.cells.insert(fp, cell);
+    }
+
     /// Memoizes one result.
     pub fn insert(
         &mut self,
@@ -213,21 +234,63 @@ impl ResultStore {
         if !path.exists() {
             return Ok(ResultStore::new());
         }
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ScenarioError::Store(format!("read {}: {e}", path.display())))?;
-        let doc = Json::parse(&text).map_err(ScenarioError::Store)?;
+        let doc = Json::parse_file(path).map_err(ScenarioError::Store)?;
         ResultStore::from_json(&doc)
     }
 
-    /// Writes the store to disk (creating parent directories).
+    /// Loads a store, treating a *missing* file as an error — the right
+    /// semantics when the store is an input artifact (merge, diff)
+    /// rather than a memoization cache being created on first use.
+    pub fn load_required(path: &Path) -> Result<ResultStore, ScenarioError> {
+        if !path.exists() {
+            return Err(ScenarioError::Store(format!(
+                "no such store: {}",
+                path.display()
+            )));
+        }
+        ResultStore::load(path)
+    }
+
+    /// Writes the store to disk (creating parent directories). The
+    /// write is atomic — rendered to a temp file in the target
+    /// directory, then renamed — so an interrupted worker can never
+    /// leave a torn or truncated store behind.
     pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
-        if let Some(dir) = path.parent() {
+        write_atomic(path, &self.to_json().pretty())
+    }
+}
+
+/// Atomically replaces `path` with `text`: write a uniquely-named temp
+/// file in the same directory (same filesystem, so the rename cannot
+/// degrade to a copy), then rename over the target. Readers see either
+/// the old complete file or the new complete file, never a prefix.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError> {
+    let dir = match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => {
             std::fs::create_dir_all(dir)
                 .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
+            dir.to_path_buf()
         }
-        std::fs::write(path, self.to_json().pretty())
-            .map_err(|e| ScenarioError::Store(format!("write {}: {e}", path.display())))
-    }
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ScenarioError::Store(format!("bad store path {}", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text)
+        .map_err(|e| ScenarioError::Store(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        ScenarioError::Store(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -291,5 +354,47 @@ mod tests {
     fn missing_file_is_empty_store() {
         let store = ResultStore::load(Path::new("/nonexistent/store.json")).unwrap();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn load_required_rejects_missing_file() {
+        let err = ResultStore::load_required(Path::new("/nonexistent/store.json")).unwrap_err();
+        assert!(matches!(err, ScenarioError::Store(_)));
+    }
+
+    #[test]
+    fn fingerprint_lookup_and_iteration_agree_with_get() {
+        let mut store = ResultStore::new();
+        store.insert("a", 1, &params(), 1, CellResult::new(vec![("x", 2.0)]));
+        let fp = fingerprint("a", 1, &params(), 1);
+        assert!(store.contains(&fp));
+        assert_eq!(
+            store.get_by_fingerprint(&fp),
+            store.get("a", 1, &params(), 1)
+        );
+        let listed: Vec<&str> = store.iter().map(|(fp, _)| fp).collect();
+        assert_eq!(listed, vec![fp.as_str()]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_replaces_existing_content() {
+        let dir = std::env::temp_dir().join(format!("harness-store-{}", std::process::id()));
+        let path = dir.join("store.json");
+        let mut store = ResultStore::new();
+        store.insert("a", 1, &params(), 1, CellResult::new(vec![("x", 2.0)]));
+        store.save(&path).unwrap();
+        // Overwrite with a different store: the rename must replace.
+        let mut bigger = store.clone();
+        bigger.insert("b", 1, &params(), 2, CellResult::new(vec![("y", 3.0)]));
+        bigger.save(&path).unwrap();
+        assert_eq!(ResultStore::load(&path).unwrap().len(), 2);
+        // No temp litter left behind.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -101,6 +101,43 @@ fn four_threads_match_single_thread() {
 }
 
 #[test]
+fn merged_shard_stores_reproduce_the_golden_campaign() {
+    // Run the golden campaign as 3 isolated shards, merge the stores,
+    // then replay the campaign against the merged store: every cell
+    // must be memoized and the JSON must still match the golden file.
+    let registry = Registry::builtin();
+    let manifest = harness::dist::plan(&registry, &select(), &[], SEED, 3).unwrap();
+    let mut shard_stores = Vec::new();
+    for index in 0..3 {
+        let mut store = ResultStore::new();
+        harness::dist::run_shard(&registry, &manifest, index, 2, &mut store).unwrap();
+        shard_stores.push(store);
+    }
+    let (mut merged, _) = harness::dist::merge_stores(&shard_stores).unwrap();
+
+    let replay = run(2, &mut merged);
+    assert_eq!(replay.executed, 0, "merged store must memoize every cell");
+    let normalize = |c: &Campaign| {
+        c.cells
+            .iter()
+            .map(|cell| {
+                (
+                    cell.scenario.clone(),
+                    cell.params.key(),
+                    cell.seed,
+                    cell.result.clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        normalize(&replay),
+        normalize(&run(2, &mut ResultStore::new())),
+        "memoized-from-merge cells must equal a fresh run's"
+    );
+}
+
+#[test]
 fn seeded_scenarios_are_thread_independent_too() {
     // A second matrix over scenarios that *do* consume their cell seed
     // (seeded workloads), filtered small to stay fast.
