@@ -5,15 +5,20 @@
 //! ```text
 //! cargo run -p harness --bin campaign -- list
 //! cargo run -p harness --bin campaign -- run [--scenario ID]... [--filter AXIS=VALUE]...
-//!         [--threads N] [--seed S] [--store PATH] [--json PATH] [--csv PATH] [--quiet]
+//!         [--threads N] [--seed S] [--corpus-size N] [--store PATH] [--json PATH]
+//!         [--csv PATH] [--quiet]
 //! cargo run -p harness --bin campaign -- report [same flags as run]
+//! cargo run -p harness --bin campaign -- gen [--seed S] [--corpus-size N]
+//!         [--filter A=V]... [--disasm]
 //! cargo run -p harness --bin campaign -- plan --shards N --manifest PATH
-//!         [--scenario ID]... [--filter A=V]... [--seed S]
+//!         [--scenario ID]... [--filter A=V]... [--seed S] [--corpus-size N]
 //! cargo run -p harness --bin campaign -- shard --manifest PATH --index I
 //!         [--store PATH] [--threads N] [--json PATH] [--csv PATH] [--quiet]
 //! cargo run -p harness --bin campaign -- merge --out PATH [--manifest PATH] STORE...
 //! cargo run -p harness --bin campaign -- diff BASELINE COMPARED [--tol METRIC=EPS]...
 //!         [--tol-default EPS] [--quiet]
+//! cargo run -p harness --bin campaign -- gc --store PATH [--dry-run] [--quiet]
+//!         [--seed S] [--corpus-size N]
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
@@ -26,10 +31,12 @@
 
 use harness::dist;
 use harness::exec::{run_campaign, Campaign, ExecConfig};
+use harness::gen::{GenOptions, DEFAULT_CORPUS_SIZE};
+use harness::json::Json;
 use harness::matrix::Filter;
 use harness::registry::Registry;
 use harness::report;
-use harness::store::ResultStore;
+use harness::store::{self, ResultStore};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -48,6 +55,11 @@ struct Options {
     json: Option<PathBuf>,
     csv: Option<PathBuf>,
     quiet: bool,
+    // gen flags
+    corpus_size: Option<u32>,
+    disasm: bool,
+    // lifecycle flags
+    dry_run: bool,
     // dist flags
     shards: Option<u32>,
     index: Option<u32>,
@@ -60,30 +72,61 @@ struct Options {
     given: Vec<String>,
 }
 
+impl Options {
+    /// The registry the campaign-building commands run against: the
+    /// built-ins plus the gen scenarios over a corpus derived from the
+    /// campaign seed and `--corpus-size`.
+    fn registry(&self) -> Registry {
+        Registry::builtin_with(&GenOptions {
+            corpus_size: self.corpus_size.unwrap_or(DEFAULT_CORPUS_SIZE),
+            corpus_seed: self.seed,
+        })
+    }
+}
+
 const USAGE: &str = "\
-usage: campaign <list|run|report|plan|shard|merge|diff> [options]
+usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
   --filter A=V       keep only cells with axis A = value V (repeatable;
                      several values for one axis union, axes intersect)
   --threads N        worker threads (default: available parallelism)
-  --seed S           campaign seed (default 0)
+  --seed S           campaign seed (default 0); also the corpus seed of
+                     the gen/* scenarios' generated-program population
+  --corpus-size N    generated kernels per shape for gen/* scenarios
+                     (default 2; multiplies every gen matrix)
   --store PATH       memoize results in PATH (JSON; created if missing)
   --json PATH        write the campaign as deterministic JSON
   --csv PATH         write the campaign as long-format CSV
   --quiet            suppress per-cell output
 
+generated-program corpora:
+  gen    [--seed S] [--corpus-size N] [--filter A=V]... [--disasm]
+         list the corpus the gen/* scenarios would sweep (one row per
+         kernel: coordinates, generator seed, size, digest); --disasm
+         additionally prints each matching kernel's disassembly
+
 distributed campaigns:
-  plan   --shards N --manifest PATH [--scenario]... [--filter]... [--seed S]
+  plan   --shards N --manifest PATH [--scenario]... [--filter]...
+         [--seed S] [--corpus-size N]
          partition the campaign into N shards; write the manifest
+         (records per-scenario digests and the corpus identity)
   shard  --manifest PATH --index I [--store PATH] [--threads N]
-         run exactly shard I against its own store
+         run exactly shard I against its own store (the registry and
+         corpus are rebuilt from the manifest; drift errors name the
+         drifted scenarios)
   merge  --out PATH [--manifest PATH] STORE...
          fuse shard stores (conflict = determinism violation -> exit 2);
          with --manifest, also verify exact planned-cell coverage
   diff   BASELINE COMPARED [--tol METRIC=EPS]... [--tol-default EPS]
          compare two stores cell-by-cell; exit 1 if they differ
+
+result-store lifecycle:
+  gc     --store PATH [--dry-run] [--seed S] [--corpus-size N]
+         drop cells the current registry can no longer serve (stale
+         schema, unregistered scenario, old implementation version);
+         --dry-run reports without rewriting the store
 
 exit status: 0 success; 1 diff found differences; 2 error
 ";
@@ -101,6 +144,9 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         json: None,
         csv: None,
         quiet: false,
+        corpus_size: None,
+        disasm: false,
+        dry_run: false,
         shards: None,
         index: None,
         manifest: None,
@@ -137,6 +183,16 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             "--json" => options.json = Some(PathBuf::from(value("--json")?)),
             "--csv" => options.csv = Some(PathBuf::from(value("--csv")?)),
             "--quiet" => options.quiet = true,
+            "--corpus-size" => {
+                options.corpus_size = Some(
+                    small("--corpus-size", value("--corpus-size")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--corpus-size needs an integer >= 1")?,
+                )
+            }
+            "--disasm" => options.disasm = true,
+            "--dry-run" => options.dry_run = true,
             "--shards" => options.shards = Some(small("--shards", value("--shards")?)?),
             "--index" => options.index = Some(small("--index", value("--index")?)?),
             "--manifest" => options.manifest = Some(PathBuf::from(value("--manifest")?)),
@@ -177,26 +233,28 @@ fn main() -> ExitCode {
 }
 
 fn run(options: Options) -> Result<u8, String> {
-    let registry = Registry::builtin();
     // Flags a subcommand does not read are rejected, not silently
     // ignored — `shard --seed 7` runs with the *manifest's* seed, and
     // accepting the flag would misattribute the results.
     let allowed: &[&str] = match options.command.as_str() {
-        "list" => &[],
+        "list" => &["--seed", "--corpus-size"],
         "run" | "report" => &[
             "--scenario",
             "--filter",
             "--threads",
             "--seed",
+            "--corpus-size",
             "--store",
             "--json",
             "--csv",
             "--quiet",
         ],
+        "gen" => &["--seed", "--corpus-size", "--filter", "--disasm"],
         "plan" => &[
             "--scenario",
             "--filter",
             "--seed",
+            "--corpus-size",
             "--shards",
             "--manifest",
             "--quiet",
@@ -212,6 +270,7 @@ fn run(options: Options) -> Result<u8, String> {
         ],
         "merge" => &["--out", "--manifest"],
         "diff" => &["--tol", "--tol-default", "--quiet"],
+        "gc" => &["--store", "--dry-run", "--seed", "--corpus-size", "--quiet"],
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     if let Some(flag) = options
@@ -232,16 +291,63 @@ fn run(options: Options) -> Result<u8, String> {
     }
     match options.command.as_str() {
         "list" => {
-            print!("{}", report::list_scenarios(&registry));
+            print!("{}", report::list_scenarios(&options.registry()));
             Ok(0)
         }
-        "run" | "report" => run_or_report(&registry, &options),
-        "plan" => plan(&registry, &options),
-        "shard" => shard(&registry, &options),
-        "merge" => merge(&registry, &options),
+        "run" | "report" => run_or_report(&options.registry(), &options),
+        "gen" => gen(&options),
+        "plan" => plan(&options.registry(), &options),
+        "shard" => shard(&options),
+        "merge" => merge(&options),
         "diff" => diff(&options),
+        "gc" => gc(&options.registry(), &options),
         _ => unreachable!("validated above"),
     }
+}
+
+fn gen(options: &Options) -> Result<u8, String> {
+    let filter = Filter::parse(&options.filters)?;
+    let corpus = GenOptions {
+        corpus_size: options.corpus_size.unwrap_or(DEFAULT_CORPUS_SIZE),
+        corpus_seed: options.seed,
+    }
+    .corpus();
+    // Same typo guard as campaign runs: a clause on an axis the corpus
+    // does not declare would be vacuously satisfied and silently print
+    // the full (wrong) listing.
+    let known: Vec<&str> = corpus.axes().iter().map(|a| a.name).collect();
+    for axis in filter.constrained_axes() {
+        if !known.contains(&axis) {
+            return Err(format!(
+                "filter axis `{axis}` is not a corpus axis ({})",
+                known.join(", ")
+            ));
+        }
+    }
+    print!(
+        "{}",
+        report::corpus_summary(&corpus, &filter, options.disasm)
+    );
+    Ok(0)
+}
+
+fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
+    let path = options.store.as_deref().ok_or("gc needs --store PATH")?;
+    if !path.exists() {
+        return Err(format!("no such store: {}", path.display()));
+    }
+    let doc = Json::parse_file(path)?;
+    let (kept, outcome) = store::gc(&doc, registry).map_err(|e| e.to_string())?;
+    if !options.quiet || !outcome.dropped.is_empty() {
+        print!("{}", report::gc_summary(&outcome, options.dry_run));
+    }
+    if !options.dry_run {
+        kept.save(path).map_err(|e| e.to_string())?;
+        if !options.quiet {
+            println!("store rewritten: {}", path.display());
+        }
+    }
+    Ok(0)
 }
 
 fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
@@ -299,18 +405,22 @@ fn plan(registry: &Registry, options: &Options) -> Result<u8, String> {
     Ok(0)
 }
 
-fn shard(registry: &Registry, options: &Options) -> Result<u8, String> {
+fn shard(options: &Options) -> Result<u8, String> {
     let path = options
         .manifest
         .as_deref()
         .ok_or("shard needs --manifest PATH")?;
     let index = options.index.ok_or("shard needs --index I")?;
     let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
+    // The registry (and its generated corpus) is rebuilt from the
+    // manifest, not from local flags: every worker must claim shards of
+    // the exact campaign that was planned.
+    let registry = dist::registry_for(&manifest);
     let mut store = match &options.store {
         Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
         None => ResultStore::new(),
     };
-    let campaign = dist::run_shard(registry, &manifest, index, options.threads, &mut store)
+    let campaign = dist::run_shard(&registry, &manifest, index, options.threads, &mut store)
         .map_err(|e| e.to_string())?;
     write_artifacts(&campaign, &store, options)?;
     print_cells(&campaign, options.quiet);
@@ -325,7 +435,7 @@ fn shard(registry: &Registry, options: &Options) -> Result<u8, String> {
     Ok(0)
 }
 
-fn merge(registry: &Registry, options: &Options) -> Result<u8, String> {
+fn merge(options: &Options) -> Result<u8, String> {
     let out = options.out.as_deref().ok_or("merge needs --out PATH")?;
     if options.positional.is_empty() {
         return Err("merge needs at least one input store".into());
@@ -338,7 +448,8 @@ fn merge(registry: &Registry, options: &Options) -> Result<u8, String> {
     let (fused, stats) = dist::merge_stores(&stores).map_err(|e| e.to_string())?;
     if let Some(path) = &options.manifest {
         let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
-        dist::merge::verify_coverage(registry, &manifest, &fused).map_err(|e| e.to_string())?;
+        let registry = dist::registry_for(&manifest);
+        dist::merge::verify_coverage(&registry, &manifest, &fused).map_err(|e| e.to_string())?;
     }
     fused.save(out).map_err(|e| e.to_string())?;
     println!(

@@ -63,12 +63,31 @@ pub mod plan;
 
 pub use diff::{diff_stores, DiffReport, Tolerances};
 pub use merge::{merge_stores, MergeStats};
-pub use plan::{plan, plan_with_cells, planned_cells, Manifest, PlannedCell};
+pub use plan::{
+    plan, plan_with_cells, planned_cells, CorpusPlan, Manifest, PlannedCell, ScenarioPlan,
+};
 
 use crate::exec::{run_campaign_shard, Campaign, ExecConfig, Shard};
+use crate::gen::GenOptions;
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
 use crate::store::ResultStore;
+
+/// The built-in registry a worker must use to claim shards of this
+/// manifest: when the manifest records a generated-program corpus, the
+/// registry is rebuilt over exactly that corpus identity (size + seed);
+/// [`plan::check_drift`] then verifies the rematerialized population
+/// digests to the planned one, so codegen drift between plan and shard
+/// time is caught by name instead of silently mispartitioning.
+pub fn registry_for(manifest: &Manifest) -> Registry {
+    match &manifest.corpus {
+        Some(corpus) => Registry::builtin_with(&GenOptions {
+            corpus_size: corpus.size,
+            corpus_seed: corpus.seed,
+        }),
+        None => Registry::builtin(),
+    }
+}
 
 /// Runs exactly shard `index` of the manifest's campaign: validates the
 /// index, re-expands the matrix, errors on registry drift, then

@@ -17,12 +17,42 @@ use crate::json::Json;
 use crate::matrix::{expand, Filter};
 use crate::registry::Registry;
 use crate::scenario::{Params, ScenarioError};
-use crate::store::fingerprint;
+use crate::store::fingerprint_with_content;
 use std::path::Path;
 
 /// Bump when the manifest layout or the shard assignment rule changes;
 /// workers then refuse stale manifests instead of mispartitioning.
-pub const MANIFEST_SCHEMA: u32 = 1;
+/// Version history: 1 — global cell count + fingerprint digest;
+/// 2 — per-scenario counts/digests (drift errors name the drifted
+/// scenarios) and the generated-program corpus identity.
+pub const MANIFEST_SCHEMA: u32 = 2;
+
+/// One scenario's slice of the plan: enough to attribute drift to a
+/// scenario by name instead of reporting bare campaign-level numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPlan {
+    /// Scenario id.
+    pub id: String,
+    /// Matched cells of this scenario at plan time.
+    pub cells: usize,
+    /// Digest of this scenario's planned fingerprints, in plan order.
+    pub digest: String,
+}
+
+/// The generated-program corpus the campaign was planned over, when any
+/// selected scenario sweeps one. Workers rebuild the exact registry
+/// from this and verify the digest, so a codegen change between plan
+/// and shard time surfaces as *corpus drift* instead of a silently
+/// different program population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusPlan {
+    /// Kernels per shape.
+    pub size: u32,
+    /// The corpus seed.
+    pub seed: u64,
+    /// The corpus population digest at plan time.
+    pub digest: String,
+}
 
 /// Everything a worker needs to independently claim one shard of a
 /// campaign.
@@ -43,14 +73,26 @@ pub struct Manifest {
     /// rename leaves the cell count intact but changes every
     /// fingerprint — and therefore the partition).
     pub digest: String,
+    /// Per-scenario counts and digests, in campaign order; lets drift
+    /// errors name the scenarios that moved.
+    pub per_scenario: Vec<ScenarioPlan>,
+    /// The generated-program corpus identity, when the planning
+    /// registry carried one and a selected scenario sweeps it.
+    pub corpus: Option<CorpusPlan>,
 }
 
 /// Hashes the planned fingerprints (order-sensitive) into the
 /// manifest's drift digest.
 pub fn digest_of(cells: &[PlannedCell]) -> String {
+    digest_of_fingerprints(cells.iter().map(|c| c.fingerprint.as_str()))
+}
+
+/// [`digest_of`] over bare fingerprints, so per-scenario slices can be
+/// digested without cloning cells.
+fn digest_of_fingerprints<'a>(fingerprints: impl Iterator<Item = &'a str>) -> String {
     let mut h = crate::store::FNV_OFFSET;
-    for cell in cells {
-        h = crate::store::fnv1a(cell.fingerprint.as_bytes(), h);
+    for fp in fingerprints {
+        h = crate::store::fnv1a(fp.as_bytes(), h);
         h = crate::store::fnv1a(&[0xff], h);
     }
     format!("{h:016x}")
@@ -79,7 +121,7 @@ impl Manifest {
 
     /// Serializes deterministically (equal manifests are byte-equal).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("schema".into(), Json::Num(MANIFEST_SCHEMA as f64)),
             // Decimal string: u64 seeds exceed f64's exact range.
             ("seed".into(), Json::str(self.seed.to_string())),
@@ -94,7 +136,33 @@ impl Manifest {
                 "filter".into(),
                 Json::Arr(self.filter.iter().map(Json::str).collect()),
             ),
-        ])
+            (
+                "per_scenario".into(),
+                Json::Arr(
+                    self.per_scenario
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::str(&s.id)),
+                                ("cells".into(), Json::Num(s.cells as f64)),
+                                ("digest".into(), Json::str(&s.digest)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(corpus) = &self.corpus {
+            members.push((
+                "corpus".into(),
+                Json::Obj(vec![
+                    ("size".into(), Json::Num(f64::from(corpus.size))),
+                    ("seed".into(), Json::str(corpus.seed.to_string())),
+                    ("digest".into(), Json::str(&corpus.digest)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
     }
 
     /// Deserializes a manifest; unlike the result store, a schema
@@ -102,6 +170,11 @@ impl Manifest {
     /// it does not implement.
     pub fn from_json(doc: &Json) -> Result<Manifest, ScenarioError> {
         let bad = |what: &str| ScenarioError::Dist(format!("manifest: bad {what}"));
+        // Exact non-negative integer within [0, max]: out-of-range or
+        // fractional values error instead of saturating — a corrupted
+        // "size": 5e9 must exit cleanly, not materialize u32::MAX
+        // kernels in the worker.
+        let exact = |v: f64, max: f64| (v.fract() == 0.0 && (0.0..=max).contains(&v)).then_some(v);
         let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
         if schema != MANIFEST_SCHEMA {
             return Err(ScenarioError::Dist(format!(
@@ -116,12 +189,13 @@ impl Manifest {
         let shards = doc
             .get("shards")
             .and_then(Json::as_f64)
+            .and_then(|s| exact(s, u32::MAX as f64))
             .filter(|s| *s >= 1.0)
             .ok_or_else(|| bad("shards"))? as u32;
         let cells = doc
             .get("cells")
             .and_then(Json::as_f64)
-            .filter(|c| *c >= 0.0)
+            .and_then(|c| exact(c, u32::MAX as f64))
             .ok_or_else(|| bad("cells"))? as usize;
         let strings = |key: &'static str| -> Result<Vec<String>, ScenarioError> {
             doc.get(key)
@@ -136,6 +210,52 @@ impl Manifest {
             .and_then(Json::as_str)
             .ok_or_else(|| bad("digest"))?
             .to_string();
+        let per_scenario = doc
+            .get("per_scenario")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("per_scenario"))?
+            .iter()
+            .map(|entry| {
+                Ok(ScenarioPlan {
+                    id: entry
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("per_scenario id"))?
+                        .to_string(),
+                    cells: entry
+                        .get("cells")
+                        .and_then(Json::as_f64)
+                        .and_then(|c| exact(c, u32::MAX as f64))
+                        .ok_or_else(|| bad("per_scenario cells"))?
+                        as usize,
+                    digest: entry
+                        .get("digest")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("per_scenario digest"))?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, ScenarioError>>()?;
+        let corpus = match doc.get("corpus") {
+            None => None,
+            Some(entry) => Some(CorpusPlan {
+                size: entry
+                    .get("size")
+                    .and_then(Json::as_f64)
+                    .and_then(|s| exact(s, u32::MAX as f64))
+                    .ok_or_else(|| bad("corpus size"))? as u32,
+                seed: entry
+                    .get("seed")
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("corpus seed"))?,
+                digest: entry
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("corpus digest"))?
+                    .to_string(),
+            }),
+        };
         Ok(Manifest {
             seed,
             shards,
@@ -143,6 +263,8 @@ impl Manifest {
             filter: strings("filter")?,
             cells,
             digest,
+            per_scenario,
+            corpus,
         })
     }
 
@@ -188,6 +310,18 @@ pub fn plan_with_cells(
     let scenarios = select_scenarios(registry, select)?;
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
     validate_filter(&specs, &filter)?;
+    // Record the corpus identity when the planning registry carries one
+    // and a selected scenario actually sweeps it.
+    let corpus = registry.gen_options().and_then(|options| {
+        specs
+            .iter()
+            .find_map(|s| s.content_digest.clone())
+            .map(|digest| CorpusPlan {
+                size: options.corpus_size,
+                seed: options.corpus_seed,
+                digest,
+            })
+    });
     let mut manifest = Manifest {
         seed,
         shards,
@@ -195,11 +329,30 @@ pub fn plan_with_cells(
         filter: filter_clauses.to_vec(),
         cells: 0,
         digest: String::new(),
+        per_scenario: Vec::new(),
+        corpus,
     };
     let cells = planned_cells(registry, &manifest)?;
     manifest.cells = cells.len();
     manifest.digest = digest_of(&cells);
+    manifest.per_scenario = per_scenario_plans(&manifest.scenarios, &cells);
     Ok((manifest, cells))
+}
+
+/// Groups planned cells into per-scenario counts and digests, in
+/// campaign order.
+fn per_scenario_plans(scenarios: &[String], cells: &[PlannedCell]) -> Vec<ScenarioPlan> {
+    scenarios
+        .iter()
+        .map(|id| {
+            let owned = || cells.iter().filter(move |c| &c.scenario == id);
+            ScenarioPlan {
+                id: id.clone(),
+                cells: owned().count(),
+                digest: digest_of_fingerprints(owned().map(|c| c.fingerprint.as_str())),
+            }
+        })
+        .collect()
 }
 
 /// Expands the manifest's campaign into its planned cells, in the
@@ -221,7 +374,13 @@ pub fn planned_cells(
                 continue;
             }
             let seed = cell_seed(manifest.seed, spec.id, &params);
-            let fp = fingerprint(spec.id, spec.version, &params, seed);
+            let fp = fingerprint_with_content(
+                spec.id,
+                spec.version,
+                spec.content_digest.as_deref(),
+                &params,
+                seed,
+            );
             cells.push(PlannedCell {
                 scenario: spec.id.to_string(),
                 params,
@@ -235,15 +394,57 @@ pub fn planned_cells(
 }
 
 /// Re-expands the manifest and errors if the registry has drifted since
-/// plan time: a different cell count (matrix grew or shrank) or a
+/// plan time: a different cell count (matrix grew or shrank), a
 /// different fingerprint digest (version bump, axis-value rename —
-/// anything that silently changes the partition). Either way, shard
-/// unions would no longer equal the planned campaign, so re-plan.
+/// anything that silently changes the partition), or a generated
+/// corpus that no longer digests to the planned population. Either
+/// way, shard unions would no longer equal the planned campaign, so
+/// re-plan. Drift errors *name the drifted scenarios* via the
+/// manifest's per-scenario records.
 pub fn check_drift(
     registry: &Registry,
     manifest: &Manifest,
 ) -> Result<Vec<PlannedCell>, ScenarioError> {
+    if let Some(corpus) = &manifest.corpus {
+        let current = registry
+            .specs()
+            .iter()
+            .find_map(|s| s.content_digest.clone());
+        if current.as_deref() != Some(corpus.digest.as_str()) {
+            return Err(ScenarioError::Dist(format!(
+                "corpus drift: manifest plans corpus {} (seed {}, {} kernels/shape) but the \
+                 registry's corpus digests to {} — codegen or corpus options changed; re-plan",
+                corpus.digest,
+                corpus.seed,
+                corpus.size,
+                current.as_deref().unwrap_or("<none>")
+            )));
+        }
+    }
     let cells = planned_cells(registry, manifest)?;
+    let current = per_scenario_plans(&manifest.scenarios, &cells);
+    // Name the scenarios whose slice moved; fall back to the global
+    // comparison for manifests whose per-scenario records are absent
+    // (hand-built in tests).
+    let drifted: Vec<String> = manifest
+        .per_scenario
+        .iter()
+        .zip(&current)
+        .filter(|(planned, now)| planned != now)
+        .map(|(planned, now)| {
+            format!(
+                "{} ({} -> {} cells, digest {} -> {})",
+                planned.id, planned.cells, now.cells, planned.digest, now.digest
+            )
+        })
+        .collect();
+    if !drifted.is_empty() {
+        return Err(ScenarioError::Dist(format!(
+            "registry drift in scenario{} {} — re-plan",
+            if drifted.len() == 1 { "" } else { "s" },
+            drifted.join(", ")
+        )));
+    }
     if cells.len() != manifest.cells {
         return Err(ScenarioError::Dist(format!(
             "registry drift: manifest plans {} cells but the registry expands to {} — re-plan",
@@ -347,6 +548,7 @@ mod tests {
                     uncertainty: "u",
                     quality: "q",
                     catalog_id: None,
+                    content_digest: None,
                     axes: vec![Axis::new("a", [1, 2])],
                     headline_metric: "m",
                     smaller_is_better: true,

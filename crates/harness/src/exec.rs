@@ -13,7 +13,7 @@
 use crate::matrix::{expand, Filter};
 use crate::registry::Registry;
 use crate::scenario::{CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
-use crate::store::{fingerprint, ResultStore};
+use crate::store::{fingerprint_with_content, ResultStore, StoredCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -130,6 +130,7 @@ struct Job<'a> {
     scenario: &'a dyn Scenario,
     scenario_id: &'a str,
     scenario_version: u32,
+    fingerprint: String,
     params: Params,
     seed: u64,
 }
@@ -223,7 +224,13 @@ pub fn run_campaign_shard(
                 continue;
             }
             let seed = cell_seed(config.seed, spec.id, &params);
-            let fp = fingerprint(spec.id, spec.version, &params, seed);
+            let fp = fingerprint_with_content(
+                spec.id,
+                spec.version,
+                spec.content_digest.as_deref(),
+                &params,
+                seed,
+            );
             if let Some(s) = shard {
                 if !s.owns(&fp) {
                     continue;
@@ -255,6 +262,7 @@ pub fn run_campaign_shard(
                         scenario: *scenario,
                         scenario_id: spec.id,
                         scenario_version: spec.version,
+                        fingerprint: fp,
                         params,
                         seed,
                     });
@@ -275,12 +283,18 @@ pub fn run_campaign_shard(
     for (job, outcome) in jobs.iter().zip(outcomes) {
         match outcome.expect("every job must produce an outcome") {
             Ok(result) => {
-                store.insert(
-                    job.scenario_id,
-                    job.scenario_version,
-                    &job.params,
-                    job.seed,
-                    result.clone(),
+                // Insert under the content-aware fingerprint derived
+                // during partitioning (ResultStore::insert would
+                // recompute without the content digest).
+                store.insert_cell(
+                    job.fingerprint.clone(),
+                    StoredCell {
+                        scenario: job.scenario_id.to_string(),
+                        version: job.scenario_version,
+                        params_key: job.params.key(),
+                        seed: job.seed,
+                        result: result.clone(),
+                    },
                 );
                 cells[job.cell_index].result = result;
             }
@@ -348,6 +362,7 @@ mod tests {
                 uncertainty: "u",
                 quality: "q",
                 catalog_id: None,
+                content_digest: None,
                 axes: vec![Axis::new("a", [1, 2, 3]), Axis::new("b", [10, 20])],
                 headline_metric: "value",
                 smaller_is_better: true,

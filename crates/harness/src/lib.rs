@@ -36,6 +36,13 @@
 //!   store, and a cell-by-cell campaign differ with per-metric
 //!   tolerances (the CI regression gate). See the `plan` / `shard` /
 //!   `merge` / `diff` subcommands of the campaign CLI.
+//! * [`gen`] — generated-program sweeps: a deterministic corpus of
+//!   `tinyisa::codegen` programs whose shape (`depth`, `stmts`,
+//!   `loop_iters`, `program_index`) is exposed as matrix axes, swept
+//!   through the pipeline/cache/WCET backends (`gen/pipeline`,
+//!   `gen/cache`, `gen/wcet`) with per-kernel template metrics; the
+//!   corpus digest enters fingerprints and shard manifests so corpus
+//!   drift is caught like registry drift.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +80,7 @@
 
 pub mod dist;
 pub mod exec;
+pub mod gen;
 pub mod json;
 pub mod matrix;
 pub mod registry;
@@ -83,6 +91,7 @@ pub mod store;
 
 pub use dist::{diff_stores, merge_stores, DiffReport, Manifest, Tolerances};
 pub use exec::{run_campaign, run_campaign_shard, Campaign, CampaignCell, ExecConfig, Shard};
+pub use gen::{Corpus, GenOptions};
 pub use matrix::Filter;
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};

@@ -1,5 +1,6 @@
 //! The scenario registry.
 
+use crate::gen::GenOptions;
 use crate::scenario::{Scenario, ScenarioSpec};
 
 /// An ordered collection of registered scenarios. Registration order is
@@ -7,6 +8,7 @@ use crate::scenario::{Scenario, ScenarioSpec};
 #[derive(Default)]
 pub struct Registry {
     scenarios: Vec<Box<dyn Scenario>>,
+    gen_options: Option<GenOptions>,
 }
 
 impl Registry {
@@ -15,13 +17,31 @@ impl Registry {
         Registry::default()
     }
 
-    /// A registry pre-populated with every built-in scenario.
+    /// A registry pre-populated with every built-in scenario, the
+    /// gen-backed sweeps over the default corpus included.
     pub fn builtin() -> Registry {
+        Registry::builtin_with(&GenOptions::default())
+    }
+
+    /// [`Registry::builtin`] with an explicit generated-program corpus
+    /// (the CLI derives one from `--seed` and `--corpus-size`). The
+    /// options are remembered so the shard planner can record the
+    /// corpus identity in campaign manifests.
+    pub fn builtin_with(options: &GenOptions) -> Registry {
         let mut registry = Registry::empty();
         for scenario in crate::scenarios::all() {
             registry.register(scenario);
         }
+        for scenario in crate::gen::scenarios(options) {
+            registry.register(scenario);
+        }
+        registry.gen_options = Some(*options);
         registry
+    }
+
+    /// The gen options this registry was built with, if any.
+    pub fn gen_options(&self) -> Option<&GenOptions> {
+        self.gen_options.as_ref()
     }
 
     /// Registers a scenario.
@@ -90,12 +110,37 @@ mod tests {
             "interconnect-sim",
             "branch-pred",
             "wcet-analysis",
+            "tinyisa",
         ] {
             assert!(
                 crates.contains(required),
                 "missing scenarios for {required}"
             );
         }
+    }
+
+    #[test]
+    fn gen_scenarios_sweep_the_corpus() {
+        let registry = Registry::builtin();
+        assert!(registry.gen_options().is_some());
+        for id in ["gen/pipeline", "gen/cache", "gen/wcet"] {
+            let spec = registry.get(id).expect(id).spec();
+            assert!(
+                spec.axes.iter().any(|a| a.name == "program_index"),
+                "{id} must expose the corpus program_index axis"
+            );
+            assert!(spec.content_digest.is_some(), "{id} must digest its corpus");
+        }
+        // A different corpus yields different content digests but the
+        // same ids and matrix shape.
+        let other = Registry::builtin_with(&GenOptions {
+            corpus_seed: 99,
+            corpus_size: 2,
+        });
+        assert_ne!(
+            registry.get("gen/wcet").unwrap().spec().content_digest,
+            other.get("gen/wcet").unwrap().spec().content_digest
+        );
     }
 
     #[test]

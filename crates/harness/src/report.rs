@@ -239,6 +239,93 @@ pub fn diff_summary(report: &DiffReport) -> String {
     out
 }
 
+/// Renders a generated-program corpus for `campaign gen`: the corpus
+/// identity line, then one row per kernel matching the filter
+/// (coordinates, generator seed, instruction count, digest), optionally
+/// followed by each matching kernel's disassembly.
+pub fn corpus_summary(
+    corpus: &crate::gen::Corpus,
+    filter: &crate::matrix::Filter,
+    disasm: bool,
+) -> String {
+    use crate::gen::Corpus;
+    use crate::scenario::Params;
+    use tinyisa::codegen::{canonical_source, kernel_digest};
+
+    // One pass over the population: each kernel is generated once, its
+    // digest feeds both the matching row and the population digest in
+    // the header.
+    let mut rows = String::new();
+    let mut digests = Vec::new();
+    let shapes = Corpus::shapes();
+    for shape in &shapes {
+        for index in 0..corpus.size {
+            let kernel = corpus.kernel(*shape, index);
+            let digest = kernel_digest(&kernel);
+            digests.push(digest.clone());
+            let params = Params::new(vec![
+                ("depth".into(), shape.depth.to_string()),
+                ("stmts".into(), shape.stmts.to_string()),
+                ("loop_iters".into(), shape.loop_iters.to_string()),
+                ("program_index".into(), index.to_string()),
+            ]);
+            if !filter.matches(&params) {
+                continue;
+            }
+            let _ = writeln!(
+                rows,
+                "{:<44} {:016x}   {:>6}  {digest}",
+                params.key(),
+                corpus.kernel_seed(*shape, index),
+                kernel.program.instrs.len(),
+            );
+            if disasm {
+                for line in canonical_source(&kernel).lines() {
+                    let _ = writeln!(rows, "    {line}");
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "corpus seed {}: {} kernels/shape × {} shapes = {} programs (digest {})",
+        corpus.seed,
+        corpus.size,
+        shapes.len(),
+        corpus.size as usize * shapes.len(),
+        corpus.fold_digest(digests.into_iter())
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:<18} {:>6}  digest",
+        "kernel", "generator seed", "instrs"
+    );
+    out.push_str(&rows);
+    out
+}
+
+/// Renders a GC pass: each dropped cell with its reason, then the
+/// kept/dropped totals (tagged when the pass was a dry run).
+pub fn gc_summary(report: &crate::store::GcReport, dry_run: bool) -> String {
+    let mut out = String::new();
+    for drop in &report.dropped {
+        let _ = writeln!(
+            out,
+            "- {:<20} {:<44} [{}] {}",
+            drop.scenario, drop.params_key, drop.fingerprint, drop.reason
+        );
+    }
+    let _ = writeln!(
+        out,
+        "gc{}: {} kept, {} dropped",
+        if dry_run { " (dry run)" } else { "" },
+        report.kept,
+        report.dropped.len()
+    );
+    out
+}
+
 /// Renders one spec's template slots (used by `campaign list
 /// --verbose`-style output and kept public for reuse).
 pub fn spec_summary(spec: &ScenarioSpec) -> String {

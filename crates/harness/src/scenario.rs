@@ -55,6 +55,15 @@ pub struct ScenarioSpec {
     /// The `predictability_core::catalog` row this scenario evidences,
     /// if it corresponds to one of the paper's Table 1/2 rows.
     pub catalog_id: Option<&'static str>,
+    /// Digest of external *content* the scenario's results depend on
+    /// beyond its id, version and axes — e.g. the generated-program
+    /// corpus a `gen/*` scenario sweeps. The digest is part of every
+    /// cell fingerprint, so content drift (a codegen change that emits
+    /// different programs for the same seeds) invalidates memoized
+    /// results and trips shard-manifest drift detection exactly like a
+    /// version bump. `None` for scenarios whose workload is fully
+    /// described by their axes.
+    pub content_digest: Option<String>,
     /// The parameter matrix.
     pub axes: Vec<Axis>,
     /// The metric the evidence summary leads with.
@@ -254,6 +263,7 @@ mod tests {
             uncertainty: "t",
             quality: "t",
             catalog_id: None,
+            content_digest: None,
             axes: vec![Axis::new("a", [1, 2, 3]), Axis::new("b", ["x", "y"])],
             headline_metric: "m",
             smaller_is_better: true,

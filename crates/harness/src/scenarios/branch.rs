@@ -28,6 +28,7 @@ impl Scenario for BranchMispredict {
             uncertainty: "initial predictor state; analysis imprecision",
             quality: "statically computed bound on mispredictions",
             catalog_id: Some("branch-static"),
+            content_digest: None,
             axes: vec![
                 Axis::new("kernel", ["popcount", "linear_search"]),
                 Axis::new("inputs", [8u64, 24]),

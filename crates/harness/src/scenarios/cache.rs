@@ -20,6 +20,7 @@ impl Scenario for CacheEvictFill {
             uncertainty: "initial cache state (contents and metadata)",
             quality: "evict/fill: accesses until may/must information is complete",
             catalog_id: Some("future-arch"),
+            content_digest: None,
             axes: vec![
                 Axis::new("policy", ["lru", "fifo", "plru", "mru"]),
                 Axis::new("assoc", [2u32, 4]),

@@ -23,6 +23,7 @@ impl Scenario for DramRefresh {
             uncertainty: "refresh counter phase at task start",
             quality: "task-time variability over all phases (cycles)",
             catalog_id: Some("refresh"),
+            content_digest: None,
             axes: vec![
                 Axis::new(
                     "scheme",
@@ -84,6 +85,7 @@ impl Scenario for DramController {
             uncertainty: "interference from concurrently executing clients",
             quality: "existence and size of a per-client latency bound",
             catalog_id: Some("dram-ctrl"),
+            content_digest: None,
             axes: vec![
                 Axis::new("controller", ["frfcfs", "predator", "amc"]),
                 Axis::new("clients", [2u64, 8]),

@@ -25,6 +25,7 @@ impl Scenario for DynsysHorizon {
             uncertainty: "δ-perturbation of every step",
             quality: "steps until worst-case deviation exceeds ε",
             catalog_id: None,
+            content_digest: None,
             axes: vec![
                 Axis::new("map", ["logistic", "translation", "contraction"]),
                 Axis::new("delta", ["1e-6", "1e-3"]),

@@ -27,6 +27,7 @@ impl Scenario for BusArbitration {
             uncertainty: "concurrent execution of unknown other applications",
             quality: "worst latency shift caused by co-runners (cycles)",
             catalog_id: Some("compsoc"),
+            content_digest: None,
             axes: vec![
                 Axis::new("arbiter", Arbiter::ALL.iter().map(|a| a.name().to_string())),
                 Axis::new("co_masters", [1u64, 3]),

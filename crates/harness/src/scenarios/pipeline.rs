@@ -52,6 +52,7 @@ impl Scenario for PipelineSipr {
             uncertainty: "initial pipeline state",
             quality: "SIPr (Definition 4) and the worst state-induced gap",
             catalog_id: Some("preschedule"),
+            content_digest: None,
             axes: vec![
                 Axis::new("pipeline", ["inorder", "ooo"]),
                 Axis::new("kernel", ["sum_loop", "popcount", "linear_search"]),
@@ -114,6 +115,7 @@ impl Scenario for DominoEffect {
             uncertainty: "initial unit-busy state (q1* vs q2*)",
             quality: "SIPr upper-bound series (9n+1)/12n",
             catalog_id: Some("future-arch"),
+            content_digest: None,
             axes: vec![Axis::new("n", [1u32, 4, 16, 64])],
             headline_metric: "sipr",
             smaller_is_better: false,

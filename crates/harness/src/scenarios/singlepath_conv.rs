@@ -43,6 +43,7 @@ impl Scenario for SinglePathIipr {
             uncertainty: "program input",
             quality: "IIPr (Definition 5); 1 = perfectly input-predictable",
             catalog_id: Some("single-path"),
+            content_digest: None,
             axes: vec![Axis::new("variant", ["branchy", "converted"])],
             headline_metric: "iipr",
             smaller_is_better: false,

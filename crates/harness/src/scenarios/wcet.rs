@@ -33,6 +33,7 @@ impl Scenario for WcetTightness {
             uncertainty: "pipeline warmup state and program input",
             quality: "UB tightness (worst observed / UB) with soundness check",
             catalog_id: None,
+            content_digest: None,
             axes: vec![
                 Axis::new("kernel", ["sum_loop", "linear_search", "vector_max"]),
                 Axis::new("memory", ["perfect", "cached"]),

@@ -15,8 +15,11 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Bump when the fingerprint inputs or stored layout change; old
-/// entries then miss instead of being misread.
-const SCHEMA_VERSION: u32 = 1;
+/// entries then miss instead of being misread. Version history:
+/// 1 — fingerprint over (schema, id, version, params, seed);
+/// 2 — the scenario's optional content digest (generated-program
+///     corpus identity) joined the fingerprint inputs.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One stored cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,16 +50,33 @@ pub(crate) fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
 
 /// The fingerprint a cell is memoized under: everything its result can
 /// depend on — store schema, scenario identity *and implementation
-/// version*, canonical parameters, and the cell seed.
-pub fn fingerprint(scenario_id: &str, version: u32, params: &Params, seed: u64) -> String {
+/// version*, the scenario's content digest where one exists (the
+/// generated-program corpus a `gen/*` scenario sweeps), canonical
+/// parameters, and the cell seed.
+pub fn fingerprint_with_content(
+    scenario_id: &str,
+    version: u32,
+    content: Option<&str>,
+    params: &Params,
+    seed: u64,
+) -> String {
     let mut h = FNV_OFFSET;
     h = fnv1a(&SCHEMA_VERSION.to_le_bytes(), h);
     h = fnv1a(scenario_id.as_bytes(), h);
     h = fnv1a(&[0xff], h); // domain separator
     h = fnv1a(&version.to_le_bytes(), h);
+    if let Some(digest) = content {
+        h = fnv1a(digest.as_bytes(), h);
+        h = fnv1a(&[0xfe], h); // content/params separator
+    }
     h = fnv1a(params.key().as_bytes(), h);
     h = fnv1a(&seed.to_le_bytes(), h);
     format!("{h:016x}")
+}
+
+/// [`fingerprint_with_content`] for content-free scenarios.
+pub fn fingerprint(scenario_id: &str, version: u32, params: &Params, seed: u64) -> String {
+    fingerprint_with_content(scenario_id, version, None, params, seed)
 }
 
 /// The memoizing store: fingerprint → stored cell.
@@ -109,8 +129,10 @@ impl ResultStore {
     }
 
     /// Inserts a cell under an already-computed fingerprint (the merge
-    /// engine fuses shard stores without re-deriving fingerprints).
-    pub(crate) fn insert_cell(&mut self, fp: String, cell: StoredCell) {
+    /// engine fuses shard stores without re-deriving fingerprints, and
+    /// the executor inserts under content-aware fingerprints it already
+    /// derived while partitioning).
+    pub fn insert_cell(&mut self, fp: String, cell: StoredCell) {
         self.cells.insert(fp, cell);
     }
 
@@ -260,6 +282,113 @@ impl ResultStore {
     }
 }
 
+/// One cell dropped by [`gc`], with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcDrop {
+    /// The cell's fingerprint (store key).
+    pub fingerprint: String,
+    /// Scenario id (empty when the cell was unreadable).
+    pub scenario: String,
+    /// Canonical parameter key.
+    pub params_key: String,
+    /// Why the cell was dropped.
+    pub reason: String,
+}
+
+/// What a [`gc`] pass decided.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Cells retained.
+    pub kept: usize,
+    /// Cells dropped, in store (fingerprint) order.
+    pub dropped: Vec<GcDrop>,
+}
+
+/// The result-store lifecycle pass: rebuilds a store keeping only the
+/// cells the given registry could still serve. Dropped are
+///
+/// * every cell of a store whose *schema* version is not the current
+///   [`SCHEMA_VERSION`] (its fingerprints were computed under different
+///   rules, so nothing in it can ever hit again),
+/// * cells of scenarios the registry no longer knows, and
+/// * cells whose scenario *implementation* version no longer matches
+///   the registered one (stale results of an old implementation).
+///
+/// Content drift (a `gen/*` corpus change) needs no GC rule of its own:
+/// the content digest is a fingerprint input, so stale corpus cells are
+/// unreachable — but they still match their scenario's id and current
+/// version, so they are retained as cells of *other* corpora (other
+/// campaign seeds), which a future campaign may legitimately hit.
+///
+/// Takes the raw JSON document (not a loaded [`ResultStore`]) so
+/// old-schema stores can be reported cell-by-cell instead of silently
+/// loading empty.
+pub fn gc(
+    doc: &Json,
+    registry: &crate::registry::Registry,
+) -> Result<(ResultStore, GcReport), ScenarioError> {
+    let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+    let raw_cells = match doc.get("cells") {
+        Some(Json::Obj(members)) => members.as_slice(),
+        _ => &[],
+    };
+    if schema != SCHEMA_VERSION {
+        let reason = format!("store schema {schema} != current {SCHEMA_VERSION}");
+        let dropped = raw_cells
+            .iter()
+            .map(|(fp, cell)| GcDrop {
+                fingerprint: fp.clone(),
+                scenario: cell
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                params_key: cell
+                    .get("params")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                reason: reason.clone(),
+            })
+            .collect();
+        return Ok((ResultStore::new(), GcReport { kept: 0, dropped }));
+    }
+    let store = ResultStore::from_json(doc)?;
+    let current: BTreeMap<&str, u32> = registry
+        .specs()
+        .iter()
+        .map(|spec| (spec.id, spec.version))
+        .collect();
+    let mut kept = ResultStore::new();
+    let mut report = GcReport::default();
+    for (fp, cell) in store.iter() {
+        let reason = match current.get(cell.scenario.as_str()) {
+            None => Some(format!(
+                "scenario `{}` is no longer registered",
+                cell.scenario
+            )),
+            Some(&version) if version != cell.version => Some(format!(
+                "version {} != registered version {version}",
+                cell.version
+            )),
+            Some(_) => None,
+        };
+        match reason {
+            None => {
+                kept.insert_cell(fp.to_string(), cell.clone());
+                report.kept += 1;
+            }
+            Some(reason) => report.dropped.push(GcDrop {
+                fingerprint: fp.to_string(),
+                scenario: cell.scenario.clone(),
+                params_key: cell.params_key.clone(),
+                reason,
+            }),
+        }
+    }
+    Ok((kept, report))
+}
+
 /// Atomically replaces `path` with `text`: write a uniquely-named temp
 /// file in the same directory (same filesystem, so the rename cannot
 /// degrade to a copy), then rename over the target. Readers see either
@@ -374,6 +503,76 @@ mod tests {
         );
         let listed: Vec<&str> = store.iter().map(|(fp, _)| fp).collect();
         assert_eq!(listed, vec![fp.as_str()]);
+    }
+
+    #[test]
+    fn content_digest_separates_fingerprints() {
+        let p = params();
+        let plain = fingerprint("s", 1, &p, 1);
+        let a = fingerprint_with_content("s", 1, Some("aaaa"), &p, 1);
+        let b = fingerprint_with_content("s", 1, Some("bbbb"), &p, 1);
+        assert_ne!(plain, a, "content must enter the fingerprint");
+        assert_ne!(a, b, "different corpora must miss each other");
+        assert_eq!(a, fingerprint_with_content("s", 1, Some("aaaa"), &p, 1));
+    }
+
+    #[test]
+    fn gc_keeps_current_drops_stale_and_unknown() {
+        use crate::registry::Registry;
+        use crate::scenario::{Axis, Scenario, ScenarioSpec};
+
+        struct Fixed;
+        impl Scenario for Fixed {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: "fixed",
+                    version: 3,
+                    title: "f",
+                    source_crate: "harness",
+                    property: "p",
+                    uncertainty: "u",
+                    quality: "q",
+                    catalog_id: None,
+                    content_digest: None,
+                    axes: vec![Axis::new("n", [1])],
+                    headline_metric: "m",
+                    smaller_is_better: true,
+                }
+            }
+            fn run(&self, _: &Params, _: u64) -> Result<CellResult, ScenarioError> {
+                Ok(CellResult::new(vec![("m", 0.0)]))
+            }
+        }
+
+        let mut registry = Registry::empty();
+        registry.register(Box::new(Fixed));
+        let mut store = ResultStore::new();
+        store.insert("fixed", 3, &params(), 1, CellResult::new(vec![("m", 1.0)]));
+        store.insert("fixed", 2, &params(), 1, CellResult::new(vec![("m", 2.0)]));
+        store.insert("gone", 1, &params(), 1, CellResult::new(vec![("m", 3.0)]));
+        let (kept, report) = gc(&store.to_json(), &registry).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped.len(), 2);
+        let reasons: Vec<&str> = report.dropped.iter().map(|d| d.reason.as_str()).collect();
+        assert!(reasons.iter().any(|r| r.contains("version 2")));
+        assert!(reasons.iter().any(|r| r.contains("no longer registered")));
+    }
+
+    #[test]
+    fn gc_drops_whole_store_on_schema_mismatch() {
+        let mut store = ResultStore::new();
+        store.insert("s", 1, &params(), 1, CellResult::new(vec![("m", 1.0)]));
+        let mut doc = store.to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::Num(1.0); // pretend schema 1
+        }
+        let (kept, report) = gc(&doc, &crate::registry::Registry::empty()).unwrap();
+        assert!(kept.is_empty());
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.dropped.len(), 1);
+        assert!(report.dropped[0].reason.contains("schema 1"));
+        assert_eq!(report.dropped[0].scenario, "s");
     }
 
     #[test]

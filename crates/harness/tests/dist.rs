@@ -48,6 +48,7 @@ impl Scenario for Toy {
             uncertainty: "u",
             quality: "q",
             catalog_id: None,
+            content_digest: None,
             axes: self.1.clone(),
             headline_metric: "value",
             smaller_is_better: true,

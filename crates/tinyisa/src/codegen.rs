@@ -197,6 +197,30 @@ pub fn generate(seed: u64, config: &GenConfig) -> Kernel {
     }
 }
 
+/// The canonical textual form of a kernel's program: its disassembly
+/// (including the sorted `.loopbound` directives). Two kernels are the
+/// same program exactly when their canonical sources are byte-equal,
+/// which is what corpus digests and cross-process drift detection hash.
+pub fn canonical_source(kernel: &Kernel) -> String {
+    crate::asm::disassemble(&kernel.program)
+}
+
+/// A stable 64-bit digest (FNV-1a over [`canonical_source`], rendered
+/// as 16 hex digits) identifying a generated kernel. Equal
+/// `(seed, config)` pairs digest identically on every platform; any
+/// change to the generator that alters emitted code changes the digest,
+/// which is how sweep campaigns detect *corpus drift* the way sharded
+/// campaigns detect registry drift.
+pub fn kernel_digest(kernel: &Kernel) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
+    for &b in canonical_source(kernel).as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +333,47 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_seed_sensitive() {
+        let c = GenConfig::default();
+        assert_eq!(
+            kernel_digest(&generate(7, &c)),
+            kernel_digest(&generate(7, &c))
+        );
+        assert_ne!(
+            kernel_digest(&generate(7, &c)),
+            kernel_digest(&generate(8, &c))
+        );
+        let c2 = GenConfig {
+            max_stmts: 4,
+            ..GenConfig::default()
+        };
+        assert_ne!(
+            kernel_digest(&generate(7, &c)),
+            kernel_digest(&generate(7, &c2)),
+            "config changes must change the digest"
+        );
+    }
+
+    #[test]
+    fn disassembly_is_a_stable_fixpoint() {
+        // The canonical source must survive an assemble/disassemble
+        // round trip byte-identically (including loop bounds) — the
+        // property that makes it a sound digest input.
+        for seed in 0..20 {
+            let k = generate(seed, &GenConfig::default());
+            let src = canonical_source(&k);
+            let back = crate::asm::assemble(&src).expect("disassembly must reassemble");
+            assert_eq!(back.loop_bounds, k.program.loop_bounds, "seed {seed}");
+            let k2 = Kernel {
+                program: back,
+                ..k.clone()
+            };
+            assert_eq!(src, canonical_source(&k2), "seed {seed}: not a fixpoint");
+            assert_eq!(kernel_digest(&k), kernel_digest(&k2), "seed {seed}");
         }
     }
 
