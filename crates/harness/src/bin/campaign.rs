@@ -1,44 +1,55 @@
 //! The campaign CLI: list scenarios, run filtered matrices, print the
 //! evidence summary — and drive distributed campaigns end-to-end
-//! (plan → shard → merge → diff).
+//! (plan → shard → merge → diff), with crash-resumable checkpointed
+//! execution and work-stealing shard workers.
 //!
 //! ```text
 //! cargo run -p harness --bin campaign -- list
 //! cargo run -p harness --bin campaign -- run [--scenario ID]... [--filter AXIS=VALUE]...
 //!         [--threads N] [--seed S] [--corpus-size N] [--store PATH] [--json PATH]
-//!         [--csv PATH] [--quiet]
+//!         [--csv PATH] [--quiet] [--resume] [--checkpoint-every N] [--progress]
 //! cargo run -p harness --bin campaign -- report [same flags as run]
 //! cargo run -p harness --bin campaign -- gen [--seed S] [--corpus-size N]
 //!         [--filter A=V]... [--disasm]
 //! cargo run -p harness --bin campaign -- plan --shards N --manifest PATH
 //!         [--scenario ID]... [--filter A=V]... [--seed S] [--corpus-size N]
+//!         [--calibrate STORE]
 //! cargo run -p harness --bin campaign -- shard --manifest PATH --index I
 //!         [--store PATH] [--threads N] [--json PATH] [--csv PATH] [--quiet]
+//!         [--steal] [--leases DIR] [--resume] [--checkpoint-every N] [--progress]
 //! cargo run -p harness --bin campaign -- merge --out PATH [--manifest PATH] STORE...
 //! cargo run -p harness --bin campaign -- diff BASELINE COMPARED [--tol METRIC=EPS]...
 //!         [--tol-default EPS] [--quiet]
 //! cargo run -p harness --bin campaign -- gc --store PATH [--dry-run] [--quiet]
-//!         [--seed S] [--corpus-size N]
+//!         [--seed S] [--corpus-size N] [--max-cells N]
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
 //! evidence summary joined against `predictability_core::catalog`.
 //! Both memoize through `--store` (results persist across invocations).
+//! With `--checkpoint-every N` every completed cell is appended to an
+//! append-only journal beside the store (fsync'd every N cells), and a
+//! campaign killed mid-run resumes with `--resume` from the last
+//! completed cell — zero recompute. `shard --steal` executes through
+//! the lease-file work-stealing protocol instead of the static
+//! partition.
 //!
 //! Exit status: 0 on success; 1 when `diff` finds differences; 2 on
 //! any error (bad usage, unknown scenario id, bad filter or tolerance
 //! clause, unreadable store or manifest, merge conflict).
 
 use harness::dist;
-use harness::exec::{run_campaign, Campaign, ExecConfig};
+use harness::exec::{run_campaign_with, Campaign, CellDomain, ExecConfig, ExecHooks, ExecProgress};
 use harness::gen::{GenOptions, DEFAULT_CORPUS_SIZE};
 use harness::json::Json;
 use harness::matrix::Filter;
 use harness::registry::Registry;
 use harness::report;
-use harness::store::{self, ResultStore};
+use harness::store::{self, Journal, ResultStore};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 /// `diff` found differences (distinct from errors, like `diff(1)`).
 const EXIT_DIFFERENCES: u8 = 1;
@@ -60,6 +71,11 @@ struct Options {
     disasm: bool,
     // lifecycle flags
     dry_run: bool,
+    max_cells: Option<usize>,
+    // resume/checkpoint flags
+    resume: bool,
+    checkpoint_every: Option<usize>,
+    progress: bool,
     // dist flags
     shards: Option<u32>,
     index: Option<u32>,
@@ -67,6 +83,9 @@ struct Options {
     out: Option<PathBuf>,
     tols: Vec<String>,
     tol_default: Option<f64>,
+    calibrate: Option<PathBuf>,
+    steal: bool,
+    leases: Option<PathBuf>,
     positional: Vec<PathBuf>,
     /// Every `--flag` seen, for per-command applicability checks.
     given: Vec<String>,
@@ -101,6 +120,15 @@ options (run/report):
   --csv PATH         write the campaign as long-format CSV
   --quiet            suppress per-cell output
 
+crash-resumable execution (run/report/shard; all need --store):
+  --checkpoint-every N  append every completed cell to an append-only
+                     journal beside the store, fsync'd every N cells;
+                     on success the journal is compacted into the store
+  --resume           replay the journal before running: a campaign
+                     killed mid-run continues from the last completed
+                     cell with zero recompute
+  --progress         live progress heartbeats on stderr
+
 generated-program corpora:
   gen    [--seed S] [--corpus-size N] [--filter A=V]... [--disasm]
          list the corpus the gen/* scenarios would sweep (one row per
@@ -109,13 +137,23 @@ generated-program corpora:
 
 distributed campaigns:
   plan   --shards N --manifest PATH [--scenario]... [--filter]...
-         [--seed S] [--corpus-size N]
+         [--seed S] [--corpus-size N] [--calibrate STORE]
          partition the campaign into N shards; write the manifest
-         (records per-scenario digests and the corpus identity)
+         (records per-scenario digests, cost weights and the corpus
+         identity); --calibrate derives the cost weights from a prior
+         (e.g. committed baseline) store
   shard  --manifest PATH --index I [--store PATH] [--threads N]
+         [--steal] [--leases DIR]
          run exactly shard I against its own store (the registry and
          corpus are rebuilt from the manifest; drift errors name the
-         drifted scenarios)
+         drifted scenarios); --steal turns the static assignment into
+         an initial lease and steals unleased chunks through lease
+         files (default DIR: <manifest>.leases next to the manifest).
+         Leases belong to one campaign attempt: a stale lease dir from
+         an earlier plan is rejected, and after a crashed attempt you
+         remove the dir and re-run all shards with --resume (journaled
+         cells replay; only the dead shard's unfinished chunks
+         recompute)
   merge  --out PATH [--manifest PATH] STORE...
          fuse shard stores (conflict = determinism violation -> exit 2);
          with --manifest, also verify exact planned-cell coverage
@@ -124,8 +162,11 @@ distributed campaigns:
 
 result-store lifecycle:
   gc     --store PATH [--dry-run] [--seed S] [--corpus-size N]
+         [--max-cells N]
          drop cells the current registry can no longer serve (stale
          schema, unregistered scenario, old implementation version);
+         --max-cells additionally evicts down to N cells (oldest
+         implementation version first, then stable fingerprint order);
          --dry-run reports without rewriting the store
 
 exit status: 0 success; 1 diff found differences; 2 error
@@ -147,12 +188,19 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         corpus_size: None,
         disasm: false,
         dry_run: false,
+        max_cells: None,
+        resume: false,
+        checkpoint_every: None,
+        progress: false,
         shards: None,
         index: None,
         manifest: None,
         out: None,
         tols: Vec::new(),
         tol_default: None,
+        calibrate: None,
+        steal: false,
+        leases: None,
         positional: Vec::new(),
         given: Vec::new(),
     };
@@ -193,6 +241,23 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             }
             "--disasm" => options.disasm = true,
             "--dry-run" => options.dry_run = true,
+            "--max-cells" => {
+                options.max_cells = Some(number("--max-cells", value("--max-cells")?)? as usize)
+            }
+            "--resume" => options.resume = true,
+            "--checkpoint-every" => {
+                options.checkpoint_every = Some(
+                    number("--checkpoint-every", value("--checkpoint-every")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--checkpoint-every needs an integer >= 1")?
+                        as usize,
+                )
+            }
+            "--progress" => options.progress = true,
+            "--calibrate" => options.calibrate = Some(PathBuf::from(value("--calibrate")?)),
+            "--steal" => options.steal = true,
+            "--leases" => options.leases = Some(PathBuf::from(value("--leases")?)),
             "--shards" => options.shards = Some(small("--shards", value("--shards")?)?),
             "--index" => options.index = Some(small("--index", value("--index")?)?),
             "--manifest" => options.manifest = Some(PathBuf::from(value("--manifest")?)),
@@ -248,6 +313,9 @@ fn run(options: Options) -> Result<u8, String> {
             "--json",
             "--csv",
             "--quiet",
+            "--resume",
+            "--checkpoint-every",
+            "--progress",
         ],
         "gen" => &["--seed", "--corpus-size", "--filter", "--disasm"],
         "plan" => &[
@@ -257,6 +325,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--corpus-size",
             "--shards",
             "--manifest",
+            "--calibrate",
             "--quiet",
         ],
         "shard" => &[
@@ -267,10 +336,22 @@ fn run(options: Options) -> Result<u8, String> {
             "--json",
             "--csv",
             "--quiet",
+            "--steal",
+            "--leases",
+            "--resume",
+            "--checkpoint-every",
+            "--progress",
         ],
         "merge" => &["--out", "--manifest"],
         "diff" => &["--tol", "--tol-default", "--quiet"],
-        "gc" => &["--store", "--dry-run", "--seed", "--corpus-size", "--quiet"],
+        "gc" => &[
+            "--store",
+            "--dry-run",
+            "--seed",
+            "--corpus-size",
+            "--max-cells",
+            "--quiet",
+        ],
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     if let Some(flag) = options
@@ -337,7 +418,8 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
         return Err(format!("no such store: {}", path.display()));
     }
     let doc = Json::parse_file(path)?;
-    let (kept, outcome) = store::gc(&doc, registry).map_err(|e| e.to_string())?;
+    let (kept, outcome) =
+        store::gc(&doc, registry, options.max_cells).map_err(|e| e.to_string())?;
     if !options.quiet || !outcome.dropped.is_empty() {
         print!("{}", report::gc_summary(&outcome, options.dry_run));
     }
@@ -350,13 +432,114 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
     Ok(0)
 }
 
+/// The store-and-journal state around one campaign execution: with
+/// `--resume` the journal is replayed into the store before running;
+/// with journaling active every fresh cell is appended as it completes
+/// and the journal is compacted into the checkpoint on success.
+struct Session {
+    store: ResultStore,
+    /// Journal cells replayed by `--resume`.
+    replayed: usize,
+    journal: Option<Mutex<Journal>>,
+    store_path: Option<PathBuf>,
+}
+
+impl Session {
+    fn open(options: &Options) -> Result<Session, String> {
+        let journaling = options.resume || options.checkpoint_every.is_some();
+        if journaling && options.store.is_none() {
+            return Err("--resume and --checkpoint-every need --store PATH".into());
+        }
+        let (store, replayed) = match (&options.store, options.resume) {
+            (Some(path), true) => ResultStore::open_resumable(path).map_err(|e| e.to_string())?,
+            (Some(path), false) => (ResultStore::load(path).map_err(|e| e.to_string())?, 0),
+            (None, _) => (ResultStore::new(), 0),
+        };
+        let journal = match (&options.store, journaling) {
+            (Some(path), true) => Some(Mutex::new(
+                Journal::open(path, options.checkpoint_every.unwrap_or(1))
+                    .map_err(|e| e.to_string())?,
+            )),
+            _ => None,
+        };
+        Ok(Session {
+            store,
+            replayed,
+            journal,
+            store_path: options.store.clone(),
+        })
+    }
+
+    /// Persists the final store: journaling sessions compact the
+    /// journal into the checkpoint; plain sessions save atomically.
+    fn close(self, quiet: bool) -> Result<(), String> {
+        match (self.journal, &self.store_path) {
+            (Some(journal), Some(path)) => {
+                journal
+                    .into_inner()
+                    .expect("journal lock poisoned")
+                    .finish()
+                    .map_err(|e| e.to_string())?;
+                self.store.checkpoint(path).map_err(|e| e.to_string())?;
+                if !quiet {
+                    println!("checkpoint written: {}", path.display());
+                }
+            }
+            (None, Some(path)) => self.store.save(path).map_err(|e| e.to_string())?,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Builds the executor hooks for a session: the journal sink (when
+/// journaling) and the `--progress` stderr heartbeat.
+macro_rules! session_hooks {
+    ($session:expr, $options:expr, $hooks:ident) => {
+        let journal_sink = |fp: &str, cell: &store::StoredCell| {
+            if let Some(journal) = &$session.journal {
+                journal
+                    .lock()
+                    .expect("journal lock poisoned")
+                    .append(fp, cell);
+            }
+        };
+        let progress_line = |p: ExecProgress| {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(
+                err,
+                "\r  {} cells executed (domain: {})",
+                p.executed, p.total
+            );
+            let _ = err.flush();
+        };
+        let $hooks = ExecHooks {
+            progress: if $options.progress {
+                Some(&progress_line as &(dyn Fn(ExecProgress) + Sync))
+            } else {
+                None
+            },
+            on_result: if $session.journal.is_some() {
+                Some(&journal_sink as &(dyn Fn(&str, &store::StoredCell) + Sync))
+            } else {
+                None
+            },
+        };
+    };
+}
+
+/// Ends the `--progress` carriage-return line, if one was printed.
+fn end_progress(options: &Options) {
+    if options.progress {
+        eprintln!();
+    }
+}
+
 fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
     let filter = Filter::parse(&options.filters)?;
-    let mut store = match &options.store {
-        Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
-        None => ResultStore::new(),
-    };
-    let campaign = run_campaign(
+    let mut session = Session::open(options)?;
+    session_hooks!(session, options, hooks);
+    let campaign = run_campaign_with(
         registry,
         &options.scenarios,
         &filter,
@@ -364,21 +547,31 @@ fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
             threads: options.threads,
             seed: options.seed,
         },
-        &mut store,
+        &mut session.store,
+        CellDomain::All,
+        hooks,
     )
     .map_err(|e| e.to_string())?;
-    write_artifacts(&campaign, &store, options)?;
+    end_progress(options);
+    write_artifacts(&campaign, options)?;
+    let replayed = session.replayed;
+    session.close(options.quiet)?;
     if options.command == "report" {
         print!("{}", report::evidence_summary(&campaign, registry));
         return Ok(0);
     }
     print_cells(&campaign, options.quiet);
     println!(
-        "{} cells: {} executed, {} memoized (seed {})",
+        "{} cells: {} executed, {} memoized (seed {}){}",
         campaign.cells.len(),
         campaign.executed,
         campaign.memoized,
-        campaign.seed
+        campaign.seed,
+        if options.resume {
+            format!(" — resumed, {replayed} journal cells replayed")
+        } else {
+            String::new()
+        }
     );
     Ok(0)
 }
@@ -389,17 +582,22 @@ fn plan(registry: &Registry, options: &Options) -> Result<u8, String> {
         .manifest
         .as_deref()
         .ok_or("plan needs --manifest PATH")?;
-    let (manifest, planned) = dist::plan_with_cells(
+    let baseline = match &options.calibrate {
+        Some(p) => Some(ResultStore::load_required(p).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let (manifest, shard_counts) = dist::plan_calibrated(
         registry,
         &options.scenarios,
         &options.filters,
         options.seed,
         shards,
+        baseline.as_ref(),
     )
     .map_err(|e| e.to_string())?;
     manifest.save(path).map_err(|e| e.to_string())?;
     if !options.quiet {
-        print!("{}", report::plan_summary(&manifest, &planned));
+        print!("{}", report::plan_summary(&manifest, &shard_counts));
     }
     println!("manifest written to {}", path.display());
     Ok(0)
@@ -411,20 +609,52 @@ fn shard(options: &Options) -> Result<u8, String> {
         .as_deref()
         .ok_or("shard needs --manifest PATH")?;
     let index = options.index.ok_or("shard needs --index I")?;
+    if options.leases.is_some() && !options.steal {
+        return Err("--leases needs --steal (the static partition uses no lease files)".into());
+    }
     let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
     // The registry (and its generated corpus) is rebuilt from the
     // manifest, not from local flags: every worker must claim shards of
     // the exact campaign that was planned.
     let registry = dist::registry_for(&manifest);
-    let mut store = match &options.store {
-        Some(path) => ResultStore::load(path).map_err(|e| e.to_string())?,
-        None => ResultStore::new(),
-    };
-    let campaign = dist::run_shard(&registry, &manifest, index, options.threads, &mut store)
+    let mut session = Session::open(options)?;
+    session_hooks!(session, options, hooks);
+    let (campaign, steal_stats) = if options.steal {
+        let lease_dir = options
+            .leases
+            .clone()
+            .unwrap_or_else(|| dist::LeaseDir::for_manifest(path));
+        // `open` stamps the directory with this campaign's digest and
+        // refuses stale lease directories from an earlier plan.
+        let leases = dist::LeaseDir::open(&lease_dir, &manifest).map_err(|e| e.to_string())?;
+        let (campaign, stats) = dist::run_shard_stealing(
+            &registry,
+            &manifest,
+            index,
+            options.threads,
+            &mut session.store,
+            &leases,
+            hooks,
+        )
         .map_err(|e| e.to_string())?;
-    write_artifacts(&campaign, &store, options)?;
+        (campaign, Some(stats))
+    } else {
+        let campaign = dist::run_shard_with(
+            &registry,
+            &manifest,
+            index,
+            options.threads,
+            &mut session.store,
+            hooks,
+        )
+        .map_err(|e| e.to_string())?;
+        (campaign, None)
+    };
+    end_progress(options);
+    write_artifacts(&campaign, options)?;
+    session.close(options.quiet)?;
     print_cells(&campaign, options.quiet);
-    println!(
+    print!(
         "shard {index}/{}: {} cells: {} executed, {} memoized (seed {})",
         manifest.shards,
         campaign.cells.len(),
@@ -432,6 +662,13 @@ fn shard(options: &Options) -> Result<u8, String> {
         campaign.memoized,
         campaign.seed
     );
+    match steal_stats {
+        Some(stats) => println!(
+            " — steal: {} chunks claimed ({} stolen), lease {} lazy cells, executed {}",
+            stats.claimed_chunks, stats.stolen_chunks, stats.lease_cells, stats.executed_lazy_cells
+        ),
+        None => println!(),
+    }
     Ok(0)
 }
 
@@ -483,14 +720,10 @@ fn diff(options: &Options) -> Result<u8, String> {
     })
 }
 
-fn write_artifacts(
-    campaign: &Campaign,
-    store: &ResultStore,
-    options: &Options,
-) -> Result<(), String> {
-    if let Some(path) = &options.store {
-        store.save(path).map_err(|e| e.to_string())?;
-    }
+/// Writes the campaign-shaped artifacts (JSON/CSV). The store itself
+/// is persisted by [`Session::close`] — checkpoint-compacted when
+/// journaling, atomically saved otherwise.
+fn write_artifacts(campaign: &Campaign, options: &Options) -> Result<(), String> {
     if let Some(path) = &options.json {
         std::fs::write(path, report::campaign_json(campaign))
             .map_err(|e| format!("write {}: {e}", path.display()))?;

@@ -10,7 +10,7 @@
 //! [`verify_coverage`] checks a fused store against the manifest's
 //! planned cell set, catching lost shards or stray extra cells.
 
-use crate::dist::plan::{check_drift, Manifest};
+use crate::dist::plan::{check_drift_observing, Manifest};
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
 use crate::store::ResultStore;
@@ -55,27 +55,35 @@ pub fn merge_stores(stores: &[ResultStore]) -> Result<(ResultStore, MergeStats),
 /// Verifies a fused store covers *exactly* the manifest's planned cell
 /// set: every planned fingerprint present, no extras. With the
 /// determinism contract this makes the fused store byte-identical to a
-/// single-process run's store of the same campaign.
+/// single-process run's store of the same campaign. One streaming pass
+/// serves both the drift check and the membership test — no
+/// materialized cell list and no double enumeration, whatever the
+/// campaign size. Drift errors win over coverage errors: when the
+/// registry moved, "missing cell" would misdiagnose the real problem.
 pub fn verify_coverage(
     registry: &Registry,
     manifest: &Manifest,
     store: &ResultStore,
 ) -> Result<(), ScenarioError> {
-    let planned = check_drift(registry, manifest)?;
-    for cell in &planned {
-        if !store.contains(&cell.fingerprint) {
-            return Err(ScenarioError::Dist(format!(
+    let mut planned = 0usize;
+    let mut first_missing: Option<String> = None;
+    check_drift_observing(registry, manifest, &mut |cell| {
+        planned += 1;
+        if first_missing.is_none() && !store.contains(&cell.fingerprint) {
+            first_missing = Some(format!(
                 "merged store is missing planned cell {} ({} {}) — shard {} lost?",
                 cell.fingerprint, cell.scenario, cell.params, cell.shard
-            )));
+            ));
         }
+    })?;
+    if let Some(missing) = first_missing {
+        return Err(ScenarioError::Dist(missing));
     }
-    if store.len() != planned.len() {
+    if store.len() != planned {
         return Err(ScenarioError::Dist(format!(
-            "merged store has {} cells but the manifest plans {} — \
+            "merged store has {} cells but the manifest plans {planned} — \
              extra cells from an unrelated campaign?",
             store.len(),
-            planned.len()
         )));
     }
     Ok(())

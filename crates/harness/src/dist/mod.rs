@@ -17,6 +17,11 @@
 //! * [`diff`] — compares two stores cell-by-cell under per-metric
 //!   tolerances; the store-backed regression gate ("did a simulator
 //!   change move any metric?").
+//! * [`steal`] — dynamic work stealing: the static partition becomes
+//!   an *initial lease* over cost-weighted chunks of the lazy cell
+//!   space, and idle shards steal unleased chunks through atomic
+//!   lease files in a shared campaign directory
+//!   ([`steal::run_shard_stealing`]).
 //!
 //! The invariant the whole layer rests on, inherited from the
 //! executor's per-cell seeding: *shard runs merge to the byte-identical
@@ -60,14 +65,17 @@
 pub mod diff;
 pub mod merge;
 pub mod plan;
+pub mod steal;
 
 pub use diff::{diff_stores, DiffReport, Tolerances};
 pub use merge::{merge_stores, MergeStats};
 pub use plan::{
-    plan, plan_with_cells, planned_cells, CorpusPlan, Manifest, PlannedCell, ScenarioPlan,
+    calibrate_weights, plan, plan_calibrated, plan_with_cells, planned_cells, visit_planned_cells,
+    CorpusPlan, Manifest, PlannedCell, ScenarioPlan,
 };
+pub use steal::{chunk_map, run_shard_stealing, Chunk, LeaseDir, StealStats};
 
-use crate::exec::{run_campaign_shard, Campaign, ExecConfig, Shard};
+use crate::exec::{run_campaign_with, Campaign, CellDomain, ExecConfig, ExecHooks, Shard};
 use crate::gen::GenOptions;
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
@@ -90,7 +98,7 @@ pub fn registry_for(manifest: &Manifest) -> Registry {
 }
 
 /// Runs exactly shard `index` of the manifest's campaign: validates the
-/// index, re-expands the matrix, errors on registry drift, then
+/// index, re-streams the matrix, errors on registry drift, then
 /// executes the owned cells (thread-fanned) against `store`.
 pub fn run_shard(
     registry: &Registry,
@@ -99,9 +107,29 @@ pub fn run_shard(
     threads: usize,
     store: &mut ResultStore,
 ) -> Result<Campaign, ScenarioError> {
+    run_shard_with(
+        registry,
+        manifest,
+        index,
+        threads,
+        store,
+        ExecHooks::default(),
+    )
+}
+
+/// [`run_shard`] with execution hooks (progress, crash-resume journal
+/// sink).
+pub fn run_shard_with(
+    registry: &Registry,
+    manifest: &Manifest,
+    index: u32,
+    threads: usize,
+    store: &mut ResultStore,
+    hooks: ExecHooks<'_>,
+) -> Result<Campaign, ScenarioError> {
     let shard = Shard::new(index, manifest.shards)?;
     plan::check_drift(registry, manifest)?;
-    run_campaign_shard(
+    run_campaign_with(
         registry,
         &manifest.scenarios,
         &manifest.parsed_filter()?,
@@ -110,7 +138,8 @@ pub fn run_shard(
             seed: manifest.seed,
         },
         store,
-        Some(shard),
+        CellDomain::Shard(shard),
+        hooks,
     )
 }
 

@@ -1,7 +1,7 @@
 //! The shard planner and campaign manifest.
 //!
-//! [`plan`] deterministically partitions the expanded scenario matrix
-//! into N disjoint shards by cell fingerprint and captures everything a
+//! [`plan`] deterministically partitions the scenario matrices into N
+//! disjoint shards by cell fingerprint and captures everything a
 //! worker needs — scenario ids, filter clauses, campaign seed, shard
 //! count, schema version — in a [`Manifest`]. The manifest is small on
 //! purpose: workers re-expand the matrix themselves, so shard `i/N` can
@@ -11,25 +11,35 @@
 //! drift (a scenario whose matrix, version or axis values changed since
 //! planning) is detected instead of silently producing a partial or
 //! mispartitioned merge.
+//!
+//! Planning is *streaming*: cells are decoded one at a time from the
+//! lazy [`CellIter`](crate::matrix::CellIter) and folded into counts
+//! and digests — a plan over a multi-million-cell gen sweep never
+//! materializes a cell list. The manifest also carries per-scenario
+//! *cost weights* (optionally calibrated from a committed baseline
+//! store) which the work-stealing layer uses to size its initial
+//! leases; weights are advisory and never affect results.
 
 use crate::exec::{cell_seed, select_scenarios, shard_of, validate_filter};
 use crate::json::Json;
-use crate::matrix::{expand, Filter};
+use crate::matrix::{CellIter, Filter};
 use crate::registry::Registry;
-use crate::scenario::{Params, ScenarioError};
-use crate::store::fingerprint_with_content;
+use crate::scenario::{Params, ScenarioError, ScenarioSpec};
+use crate::store::{fingerprint_with_content, ResultStore};
 use std::path::Path;
 
 /// Bump when the manifest layout or the shard assignment rule changes;
 /// workers then refuse stale manifests instead of mispartitioning.
 /// Version history: 1 — global cell count + fingerprint digest;
 /// 2 — per-scenario counts/digests (drift errors name the drifted
-/// scenarios) and the generated-program corpus identity.
-pub const MANIFEST_SCHEMA: u32 = 2;
+/// scenarios) and the generated-program corpus identity;
+/// 3 — per-scenario cost weights (the work-stealing layer's initial
+/// lease balance).
+pub const MANIFEST_SCHEMA: u32 = 3;
 
 /// One scenario's slice of the plan: enough to attribute drift to a
 /// scenario by name instead of reporting bare campaign-level numbers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioPlan {
     /// Scenario id.
     pub id: String,
@@ -37,6 +47,9 @@ pub struct ScenarioPlan {
     pub cells: usize,
     /// Digest of this scenario's planned fingerprints, in plan order.
     pub digest: String,
+    /// Relative per-cell cost weight (1.0 = baseline). Advisory: sizes
+    /// the work-stealing chunks and initial leases, never results.
+    pub weight: f64,
 }
 
 /// The generated-program corpus the campaign was planned over, when any
@@ -56,7 +69,7 @@ pub struct CorpusPlan {
 
 /// Everything a worker needs to independently claim one shard of a
 /// campaign.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
     /// The campaign seed every cell seed derives from.
     pub seed: u64,
@@ -73,29 +86,55 @@ pub struct Manifest {
     /// rename leaves the cell count intact but changes every
     /// fingerprint — and therefore the partition).
     pub digest: String,
-    /// Per-scenario counts and digests, in campaign order; lets drift
-    /// errors name the scenarios that moved.
+    /// Per-scenario counts, digests and cost weights, in campaign
+    /// order; lets drift errors name the scenarios that moved.
     pub per_scenario: Vec<ScenarioPlan>,
     /// The generated-program corpus identity, when the planning
     /// registry carried one and a selected scenario sweeps it.
     pub corpus: Option<CorpusPlan>,
 }
 
+/// An incremental, order-sensitive digest over planned fingerprints —
+/// the streaming replacement for hashing a materialized cell list.
+#[derive(Debug, Clone)]
+pub struct FingerprintDigest {
+    h: u64,
+}
+
+impl FingerprintDigest {
+    /// An empty digest.
+    pub fn new() -> FingerprintDigest {
+        FingerprintDigest {
+            h: crate::store::FNV_OFFSET,
+        }
+    }
+
+    /// Folds one fingerprint in.
+    pub fn update(&mut self, fp: &str) {
+        self.h = crate::store::fnv1a(fp.as_bytes(), self.h);
+        self.h = crate::store::fnv1a(&[0xff], self.h);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+}
+
+impl Default for FingerprintDigest {
+    fn default() -> Self {
+        FingerprintDigest::new()
+    }
+}
+
 /// Hashes the planned fingerprints (order-sensitive) into the
 /// manifest's drift digest.
 pub fn digest_of(cells: &[PlannedCell]) -> String {
-    digest_of_fingerprints(cells.iter().map(|c| c.fingerprint.as_str()))
-}
-
-/// [`digest_of`] over bare fingerprints, so per-scenario slices can be
-/// digested without cloning cells.
-fn digest_of_fingerprints<'a>(fingerprints: impl Iterator<Item = &'a str>) -> String {
-    let mut h = crate::store::FNV_OFFSET;
-    for fp in fingerprints {
-        h = crate::store::fnv1a(fp.as_bytes(), h);
-        h = crate::store::fnv1a(&[0xff], h);
+    let mut digest = FingerprintDigest::new();
+    for cell in cells {
+        digest.update(&cell.fingerprint);
     }
-    format!("{h:016x}")
+    digest.finish()
 }
 
 /// One cell of the planned partition.
@@ -109,14 +148,27 @@ pub struct PlannedCell {
     pub seed: u64,
     /// The cell's store fingerprint.
     pub fingerprint: String,
-    /// The shard that owns the cell.
+    /// The shard that owns the cell (static partition).
     pub shard: u32,
+    /// Position in the campaign's global lazy index space (scenarios
+    /// in campaign order, matrices row-major) — the coordinate the
+    /// work-stealing chunks lease by.
+    pub global: usize,
 }
 
 impl Manifest {
     /// Parses the stored filter clauses.
     pub fn parsed_filter(&self) -> Result<Filter, ScenarioError> {
         Filter::parse(&self.filter).map_err(ScenarioError::Dist)
+    }
+
+    /// This scenario's per-cell cost weight (1.0 when the manifest does
+    /// not name it).
+    pub fn weight_of(&self, scenario_id: &str) -> f64 {
+        self.per_scenario
+            .iter()
+            .find(|s| s.id == scenario_id)
+            .map_or(1.0, |s| s.weight)
     }
 
     /// Serializes deterministically (equal manifests are byte-equal).
@@ -146,6 +198,7 @@ impl Manifest {
                                 ("id".into(), Json::str(&s.id)),
                                 ("cells".into(), Json::Num(s.cells as f64)),
                                 ("digest".into(), Json::str(&s.digest)),
+                                ("weight".into(), Json::Num(s.weight)),
                             ])
                         })
                         .collect(),
@@ -233,6 +286,11 @@ impl Manifest {
                         .and_then(Json::as_str)
                         .ok_or_else(|| bad("per_scenario digest"))?
                         .to_string(),
+                    weight: entry
+                        .get("weight")
+                        .and_then(Json::as_f64)
+                        .filter(|w| w.is_finite() && *w > 0.0)
+                        .ok_or_else(|| bad("per_scenario weight"))?,
                 })
             })
             .collect::<Result<Vec<_>, ScenarioError>>()?;
@@ -280,10 +338,129 @@ impl Manifest {
     }
 }
 
+/// Streams every planned cell of the resolved specs in the executor's
+/// deterministic order — scenario by scenario, matrices decoded lazily
+/// through [`CellIter`] — invoking `visit` per matching cell. This is
+/// the one enumeration loop every planning-side consumer (manifest
+/// digests, drift checks, coverage verification, chunk maps) folds
+/// over; none of them ever hold a materialized cell list.
+fn stream_cells(
+    specs: &[ScenarioSpec],
+    filter: &Filter,
+    seed: u64,
+    shards: u32,
+    visit: &mut dyn FnMut(PlannedCell) -> Result<(), ScenarioError>,
+) -> Result<(), ScenarioError> {
+    let mut global_base = 0usize;
+    for spec in specs {
+        let cells = CellIter::new(&spec.axes);
+        let matrix = cells.total();
+        for (local, params) in cells.enumerate() {
+            if !filter.matches(&params) {
+                continue;
+            }
+            let cell_seed = cell_seed(seed, spec.id, &params);
+            let fp = fingerprint_with_content(
+                spec.id,
+                spec.version,
+                spec.content_digest.as_deref(),
+                &params,
+                cell_seed,
+            );
+            visit(PlannedCell {
+                scenario: spec.id.to_string(),
+                params,
+                seed: cell_seed,
+                shard: shard_of(&fp, shards)?,
+                fingerprint: fp,
+                global: global_base + local,
+            })?;
+        }
+        global_base += matrix;
+    }
+    Ok(())
+}
+
+/// Streams the manifest's planned cells (the worker-side view of
+/// [`stream_cells`]: selection, filter, seed and shard count all come
+/// from the manifest).
+pub fn visit_planned_cells(
+    registry: &Registry,
+    manifest: &Manifest,
+    visit: &mut dyn FnMut(PlannedCell) -> Result<(), ScenarioError>,
+) -> Result<(), ScenarioError> {
+    let filter = manifest.parsed_filter()?;
+    let scenarios = select_scenarios(registry, &manifest.scenarios)?;
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+    validate_filter(&specs, &filter)?;
+    stream_cells(&specs, &filter, manifest.seed, manifest.shards, visit)
+}
+
+/// Materializes the manifest's planned cells (a collecting wrapper over
+/// [`visit_planned_cells`] for callers that genuinely need the list —
+/// tests, mostly; production paths stream).
+pub fn planned_cells(
+    registry: &Registry,
+    manifest: &Manifest,
+) -> Result<Vec<PlannedCell>, ScenarioError> {
+    let mut cells = Vec::new();
+    visit_planned_cells(registry, manifest, &mut |cell| {
+        cells.push(cell);
+        Ok(())
+    })?;
+    Ok(cells)
+}
+
+/// Derives a scenario's per-cell cost weight from a prior store: the
+/// mean magnitude of its cells' metrics, a crude but dependency-free
+/// work proxy (bigger simulated quantities — cycles, task times, bound
+/// widths — correlate with longer cell evaluations). Returns `None`
+/// when the store holds no cells of the scenario. Weights are advisory:
+/// they shape work-stealing chunk sizes and the initial lease balance,
+/// and can never affect campaign results.
+pub fn scenario_cost_proxy(baseline: &ResultStore, scenario_id: &str) -> Option<f64> {
+    let mut cells = 0usize;
+    let mut magnitude = 0.0f64;
+    for (_, cell) in baseline.iter() {
+        if cell.scenario == scenario_id {
+            cells += 1;
+            magnitude += cell
+                .result
+                .metrics
+                .iter()
+                .map(|(_, v)| v.abs())
+                .sum::<f64>();
+        }
+    }
+    (cells > 0).then(|| magnitude / cells as f64)
+}
+
+/// Per-scenario cost weights for a selection, calibrated from a
+/// baseline store and normalized so the cheapest calibrated scenario
+/// weighs 1.0; scenarios absent from the baseline weigh 1.0.
+pub fn calibrate_weights(baseline: &ResultStore, scenario_ids: &[String]) -> Vec<f64> {
+    let proxies: Vec<Option<f64>> = scenario_ids
+        .iter()
+        .map(|id| scenario_cost_proxy(baseline, id).filter(|m| *m > 0.0))
+        .collect();
+    let floor = proxies
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    proxies
+        .into_iter()
+        .map(|p| match p {
+            Some(m) if floor.is_finite() => m / floor,
+            _ => 1.0,
+        })
+        .collect()
+}
+
 /// Plans a campaign into `shards` disjoint shards: validates selection,
 /// filter and shard count exactly like a run would, then records the
 /// resolved scenario ids, matched cell count and fingerprint digest in
-/// a [`Manifest`].
+/// a [`Manifest`]. Unit cost weights; see [`plan_calibrated`].
 pub fn plan(
     registry: &Registry,
     select: &[String],
@@ -291,18 +468,20 @@ pub fn plan(
     seed: u64,
     shards: u32,
 ) -> Result<Manifest, ScenarioError> {
-    plan_with_cells(registry, select, filter_clauses, seed, shards).map(|(m, _)| m)
+    plan_calibrated(registry, select, filter_clauses, seed, shards, None).map(|(m, _)| m)
 }
 
-/// [`plan`], also returning the planned cells (callers that need the
-/// partition — e.g. to print per-shard counts — avoid re-expanding).
-pub fn plan_with_cells(
+/// [`plan`] with optional cost calibration from a baseline store, also
+/// returning the per-shard planned cell counts (the partition balance)
+/// — everything computed in one streaming pass, no materialized cells.
+pub fn plan_calibrated(
     registry: &Registry,
     select: &[String],
     filter_clauses: &[String],
     seed: u64,
     shards: u32,
-) -> Result<(Manifest, Vec<PlannedCell>), ScenarioError> {
+    baseline: Option<&ResultStore>,
+) -> Result<(Manifest, Vec<usize>), ScenarioError> {
     if shards == 0 {
         return Err(ScenarioError::Dist("shard count must be >= 1".into()));
     }
@@ -322,89 +501,92 @@ pub fn plan_with_cells(
                 digest,
             })
     });
-    let mut manifest = Manifest {
+    let ids: Vec<String> = specs.iter().map(|s| s.id.to_string()).collect();
+    let weights = match baseline {
+        Some(store) => calibrate_weights(store, &ids),
+        None => vec![1.0; ids.len()],
+    };
+
+    // One streaming pass folds every planned fingerprint into the
+    // global digest, the per-scenario digests and the shard balance.
+    let mut global = FingerprintDigest::new();
+    let mut cells = 0usize;
+    let mut per: Vec<(usize, FingerprintDigest)> =
+        ids.iter().map(|_| (0, FingerprintDigest::new())).collect();
+    let mut shard_counts = vec![0usize; shards as usize];
+    let mut scenario_index = 0usize;
+    stream_cells(&specs, &filter, seed, shards, &mut |cell| {
+        while ids[scenario_index] != cell.scenario {
+            scenario_index += 1;
+        }
+        global.update(&cell.fingerprint);
+        cells += 1;
+        per[scenario_index].0 += 1;
+        per[scenario_index].1.update(&cell.fingerprint);
+        shard_counts[cell.shard as usize] += 1;
+        Ok(())
+    })?;
+
+    let manifest = Manifest {
         seed,
         shards,
-        scenarios: specs.iter().map(|s| s.id.to_string()).collect(),
+        scenarios: ids.clone(),
         filter: filter_clauses.to_vec(),
-        cells: 0,
-        digest: String::new(),
-        per_scenario: Vec::new(),
+        cells,
+        digest: global.finish(),
+        per_scenario: ids
+            .into_iter()
+            .zip(per)
+            .zip(weights)
+            .map(|((id, (count, digest)), weight)| ScenarioPlan {
+                id,
+                cells: count,
+                digest: digest.finish(),
+                weight,
+            })
+            .collect(),
         corpus,
     };
+    Ok((manifest, shard_counts))
+}
+
+/// [`plan`], also returning the materialized planned cells — kept for
+/// tests and small campaigns; the CLI and workers stream instead.
+pub fn plan_with_cells(
+    registry: &Registry,
+    select: &[String],
+    filter_clauses: &[String],
+    seed: u64,
+    shards: u32,
+) -> Result<(Manifest, Vec<PlannedCell>), ScenarioError> {
+    let manifest = plan(registry, select, filter_clauses, seed, shards)?;
     let cells = planned_cells(registry, &manifest)?;
-    manifest.cells = cells.len();
-    manifest.digest = digest_of(&cells);
-    manifest.per_scenario = per_scenario_plans(&manifest.scenarios, &cells);
     Ok((manifest, cells))
 }
 
-/// Groups planned cells into per-scenario counts and digests, in
-/// campaign order.
-fn per_scenario_plans(scenarios: &[String], cells: &[PlannedCell]) -> Vec<ScenarioPlan> {
-    scenarios
-        .iter()
-        .map(|id| {
-            let owned = || cells.iter().filter(move |c| &c.scenario == id);
-            ScenarioPlan {
-                id: id.clone(),
-                cells: owned().count(),
-                digest: digest_of_fingerprints(owned().map(|c| c.fingerprint.as_str())),
-            }
-        })
-        .collect()
+/// Re-streams the manifest's campaign and errors if the registry has
+/// drifted since plan time: a different cell count (matrix grew or
+/// shrank), a different fingerprint digest (version bump, axis-value
+/// rename — anything that silently changes the partition), or a
+/// generated corpus that no longer digests to the planned population.
+/// Either way, shard unions would no longer equal the planned campaign,
+/// so re-plan. Drift errors *name the drifted scenarios* via the
+/// manifest's per-scenario records. Runs in constant memory.
+pub fn check_drift(registry: &Registry, manifest: &Manifest) -> Result<(), ScenarioError> {
+    check_drift_observing(registry, manifest, &mut |_| {})
 }
 
-/// Expands the manifest's campaign into its planned cells, in the
-/// executor's deterministic order, each tagged with its fingerprint and
-/// owning shard. Every worker computes the identical partition from
-/// this — that is the whole coordination protocol.
-pub fn planned_cells(
+/// [`check_drift`], additionally handing every streamed cell to
+/// `observe` during the same single pass — consumers that need both the
+/// drift check and the cell stream (merge's coverage verification)
+/// avoid enumerating and fingerprinting the campaign twice. `observe`
+/// runs before the drift verdict is known, so it must only *collect*;
+/// drift errors take precedence over anything it gathers.
+pub fn check_drift_observing(
     registry: &Registry,
     manifest: &Manifest,
-) -> Result<Vec<PlannedCell>, ScenarioError> {
-    let filter = manifest.parsed_filter()?;
-    let scenarios = select_scenarios(registry, &manifest.scenarios)?;
-    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
-    validate_filter(&specs, &filter)?;
-    let mut cells = Vec::new();
-    for spec in &specs {
-        for params in expand(&spec.axes) {
-            if !filter.matches(&params) {
-                continue;
-            }
-            let seed = cell_seed(manifest.seed, spec.id, &params);
-            let fp = fingerprint_with_content(
-                spec.id,
-                spec.version,
-                spec.content_digest.as_deref(),
-                &params,
-                seed,
-            );
-            cells.push(PlannedCell {
-                scenario: spec.id.to_string(),
-                params,
-                seed,
-                shard: shard_of(&fp, manifest.shards),
-                fingerprint: fp,
-            });
-        }
-    }
-    Ok(cells)
-}
-
-/// Re-expands the manifest and errors if the registry has drifted since
-/// plan time: a different cell count (matrix grew or shrank), a
-/// different fingerprint digest (version bump, axis-value rename —
-/// anything that silently changes the partition), or a generated
-/// corpus that no longer digests to the planned population. Either
-/// way, shard unions would no longer equal the planned campaign, so
-/// re-plan. Drift errors *name the drifted scenarios* via the
-/// manifest's per-scenario records.
-pub fn check_drift(
-    registry: &Registry,
-    manifest: &Manifest,
-) -> Result<Vec<PlannedCell>, ScenarioError> {
+    observe: &mut dyn FnMut(&PlannedCell),
+) -> Result<(), ScenarioError> {
     if let Some(corpus) = &manifest.corpus {
         let current = registry
             .specs()
@@ -421,20 +603,42 @@ pub fn check_drift(
             )));
         }
     }
-    let cells = planned_cells(registry, manifest)?;
-    let current = per_scenario_plans(&manifest.scenarios, &cells);
-    // Name the scenarios whose slice moved; fall back to the global
-    // comparison for manifests whose per-scenario records are absent
-    // (hand-built in tests).
+    let mut cells = 0usize;
+    let mut global = FingerprintDigest::new();
+    let mut per: Vec<(usize, FingerprintDigest)> = manifest
+        .scenarios
+        .iter()
+        .map(|_| (0, FingerprintDigest::new()))
+        .collect();
+    let mut scenario_index = 0usize;
+    visit_planned_cells(registry, manifest, &mut |cell| {
+        while manifest.scenarios[scenario_index] != cell.scenario {
+            scenario_index += 1;
+        }
+        cells += 1;
+        global.update(&cell.fingerprint);
+        per[scenario_index].0 += 1;
+        per[scenario_index].1.update(&cell.fingerprint);
+        observe(&cell);
+        Ok(())
+    })?;
+    // Name the scenarios whose slice moved (weights are advisory and
+    // deliberately not part of the drift comparison).
     let drifted: Vec<String> = manifest
         .per_scenario
         .iter()
-        .zip(&current)
-        .filter(|(planned, now)| planned != now)
-        .map(|(planned, now)| {
+        .zip(&per)
+        .filter(|(planned, (count, digest))| {
+            planned.cells != *count || planned.digest != digest.finish()
+        })
+        .map(|(planned, (count, digest))| {
             format!(
                 "{} ({} -> {} cells, digest {} -> {})",
-                planned.id, planned.cells, now.cells, planned.digest, now.digest
+                planned.id,
+                planned.cells,
+                count,
+                planned.digest,
+                digest.finish()
             )
         })
         .collect();
@@ -445,14 +649,13 @@ pub fn check_drift(
             drifted.join(", ")
         )));
     }
-    if cells.len() != manifest.cells {
+    if cells != manifest.cells {
         return Err(ScenarioError::Dist(format!(
-            "registry drift: manifest plans {} cells but the registry expands to {} — re-plan",
-            manifest.cells,
-            cells.len()
+            "registry drift: manifest plans {} cells but the registry expands to {cells} — re-plan",
+            manifest.cells
         )));
     }
-    let digest = digest_of(&cells);
+    let digest = global.finish();
     if digest != manifest.digest {
         return Err(ScenarioError::Dist(format!(
             "registry drift: manifest digest {} != registry digest {digest} \
@@ -460,7 +663,7 @@ pub fn check_drift(
             manifest.digest
         )));
     }
-    Ok(cells)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -482,6 +685,7 @@ mod tests {
         assert_eq!(m.scenarios, domino_select());
         assert!(m.cells > 0);
         assert_eq!(planned_cells(&registry(), &m).unwrap().len(), m.cells);
+        assert!(m.per_scenario.iter().all(|s| s.weight == 1.0));
     }
 
     #[test]
@@ -570,5 +774,57 @@ mod tests {
         // digest must catch what the count cannot.
         let err = check_drift(&reg(2), &m).unwrap_err();
         assert!(matches!(err, ScenarioError::Dist(ref msg) if msg.contains("digest")));
+    }
+
+    #[test]
+    fn planned_cells_carry_global_lazy_indices() {
+        let m = plan(&registry(), &domino_select(), &[], 3, 2).unwrap();
+        let cells = planned_cells(&registry(), &m).unwrap();
+        // No filter: global indices are exactly 0..n in plan order.
+        let globals: Vec<usize> = cells.iter().map(|c| c.global).collect();
+        assert_eq!(globals, (0..cells.len()).collect::<Vec<_>>());
+        // A filter keeps indices anchored to the *unfiltered* space.
+        let m = plan(&registry(), &domino_select(), &["n=16".into()], 3, 2).unwrap();
+        let filtered = planned_cells(&registry(), &m).unwrap();
+        let full: Vec<usize> = cells
+            .iter()
+            .filter(|c| filtered.iter().any(|f| f.fingerprint == c.fingerprint))
+            .map(|c| c.global)
+            .collect();
+        assert_eq!(
+            filtered.iter().map(|c| c.global).collect::<Vec<_>>(),
+            full,
+            "filtered cells keep their unfiltered lazy indices"
+        );
+    }
+
+    #[test]
+    fn calibration_normalizes_to_the_cheapest_scenario() {
+        use crate::scenario::{CellResult, Params};
+        let mut store = ResultStore::new();
+        let p = |n: u64| Params::new(vec![("n".into(), n.to_string())]);
+        store.insert("cheap", 1, &p(1), 1, CellResult::new(vec![("m", 2.0)]));
+        store.insert("costly", 1, &p(1), 1, CellResult::new(vec![("m", 6.0)]));
+        store.insert("costly", 1, &p(2), 2, CellResult::new(vec![("m", 10.0)]));
+        let ids = vec![
+            "cheap".to_string(),
+            "costly".to_string(),
+            "absent".to_string(),
+        ];
+        let w = calibrate_weights(&store, &ids);
+        assert_eq!(w, vec![1.0, 4.0, 1.0]);
+        // Calibration feeds the manifest through plan_calibrated.
+        let registry = Registry::builtin();
+        let (m, counts) = plan_calibrated(
+            &registry,
+            &domino_select(),
+            &[],
+            42,
+            3,
+            Some(&ResultStore::new()),
+        )
+        .unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), m.cells);
+        assert!(m.per_scenario.iter().all(|s| s.weight == 1.0));
     }
 }

@@ -1,21 +1,26 @@
-//! The parallel campaign executor.
+//! The streaming parallel campaign executor.
 //!
 //! A campaign is a deterministic function of `(selected scenarios,
 //! filter, campaign seed)` — never of thread count or scheduling. The
 //! executor fixes the cell order up front (scenarios in registration
-//! order, cells in row-major matrix order), derives every cell's seed
-//! by hashing `(campaign seed, scenario id, cell key)`, resolves
-//! memoized cells from the [`ResultStore`], and fans the remaining
-//! *jobs* out over worker threads that pull from a shared cursor.
-//! Workers write results back by job index, so the assembled campaign
-//! is identical whether one thread ran it or sixteen did.
+//! order, cells in row-major matrix order) by working over a *global
+//! lazy index space*: scenario matrices are never materialized; workers
+//! pull raw indices from a shared cursor and decode each one on the fly
+//! through [`CellIter`](crate::matrix::CellIter) — filter check, shard
+//! check and store lookup included. Every worker accumulates its
+//! outcomes in a private slot buffer (no shared mutex on the hot path);
+//! the buffers are merged and sorted by global index afterwards, so the
+//! assembled campaign is identical whether one thread ran it or
+//! sixteen. [`ExecHooks`] expose the stream as it happens: a progress
+//! callback per executed cell and a result sink that feeds the
+//! crash-resume journal.
 
-use crate::matrix::{expand, Filter};
+use crate::matrix::{CellIter, Filter};
 use crate::registry::Registry;
 use crate::scenario::{CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
 use crate::store::{fingerprint_with_content, ResultStore, StoredCell};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Campaign-level knobs.
 #[derive(Debug, Clone)]
@@ -87,9 +92,11 @@ impl Shard {
         Ok(Shard { index, count })
     }
 
-    /// True if this shard owns the fingerprinted cell.
-    pub fn owns(&self, fp: &str) -> bool {
-        shard_of(fp, self.count) == self.index
+    /// True if this shard owns the fingerprinted cell. Errors on a
+    /// malformed fingerprint (a corrupted store or manifest) instead of
+    /// panicking the worker.
+    pub fn owns(&self, fp: &str) -> Result<bool, ScenarioError> {
+        Ok(shard_of(fp, self.count)? == self.index)
     }
 }
 
@@ -98,14 +105,23 @@ impl Shard {
 /// partition independently. Fingerprints are raw FNV-1a values whose
 /// residues correlate for near-identical inputs, so the hash is pushed
 /// through a SplitMix64 finalizer before the modulus to keep shard
-/// loads balanced.
-pub fn shard_of(fp: &str, shards: u32) -> u32 {
-    let h = u64::from_str_radix(fp, 16).expect("fingerprints are 16 hex digits");
+/// loads balanced. A malformed fingerprint (hand-edited or corrupted
+/// store/manifest data) is a [`ScenarioError::Dist`], not a panic.
+pub fn shard_of(fp: &str, shards: u32) -> Result<u32, ScenarioError> {
+    let malformed = || {
+        ScenarioError::Dist(format!(
+            "malformed fingerprint `{fp}` (expected 16 hex digits)"
+        ))
+    };
+    if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(malformed());
+    }
+    let h = u64::from_str_radix(fp, 16).map_err(|_| malformed())?;
     let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    (z % u64::from(shards.max(1))) as u32
+    Ok((z % u64::from(shards.max(1))) as u32)
 }
 
 /// Derives the deterministic seed of one cell.
@@ -125,14 +141,65 @@ pub fn cell_seed(campaign_seed: u64, scenario_id: &str, params: &Params) -> u64 
     z ^ (z >> 31)
 }
 
-struct Job<'a> {
-    cell_index: usize,
-    scenario: &'a dyn Scenario,
-    scenario_id: &'a str,
-    scenario_version: u32,
-    fingerprint: String,
-    params: Params,
-    seed: u64,
+/// The cell domain one executor invocation sweeps, expressed over the
+/// campaign's *global lazy index space*: scenarios in selection order,
+/// each scenario's matrix in row-major order. The space is never
+/// materialized — cells are decoded from indices on demand.
+#[derive(Debug, Clone, Copy)]
+pub enum CellDomain<'a> {
+    /// Every matching cell.
+    All,
+    /// Cells whose fingerprint the shard owns (the static partition).
+    Shard(Shard),
+    /// Explicit index ranges into the global lazy space (the
+    /// work-stealing lease protocol executes one claimed chunk range at
+    /// a time). Ranges must be in bounds and ascending-disjoint for the
+    /// assembled cell order to stay deterministic.
+    Ranges(&'a [Range<usize>]),
+}
+
+/// A progress heartbeat, emitted after every freshly executed cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecProgress {
+    /// Fresh cells completed so far in this invocation.
+    pub executed: usize,
+    /// Lazy cells in the swept domain (an upper bound on work: filtered
+    /// or unowned cells are scanned but never executed).
+    pub total: usize,
+}
+
+/// A progress callback (worker threads call it, hence `Sync`).
+pub type ProgressFn<'a> = &'a (dyn Fn(ExecProgress) + Sync);
+
+/// A per-result sink: `(fingerprint, stored cell)` for every fresh
+/// successful cell, as it completes.
+pub type ResultSink<'a> = &'a (dyn Fn(&str, &StoredCell) + Sync);
+
+/// Observability hooks into the execution stream. Both callbacks are
+/// invoked from worker threads as cells complete; both default to
+/// no-ops.
+#[derive(Clone, Copy, Default)]
+pub struct ExecHooks<'a> {
+    /// Called after every freshly executed cell.
+    pub progress: Option<ProgressFn<'a>>,
+    /// Called with every fresh *successful* result as it completes,
+    /// before the campaign is assembled — the crash-resume journal
+    /// sink. Invocation order across cells is scheduling-dependent; the
+    /// journal is a set, so replay does not care.
+    pub on_result: Option<ResultSink<'a>>,
+}
+
+/// Test/CI hook: `CAMPAIGN_CELL_DELAY_MS` sleeps after every freshly
+/// executed cell, turning any shard into an artificially slow one (the
+/// work-stealing and crash-resume suites race against it). Unset or
+/// unparseable means no delay.
+fn cell_delay() -> std::time::Duration {
+    std::time::Duration::from_millis(
+        std::env::var("CAMPAIGN_CELL_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    )
 }
 
 /// Runs the selected scenarios' filtered matrices.
@@ -149,7 +216,15 @@ pub fn run_campaign(
     config: &ExecConfig,
     store: &mut ResultStore,
 ) -> Result<Campaign, ScenarioError> {
-    run_campaign_shard(registry, select, filter, config, store, None)
+    run_campaign_with(
+        registry,
+        select,
+        filter,
+        config,
+        store,
+        CellDomain::All,
+        ExecHooks::default(),
+    )
 }
 
 /// Resolves a selection against the registry (empty = every scenario;
@@ -206,7 +281,55 @@ pub fn run_campaign_shard(
     store: &mut ResultStore,
     shard: Option<Shard>,
 ) -> Result<Campaign, ScenarioError> {
-    if let Some(s) = shard {
+    let domain = match shard {
+        Some(s) => CellDomain::Shard(s),
+        None => CellDomain::All,
+    };
+    run_campaign_with(
+        registry,
+        select,
+        filter,
+        config,
+        store,
+        domain,
+        ExecHooks::default(),
+    )
+}
+
+/// What one scanned lazy index produced: either a store hit or a fresh
+/// evaluation. Each matching cell gets exactly one slot, owned by the
+/// worker that scanned it — the lock-free replacement for the old
+/// shared `Mutex<Vec<Option<Outcome>>>` funnel.
+enum SlotOutcome {
+    Memoized,
+    Fresh(Result<CellResult, ScenarioError>),
+}
+
+struct Slot {
+    /// Position in the global lazy index space (the deterministic sort
+    /// key that makes assembly scheduling-independent).
+    global: usize,
+    /// Index into the selected-scenario list.
+    scenario: usize,
+    params: Params,
+    seed: u64,
+    fingerprint: String,
+    outcome: SlotOutcome,
+}
+
+/// The full-featured executor entry point: [`run_campaign`] over an
+/// explicit [`CellDomain`] with [`ExecHooks`]. Everything else is a
+/// wrapper around this.
+pub fn run_campaign_with(
+    registry: &Registry,
+    select: &[String],
+    filter: &Filter,
+    config: &ExecConfig,
+    store: &mut ResultStore,
+    domain: CellDomain<'_>,
+    hooks: ExecHooks<'_>,
+) -> Result<Campaign, ScenarioError> {
+    if let CellDomain::Shard(s) = domain {
         // Re-validate: a Shard built by hand instead of Shard::new must
         // not silently claim nothing (index >= count matches no cell).
         Shard::new(s.index, s.count)?;
@@ -215,100 +338,220 @@ pub fn run_campaign_shard(
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
     validate_filter(&specs, filter)?;
 
-    // Fix the cell order and resolve memoization up front.
-    let mut cells: Vec<CampaignCell> = Vec::new();
-    let mut jobs: Vec<Job<'_>> = Vec::new();
-    for (scenario, spec) in scenarios.iter().zip(&specs) {
-        for params in expand(&spec.axes) {
+    // The global lazy index space: prefix[i] is the first index of
+    // scenario i's matrix, prefix[len] the total.
+    let mut prefix = Vec::with_capacity(specs.len() + 1);
+    let mut total = 0usize;
+    for spec in &specs {
+        prefix.push(total);
+        total += spec.matrix_size();
+    }
+    prefix.push(total);
+
+    let whole = 0..total;
+    let (ranges, shard): (&[Range<usize>], Option<Shard>) = match domain {
+        CellDomain::All => (std::slice::from_ref(&whole), None),
+        CellDomain::Shard(s) => (std::slice::from_ref(&whole), Some(s)),
+        CellDomain::Ranges(r) => (r, None),
+    };
+    for range in ranges {
+        if range.start > range.end || range.end > total {
+            return Err(ScenarioError::Dist(format!(
+                "cell range {}..{} out of bounds (campaign has {total} lazy cells)",
+                range.start, range.end
+            )));
+        }
+    }
+    // Ascending-disjoint, as the CellDomain contract promises:
+    // overlapping or out-of-order ranges would silently duplicate
+    // cells in the assembled campaign (and the journal).
+    for pair in ranges.windows(2) {
+        if pair[1].start < pair[0].end {
+            return Err(ScenarioError::Dist(format!(
+                "cell ranges {}..{} and {}..{} must be ascending and disjoint",
+                pair[0].start, pair[0].end, pair[1].start, pair[1].end
+            )));
+        }
+    }
+    let scan_len: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+
+    let cursor = AtomicUsize::new(0);
+    let executed_cells = AtomicUsize::new(0);
+    let workers = config.threads.max(1).min(scan_len.max(1));
+    let delay = cell_delay();
+
+    // Phase 1 — parallel streaming scan. The store is a shared
+    // read-only view here; fresh results land in per-worker slot
+    // buffers and are folded into the store in phase 2.
+    let mut slots: Vec<Slot> = {
+        let store: &ResultStore = store;
+        let scan = |out: &mut Vec<Slot>| loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= scan_len {
+                break;
+            }
+            // Map the scan position to a global lazy index (ranges are
+            // few — a linear walk is cheaper than anything clever).
+            let mut rest = k;
+            let global = ranges
+                .iter()
+                .find_map(|r| {
+                    if rest < r.len() {
+                        Some(r.start + rest)
+                    } else {
+                        rest -= r.len();
+                        None
+                    }
+                })
+                .expect("scan position within summed range length");
+            let scenario = prefix.partition_point(|&p| p <= global) - 1;
+            let spec = &specs[scenario];
+            let params = CellIter::new(&spec.axes)
+                .cell_at(global - prefix[scenario])
+                .expect("lazy index within the scenario's matrix");
             if !filter.matches(&params) {
                 continue;
             }
             let seed = cell_seed(config.seed, spec.id, &params);
-            let fp = fingerprint_with_content(
+            let fingerprint = fingerprint_with_content(
                 spec.id,
                 spec.version,
                 spec.content_digest.as_deref(),
                 &params,
                 seed,
             );
+            let slot = |outcome| Slot {
+                global,
+                scenario,
+                params: params.clone(),
+                seed,
+                fingerprint: fingerprint.clone(),
+                outcome,
+            };
             if let Some(s) = shard {
-                if !s.owns(&fp) {
-                    continue;
+                match s.owns(&fingerprint) {
+                    Ok(false) => continue,
+                    Ok(true) => {}
+                    Err(e) => {
+                        out.push(slot(SlotOutcome::Fresh(Err(e))));
+                        continue;
+                    }
                 }
             }
-            let memoized = store.get_by_fingerprint(&fp).cloned();
-            let cell_index = cells.len();
-            match memoized {
-                Some(hit) => cells.push(CampaignCell {
-                    scenario: spec.id.to_string(),
-                    params,
-                    seed,
-                    result: hit.result,
-                    memoized: true,
-                }),
-                None => {
-                    cells.push(CampaignCell {
-                        scenario: spec.id.to_string(),
-                        params: params.clone(),
-                        seed,
-                        // Placeholder; overwritten from the job result.
-                        result: CellResult {
-                            metrics: Vec::new(),
+            if store.get_by_fingerprint(&fingerprint).is_some() {
+                out.push(slot(SlotOutcome::Memoized));
+                continue;
+            }
+            let outcome = scenarios[scenario].run(&params, seed);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            if let Ok(result) = &outcome {
+                if let Some(sink) = hooks.on_result {
+                    sink(
+                        &fingerprint,
+                        &StoredCell {
+                            scenario: spec.id.to_string(),
+                            version: spec.version,
+                            params_key: params.key(),
+                            seed,
+                            result: result.clone(),
                         },
-                        memoized: false,
-                    });
-                    jobs.push(Job {
-                        cell_index,
-                        scenario: *scenario,
-                        scenario_id: spec.id,
-                        scenario_version: spec.version,
-                        fingerprint: fp,
-                        params,
-                        seed,
-                    });
+                    );
                 }
             }
+            let executed = executed_cells.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(progress) = hooks.progress {
+                progress(ExecProgress {
+                    executed,
+                    total: scan_len,
+                });
+            }
+            out.push(slot(SlotOutcome::Fresh(outcome)));
+        };
+        if workers <= 1 {
+            let mut out = Vec::new();
+            scan(&mut out);
+            out
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            scan(&mut out);
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scenario worker panicked"))
+                    .collect()
+            })
         }
-    }
+    };
 
-    let executed = jobs.len();
-    let memoized = cells.len() - executed;
-    let outcomes = execute_jobs(&jobs, config.threads.max(1));
-
-    // Deterministic error selection: lowest cell index wins. Every
-    // successful result is persisted to the store even when a sibling
-    // cell errors — cells are deterministic, so a retry after a partial
-    // failure should memoize the work that did complete.
-    let mut first_error: Option<(usize, ScenarioError)> = None;
-    for (job, outcome) in jobs.iter().zip(outcomes) {
-        match outcome.expect("every job must produce an outcome") {
-            Ok(result) => {
-                // Insert under the content-aware fingerprint derived
-                // during partitioning (ResultStore::insert would
-                // recompute without the content digest).
+    // Phase 2 — deterministic assembly: global-index order erases the
+    // scheduling, fresh results move into the store (the campaign cell
+    // is written from the stored copy — no hot-path clone of a value
+    // the store is about to own), and the lowest-indexed error wins.
+    // Every successful result is persisted even when a sibling cell
+    // errors — cells are deterministic, so a retry after a partial
+    // failure memoizes the work that did complete.
+    slots.sort_unstable_by_key(|s| s.global);
+    let mut cells = Vec::with_capacity(slots.len());
+    let mut executed = 0;
+    let mut memoized = 0;
+    let mut first_error: Option<ScenarioError> = None;
+    for slot in slots {
+        let scenario_id = specs[slot.scenario].id.to_string();
+        match slot.outcome {
+            SlotOutcome::Memoized => {
+                let hit = store
+                    .get_by_fingerprint(&slot.fingerprint)
+                    .expect("memoized cell vanished from the store");
+                memoized += 1;
+                cells.push(CampaignCell {
+                    scenario: scenario_id,
+                    params: slot.params,
+                    seed: slot.seed,
+                    result: hit.result.clone(),
+                    memoized: true,
+                });
+            }
+            SlotOutcome::Fresh(Ok(result)) => {
+                executed += 1;
                 store.insert_cell(
-                    job.fingerprint.clone(),
+                    slot.fingerprint.clone(),
                     StoredCell {
-                        scenario: job.scenario_id.to_string(),
-                        version: job.scenario_version,
-                        params_key: job.params.key(),
-                        seed: job.seed,
-                        result: result.clone(),
+                        scenario: scenario_id.clone(),
+                        version: specs[slot.scenario].version,
+                        params_key: slot.params.key(),
+                        seed: slot.seed,
+                        result,
                     },
                 );
-                cells[job.cell_index].result = result;
+                let stored = store
+                    .get_by_fingerprint(&slot.fingerprint)
+                    .expect("cell just inserted");
+                cells.push(CampaignCell {
+                    scenario: scenario_id,
+                    params: slot.params,
+                    seed: slot.seed,
+                    result: stored.result.clone(),
+                    memoized: false,
+                });
             }
-            Err(e) => {
-                if first_error
-                    .as_ref()
-                    .is_none_or(|(i, _)| job.cell_index < *i)
-                {
-                    first_error = Some((job.cell_index, e));
+            SlotOutcome::Fresh(Err(e)) => {
+                executed += 1;
+                if first_error.is_none() {
+                    first_error = Some(e);
                 }
             }
         }
     }
-    if let Some((_, e)) = first_error {
+    if let Some(e) = first_error {
         return Err(e);
     }
 
@@ -320,33 +563,11 @@ pub fn run_campaign_shard(
     })
 }
 
-type Outcome = Result<CellResult, ScenarioError>;
-
-fn execute_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<Option<Outcome>> {
-    let cursor = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<Option<Outcome>>> = Mutex::new(vec![None; jobs.len()]);
-    let workers = threads.min(jobs.len()).max(1);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            handles.push(scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let outcome = job.scenario.run(&job.params, job.seed);
-                outcomes.lock().expect("worker poisoned the outcome lock")[i] = Some(outcome);
-            }));
-        }
-        for handle in handles {
-            handle.join().expect("scenario worker panicked");
-        }
-    });
-    outcomes.into_inner().expect("outcome lock poisoned")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::{Axis, ScenarioSpec};
+    use std::sync::Mutex;
 
     /// A deterministic toy scenario: metric = f(params, seed).
     struct Toy;
@@ -626,11 +847,134 @@ mod tests {
     }
 
     #[test]
+    fn malformed_fingerprints_error_instead_of_panicking() {
+        for bad in ["", "xyz", "123", "zzzzzzzzzzzzzzzz", "0123456789abcde-"] {
+            assert!(
+                matches!(shard_of(bad, 4), Err(ScenarioError::Dist(_))),
+                "`{bad}` must be rejected"
+            );
+            let shard = Shard::new(0, 4).unwrap();
+            assert!(shard.owns(bad).is_err());
+        }
+        assert!(shard_of("0123456789abcdef", 4).is_ok());
+    }
+
+    #[test]
     fn cell_seed_is_stable_and_input_sensitive() {
         let p = Params::new(vec![("a".into(), "1".into())]);
         let s = cell_seed(5, "toy", &p);
         assert_eq!(s, cell_seed(5, "toy", &p));
         assert_ne!(s, cell_seed(6, "toy", &p));
         assert_ne!(s, cell_seed(5, "other", &p));
+    }
+
+    #[test]
+    fn range_domain_sweeps_exactly_the_requested_slice() {
+        let full = run(1, 4, &mut ResultStore::new());
+        // The toy matrix has 6 lazy cells; split into two range calls.
+        let mut store = ResultStore::new();
+        let config = ExecConfig {
+            threads: 2,
+            seed: 4,
+        };
+        let mut pieces = Vec::new();
+        // A deliberate slice-of-one-range (a single chunk), not a
+        // mistyped range collection.
+        #[allow(clippy::single_range_in_vec_init)]
+        let splits: [&[Range<usize>]; 2] = [&[0..2], &[2..4, 4..6]];
+        for ranges in splits {
+            let part = run_campaign_with(
+                &registry(),
+                &[],
+                &Filter::all(),
+                &config,
+                &mut store,
+                CellDomain::Ranges(ranges),
+                ExecHooks::default(),
+            )
+            .unwrap();
+            pieces.extend(part.cells);
+        }
+        assert_eq!(pieces, full.cells, "range union must equal the full sweep");
+        assert_eq!(store.len(), 6);
+
+        // Out-of-bounds, overlapping and out-of-order ranges are
+        // rejected (overlap would silently duplicate cells).
+        #[allow(clippy::single_range_in_vec_init)]
+        let rejected: [&[Range<usize>]; 3] = [&[5..9], &[0..4, 2..6], &[4..6, 0..2]];
+        for ranges in rejected {
+            let err = run_campaign_with(
+                &registry(),
+                &[],
+                &Filter::all(),
+                &config,
+                &mut ResultStore::new(),
+                CellDomain::Ranges(ranges),
+                ExecHooks::default(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, ScenarioError::Dist(_)), "{ranges:?}");
+        }
+    }
+
+    #[test]
+    fn hooks_observe_every_fresh_cell() {
+        let seen: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let peak: AtomicUsize = AtomicUsize::new(0);
+        let on_result = |fp: &str, cell: &StoredCell| {
+            assert_eq!(cell.scenario, "toy");
+            seen.lock().unwrap().push(fp.to_string());
+        };
+        let progress = |p: ExecProgress| {
+            assert_eq!(p.total, 6);
+            peak.fetch_max(p.executed, Ordering::Relaxed);
+        };
+        let mut store = ResultStore::new();
+        let campaign = run_campaign_with(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 3,
+                seed: 1,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks {
+                progress: Some(&progress),
+                on_result: Some(&on_result),
+            },
+        )
+        .unwrap();
+        assert_eq!(campaign.executed, 6);
+        assert_eq!(peak.load(Ordering::Relaxed), 6);
+        let mut fps = seen.into_inner().unwrap();
+        fps.sort();
+        let mut stored: Vec<String> = store.iter().map(|(fp, _)| fp.to_string()).collect();
+        stored.sort();
+        assert_eq!(fps, stored, "the sink must see exactly the fresh cells");
+
+        // A fully memoized rerun feeds the sink nothing.
+        let count = AtomicUsize::new(0);
+        let counting = |_: &str, _: &StoredCell| {
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        run_campaign_with(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 3,
+                seed: 1,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks {
+                progress: None,
+                on_result: Some(&counting),
+            },
+        )
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 0);
     }
 }

@@ -76,6 +76,46 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no trailing newline — the journal
+    /// line format (one value per line, so a torn tail is detectable by
+    /// line rather than by byte).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -370,6 +410,19 @@ mod tests {
     #[test]
     fn rendering_is_deterministic() {
         assert_eq!(sample().pretty(), sample().pretty());
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let v = sample();
+        let text = v.compact();
+        assert!(!text.contains('\n'), "compact output must be one line");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(Json::Num(42.0).compact(), "42");
+        assert_eq!(
+            Json::Arr(vec![Json::Num(1.0), Json::Bool(false)]).compact(),
+            "[1,false]"
+        );
     }
 
     #[test]

@@ -18,24 +18,38 @@
 //!   branch predictors (`branch-pred`), WCET bound tightness
 //!   (`wcet-analysis`), single-path conversion (`singlepath`) and
 //!   dynamical-system horizons (`dynsys`).
-//! * [`exec`] — the parallel executor: the cartesian parameter matrix
-//!   of each selected scenario fans out across worker threads with
-//!   deterministic per-cell seeding, so results are identical whether
-//!   the campaign ran on one thread or sixteen.
+//! * [`matrix`] — lazy matrix enumeration: [`matrix::CellIter`]
+//!   decodes any cell from its row-major index in constant memory, so
+//!   planning and sharding sweep multi-million-cell matrices without
+//!   materializing them.
+//! * [`exec`] — the streaming parallel executor: workers pull lazy
+//!   cell indices from a shared cursor, decode/filter/memo-check each
+//!   on the fly and buffer outcomes in private per-worker slots (no
+//!   shared lock on the hot path); deterministic per-cell seeding and
+//!   global-index assembly make results identical whether the campaign
+//!   ran on one thread or sixteen. [`exec::ExecHooks`] stream progress
+//!   and completed results out as they happen.
 //! * [`store`] — the memoizing [`ResultStore`]: completed cells are
 //!   keyed by a fingerprint of `(schema, scenario, params, seed)` and
 //!   persist as deterministic JSON; re-running a campaign executes only
-//!   cells the store has never seen.
+//!   cells the store has never seen. An append-only [`store::Journal`]
+//!   beside the checkpoint file makes campaigns *crash-resumable*:
+//!   every completed cell is journaled (fsync'd per batch), a SIGKILL'd
+//!   campaign resumes from the last completed cell via
+//!   [`ResultStore::open_resumable`], and `checkpoint()` compacts the
+//!   pair atomically.
 //! * [`report`] — campaign serialization (JSON/CSV) and the Table-1/2
 //!   style evidence summary joining results against
 //!   `predictability_core::catalog`; driven by the `campaign` CLI
 //!   (`cargo run -p harness --bin campaign`).
-//! * [`dist`] — the distributed layer: a deterministic shard planner
-//!   and manifest, a one-shard-per-process worker mode, a merge engine
-//!   that fuses shard stores into the byte-identical single-process
-//!   store, and a cell-by-cell campaign differ with per-metric
-//!   tolerances (the CI regression gate). See the `plan` / `shard` /
-//!   `merge` / `diff` subcommands of the campaign CLI.
+//! * [`dist`] — the distributed layer: a deterministic *streaming*
+//!   shard planner and manifest (per-scenario cost weights included), a
+//!   one-shard-per-process worker mode, dynamic work stealing between
+//!   shard processes over lease files ([`dist::steal`]), a merge
+//!   engine that fuses shard stores into the byte-identical
+//!   single-process store, and a cell-by-cell campaign differ with
+//!   per-metric tolerances (the CI regression gate). See the `plan` /
+//!   `shard` / `merge` / `diff` subcommands of the campaign CLI.
 //! * [`gen`] — generated-program sweeps: a deterministic corpus of
 //!   `tinyisa::codegen` programs whose shape (`depth`, `stmts`,
 //!   `loop_iters`, `program_index`) is exposed as matrix axes, swept
@@ -89,10 +103,13 @@ pub mod scenario;
 pub mod scenarios;
 pub mod store;
 
-pub use dist::{diff_stores, merge_stores, DiffReport, Manifest, Tolerances};
-pub use exec::{run_campaign, run_campaign_shard, Campaign, CampaignCell, ExecConfig, Shard};
+pub use dist::{diff_stores, merge_stores, DiffReport, LeaseDir, Manifest, Tolerances};
+pub use exec::{
+    run_campaign, run_campaign_shard, run_campaign_with, Campaign, CampaignCell, CellDomain,
+    ExecConfig, ExecHooks, ExecProgress, Shard,
+};
 pub use gen::{Corpus, GenOptions};
-pub use matrix::Filter;
+pub use matrix::{CellIter, Filter};
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
-pub use store::ResultStore;
+pub use store::{Journal, ResultStore};

@@ -1,30 +1,95 @@
-//! Matrix expansion and cell filtering.
+//! Lazy matrix enumeration and cell filtering.
 //!
-//! A scenario's axes span a cartesian product; [`expand`] enumerates it
-//! in deterministic row-major order (first axis slowest), which fixes
-//! cell indices independently of thread count. A [`Filter`] restricts a
-//! campaign to matching cells with `axis=value` clauses — several
-//! values for the same axis union, clauses across different axes
-//! intersect.
+//! A scenario's axes span a cartesian product; [`CellIter`] enumerates
+//! it in deterministic row-major order (first axis slowest), which
+//! fixes cell indices independently of thread count. The iterator is
+//! *lazy* and random-access — any cell can be decoded from its row-major
+//! index in constant memory — so planning and sharding can sweep
+//! matrices of millions of cells without ever materializing them;
+//! [`expand`] remains as the collecting convenience. A [`Filter`]
+//! restricts a campaign to matching cells with `axis=value` clauses —
+//! several values for the same axis union, clauses across different
+//! axes intersect.
 
 use crate::scenario::{Axis, Params};
 
-/// Enumerates every cell of the axes' cartesian product, first axis
-/// varying slowest. An empty axis list yields the single empty cell.
-pub fn expand(axes: &[Axis]) -> Vec<Params> {
-    let mut cells: Vec<Vec<(String, String)>> = vec![Vec::new()];
-    for axis in axes {
-        let mut next = Vec::with_capacity(cells.len() * axis.values.len());
-        for prefix in &cells {
-            for value in &axis.values {
-                let mut cell = prefix.clone();
-                cell.push((axis.name.to_string(), value.clone()));
-                next.push(cell);
-            }
+/// A lazy, random-access enumeration of the axes' cartesian product in
+/// row-major order (first axis slowest) — exactly the sequence
+/// [`expand`] materializes, in constant memory. An empty axis list
+/// yields the single empty cell.
+#[derive(Debug, Clone)]
+pub struct CellIter<'a> {
+    axes: &'a [Axis],
+    next: usize,
+    total: usize,
+}
+
+impl<'a> CellIter<'a> {
+    /// An iterator over the axes' full product.
+    pub fn new(axes: &'a [Axis]) -> CellIter<'a> {
+        CellIter {
+            axes,
+            next: 0,
+            // The empty product is 1 (the single empty cell), matching
+            // `ScenarioSpec::matrix_size`; an axis with no values
+            // yields an empty product.
+            total: axes.iter().map(|a| a.values.len()).product(),
         }
-        cells = next;
     }
-    cells.into_iter().map(Params::new).collect()
+
+    /// Total number of cells in the full product (independent of how
+    /// far this iterator has advanced).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Decodes the cell at a row-major index without enumerating its
+    /// predecessors — the random access that lets shard workers and
+    /// work-stealing leases jump straight to their range.
+    pub fn cell_at(&self, index: usize) -> Option<Params> {
+        if index >= self.total {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(self.axes.len());
+        let mut rest = index;
+        for axis in self.axes.iter().rev() {
+            let k = axis.values.len();
+            pairs.push((axis.name.to_string(), axis.values[rest % k].clone()));
+            rest /= k;
+        }
+        pairs.reverse();
+        Some(Params::new(pairs))
+    }
+}
+
+impl Iterator for CellIter<'_> {
+    type Item = Params;
+
+    fn next(&mut self) -> Option<Params> {
+        let cell = self.cell_at(self.next)?;
+        self.next += 1;
+        Some(cell)
+    }
+
+    /// Constant-time skip: decodes directly at the target index instead
+    /// of enumerating the skipped cells.
+    fn nth(&mut self, n: usize) -> Option<Params> {
+        self.next = self.next.saturating_add(n);
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next.min(self.total);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for CellIter<'_> {}
+
+/// Materializes every cell of the axes' cartesian product, first axis
+/// varying slowest (a collecting wrapper over [`CellIter`]).
+pub fn expand(axes: &[Axis]) -> Vec<Params> {
+    CellIter::new(axes).collect()
 }
 
 /// An `axis=value` conjunction-of-disjunctions filter.
@@ -135,6 +200,51 @@ mod tests {
         // But combined with a present axis, that axis still constrains.
         let f = f.with("a", "1");
         assert_eq!(cells.iter().filter(|c| f.matches(c)).count(), 3);
+    }
+
+    #[test]
+    fn cell_iter_matches_expand_and_random_access() {
+        let axes = axes();
+        let cells = expand(&axes);
+        let lazy: Vec<Params> = CellIter::new(&axes).collect();
+        assert_eq!(lazy, cells, "lazy enumeration must equal expand");
+        let iter = CellIter::new(&axes);
+        assert_eq!(iter.total(), cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(iter.cell_at(i).as_ref(), Some(cell), "cell_at({i})");
+        }
+        assert_eq!(iter.cell_at(cells.len()), None, "out of range");
+    }
+
+    #[test]
+    fn cell_iter_nth_jumps_without_enumerating() {
+        let axes = axes();
+        let cells = expand(&axes);
+        let mut iter = CellIter::new(&axes);
+        assert_eq!(iter.nth(4).as_ref(), Some(&cells[4]));
+        assert_eq!(iter.next().as_ref(), Some(&cells[5]));
+        assert_eq!(iter.next(), None);
+        // Saturating skip past the end terminates cleanly.
+        assert_eq!(CellIter::new(&axes).nth(usize::MAX), None);
+    }
+
+    #[test]
+    fn cell_iter_empty_axes_and_empty_axis_values() {
+        let iter = CellIter::new(&[]);
+        assert_eq!(iter.total(), 1, "empty product is the single empty cell");
+        assert_eq!(iter.cell_at(0).unwrap().key(), "");
+        let empty_axis = [Axis::new("a", Vec::<u64>::new())];
+        assert_eq!(CellIter::new(&empty_axis).total(), 0);
+        assert_eq!(CellIter::new(&empty_axis).next(), None);
+    }
+
+    #[test]
+    fn cell_iter_size_hint_is_exact() {
+        let axes = axes();
+        let mut iter = CellIter::new(&axes);
+        assert_eq!(iter.size_hint(), (6, Some(6)));
+        iter.next();
+        assert_eq!(iter.len(), 5);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! plans, store diffs).
 
 use crate::dist::diff::{DeltaKind, DiffReport};
-use crate::dist::plan::{Manifest, PlannedCell};
+use crate::dist::plan::Manifest;
 use crate::exec::Campaign;
 use crate::json::Json;
 use crate::registry::Registry;
@@ -176,23 +176,29 @@ fn fold_extreme(values: &[Option<f64>], smaller: bool) -> Option<f64> {
 }
 
 /// Renders a shard plan: the manifest's identity line plus each
-/// shard's cell count (the partition balance at a glance).
-pub fn plan_summary(manifest: &Manifest, planned: &[PlannedCell]) -> String {
-    let mut counts = vec![0usize; manifest.shards as usize];
-    for cell in planned {
-        counts[cell.shard as usize] += 1;
-    }
+/// shard's cell count (the partition balance at a glance). Takes the
+/// per-shard counts the streaming planner already accumulated — no
+/// materialized cell list is ever needed for the summary.
+pub fn plan_summary(manifest: &Manifest, shard_counts: &[usize]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "planned {} cells over {} shards (seed {}, scenarios: {})",
-        planned.len(),
+        manifest.cells,
         manifest.shards,
         manifest.seed,
         manifest.scenarios.join(", ")
     );
-    for (shard, count) in counts.iter().enumerate() {
+    for (shard, count) in shard_counts.iter().enumerate() {
         let _ = writeln!(out, "  shard {shard}: {count} cells");
+    }
+    if manifest.per_scenario.iter().any(|s| s.weight != 1.0) {
+        let weights: Vec<String> = manifest
+            .per_scenario
+            .iter()
+            .map(|s| format!("{}={:.2}", s.id, s.weight))
+            .collect();
+        let _ = writeln!(out, "  cost weights: {}", weights.join(" "));
     }
     out
 }
@@ -387,14 +393,15 @@ mod tests {
     #[test]
     fn plan_summary_counts_every_shard() {
         let registry = Registry::builtin();
-        let manifest =
-            crate::dist::plan(&registry, &["pipeline-domino".into()], &[], 1, 3).unwrap();
-        let planned = crate::dist::planned_cells(&registry, &manifest).unwrap();
-        let s = plan_summary(&manifest, &planned);
+        let (manifest, counts) =
+            crate::dist::plan_calibrated(&registry, &["pipeline-domino".into()], &[], 1, 3, None)
+                .unwrap();
+        let s = plan_summary(&manifest, &counts);
         for shard in 0..3 {
             assert!(s.contains(&format!("shard {shard}:")));
         }
-        assert!(s.contains(&format!("planned {} cells", planned.len())));
+        assert!(s.contains(&format!("planned {} cells", manifest.cells)));
+        assert!(!s.contains("cost weights"), "unit weights stay silent");
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! to a scenario's identity, parameters or seeding naturally misses.
 //! The store serializes to the deterministic JSON of [`crate::json`],
 //! sorted by fingerprint, so equal stores are byte-equal on disk.
+//!
+//! On disk a store is a *checkpoint + journal* pair: the checkpoint is
+//! the atomic full snapshot, and the append-only [`Journal`] beside it
+//! records completed cells one JSON line at a time while a campaign is
+//! still running. [`ResultStore::open_resumable`] replays the journal
+//! over the checkpoint (tolerating the torn final line a SIGKILL
+//! leaves), and [`ResultStore::checkpoint`] compacts the pair — which
+//! is what makes campaigns crash-resumable with zero recompute.
 
 use crate::json::Json;
 use crate::scenario::{CellResult, Params, ScenarioError};
@@ -34,6 +42,72 @@ pub struct StoredCell {
     pub seed: u64,
     /// The measured metrics.
     pub result: CellResult,
+}
+
+impl StoredCell {
+    /// The cell's canonical JSON object — the value stored under its
+    /// fingerprint in the checkpoint file and in journal lines.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::str(&self.scenario)),
+            ("version".into(), Json::Num(self.version as f64)),
+            ("params".into(), Json::str(&self.params_key)),
+            // Hex: u64 seeds exceed f64's exact integer range.
+            ("seed".into(), Json::str(format!("{:016x}", self.seed))),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.result
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses one cell object (`fp` only names the cell in errors).
+    pub fn from_json(fp: &str, cell: &Json) -> Result<StoredCell, ScenarioError> {
+        let bad = |what: &str| ScenarioError::Store(format!("cell {fp}: bad {what}"));
+        let scenario = cell
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("scenario"))?
+            .to_string();
+        let version = cell
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("version"))? as u32;
+        let params_key = cell
+            .get("params")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("params"))?
+            .to_string();
+        let seed = cell
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("seed"))?;
+        let metrics = match cell.get("metrics") {
+            Some(Json::Obj(ms)) => ms
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or_else(|| bad("metric"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad("metrics")),
+        };
+        Ok(StoredCell {
+            scenario,
+            version,
+            params_key,
+            seed,
+            result: CellResult { metrics },
+        })
+    }
 }
 
 /// The FNV-1a-64 offset basis.
@@ -157,6 +231,11 @@ impl ResultStore {
         );
     }
 
+    /// Removes a cell by fingerprint (the GC eviction path).
+    pub fn remove(&mut self, fp: &str) -> Option<StoredCell> {
+        self.cells.remove(fp)
+    }
+
     /// Serializes the store (sorted by fingerprint — deterministic).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -166,29 +245,7 @@ impl ResultStore {
                 Json::Obj(
                     self.cells
                         .iter()
-                        .map(|(fp, cell)| {
-                            (
-                                fp.clone(),
-                                Json::Obj(vec![
-                                    ("scenario".into(), Json::str(&cell.scenario)),
-                                    ("version".into(), Json::Num(cell.version as f64)),
-                                    ("params".into(), Json::str(&cell.params_key)),
-                                    // Hex: u64 seeds exceed f64's exact
-                                    // integer range.
-                                    ("seed".into(), Json::str(format!("{:016x}", cell.seed))),
-                                    (
-                                        "metrics".into(),
-                                        Json::Obj(
-                                            cell.result
-                                                .metrics
-                                                .iter()
-                                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                                                .collect(),
-                                        ),
-                                    ),
-                                ]),
-                            )
-                        })
+                        .map(|(fp, cell)| (fp.clone(), cell.to_json()))
                         .collect(),
                 ),
             ),
@@ -205,47 +262,7 @@ impl ResultStore {
         let mut cells = BTreeMap::new();
         if let Some(Json::Obj(members)) = doc.get("cells") {
             for (fp, cell) in members {
-                let bad = |what: &str| ScenarioError::Store(format!("cell {fp}: bad {what}"));
-                let scenario = cell
-                    .get("scenario")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| bad("scenario"))?
-                    .to_string();
-                let version = cell
-                    .get("version")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| bad("version"))? as u32;
-                let params_key = cell
-                    .get("params")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| bad("params"))?
-                    .to_string();
-                let seed = cell
-                    .get("seed")
-                    .and_then(Json::as_str)
-                    .and_then(|s| u64::from_str_radix(s, 16).ok())
-                    .ok_or_else(|| bad("seed"))?;
-                let metrics = match cell.get("metrics") {
-                    Some(Json::Obj(ms)) => ms
-                        .iter()
-                        .map(|(k, v)| {
-                            v.as_f64()
-                                .map(|x| (k.clone(), x))
-                                .ok_or_else(|| bad("metric"))
-                        })
-                        .collect::<Result<Vec<_>, _>>()?,
-                    _ => return Err(bad("metrics")),
-                };
-                cells.insert(
-                    fp.clone(),
-                    StoredCell {
-                        scenario,
-                        version,
-                        params_key,
-                        seed,
-                        result: CellResult { metrics },
-                    },
-                );
+                cells.insert(fp.clone(), StoredCell::from_json(fp, cell)?);
             }
         }
         Ok(ResultStore { cells })
@@ -279,6 +296,211 @@ impl ResultStore {
     /// leave a torn or truncated store behind.
     pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
         write_atomic(path, &self.to_json().pretty())
+    }
+
+    /// Loads a store *and replays its sidecar journal*: the
+    /// crash-resume entry point. Returns the store and the number of
+    /// journal cells replayed. Cells a SIGKILL'd campaign journaled but
+    /// never checkpointed come back as memoized hits, so the resumed
+    /// run executes only the remainder. Journal lines of another store
+    /// schema are skipped (those cells recompute, like [`Self::load`]
+    /// drops them); a torn *final* line — the telltale of a kill
+    /// mid-append — is ignored; a torn line anywhere earlier is real
+    /// corruption and errors.
+    pub fn open_resumable(path: &Path) -> Result<(ResultStore, usize), ScenarioError> {
+        let mut store = ResultStore::load(path)?;
+        let journal = journal_path(path);
+        if !journal.exists() {
+            return Ok((store, 0));
+        }
+        let text = std::fs::read_to_string(&journal)
+            .map_err(|e| ScenarioError::Store(format!("read {}: {e}", journal.display())))?;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut replayed = 0;
+        for (i, line) in lines.iter().enumerate() {
+            match parse_journal_line(line) {
+                Ok(Some((fp, cell))) => {
+                    store.insert_cell(fp, cell);
+                    replayed += 1;
+                }
+                Ok(None) => {} // other schema: recompute instead
+                Err(_) if i + 1 == lines.len() => break, // torn tail
+                Err(e) => {
+                    return Err(ScenarioError::Store(format!(
+                        "{} line {}: {e}",
+                        journal.display(),
+                        i + 1
+                    )))
+                }
+            }
+        }
+        Ok((store, replayed))
+    }
+
+    /// Compacts the store + journal pair: writes the full store as the
+    /// new checkpoint (atomic temp + rename), then removes the journal.
+    /// A crash between the two steps leaves a journal whose cells are
+    /// all already in the checkpoint — replay is idempotent, so the
+    /// next [`Self::open_resumable`] still sees exactly this store.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), ScenarioError> {
+        self.save(path)?;
+        let journal = journal_path(path);
+        if journal.exists() {
+            std::fs::remove_file(&journal)
+                .map_err(|e| ScenarioError::Store(format!("rm {}: {e}", journal.display())))?;
+        }
+        Ok(())
+    }
+}
+
+/// The sidecar journal of a store: `store.json` → `store.json.journal`.
+pub fn journal_path(store: &Path) -> std::path::PathBuf {
+    let mut name = store.file_name().unwrap_or_default().to_os_string();
+    name.push(".journal");
+    store.with_file_name(name)
+}
+
+/// Parses one journal line. `Ok(None)` means the line belongs to
+/// another store schema (skipped, like old-schema checkpoint cells).
+fn parse_journal_line(line: &str) -> Result<Option<(String, StoredCell)>, String> {
+    let doc = Json::parse(line)?;
+    let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+    if schema != SCHEMA_VERSION {
+        return Ok(None);
+    }
+    let fp = doc
+        .get("fp")
+        .and_then(Json::as_str)
+        .ok_or("journal line without fp")?
+        .to_string();
+    let cell = doc.get("cell").ok_or("journal line without cell")?;
+    let cell = StoredCell::from_json(&fp, cell).map_err(|e| e.to_string())?;
+    Ok(Some((fp, cell)))
+}
+
+/// The append-only write-ahead journal beside a checkpoint file: one
+/// completed cell per JSON line, flushed on every append and fsync'd
+/// every `batch` cells. The journal is what makes a campaign
+/// crash-resumable — a SIGKILL loses at most the cells of the current
+/// unsynced batch, and [`ResultStore::open_resumable`] replays the
+/// rest with zero recompute. I/O failures are sticky: the first error
+/// is remembered and surfaced by [`Journal::finish`], so a worker
+/// thread appending mid-campaign never has to unwind through the
+/// executor.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: std::path::PathBuf,
+    batch: usize,
+    pending: usize,
+    error: Option<String>,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal beside `store_path`,
+    /// fsyncing every `batch` appended cells (`0` is treated as 1).
+    ///
+    /// A torn final line (a kill mid-append) is *healed* here: the file
+    /// is truncated back to its last complete record before appending
+    /// resumes. Replay merely tolerates the torn tail; without the
+    /// truncation, the first fresh append would concatenate onto the
+    /// partial bytes and corrupt two records at once — fatally, on the
+    /// next resume, once the merged garbage is no longer the last line.
+    pub fn open(store_path: &Path, batch: usize) -> Result<Journal, ScenarioError> {
+        let path = journal_path(store_path);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
+        }
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                if keep != bytes.len() {
+                    let file = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| {
+                            ScenarioError::Store(format!("open {}: {e}", path.display()))
+                        })?;
+                    file.set_len(keep as u64)
+                        .and_then(|()| file.sync_data())
+                        .map_err(|e| {
+                            ScenarioError::Store(format!(
+                                "truncate torn tail of {}: {e}",
+                                path.display()
+                            ))
+                        })?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(ScenarioError::Store(format!(
+                    "read {}: {e}",
+                    path.display()
+                )))
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ScenarioError::Store(format!("open {}: {e}", path.display())))?;
+        Ok(Journal {
+            file,
+            path,
+            batch: batch.max(1),
+            pending: 0,
+            error: None,
+        })
+    }
+
+    /// The journal file's location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell. Failures are recorded, not returned
+    /// — check [`Journal::finish`].
+    pub fn append(&mut self, fp: &str, cell: &StoredCell) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = Json::Obj(vec![
+            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("fp".into(), Json::str(fp)),
+            ("cell".into(), cell.to_json()),
+        ]);
+        let mut text = line.compact();
+        text.push('\n');
+        if let Err(e) = std::io::Write::write_all(&mut self.file, text.as_bytes()) {
+            self.error = Some(format!("append {}: {e}", self.path.display()));
+            return;
+        }
+        self.pending += 1;
+        if self.pending >= self.batch {
+            self.sync();
+        }
+    }
+
+    /// Forces any unsynced batch to disk.
+    pub fn sync(&mut self) {
+        if self.pending == 0 || self.error.is_some() {
+            return;
+        }
+        match self.file.sync_data() {
+            Ok(()) => self.pending = 0,
+            Err(e) => self.error = Some(format!("fsync {}: {e}", self.path.display())),
+        }
+    }
+
+    /// Final sync; surfaces the first I/O failure of the journal's
+    /// lifetime, if any.
+    pub fn finish(mut self) -> Result<(), ScenarioError> {
+        self.sync();
+        match self.error.take() {
+            None => Ok(()),
+            Some(e) => Err(ScenarioError::Store(e)),
+        }
     }
 }
 
@@ -320,12 +542,21 @@ pub struct GcReport {
 /// version, so they are retained as cells of *other* corpora (other
 /// campaign seeds), which a future campaign may legitimately hit.
 ///
+/// With `max_cells: Some(n)`, the pass additionally enforces a size
+/// cap: when more than `n` cells survive the staleness rules, the
+/// excess is evicted oldest-implementation-version first (the cells
+/// most likely to be invalidated next), ties broken by stable
+/// fingerprint order — so two GC passes over equal stores evict the
+/// identical cells. Eviction is reported like any other drop and
+/// honours `--dry-run` the same way.
+///
 /// Takes the raw JSON document (not a loaded [`ResultStore`]) so
 /// old-schema stores can be reported cell-by-cell instead of silently
 /// loading empty.
 pub fn gc(
     doc: &Json,
     registry: &crate::registry::Registry,
+    max_cells: Option<usize>,
 ) -> Result<(ResultStore, GcReport), ScenarioError> {
     let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
     let raw_cells = match doc.get("cells") {
@@ -384,6 +615,26 @@ pub fn gc(
                 params_key: cell.params_key.clone(),
                 reason,
             }),
+        }
+    }
+    if let Some(max) = max_cells {
+        if kept.len() > max {
+            let excess = kept.len() - max;
+            let mut victims: Vec<(u32, String)> = kept
+                .iter()
+                .map(|(fp, cell)| (cell.version, fp.to_string()))
+                .collect();
+            victims.sort();
+            for (_, fp) in victims.into_iter().take(excess) {
+                let cell = kept.remove(&fp).expect("victim came from the kept set");
+                report.kept -= 1;
+                report.dropped.push(GcDrop {
+                    fingerprint: fp,
+                    scenario: cell.scenario,
+                    params_key: cell.params_key,
+                    reason: format!("evicted: store exceeds --max-cells {max}"),
+                });
+            }
         }
     }
     Ok((kept, report))
@@ -550,7 +801,7 @@ mod tests {
         store.insert("fixed", 3, &params(), 1, CellResult::new(vec![("m", 1.0)]));
         store.insert("fixed", 2, &params(), 1, CellResult::new(vec![("m", 2.0)]));
         store.insert("gone", 1, &params(), 1, CellResult::new(vec![("m", 3.0)]));
-        let (kept, report) = gc(&store.to_json(), &registry).unwrap();
+        let (kept, report) = gc(&store.to_json(), &registry, None).unwrap();
         assert_eq!(kept.len(), 1);
         assert_eq!(report.kept, 1);
         assert_eq!(report.dropped.len(), 2);
@@ -567,12 +818,183 @@ mod tests {
         if let Json::Obj(members) = &mut doc {
             members[0].1 = Json::Num(1.0); // pretend schema 1
         }
-        let (kept, report) = gc(&doc, &crate::registry::Registry::empty()).unwrap();
+        let (kept, report) = gc(&doc, &crate::registry::Registry::empty(), None).unwrap();
         assert!(kept.is_empty());
         assert_eq!(report.kept, 0);
         assert_eq!(report.dropped.len(), 1);
         assert!(report.dropped[0].reason.contains("schema 1"));
         assert_eq!(report.dropped[0].scenario, "s");
+    }
+
+    #[test]
+    fn gc_max_cells_evicts_old_versions_then_fingerprint_order() {
+        use crate::registry::Registry;
+        use crate::scenario::{Axis, Scenario, ScenarioSpec};
+
+        /// Two scenarios at different registered versions.
+        struct At(&'static str, u32);
+        impl Scenario for At {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: self.0,
+                    version: self.1,
+                    title: "f",
+                    source_crate: "harness",
+                    property: "p",
+                    uncertainty: "u",
+                    quality: "q",
+                    catalog_id: None,
+                    content_digest: None,
+                    axes: vec![Axis::new("n", [1])],
+                    headline_metric: "m",
+                    smaller_is_better: true,
+                }
+            }
+            fn run(&self, _: &Params, _: u64) -> Result<CellResult, ScenarioError> {
+                Ok(CellResult::new(vec![("m", 0.0)]))
+            }
+        }
+
+        let mut registry = Registry::empty();
+        registry.register(Box::new(At("young", 5)));
+        registry.register(Box::new(At("old", 1)));
+        let mut store = ResultStore::new();
+        for seed in 0..3 {
+            store.insert(
+                "young",
+                5,
+                &params(),
+                seed,
+                CellResult::new(vec![("m", 1.0)]),
+            );
+            store.insert("old", 1, &params(), seed, CellResult::new(vec![("m", 2.0)]));
+        }
+        // Cap at 3: the three version-1 cells go first (oldest
+        // implementation version), so every survivor is version 5.
+        let (kept, report) = gc(&store.to_json(), &registry, Some(3)).unwrap();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(report.kept, 3);
+        assert_eq!(report.dropped.len(), 3);
+        assert!(kept.iter().all(|(_, c)| c.version == 5));
+        assert!(report
+            .dropped
+            .iter()
+            .all(|d| d.reason.contains("--max-cells 3") && d.scenario == "old"));
+        // Deterministic: evicted fingerprints are sorted.
+        let evicted: Vec<&str> = report
+            .dropped
+            .iter()
+            .map(|d| d.fingerprint.as_str())
+            .collect();
+        let mut sorted = evicted.clone();
+        sorted.sort();
+        assert_eq!(evicted, sorted);
+        // A cap the store already satisfies evicts nothing.
+        let (kept, report) = gc(&store.to_json(), &registry, Some(10)).unwrap();
+        assert_eq!(kept.len(), 6);
+        assert!(report.dropped.is_empty());
+    }
+
+    #[test]
+    fn journal_appends_replay_and_checkpoint_compacts() {
+        let dir = std::env::temp_dir().join(format!("harness-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.json");
+
+        // Checkpoint two cells, then journal one more.
+        let mut checkpointed = ResultStore::new();
+        checkpointed.insert("a", 1, &params(), 1, CellResult::new(vec![("x", 1.0)]));
+        checkpointed.insert("a", 1, &params(), 2, CellResult::new(vec![("x", 2.0)]));
+        checkpointed.save(&path).unwrap();
+        let mut journal = Journal::open(&path, 1).unwrap();
+        let fp = fingerprint("a", 1, &params(), 3);
+        let cell = StoredCell {
+            scenario: "a".into(),
+            version: 1,
+            params_key: params().key(),
+            seed: 3,
+            result: CellResult::new(vec![("x", 3.0)]),
+        };
+        journal.append(&fp, &cell);
+        journal.finish().unwrap();
+
+        // Resumable open replays the journal cell.
+        let (resumed, replayed) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(resumed.len(), 3);
+        assert_eq!(resumed.get_by_fingerprint(&fp), Some(&cell));
+        // A plain load ignores the journal.
+        assert_eq!(ResultStore::load(&path).unwrap().len(), 2);
+
+        // Checkpoint compacts: journal gone, store holds everything,
+        // and the next resumable open replays nothing.
+        resumed.checkpoint(&path).unwrap();
+        assert!(!journal_path(&path).exists());
+        assert_eq!(ResultStore::load(&path).unwrap().len(), 3);
+        let (again, replayed) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!((again.len(), replayed), (3, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_ignored_earlier_corruption_errors() {
+        let dir = std::env::temp_dir().join(format!("harness-torn-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let mut journal = Journal::open(&path, 1).unwrap();
+        let fp = fingerprint("a", 1, &params(), 1);
+        let cell = StoredCell {
+            scenario: "a".into(),
+            version: 1,
+            params_key: params().key(),
+            seed: 1,
+            result: CellResult::new(vec![("x", 1.0)]),
+        };
+        journal.append(&fp, &cell);
+        journal.finish().unwrap();
+        // Simulate a SIGKILL mid-append: a torn final line.
+        let jpath = journal_path(&path);
+        let mut text = std::fs::read_to_string(&jpath).unwrap();
+        text.push_str("{\"schema\":2,\"fp\":\"dead");
+        std::fs::write(&jpath, &text).unwrap();
+        let (store, replayed) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!((store.len(), replayed), (1, 1), "torn tail ignored");
+
+        // Re-opening the journal for append must *heal* the torn tail
+        // (truncate to the last complete record): the first fresh
+        // append of a resumed run must not concatenate onto partial
+        // bytes — that would corrupt two records, fatally once a
+        // second crash buries the merged garbage mid-journal.
+        let mut resumed = Journal::open(&path, 1).unwrap();
+        let fp2 = fingerprint("a", 1, &params(), 2);
+        let cell2 = StoredCell {
+            seed: 2,
+            ..cell.clone()
+        };
+        resumed.append(&fp2, &cell2);
+        resumed.finish().unwrap();
+        let (store, replayed) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!((store.len(), replayed), (2, 2), "healed + appended");
+        assert_eq!(store.get_by_fingerprint(&fp2), Some(&cell2));
+        let healed = std::fs::read_to_string(&jpath).unwrap();
+        assert!(!healed.contains("dead"), "torn bytes must be gone");
+
+        // The same garbage mid-journal is corruption, not a torn tail.
+        let mut torn_middle = String::from("{\"schema\":2,\"fp\":\"dead\n");
+        torn_middle.push_str(healed.lines().next().unwrap());
+        torn_middle.push('\n');
+        std::fs::write(&jpath, &torn_middle).unwrap();
+        assert!(matches!(
+            ResultStore::open_resumable(&path),
+            Err(ScenarioError::Store(_))
+        ));
+
+        // Journal lines of another schema are skipped, not replayed.
+        std::fs::write(&jpath, "{\"schema\":1,\"fp\":\"aaaa\",\"cell\":{}}\n").unwrap();
+        let (store, replayed) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!((store.len(), replayed), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Property tests for the lazy matrix enumeration: for arbitrary axis
+//! shapes, [`CellIter`] must enumerate exactly the sequence [`expand`]
+//! materializes — same cells, same row-major order — and its
+//! random-access `cell_at`/`nth` must agree with positional indexing.
+//! This is the contract the streaming executor, planner and
+//! work-stealing chunk map all lean on when they decode cells straight
+//! from lazy indices.
+
+use harness::matrix::{expand, CellIter};
+use harness::scenario::Axis;
+use proptest::prelude::*;
+
+/// Fixed distinct axis names (axis names are `&'static str`).
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Builds axes from generated per-axis value counts: axis `i` gets
+/// `counts[i]` distinct values `v0..v{n-1}`.
+fn axes_from(counts: &[usize]) -> Vec<Axis> {
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| Axis::new(NAMES[i], (0..n).map(|v| format!("v{v}"))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cell_iter_enumerates_exactly_expands_sequence(
+        counts in prop::collection::vec(1usize..=5, 0..=4),
+    ) {
+        let axes = axes_from(&counts);
+        let materialized = expand(&axes);
+        let lazy: Vec<_> = CellIter::new(&axes).collect();
+        prop_assert_eq!(&lazy, &materialized);
+        let expected: usize = counts.iter().product();
+        prop_assert_eq!(materialized.len(), expected);
+        prop_assert_eq!(CellIter::new(&axes).total(), expected);
+    }
+
+    #[test]
+    fn random_access_agrees_with_positional_indexing(
+        counts in prop::collection::vec(1usize..=5, 1..=4),
+        probe in 0usize..1000,
+    ) {
+        let axes = axes_from(&counts);
+        let cells = expand(&axes);
+        let iter = CellIter::new(&axes);
+        let index = probe % cells.len();
+        prop_assert_eq!(iter.cell_at(index).as_ref(), Some(&cells[index]));
+        prop_assert_eq!(iter.cell_at(cells.len()), None);
+        // nth from a fresh iterator lands on the same cell and
+        // continues in sequence.
+        let mut jumping = CellIter::new(&axes);
+        prop_assert_eq!(jumping.nth(index).as_ref(), Some(&cells[index]));
+        let rest: Vec<_> = jumping.collect();
+        prop_assert_eq!(&rest[..], &cells[index + 1..]);
+    }
+
+    #[test]
+    fn axes_with_an_empty_axis_yield_no_cells(
+        counts in prop::collection::vec(1usize..=4, 1..=3),
+        empty_at in 0usize..3,
+    ) {
+        let mut counts = counts;
+        let at = empty_at % counts.len();
+        counts[at] = 0;
+        let axes = axes_from(&counts);
+        prop_assert_eq!(CellIter::new(&axes).total(), 0);
+        prop_assert_eq!(CellIter::new(&axes).count(), 0);
+        prop_assert_eq!(expand(&axes).len(), 0);
+    }
+}

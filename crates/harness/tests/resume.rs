@@ -1,0 +1,209 @@
+//! Crash-resume contract of the checkpointed campaign engine, exercised
+//! through the `campaign` binary as a real OS process: a `campaign run
+//! --checkpoint-every 1` child is SIGKILLed mid-campaign, resumed with
+//! `--resume`, and the resumed store must be byte-identical to an
+//! uninterrupted run's — with the interrupted work replayed from the
+//! journal, not recomputed.
+
+use harness::store::{journal_path, ResultStore};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const SELECT: [&str; 2] = ["pipeline-domino", "dram-refresh"];
+/// Matched cells of the two selected scenarios (4 + 4).
+const TOTAL_CELLS: usize = 8;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("harness-resume-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn campaign_cmd(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_campaign"));
+    cmd.args(args);
+    cmd
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = campaign_cmd(args).output().expect("campaign must spawn");
+    assert!(
+        out.status.success(),
+        "{args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn sigkilled_campaign_resumes_from_the_journal_byte_identically() {
+    let dir = TempDir::new("kill");
+    let store = dir.path("store.json");
+    let store_arg = store.to_str().unwrap();
+    let journal = journal_path(&store);
+
+    // Launch the campaign with one slow worker thread (150 ms per cell
+    // via the executor's test hook) and per-cell journal fsync, so the
+    // journal grows cell by cell while we watch.
+    let mut child = campaign_cmd(&[
+        "run",
+        "--scenario",
+        SELECT[0],
+        "--scenario",
+        SELECT[1],
+        "--seed",
+        "42",
+        "--quiet",
+        "--threads",
+        "1",
+        "--checkpoint-every",
+        "1",
+        "--store",
+        store_arg,
+    ])
+    .env("CAMPAIGN_CELL_DELAY_MS", "150")
+    .stdout(std::process::Stdio::null())
+    .spawn()
+    .expect("campaign child must spawn");
+
+    // Wait until at least two cells hit the journal, then SIGKILL.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        // Count only newline-terminated (complete) journal lines.
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.matches('\n').count())
+            .unwrap_or(0);
+        if lines >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never reached 2 cells (child status: {:?})",
+            child.try_wait()
+        );
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "campaign finished before it could be killed — raise the cell delay"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap the killed child");
+
+    // The kill raced the journal writer: no checkpoint exists yet, and
+    // the journal holds the completed prefix (a torn tail is fine —
+    // replay ignores it).
+    assert!(!store.exists(), "no checkpoint must exist before resume");
+    let (partial, replayed) = ResultStore::open_resumable(&store).unwrap();
+    assert_eq!(partial.len(), replayed, "journal is the only state");
+    assert!(
+        (2..TOTAL_CELLS).contains(&replayed),
+        "the kill must land mid-campaign (replayed {replayed})"
+    );
+
+    // Resume: only the remaining cells may execute; the journaled ones
+    // come back memoized.
+    let stdout = run_ok(&[
+        "run",
+        "--scenario",
+        SELECT[0],
+        "--scenario",
+        SELECT[1],
+        "--seed",
+        "42",
+        "--quiet",
+        "--resume",
+        "--checkpoint-every",
+        "1",
+        "--store",
+        store_arg,
+    ]);
+    let summary = format!(
+        "{TOTAL_CELLS} cells: {} executed, {replayed} memoized (seed 42) — resumed, \
+         {replayed} journal cells replayed",
+        TOTAL_CELLS - replayed
+    );
+    assert!(
+        stdout.contains(&summary),
+        "executed + journal-replayed must equal the full matrix;\nwant: {summary}\ngot: {stdout}"
+    );
+    assert!(
+        !journal.exists(),
+        "the final checkpoint must compact the journal away"
+    );
+
+    // Byte-identity with an uninterrupted run of the same campaign.
+    let reference = dir.path("reference.json");
+    run_ok(&[
+        "run",
+        "--scenario",
+        SELECT[0],
+        "--scenario",
+        SELECT[1],
+        "--seed",
+        "42",
+        "--quiet",
+        "--store",
+        reference.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read_to_string(&store).unwrap(),
+        std::fs::read_to_string(&reference).unwrap(),
+        "resumed store must be byte-identical to an uninterrupted run's"
+    );
+}
+
+#[test]
+fn resume_without_prior_state_runs_the_full_campaign() {
+    let dir = TempDir::new("fresh");
+    let store = dir.path("store.json");
+    let stdout = run_ok(&[
+        "run",
+        "--scenario",
+        SELECT[0],
+        "--seed",
+        "7",
+        "--quiet",
+        "--resume",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(
+        stdout.contains("4 cells: 4 executed, 0 memoized (seed 7) — resumed, 0 journal cells"),
+        "got: {stdout}"
+    );
+    assert!(store.exists());
+    assert!(!journal_path(&store).exists());
+}
+
+#[test]
+fn resume_and_checkpoint_require_a_store() {
+    for args in [
+        &["run", "--resume"] as &[&str],
+        &["run", "--checkpoint-every", "4"],
+    ] {
+        let out = campaign_cmd(args).output().expect("campaign must spawn");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("need --store"),
+            "{args:?}"
+        );
+    }
+}
