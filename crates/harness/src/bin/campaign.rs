@@ -46,6 +46,7 @@ use harness::matrix::Filter;
 use harness::registry::Registry;
 use harness::report;
 use harness::store::{self, Journal, ResultStore};
+use harness::telemetry::{self, Telemetry, TelemetryLog};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,10 +73,16 @@ struct Options {
     // lifecycle flags
     dry_run: bool,
     max_cells: Option<usize>,
+    max_age_days: Option<u64>,
+    compact_journal: bool,
     // resume/checkpoint flags
     resume: bool,
     checkpoint_every: Option<usize>,
     progress: bool,
+    // telemetry sidecar
+    telemetry: bool,
+    // merge reporting
+    steal_report: bool,
     // dist flags
     shards: Option<u32>,
     index: Option<u32>,
@@ -129,6 +136,16 @@ crash-resumable execution (run/report/shard; all need --store):
                      cell with zero recompute
   --progress         live progress heartbeats on stderr
 
+wall-clock telemetry (run/report/shard; needs --store):
+  --telemetry        append per-cell wall-clock durations and last-hit
+                     access timestamps to a sidecar beside the store
+                     (<store>.telemetry, JSON lines, fsync-batched like
+                     the journal). The store itself stays byte-identical
+                     to a run without telemetry; the sidecar feeds
+                     `plan --calibrate` (measured cost weights),
+                     `merge --report` (wall-clock balance) and
+                     `gc --max-age-days` (age-based eviction)
+
 generated-program corpora:
   gen    [--seed S] [--corpus-size N] [--filter A=V]... [--disasm]
          list the corpus the gen/* scenarios would sweep (one row per
@@ -141,7 +158,9 @@ distributed campaigns:
          partition the campaign into N shards; write the manifest
          (records per-scenario digests, cost weights and the corpus
          identity); --calibrate derives the cost weights from a prior
-         (e.g. committed baseline) store
+         (e.g. committed baseline) store — from its *measured* per-cell
+         wall-clock telemetry when a <STORE>.telemetry sidecar
+         accompanies it, falling back to the metric-magnitude proxy
   shard  --manifest PATH --index I [--store PATH] [--threads N]
          [--steal] [--leases DIR]
          run exactly shard I against its own store (the registry and
@@ -154,20 +173,29 @@ distributed campaigns:
          remove the dir and re-run all shards with --resume (journaled
          cells replay; only the dead shard's unfinished chunks
          recompute)
-  merge  --out PATH [--manifest PATH] STORE...
+  merge  --out PATH [--manifest PATH] [--report] [--leases DIR] STORE...
          fuse shard stores (conflict = determinism violation -> exit 2);
-         with --manifest, also verify exact planned-cell coverage
+         with --manifest, also verify exact planned-cell coverage;
+         --report (needs --manifest) prints the steal-aware summary —
+         which shard won which chunk, from the lease files (--leases
+         DIR, default <manifest>.leases), and the realized per-shard
+         wall-clock balance from each input's telemetry sidecar
   diff   BASELINE COMPARED [--tol METRIC=EPS]... [--tol-default EPS]
          compare two stores cell-by-cell; exit 1 if they differ
 
 result-store lifecycle:
   gc     --store PATH [--dry-run] [--seed S] [--corpus-size N]
-         [--max-cells N]
+         [--max-cells N] [--max-age-days N] [--compact-journal]
          drop cells the current registry can no longer serve (stale
          schema, unregistered scenario, old implementation version);
-         --max-cells additionally evicts down to N cells (oldest
-         implementation version first, then stable fingerprint order);
-         --dry-run reports without rewriting the store
+         --max-age-days evicts cells whose last telemetry-recorded
+         access is older than N days (cells with no telemetry entry
+         are treated as oldest); --max-cells additionally evicts down
+         to N cells (oldest implementation version first, then stable
+         fingerprint order); --dry-run reports without rewriting the
+         store. A store with a journal sidecar is refused (a later
+         --resume would replay evicted cells right back); pass
+         --compact-journal to fold the journal into the store first
 
 exit status: 0 success; 1 diff found differences; 2 error
 ";
@@ -189,9 +217,13 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         disasm: false,
         dry_run: false,
         max_cells: None,
+        max_age_days: None,
+        compact_journal: false,
         resume: false,
         checkpoint_every: None,
         progress: false,
+        telemetry: false,
+        steal_report: false,
         shards: None,
         index: None,
         manifest: None,
@@ -244,6 +276,12 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             "--max-cells" => {
                 options.max_cells = Some(number("--max-cells", value("--max-cells")?)? as usize)
             }
+            "--max-age-days" => {
+                options.max_age_days = Some(number("--max-age-days", value("--max-age-days")?)?)
+            }
+            "--compact-journal" => options.compact_journal = true,
+            "--telemetry" => options.telemetry = true,
+            "--report" => options.steal_report = true,
             "--resume" => options.resume = true,
             "--checkpoint-every" => {
                 options.checkpoint_every = Some(
@@ -316,6 +354,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--resume",
             "--checkpoint-every",
             "--progress",
+            "--telemetry",
         ],
         "gen" => &["--seed", "--corpus-size", "--filter", "--disasm"],
         "plan" => &[
@@ -341,8 +380,9 @@ fn run(options: Options) -> Result<u8, String> {
             "--resume",
             "--checkpoint-every",
             "--progress",
+            "--telemetry",
         ],
-        "merge" => &["--out", "--manifest"],
+        "merge" => &["--out", "--manifest", "--report", "--leases", "--quiet"],
         "diff" => &["--tol", "--tol-default", "--quiet"],
         "gc" => &[
             "--store",
@@ -350,6 +390,8 @@ fn run(options: Options) -> Result<u8, String> {
             "--seed",
             "--corpus-size",
             "--max-cells",
+            "--max-age-days",
+            "--compact-journal",
             "--quiet",
         ],
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -417,9 +459,83 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
     if !path.exists() {
         return Err(format!("no such store: {}", path.display()));
     }
-    let doc = Json::parse_file(path)?;
-    let (kept, outcome) =
-        store::gc(&doc, registry, options.max_cells).map_err(|e| e.to_string())?;
+    // A journal sidecar holds cells the store file does not: gc'ing the
+    // store alone would be silently undone by the next `--resume`,
+    // which replays every journaled cell — evicted ones included —
+    // straight back. Refuse, or fold the pair together first.
+    let journal = store::journal_path(path);
+    let mut doc = Json::parse_file(path)?;
+    if journal.exists() {
+        if !options.compact_journal {
+            return Err(format!(
+                "store has a journal sidecar ({}): gc would be undone by a later --resume \
+                 replaying evicted cells back in — pass --compact-journal to fold the journal \
+                 into the store first, or finish the campaign it belongs to",
+                journal.display()
+            ));
+        }
+        // An old-schema checkpoint loads *empty* through
+        // open_resumable: compacting it would overwrite the file with
+        // nothing before gc could report its cells as stale-schema
+        // drops. Leave that store to the plain gc path.
+        let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+        if schema != store::SCHEMA_VERSION {
+            return Err(format!(
+                "store {} has schema {schema} (current {}): compacting would silently \
+                 discard its cells before gc could report them — remove the journal ({}) \
+                 by hand, then re-run gc",
+                path.display(),
+                store::SCHEMA_VERSION,
+                journal.display()
+            ));
+        }
+        let (resumed, replayed) = ResultStore::open_resumable(path).map_err(|e| e.to_string())?;
+        // The gc report below must describe the real store + journal
+        // union, not the stale checkpoint alone.
+        doc = resumed.to_json();
+        if options.dry_run {
+            if !options.quiet {
+                println!(
+                    "journal would be compacted into {} ({replayed} cells) — dry run, \
+                     nothing written",
+                    path.display()
+                );
+            }
+        } else {
+            resumed.checkpoint(path).map_err(|e| e.to_string())?;
+            if !options.quiet {
+                println!(
+                    "journal compacted into {} ({replayed} cells replayed)",
+                    path.display()
+                );
+            }
+        }
+    } else if options.compact_journal && !options.quiet {
+        println!("no journal sidecar to compact");
+    }
+    let age_policy = match options.max_age_days {
+        None => None,
+        Some(days) => {
+            let sidecar = telemetry::telemetry_path(path);
+            if !sidecar.exists() && !options.quiet {
+                eprintln!(
+                    "note: no telemetry sidecar at {} — every cell counts as oldest \
+                     under --max-age-days {days}",
+                    sidecar.display()
+                );
+            }
+            Some((Telemetry::load(&sidecar).map_err(|e| e.to_string())?, days))
+        }
+    };
+    let limits = store::GcLimits {
+        max_cells: options.max_cells,
+        max_age: age_policy.as_ref().map(|(telemetry, days)| store::MaxAge {
+            telemetry,
+            now_ms: telemetry::now_ms(),
+            max_age_ms: (*days as f64 * store::MS_PER_DAY) as u64,
+        }),
+    };
+    let (kept, outcome) = store::gc(&doc, registry, &limits).map_err(|e| e.to_string())?;
     if !options.quiet || !outcome.dropped.is_empty() {
         print!("{}", report::gc_summary(&outcome, options.dry_run));
     }
@@ -428,19 +544,38 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
         if !options.quiet {
             println!("store rewritten: {}", path.display());
         }
+        // Prune the telemetry sidecar alongside the store: entries of
+        // evicted cells are dead weight (and would resurrect their
+        // last-hit ages if the cells ever recompute under the same
+        // fingerprint).
+        let sidecar = telemetry::telemetry_path(path);
+        if sidecar.exists() && !outcome.dropped.is_empty() {
+            let mut telemetry = Telemetry::load(&sidecar).map_err(|e| e.to_string())?;
+            telemetry.retain(|fp| kept.contains(fp));
+            telemetry
+                .save_compacted(&sidecar)
+                .map_err(|e| e.to_string())?;
+            if !options.quiet {
+                println!("telemetry sidecar compacted: {}", sidecar.display());
+            }
+        }
     }
     Ok(0)
 }
 
-/// The store-and-journal state around one campaign execution: with
+/// The store-and-sidecar state around one campaign execution: with
 /// `--resume` the journal is replayed into the store before running;
 /// with journaling active every fresh cell is appended as it completes
-/// and the journal is compacted into the checkpoint on success.
+/// and the journal is compacted into the checkpoint on success; with
+/// `--telemetry` every cell's wall clock and last-hit timestamp is
+/// appended to the telemetry sidecar (which never touches the store's
+/// bytes).
 struct Session {
     store: ResultStore,
     /// Journal cells replayed by `--resume`.
     replayed: usize,
     journal: Option<Mutex<Journal>>,
+    telemetry: Option<Mutex<TelemetryLog>>,
     store_path: Option<PathBuf>,
 }
 
@@ -449,6 +584,9 @@ impl Session {
         let journaling = options.resume || options.checkpoint_every.is_some();
         if journaling && options.store.is_none() {
             return Err("--resume and --checkpoint-every need --store PATH".into());
+        }
+        if options.telemetry && options.store.is_none() {
+            return Err("--telemetry needs --store PATH (the sidecar lives beside it)".into());
         }
         let (store, replayed) = match (&options.store, options.resume) {
             (Some(path), true) => ResultStore::open_resumable(path).map_err(|e| e.to_string())?,
@@ -462,17 +600,50 @@ impl Session {
             )),
             _ => None,
         };
+        let telemetry = match (&options.store, options.telemetry) {
+            (Some(path), true) => Some(Mutex::new(
+                TelemetryLog::open(
+                    path,
+                    options
+                        .checkpoint_every
+                        .unwrap_or(telemetry::DEFAULT_TELEMETRY_BATCH),
+                )
+                .map_err(|e| e.to_string())?,
+            )),
+            _ => None,
+        };
         Ok(Session {
             store,
             replayed,
             journal,
+            telemetry,
             store_path: options.store.clone(),
         })
     }
 
     /// Persists the final store: journaling sessions compact the
     /// journal into the checkpoint; plain sessions save atomically.
+    /// The telemetry sidecar, if any, gets its final fsync — but a
+    /// sidecar I/O failure is a *warning*, never a reason to discard
+    /// the campaign's results: telemetry is advisory, and the store
+    /// save below must happen regardless.
     fn close(self, quiet: bool) -> Result<(), String> {
+        let telemetry_warning = self.telemetry.and_then(|log| {
+            let log = log.into_inner().expect("telemetry lock poisoned");
+            let path = log.path().to_path_buf();
+            match log.finish() {
+                Ok(()) => {
+                    if !quiet {
+                        println!("telemetry appended: {}", path.display());
+                    }
+                    None
+                }
+                Err(e) => Some(e.to_string()),
+            }
+        });
+        if let Some(warning) = telemetry_warning {
+            eprintln!("campaign: warning: telemetry sidecar incomplete: {warning}");
+        }
         match (self.journal, &self.store_path) {
             (Some(journal), Some(path)) => {
                 journal
@@ -493,7 +664,8 @@ impl Session {
 }
 
 /// Builds the executor hooks for a session: the journal sink (when
-/// journaling) and the `--progress` stderr heartbeat.
+/// journaling), the telemetry sink (when `--telemetry`) and the
+/// `--progress` stderr heartbeat.
 macro_rules! session_hooks {
     ($session:expr, $options:expr, $hooks:ident) => {
         let journal_sink = |fp: &str, cell: &store::StoredCell| {
@@ -502,6 +674,17 @@ macro_rules! session_hooks {
                     .lock()
                     .expect("journal lock poisoned")
                     .append(fp, cell);
+            }
+        };
+        let timing_sink = |t: harness::exec::CellTiming<'_>| {
+            if let Some(log) = &$session.telemetry {
+                let mut log = log.lock().expect("telemetry lock poisoned");
+                match t.wall {
+                    Some(wall) => {
+                        log.record_fresh(t.fingerprint, t.scenario, wall, telemetry::now_ms())
+                    }
+                    None => log.record_hit(t.fingerprint, t.scenario, telemetry::now_ms()),
+                }
             }
         };
         let progress_line = |p: ExecProgress| {
@@ -521,6 +704,11 @@ macro_rules! session_hooks {
             },
             on_result: if $session.journal.is_some() {
                 Some(&journal_sink as &(dyn Fn(&str, &store::StoredCell) + Sync))
+            } else {
+                None
+            },
+            on_timing: if $session.telemetry.is_some() {
+                Some(&timing_sink as &(dyn Fn(harness::exec::CellTiming<'_>) + Sync))
             } else {
                 None
             },
@@ -582,22 +770,39 @@ fn plan(registry: &Registry, options: &Options) -> Result<u8, String> {
         .manifest
         .as_deref()
         .ok_or("plan needs --manifest PATH")?;
-    let baseline = match &options.calibrate {
-        Some(p) => Some(ResultStore::load_required(p).map_err(|e| e.to_string())?),
-        None => None,
+    // The baseline store, and — when a telemetry sidecar accompanies it
+    // — the measured durations that outrank the metric proxy.
+    let (baseline, baseline_telemetry) = match &options.calibrate {
+        Some(p) => (
+            Some(ResultStore::load_required(p).map_err(|e| e.to_string())?),
+            Some(Telemetry::load_for_store(p).map_err(|e| e.to_string())?),
+        ),
+        None => (None, None),
     };
-    let (manifest, shard_counts) = dist::plan_calibrated(
+    let (manifest, shard_counts, source) = dist::plan_calibrated_with(
         registry,
         &options.scenarios,
         &options.filters,
         options.seed,
         shards,
         baseline.as_ref(),
+        baseline_telemetry.as_ref(),
     )
     .map_err(|e| e.to_string())?;
     manifest.save(path).map_err(|e| e.to_string())?;
     if !options.quiet {
         print!("{}", report::plan_summary(&manifest, &shard_counts));
+        match source {
+            dist::WeightSource::WallClock => println!(
+                "  weights calibrated from wall-clock telemetry ({})",
+                telemetry::telemetry_path(options.calibrate.as_deref().unwrap_or(Path::new("")))
+                    .display()
+            ),
+            dist::WeightSource::MetricProxy => {
+                println!("  weights calibrated from the metric-magnitude proxy")
+            }
+            dist::WeightSource::Unit => {}
+        }
     }
     println!("manifest written to {}", path.display());
     Ok(0)
@@ -677,6 +882,12 @@ fn merge(options: &Options) -> Result<u8, String> {
     if options.positional.is_empty() {
         return Err("merge needs at least one input store".into());
     }
+    if options.steal_report && options.manifest.is_none() {
+        return Err("--report needs --manifest PATH (the chunk map comes from it)".into());
+    }
+    if options.leases.is_some() && !options.steal_report {
+        return Err("--leases needs --report (plain merges read no lease files)".into());
+    }
     let stores = options
         .positional
         .iter()
@@ -687,15 +898,50 @@ fn merge(options: &Options) -> Result<u8, String> {
         let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
         let registry = dist::registry_for(&manifest);
         dist::merge::verify_coverage(&registry, &manifest, &fused).map_err(|e| e.to_string())?;
+        if options.steal_report {
+            let lease_dir = options
+                .leases
+                .clone()
+                .unwrap_or_else(|| dist::LeaseDir::for_manifest(path));
+            if !lease_dir.is_dir() {
+                return Err(format!(
+                    "no lease directory at {} — --report needs the lease files of a \
+                     `shard --steal` campaign (or pass theirs via --leases DIR)",
+                    lease_dir.display()
+                ));
+            }
+            let leases = dist::LeaseDir::open(&lease_dir, &manifest).map_err(|e| e.to_string())?;
+            let inputs: Vec<(String, Option<Telemetry>)> = options
+                .positional
+                .iter()
+                .map(|p| {
+                    let sidecar = telemetry::telemetry_path(p);
+                    let telemetry = if sidecar.exists() {
+                        Some(Telemetry::load(&sidecar).map_err(|e| e.to_string())?)
+                    } else {
+                        None
+                    };
+                    Ok((p.display().to_string(), telemetry))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let report = dist::steal_report(&registry, &manifest, &leases, &inputs)
+                .map_err(|e| e.to_string())?;
+            print!("{}", report::steal_summary(&report, &manifest));
+        }
     }
     fused.save(out).map_err(|e| e.to_string())?;
-    println!(
-        "merged {} stores into {}: {} cells ({} duplicate)",
-        stores.len(),
-        out.display(),
-        stats.cells,
-        stats.duplicates
-    );
+    // --quiet mutes the summary line; an explicitly requested --report
+    // still prints (asking for a report and silencing it would be a
+    // contradiction).
+    if !options.quiet {
+        println!(
+            "merged {} stores into {}: {} cells ({} duplicate)",
+            stores.len(),
+            out.display(),
+            stats.cells,
+            stats.duplicates
+        );
+    }
     Ok(0)
 }
 

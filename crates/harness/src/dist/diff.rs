@@ -181,6 +181,24 @@ pub fn diff_stores(a: &ResultStore, b: &ResultStore, tol: &Tolerances) -> DiffRe
     report
 }
 
+/// Metric equivalence under an absolute tolerance, made NaN/∞-aware:
+/// two NaNs are *equivalent* (a scenario that deterministically
+/// produces NaN has not drifted — byte-identical stores must diff
+/// empty), equal infinities likewise (their difference is NaN, which
+/// would otherwise read as drift), and any *other* pairing involving a
+/// non-finite value is always a difference — no tolerance, however
+/// large (`--tol m=inf` parses), can absorb NaN-vs-number or
+/// +∞-vs-−∞; they are reported by name (`NaN`, `inf`) in the summary.
+fn within_tolerance(before: f64, after: f64, tol: f64) -> bool {
+    if before.is_nan() && after.is_nan() {
+        return true;
+    }
+    if !before.is_finite() || !after.is_finite() {
+        return before == after; // inf == inf, -inf == -inf
+    }
+    (after - before).abs() <= tol
+}
+
 fn diff_metrics(
     a: &crate::store::StoredCell,
     b: &crate::store::StoredCell,
@@ -191,7 +209,8 @@ fn diff_metrics(
     for (metric, before) in &a.result.metrics {
         let before = *before;
         let after = b.result.metric(metric);
-        let within = after.is_some_and(|after| (after - before).abs() <= tol.tolerance(metric));
+        let within =
+            after.is_some_and(|after| within_tolerance(before, after, tol.tolerance(metric)));
         if !within {
             deltas.push(MetricDelta {
                 metric: metric.clone(),
@@ -285,6 +304,38 @@ mod tests {
         let report = diff_stores(&a, &b, &Tolerances::exact().with_default(1e9));
         assert_eq!(report.changed(), 1, "tolerance cannot excuse absence");
         assert_eq!(diff_stores(&b, &a, &Tolerances::exact()).changed(), 1);
+    }
+
+    #[test]
+    fn nan_metrics_in_both_stores_are_not_drift() {
+        // A deterministic NaN (or ∞) is the same result on both sides;
+        // byte-identical stores must diff empty.
+        let a = store_with(&[(1, &[("m", f64::NAN), ("k", f64::INFINITY)])]);
+        let report = diff_stores(&a, &a.clone(), &Tolerances::exact());
+        assert!(report.is_empty(), "got: {report:?}");
+        assert_eq!(report.unchanged, 1);
+        let neg = store_with(&[(1, &[("m", f64::NEG_INFINITY)])]);
+        assert!(diff_stores(&neg, &neg.clone(), &Tolerances::exact()).is_empty());
+    }
+
+    #[test]
+    fn non_finite_mismatches_are_always_reported() {
+        let nan = store_with(&[(1, &[("m", f64::NAN)])]);
+        let num = store_with(&[(1, &[("m", 1.0)])]);
+        let inf = store_with(&[(1, &[("m", f64::INFINITY)])]);
+        let ninf = store_with(&[(1, &[("m", f64::NEG_INFINITY)])]);
+        // No tolerance — not even an infinite one — absorbs a
+        // non-finite mismatch.
+        let huge = Tolerances::exact().with_default(f64::INFINITY);
+        for (x, y) in [(&nan, &num), (&num, &nan), (&inf, &ninf), (&inf, &num)] {
+            assert_eq!(diff_stores(x, y, &Tolerances::exact()).changed(), 1);
+            assert_eq!(diff_stores(x, y, &huge).changed(), 1);
+        }
+        // The summary names the value instead of hiding it.
+        let s = crate::report::diff_summary(&diff_stores(&nan, &num, &Tolerances::exact()));
+        assert!(s.contains("NaN -> 1"), "got: {s}");
+        let s = crate::report::diff_summary(&diff_stores(&inf, &ninf, &Tolerances::exact()));
+        assert!(s.contains("inf -> -inf"), "got: {s}");
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! planned cell set, catching lost shards or stray extra cells.
 
 use crate::dist::plan::{check_drift_observing, Manifest};
+use crate::dist::steal::{chunk_map, Chunk, LeaseDir};
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
 use crate::store::ResultStore;
+use crate::telemetry::Telemetry;
 
 /// What a merge did, for reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +91,144 @@ pub fn verify_coverage(
     Ok(())
 }
 
+/// One chunk's fate in a work-stealing campaign: the planned unit of
+/// work joined with the lease file that records who actually ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkLease {
+    /// The planned chunk (id, scenario, range, cost, initial shard).
+    pub chunk: Chunk,
+    /// The shard whose lease file claimed it; `None` = never claimed
+    /// (a shard died before reaching it — merge's coverage check will
+    /// have reported the missing cells).
+    pub holder: Option<u32>,
+}
+
+impl ChunkLease {
+    /// True when a shard other than the initial lessee won the chunk.
+    pub fn stolen(&self) -> bool {
+        self.holder
+            .is_some_and(|holder| holder != self.chunk.initial_shard)
+    }
+}
+
+/// One shard's realized balance: what the planner leased to it vs.
+/// what it actually won through the lease protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardBalance {
+    /// Shard index.
+    pub shard: u32,
+    /// Chunks of its initial (planned) lease.
+    pub leased_chunks: usize,
+    /// Lazy cells of that lease.
+    pub leased_cells: usize,
+    /// Chunks it actually claimed and executed.
+    pub won_chunks: usize,
+    /// Lazy cells of those chunks.
+    pub won_cells: usize,
+    /// Of the won chunks, how many were stolen from another shard's
+    /// initial lease.
+    pub stolen_chunks: usize,
+}
+
+/// One merge input's measured cost, from the telemetry sidecar beside
+/// its shard store (absent when the shard ran without `--telemetry`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputWall {
+    /// The input store, as given to `merge`.
+    pub label: String,
+    /// Cells with a recorded fresh execution.
+    pub executed_cells: usize,
+    /// Total measured wall-clock nanoseconds.
+    pub wall_ns: Option<f64>,
+}
+
+/// The steal-aware merge report: which shard won which chunk (from the
+/// lease files) and the realized per-shard wall-clock balance (from the
+/// per-shard telemetry sidecars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StealReport {
+    /// The campaign the lease directory is stamped for.
+    pub shards: u32,
+    /// Every planned chunk, in chunk-id order, with its lease holder.
+    pub chunks: Vec<ChunkLease>,
+    /// Per-shard planned-vs-realized balance, indexed by shard.
+    pub shards_balance: Vec<ShardBalance>,
+    /// Per merge input, the measured cost of what it executed.
+    pub inputs: Vec<InputWall>,
+}
+
+impl StealReport {
+    /// Chunks no shard ever claimed.
+    pub fn unclaimed(&self) -> usize {
+        self.chunks.iter().filter(|c| c.holder.is_none()).count()
+    }
+
+    /// Chunks won by a shard other than their initial lessee.
+    pub fn stolen(&self) -> usize {
+        self.chunks.iter().filter(|c| c.stolen()).count()
+    }
+}
+
+/// Builds the steal-aware report of a merged work-stealing campaign:
+/// recomputes the deterministic chunk map from the manifest, reads each
+/// chunk's lease file for the winning shard, and sums each input
+/// store's telemetry sidecar into its realized wall-clock cost.
+/// Telemetry is optional per input (`None` = the shard ran without
+/// `--telemetry`); the lease directory is not — without leases there is
+/// nothing steal-aware to report.
+pub fn steal_report(
+    registry: &Registry,
+    manifest: &Manifest,
+    leases: &LeaseDir,
+    inputs: &[(String, Option<Telemetry>)],
+) -> Result<StealReport, ScenarioError> {
+    let chunks = chunk_map(registry, manifest)?;
+    let mut leased = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let holder = leases.holder(chunk.id)?;
+        leased.push(ChunkLease { chunk, holder });
+    }
+    let mut balance: Vec<ShardBalance> = (0..manifest.shards)
+        .map(|shard| ShardBalance {
+            shard,
+            ..ShardBalance::default()
+        })
+        .collect();
+    for lease in &leased {
+        let planned = &mut balance[lease.chunk.initial_shard as usize];
+        planned.leased_chunks += 1;
+        planned.leased_cells += lease.chunk.range.len();
+        if let Some(holder) = lease.holder {
+            let winner = balance.get_mut(holder as usize).ok_or_else(|| {
+                ScenarioError::Dist(format!(
+                    "lease for chunk {} names shard {holder}, but the manifest plans only {} \
+                     shards — stale lease directory?",
+                    lease.chunk.id, manifest.shards
+                ))
+            })?;
+            winner.won_chunks += 1;
+            winner.won_cells += lease.chunk.range.len();
+            if lease.stolen() {
+                winner.stolen_chunks += 1;
+            }
+        }
+    }
+    let inputs = inputs
+        .iter()
+        .map(|(label, telemetry)| InputWall {
+            label: label.clone(),
+            executed_cells: telemetry.as_ref().map_or(0, Telemetry::executed_cells),
+            wall_ns: telemetry.as_ref().map(Telemetry::total_wall_ns),
+        })
+        .collect();
+    Ok(StealReport {
+        shards: manifest.shards,
+        chunks: leased,
+        shards_balance: balance,
+        inputs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +283,57 @@ mod tests {
         let (fused, stats) = merge_stores(&[]).unwrap();
         assert!(fused.is_empty());
         assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn steal_report_joins_leases_and_telemetry() {
+        use crate::dist;
+        use std::time::Duration;
+        let registry = Registry::builtin();
+        let manifest = dist::plan(
+            &registry,
+            &["pipeline-domino".into(), "dram-refresh".into()],
+            &[],
+            42,
+            2,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("harness-stealrep-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let leases = LeaseDir::open(&dir, &manifest).unwrap();
+        let chunks = chunk_map(&registry, &manifest).unwrap();
+        assert!(chunks.len() >= 3, "need room for a steal and a loss");
+        // Shard 1 claims everything except the last chunk (simulating a
+        // shard death before it): every non-last chunk initially leased
+        // to shard 0 counts as stolen.
+        for chunk in &chunks[..chunks.len() - 1] {
+            assert!(leases.claim(chunk.id, 1).unwrap());
+        }
+        let mut telemetry = Telemetry::new();
+        telemetry.record_fresh("aaaa", "pipeline-domino", Duration::from_millis(2), 1);
+        telemetry.record_fresh("bbbb", "dram-refresh", Duration::from_millis(3), 2);
+        let inputs = vec![
+            ("shard0.json".to_string(), None),
+            ("shard1.json".to_string(), Some(telemetry)),
+        ];
+        let report = steal_report(&registry, &manifest, &leases, &inputs).unwrap();
+        assert_eq!(report.chunks.len(), chunks.len());
+        assert_eq!(report.unclaimed(), 1);
+        assert_eq!(report.chunks.last().unwrap().holder, None);
+        let expected_stolen = chunks[..chunks.len() - 1]
+            .iter()
+            .filter(|c| c.initial_shard != 1)
+            .count();
+        assert_eq!(report.stolen(), expected_stolen);
+        let s1 = report.shards_balance[1];
+        assert_eq!(s1.won_chunks, chunks.len() - 1);
+        assert_eq!(s1.stolen_chunks, expected_stolen);
+        assert_eq!(report.shards_balance[0].won_chunks, 0);
+        let leased_total: usize = report.shards_balance.iter().map(|b| b.leased_chunks).sum();
+        assert_eq!(leased_total, chunks.len(), "every chunk is leased once");
+        assert_eq!(report.inputs[0].wall_ns, None);
+        assert_eq!(report.inputs[1].executed_cells, 2);
+        assert_eq!(report.inputs[1].wall_ns, Some(5_000_000.0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

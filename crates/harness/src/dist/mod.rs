@@ -68,10 +68,11 @@ pub mod plan;
 pub mod steal;
 
 pub use diff::{diff_stores, DiffReport, Tolerances};
-pub use merge::{merge_stores, MergeStats};
+pub use merge::{merge_stores, steal_report, MergeStats, StealReport};
 pub use plan::{
-    calibrate_weights, plan, plan_calibrated, plan_with_cells, planned_cells, visit_planned_cells,
-    CorpusPlan, Manifest, PlannedCell, ScenarioPlan,
+    calibrate_weights, calibrate_weights_wall, plan, plan_calibrated, plan_calibrated_with,
+    plan_with_cells, planned_cells, visit_planned_cells, CorpusPlan, Manifest, PlannedCell,
+    ScenarioPlan, WeightSource,
 };
 pub use steal::{chunk_map, run_shard_stealing, Chunk, LeaseDir, StealStats};
 

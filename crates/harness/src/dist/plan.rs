@@ -435,6 +435,48 @@ pub fn scenario_cost_proxy(baseline: &ResultStore, scenario_id: &str) -> Option<
     (cells > 0).then(|| magnitude / cells as f64)
 }
 
+/// Where a plan's per-scenario cost weights came from — reported by the
+/// CLI so an operator can tell a wall-clock-calibrated plan from the
+/// proxy fallback at a glance. The manifest itself is agnostic: weights
+/// are plain numbers whatever their source (schema unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightSource {
+    /// No baseline: every scenario weighs 1.0.
+    Unit,
+    /// Mean metric magnitude per cell — the dependency-free proxy.
+    MetricProxy,
+    /// Measured mean wall-clock duration per cell, from the baseline
+    /// store's telemetry sidecar.
+    WallClock,
+}
+
+/// Per-scenario cost weights from *measured* wall-clock telemetry: each
+/// covered scenario's weight is its mean recorded cell duration,
+/// normalized so the cheapest covered scenario weighs 1.0; scenarios
+/// the sidecar never timed weigh 1.0. Returns `None` when the telemetry
+/// covers none of the selection — the caller then falls back to the
+/// metric-magnitude proxy ([`calibrate_weights`]).
+pub fn calibrate_weights_wall(
+    telemetry: &crate::telemetry::Telemetry,
+    scenario_ids: &[String],
+) -> Option<Vec<f64>> {
+    let means: Vec<Option<f64>> = scenario_ids
+        .iter()
+        .map(|id| telemetry.scenario_wall_mean_ns(id).filter(|m| *m > 0.0))
+        .collect();
+    let floor = means
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    floor.is_finite().then(|| {
+        means
+            .into_iter()
+            .map(|m| m.map_or(1.0, |m| m / floor))
+            .collect()
+    })
+}
+
 /// Per-scenario cost weights for a selection, calibrated from a
 /// baseline store and normalized so the cheapest calibrated scenario
 /// weighs 1.0; scenarios absent from the baseline weigh 1.0.
@@ -482,6 +524,32 @@ pub fn plan_calibrated(
     shards: u32,
     baseline: Option<&ResultStore>,
 ) -> Result<(Manifest, Vec<usize>), ScenarioError> {
+    plan_calibrated_with(
+        registry,
+        select,
+        filter_clauses,
+        seed,
+        shards,
+        baseline,
+        None,
+    )
+    .map(|(m, counts, _)| (m, counts))
+}
+
+/// [`plan_calibrated`] with the measured-duration upgrade: when the
+/// baseline store's telemetry sidecar times at least one selected
+/// scenario, the weights come from *wall-clock means* instead of the
+/// metric-magnitude proxy; otherwise the proxy (or unit weights with no
+/// baseline at all). Also reports which source won.
+pub fn plan_calibrated_with(
+    registry: &Registry,
+    select: &[String],
+    filter_clauses: &[String],
+    seed: u64,
+    shards: u32,
+    baseline: Option<&ResultStore>,
+    telemetry: Option<&crate::telemetry::Telemetry>,
+) -> Result<(Manifest, Vec<usize>, WeightSource), ScenarioError> {
     if shards == 0 {
         return Err(ScenarioError::Dist("shard count must be >= 1".into()));
     }
@@ -502,9 +570,12 @@ pub fn plan_calibrated(
             })
     });
     let ids: Vec<String> = specs.iter().map(|s| s.id.to_string()).collect();
-    let weights = match baseline {
-        Some(store) => calibrate_weights(store, &ids),
-        None => vec![1.0; ids.len()],
+    let (weights, source) = match baseline {
+        Some(store) => match telemetry.and_then(|t| calibrate_weights_wall(t, &ids)) {
+            Some(w) => (w, WeightSource::WallClock),
+            None => (calibrate_weights(store, &ids), WeightSource::MetricProxy),
+        },
+        None => (vec![1.0; ids.len()], WeightSource::Unit),
     };
 
     // One streaming pass folds every planned fingerprint into the
@@ -547,7 +618,7 @@ pub fn plan_calibrated(
             .collect(),
         corpus,
     };
-    Ok((manifest, shard_counts))
+    Ok((manifest, shard_counts, source))
 }
 
 /// [`plan`], also returning the materialized planned cells — kept for
@@ -826,5 +897,82 @@ mod tests {
         .unwrap();
         assert_eq!(counts.iter().sum::<usize>(), m.cells);
         assert!(m.per_scenario.iter().all(|s| s.weight == 1.0));
+    }
+
+    #[test]
+    fn wall_clock_telemetry_outranks_the_metric_proxy() {
+        use crate::telemetry::Telemetry;
+        use std::time::Duration;
+        let ids = vec![
+            "slow".to_string(),
+            "fast".to_string(),
+            "untimed".to_string(),
+        ];
+        let mut telemetry = Telemetry::new();
+        telemetry.record_fresh("aaaa", "slow", Duration::from_millis(40), 1);
+        telemetry.record_fresh("bbbb", "fast", Duration::from_millis(10), 2);
+        telemetry.record_hit("cccc", "untimed", 3);
+        let w = calibrate_weights_wall(&telemetry, &ids).unwrap();
+        assert_eq!(w, vec![4.0, 1.0, 1.0], "means normalize to the cheapest");
+        // Telemetry covering nothing selected defers to the proxy.
+        assert_eq!(
+            calibrate_weights_wall(&telemetry, &["other".to_string()]),
+            None
+        );
+        assert_eq!(calibrate_weights_wall(&Telemetry::new(), &ids), None);
+
+        // Through the planner: with a sidecar, wall-clock wins over the
+        // metric proxy; without one, the proxy still applies.
+        use crate::scenario::{CellResult, Params};
+        let registry = Registry::builtin();
+        let ids = domino_select();
+        let mut baseline = ResultStore::new();
+        let p = |n: u64| Params::new(vec![("n".into(), n.to_string())]);
+        // Proxy says scenario 0 is costlier (bigger magnitudes)...
+        baseline.insert(&ids[0], 1, &p(1), 1, CellResult::new(vec![("m", 100.0)]));
+        baseline.insert(&ids[1], 1, &p(1), 1, CellResult::new(vec![("m", 1.0)]));
+        // ...but measured time says scenario 1 is.
+        let mut telemetry = Telemetry::new();
+        telemetry.record_fresh("aaaa", &ids[0], Duration::from_millis(1), 1);
+        telemetry.record_fresh("bbbb", &ids[1], Duration::from_millis(9), 2);
+        let (proxy, _, source) =
+            plan_calibrated_with(&registry, &ids, &[], 42, 2, Some(&baseline), None).unwrap();
+        assert_eq!(source, WeightSource::MetricProxy);
+        assert_eq!(proxy.per_scenario[0].weight, 100.0);
+        let (timed, _, source) = plan_calibrated_with(
+            &registry,
+            &ids,
+            &[],
+            42,
+            2,
+            Some(&baseline),
+            Some(&telemetry),
+        )
+        .unwrap();
+        assert_eq!(source, WeightSource::WallClock);
+        assert_eq!(timed.per_scenario[0].weight, 1.0);
+        assert_eq!(timed.per_scenario[1].weight, 9.0);
+        // The opposing weights reorder the work-stealing chunk map: the
+        // proxy cuts scenario 0 finer (it thinks it costlier), the
+        // timed plan cuts scenario 1 finer — measured time, not metric
+        // magnitude, now shapes what is stealable.
+        let chunks_of = |m: &Manifest, scenario: usize| {
+            crate::dist::chunk_map(&registry, m)
+                .unwrap()
+                .iter()
+                .filter(|c| c.scenario == scenario)
+                .count()
+        };
+        assert!(
+            chunks_of(&proxy, 0) > chunks_of(&timed, 0),
+            "the proxy plan must cut the magnitude-heavy scenario finer"
+        );
+        assert!(
+            chunks_of(&timed, 1) > chunks_of(&proxy, 1),
+            "the timed plan must cut the measured-slow scenario finer"
+        );
+        let (_, _, source) =
+            plan_calibrated_with(&registry, &ids, &[], 42, 2, None, Some(&telemetry)).unwrap();
+        assert_eq!(source, WeightSource::Unit, "telemetry alone is no baseline");
     }
 }

@@ -179,17 +179,41 @@ impl LeaseDir {
         let tmp = leases
             .dir
             .join(format!(".campaign.id.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, &stamp)
+        // The stamp bytes must be durable *before* hard_link publishes
+        // the name: the link is metadata, so a crash right after it
+        // could otherwise leave an empty or torn stamp at the published
+        // path — which would then reject every future manifest against
+        // this directory as a digest mismatch.
+        std::fs::File::create(&tmp)
+            .and_then(|mut f| {
+                std::io::Write::write_all(&mut f, stamp.as_bytes())?;
+                f.sync_all()
+            })
             .map_err(|e| ScenarioError::Dist(format!("write {}: {e}", tmp.display())))?;
         let published = std::fs::hard_link(&tmp, &id_path);
         std::fs::remove_file(&tmp).ok();
         match published {
-            Ok(()) => Ok(leases),
+            Ok(()) => {
+                // And the link itself must survive power loss — the
+                // stamp is what rejects stale lease directories.
+                crate::store::sync_dir(&leases.dir)
+                    .map_err(|e| ScenarioError::Dist(e.to_string()))?;
+                Ok(leases)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 let existing = std::fs::read_to_string(&id_path)
                     .map_err(|e| ScenarioError::Dist(format!("read {}: {e}", id_path.display())))?;
                 if existing == stamp {
                     Ok(leases)
+                } else if existing.trim().is_empty() {
+                    // A pre-fix crash (or a foreign tool) left a torn
+                    // stamp: name the real problem and the remedy
+                    // instead of reporting a bogus digest mismatch.
+                    Err(ScenarioError::Dist(format!(
+                        "lease directory {} has an empty campaign stamp (crash while \
+                         stamping?) — remove the directory and re-run with --resume",
+                        dir.display()
+                    )))
                 } else {
                     Err(ScenarioError::Dist(format!(
                         "lease directory {} belongs to campaign {} but this manifest digests \
@@ -351,6 +375,7 @@ pub fn run_shard_stealing(
                 .as_ref()
                 .map(|a| a as &(dyn Fn(crate::exec::ExecProgress) + Sync)),
             on_result: hooks.on_result,
+            on_timing: hooks.on_timing,
         };
         let piece = run_campaign_with(
             registry,
@@ -486,6 +511,15 @@ mod tests {
             matches!(err, ScenarioError::Dist(ref m) if m.contains("remove the directory")),
             "got: {err}"
         );
+        // An empty (torn) stamp is corruption with a remediation hint,
+        // not a bogus digest mismatch against campaign "".
+        std::fs::write(dir.join("campaign.id"), "").unwrap();
+        let err = LeaseDir::open(&dir, &manifest).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Dist(ref m)
+                if m.contains("empty campaign stamp") && m.contains("remove the directory")),
+            "got: {err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -515,6 +549,7 @@ mod tests {
             ExecHooks {
                 progress: Some(&progress),
                 on_result: None,
+                on_timing: None,
             },
         )
         .unwrap();

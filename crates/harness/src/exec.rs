@@ -175,8 +175,27 @@ pub type ProgressFn<'a> = &'a (dyn Fn(ExecProgress) + Sync);
 /// successful cell, as it completes.
 pub type ResultSink<'a> = &'a (dyn Fn(&str, &StoredCell) + Sync);
 
-/// Observability hooks into the execution stream. Both callbacks are
-/// invoked from worker threads as cells complete; both default to
+/// One cell's timing observation, handed to the telemetry sink as the
+/// cell completes. Wall-clock time lives only in this side channel —
+/// never in the result store, whose bytes must stay a deterministic
+/// function of the campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CellTiming<'a> {
+    /// The cell's store fingerprint.
+    pub fingerprint: &'a str,
+    /// Scenario id.
+    pub scenario: &'a str,
+    /// Measured wall-clock duration of a fresh, successful evaluation;
+    /// `None` for a memoized hit (an access, not an execution).
+    pub wall: Option<std::time::Duration>,
+}
+
+/// A per-cell timing sink: every *successful* cell — fresh (with its
+/// measured duration) or memoized (access only) — as it completes.
+pub type TimingSink<'a> = &'a (dyn Fn(CellTiming<'_>) + Sync);
+
+/// Observability hooks into the execution stream. All callbacks are
+/// invoked from worker threads as cells complete; all default to
 /// no-ops.
 #[derive(Clone, Copy, Default)]
 pub struct ExecHooks<'a> {
@@ -187,6 +206,11 @@ pub struct ExecHooks<'a> {
     /// sink. Invocation order across cells is scheduling-dependent; the
     /// journal is a set, so replay does not care.
     pub on_result: Option<ResultSink<'a>>,
+    /// Called with every successful cell's timing — measured wall
+    /// clock for fresh cells, access-only for memoized hits — the
+    /// telemetry sidecar sink. Like `on_result`, invocation order is
+    /// scheduling-dependent and the sidecar aggregate does not care.
+    pub on_timing: Option<TimingSink<'a>>,
 }
 
 /// Test/CI hook: `CAMPAIGN_CELL_DELAY_MS` sleeps after every freshly
@@ -439,13 +463,25 @@ pub fn run_campaign_with(
                 }
             }
             if store.get_by_fingerprint(&fingerprint).is_some() {
+                if let Some(timing) = hooks.on_timing {
+                    timing(CellTiming {
+                        fingerprint: &fingerprint,
+                        scenario: spec.id,
+                        wall: None,
+                    });
+                }
                 out.push(slot(SlotOutcome::Memoized));
                 continue;
             }
+            // The measured span covers the evaluation plus the test
+            // delay hook: CAMPAIGN_CELL_DELAY_MS simulates a slow cell,
+            // so telemetry must see it as one.
+            let started = std::time::Instant::now();
             let outcome = scenarios[scenario].run(&params, seed);
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
+            let wall = started.elapsed();
             if let Ok(result) = &outcome {
                 if let Some(sink) = hooks.on_result {
                     sink(
@@ -458,6 +494,13 @@ pub fn run_campaign_with(
                             result: result.clone(),
                         },
                     );
+                }
+                if let Some(timing) = hooks.on_timing {
+                    timing(CellTiming {
+                        fingerprint: &fingerprint,
+                        scenario: spec.id,
+                        wall: Some(wall),
+                    });
                 }
             }
             let executed = executed_cells.fetch_add(1, Ordering::Relaxed) + 1;
@@ -929,6 +972,14 @@ mod tests {
             assert_eq!(p.total, 6);
             peak.fetch_max(p.executed, Ordering::Relaxed);
         };
+        let timings: Mutex<Vec<(String, bool)>> = Mutex::new(Vec::new());
+        let on_timing = |t: CellTiming<'_>| {
+            assert_eq!(t.scenario, "toy");
+            timings
+                .lock()
+                .unwrap()
+                .push((t.fingerprint.to_string(), t.wall.is_some()));
+        };
         let mut store = ResultStore::new();
         let campaign = run_campaign_with(
             &registry(),
@@ -943,6 +994,7 @@ mod tests {
             ExecHooks {
                 progress: Some(&progress),
                 on_result: Some(&on_result),
+                on_timing: Some(&on_timing),
             },
         )
         .unwrap();
@@ -953,11 +1005,26 @@ mod tests {
         let mut stored: Vec<String> = store.iter().map(|(fp, _)| fp.to_string()).collect();
         stored.sort();
         assert_eq!(fps, stored, "the sink must see exactly the fresh cells");
+        // Every fresh cell carried a measured duration.
+        let mut timed = timings.into_inner().unwrap();
+        assert!(timed.iter().all(|(_, fresh)| *fresh));
+        timed.sort();
+        assert_eq!(
+            timed.iter().map(|(fp, _)| fp.clone()).collect::<Vec<_>>(),
+            stored,
+            "the timing sink must see exactly the fresh cells"
+        );
 
-        // A fully memoized rerun feeds the sink nothing.
+        // A fully memoized rerun feeds the result sink nothing — and
+        // the timing sink sees pure accesses (no wall clock).
         let count = AtomicUsize::new(0);
         let counting = |_: &str, _: &StoredCell| {
             count.fetch_add(1, Ordering::Relaxed);
+        };
+        let hit_count = AtomicUsize::new(0);
+        let counting_timing = |t: CellTiming<'_>| {
+            assert!(t.wall.is_none(), "memoized hits carry no duration");
+            hit_count.fetch_add(1, Ordering::Relaxed);
         };
         run_campaign_with(
             &registry(),
@@ -972,9 +1039,15 @@ mod tests {
             ExecHooks {
                 progress: None,
                 on_result: Some(&counting),
+                on_timing: Some(&counting_timing),
             },
         )
         .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            hit_count.load(Ordering::Relaxed),
+            6,
+            "every memoized cell is still an access"
+        );
     }
 }

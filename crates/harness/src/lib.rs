@@ -38,6 +38,13 @@
 //!   campaign resumes from the last completed cell via
 //!   [`ResultStore::open_resumable`], and `checkpoint()` compacts the
 //!   pair atomically.
+//! * [`telemetry`] — the wall-clock sidecar: an append-only,
+//!   fsync-batched event log beside the store (`store.json.telemetry`)
+//!   recording per-cell measured durations and last-hit access
+//!   timestamps via [`exec::ExecHooks::on_timing`] — keeping time out
+//!   of the byte-deterministic store while feeding measured cost
+//!   calibration (`plan --calibrate`), steal-aware merge reports
+//!   (`merge --report`) and age-based GC (`gc --max-age-days`).
 //! * [`report`] — campaign serialization (JSON/CSV) and the Table-1/2
 //!   style evidence summary joining results against
 //!   `predictability_core::catalog`; driven by the `campaign` CLI
@@ -102,6 +109,7 @@ pub mod report;
 pub mod scenario;
 pub mod scenarios;
 pub mod store;
+pub mod telemetry;
 
 pub use dist::{diff_stores, merge_stores, DiffReport, LeaseDir, Manifest, Tolerances};
 pub use exec::{
@@ -113,3 +121,4 @@ pub use matrix::{CellIter, Filter};
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
 pub use store::{Journal, ResultStore};
+pub use telemetry::{Telemetry, TelemetryLog};

@@ -245,6 +245,76 @@ pub fn diff_summary(report: &DiffReport) -> String {
     out
 }
 
+/// Renders the steal-aware merge report: one `chunk` line per planned
+/// chunk (who won it, and whether that was a steal), the per-shard
+/// planned-vs-realized balance, and each input store's measured
+/// wall-clock cost from its telemetry sidecar. Chunk lines are the CI
+/// contract: every planned chunk appears exactly once.
+pub fn steal_summary(report: &crate::dist::merge::StealReport, manifest: &Manifest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "steal report: {} chunks over {} shards ({} stolen, {} unclaimed)",
+        report.chunks.len(),
+        report.shards,
+        report.stolen(),
+        report.unclaimed()
+    );
+    for lease in &report.chunks {
+        let chunk = &lease.chunk;
+        let scenario = manifest
+            .scenarios
+            .get(chunk.scenario)
+            .map_or("?", String::as_str);
+        let fate = match lease.holder {
+            None => "UNCLAIMED".to_string(),
+            Some(holder) if lease.stolen() => {
+                format!("shard {holder} (stolen from {})", chunk.initial_shard)
+            }
+            Some(holder) => format!("shard {holder} (native)"),
+        };
+        let _ = writeln!(
+            out,
+            "chunk {:03}  {:<20} cells [{}..{})  {}",
+            chunk.id, scenario, chunk.range.start, chunk.range.end, fate
+        );
+    }
+    for balance in &report.shards_balance {
+        let _ = writeln!(
+            out,
+            "shard {}: lease {} chunks / {} cells -> won {} chunks / {} cells ({} stolen)",
+            balance.shard,
+            balance.leased_chunks,
+            balance.leased_cells,
+            balance.won_chunks,
+            balance.won_cells,
+            balance.stolen_chunks
+        );
+    }
+    for input in &report.inputs {
+        match input.wall_ns {
+            Some(wall_ns) => {
+                let _ = writeln!(
+                    out,
+                    "input {}: {} cells executed, wall {:.3} s",
+                    input.label,
+                    input.executed_cells,
+                    wall_ns / 1e9
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "input {}: no telemetry sidecar (run shards with --telemetry \
+                     for the wall-clock balance)",
+                    input.label
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Renders a generated-program corpus for `campaign gen`: the corpus
 /// identity line, then one row per kernel matching the filter
 /// (coordinates, generator seed, instruction count, digest), optionally
@@ -422,6 +492,45 @@ mod tests {
         assert!(s.contains("~ s"));
         assert!(s.contains("m: 2 -> 2.5"));
         assert!(s.contains("1 added, 1 removed, 1 changed, 0 unchanged"));
+    }
+
+    #[test]
+    fn steal_summary_names_every_chunk_exactly_once() {
+        use crate::dist::{self, LeaseDir};
+        let registry = Registry::builtin();
+        let manifest = dist::plan(
+            &registry,
+            &["pipeline-domino".into(), "dram-refresh".into()],
+            &[],
+            42,
+            2,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("harness-stealsum-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let leases = LeaseDir::open(&dir, &manifest).unwrap();
+        let chunks = dist::chunk_map(&registry, &manifest).unwrap();
+        for chunk in &chunks {
+            assert!(leases.claim(chunk.id, chunk.initial_shard).unwrap());
+        }
+        let report = dist::steal_report(&registry, &manifest, &leases, &[]).unwrap();
+        let s = steal_summary(&report, &manifest);
+        let chunk_lines: Vec<&str> = s.lines().filter(|l| l.starts_with("chunk ")).collect();
+        assert_eq!(chunk_lines.len(), chunks.len());
+        for chunk in &chunks {
+            assert_eq!(
+                chunk_lines
+                    .iter()
+                    .filter(|l| l.starts_with(&format!("chunk {:03} ", chunk.id)))
+                    .count(),
+                1,
+                "chunk {} must appear exactly once:\n{s}",
+                chunk.id
+            );
+        }
+        assert!(s.contains("(0 stolen, 0 unclaimed)"), "got: {s}");
+        assert!(s.contains("pipeline-domino"), "chunks name their scenario");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

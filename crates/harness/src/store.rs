@@ -313,27 +313,14 @@ impl ResultStore {
         if !journal.exists() {
             return Ok((store, 0));
         }
-        let text = std::fs::read_to_string(&journal)
-            .map_err(|e| ScenarioError::Store(format!("read {}: {e}", journal.display())))?;
-        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
         let mut replayed = 0;
-        for (i, line) in lines.iter().enumerate() {
-            match parse_journal_line(line) {
-                Ok(Some((fp, cell))) => {
-                    store.insert_cell(fp, cell);
-                    replayed += 1;
-                }
-                Ok(None) => {} // other schema: recompute instead
-                Err(_) if i + 1 == lines.len() => break, // torn tail
-                Err(e) => {
-                    return Err(ScenarioError::Store(format!(
-                        "{} line {}: {e}",
-                        journal.display(),
-                        i + 1
-                    )))
-                }
+        replay_sidecar_lines(&journal, &mut |doc| {
+            if let Some((fp, cell)) = parse_journal_line(doc)? {
+                store.insert_cell(fp, cell);
+                replayed += 1;
             }
-        }
+            Ok(())
+        })?;
         Ok((store, replayed))
     }
 
@@ -348,6 +335,11 @@ impl ResultStore {
         if journal.exists() {
             std::fs::remove_file(&journal)
                 .map_err(|e| ScenarioError::Store(format!("rm {}: {e}", journal.display())))?;
+            // Make the unlink durable: a power loss must not resurrect
+            // a journal beside a checkpoint it no longer belongs with.
+            if let Some(dir) = journal.parent().filter(|d| !d.as_os_str().is_empty()) {
+                sync_dir(dir)?;
+            }
         }
         Ok(())
     }
@@ -360,10 +352,40 @@ pub fn journal_path(store: &Path) -> std::path::PathBuf {
     store.with_file_name(name)
 }
 
+/// Walks an append-only JSON-lines sidecar (journal, telemetry log):
+/// one parsed value per non-empty line, in file order. A failing final
+/// line — the telltale of a kill mid-append — is tolerated and skipped;
+/// a failure anywhere earlier is real corruption and errors with the
+/// line number. `visit` returning `Err` counts as a line failure, so
+/// schema-valid-JSON-but-bad-record lines get the same torn-tail
+/// treatment as unparseable bytes.
+pub(crate) fn replay_sidecar_lines(
+    path: &Path,
+    visit: &mut dyn FnMut(&Json) -> Result<(), String>,
+) -> Result<(), ScenarioError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::Store(format!("read {}: {e}", path.display())))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        let outcome = Json::parse(line).and_then(|doc| visit(&doc));
+        match outcome {
+            Ok(()) => {}
+            Err(_) if i + 1 == lines.len() => break, // torn tail
+            Err(e) => {
+                return Err(ScenarioError::Store(format!(
+                    "{} line {}: {e}",
+                    path.display(),
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses one journal line. `Ok(None)` means the line belongs to
 /// another store schema (skipped, like old-schema checkpoint cells).
-fn parse_journal_line(line: &str) -> Result<Option<(String, StoredCell)>, String> {
-    let doc = Json::parse(line)?;
+fn parse_journal_line(doc: &Json) -> Result<Option<(String, StoredCell)>, String> {
     let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
     if schema != SCHEMA_VERSION {
         return Ok(None);
@@ -378,17 +400,14 @@ fn parse_journal_line(line: &str) -> Result<Option<(String, StoredCell)>, String
     Ok(Some((fp, cell)))
 }
 
-/// The append-only write-ahead journal beside a checkpoint file: one
-/// completed cell per JSON line, flushed on every append and fsync'd
-/// every `batch` cells. The journal is what makes a campaign
-/// crash-resumable — a SIGKILL loses at most the cells of the current
-/// unsynced batch, and [`ResultStore::open_resumable`] replays the
-/// rest with zero recompute. I/O failures are sticky: the first error
-/// is remembered and surfaced by [`Journal::finish`], so a worker
-/// thread appending mid-campaign never has to unwind through the
-/// executor.
+/// The shared machinery of the store's append-only sidecars (the
+/// crash-resume [`Journal`] and the telemetry log): a line-oriented
+/// file opened for append with the torn final line *healed* (truncated
+/// back to the last complete record), flushed on every append and
+/// fsync'd every `batch` lines, with sticky I/O errors surfaced by
+/// `finish` so worker threads never unwind through the executor.
 #[derive(Debug)]
-pub struct Journal {
+pub(crate) struct AppendLog {
     file: std::fs::File,
     path: std::path::PathBuf,
     batch: usize,
@@ -396,18 +415,14 @@ pub struct Journal {
     error: Option<String>,
 }
 
-impl Journal {
-    /// Opens (creating if missing) the journal beside `store_path`,
-    /// fsyncing every `batch` appended cells (`0` is treated as 1).
-    ///
-    /// A torn final line (a kill mid-append) is *healed* here: the file
-    /// is truncated back to its last complete record before appending
-    /// resumes. Replay merely tolerates the torn tail; without the
-    /// truncation, the first fresh append would concatenate onto the
-    /// partial bytes and corrupt two records at once — fatally, on the
-    /// next resume, once the merged garbage is no longer the last line.
-    pub fn open(store_path: &Path, batch: usize) -> Result<Journal, ScenarioError> {
-        let path = journal_path(store_path);
+impl AppendLog {
+    /// Opens (creating if missing) the log at `path`, fsyncing every
+    /// `batch` appended lines (`0` is treated as 1). A torn final line
+    /// is truncated away before appending resumes: replay merely
+    /// tolerates a torn tail, and a fresh append concatenated onto
+    /// partial bytes would corrupt two records at once — fatally, on
+    /// the next replay, once the merged garbage is no longer last.
+    pub(crate) fn open(path: std::path::PathBuf, batch: usize) -> Result<AppendLog, ScenarioError> {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)
                 .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
@@ -445,7 +460,7 @@ impl Journal {
             .append(true)
             .open(&path)
             .map_err(|e| ScenarioError::Store(format!("open {}: {e}", path.display())))?;
-        Ok(Journal {
+        Ok(AppendLog {
             file,
             path,
             batch: batch.max(1),
@@ -454,23 +469,18 @@ impl Journal {
         })
     }
 
-    /// The journal file's location.
-    pub fn path(&self) -> &Path {
+    /// The log file's location.
+    pub(crate) fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Appends one completed cell. Failures are recorded, not returned
-    /// — check [`Journal::finish`].
-    pub fn append(&mut self, fp: &str, cell: &StoredCell) {
+    /// Appends one record (a newline is added). Failures are recorded,
+    /// not returned — check [`AppendLog::finish`].
+    pub(crate) fn append_line(&mut self, line: &str) {
         if self.error.is_some() {
             return;
         }
-        let line = Json::Obj(vec![
-            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
-            ("fp".into(), Json::str(fp)),
-            ("cell".into(), cell.to_json()),
-        ]);
-        let mut text = line.compact();
+        let mut text = line.to_string();
         text.push('\n');
         if let Err(e) = std::io::Write::write_all(&mut self.file, text.as_bytes()) {
             self.error = Some(format!("append {}: {e}", self.path.display()));
@@ -483,7 +493,7 @@ impl Journal {
     }
 
     /// Forces any unsynced batch to disk.
-    pub fn sync(&mut self) {
+    pub(crate) fn sync(&mut self) {
         if self.pending == 0 || self.error.is_some() {
             return;
         }
@@ -493,14 +503,73 @@ impl Journal {
         }
     }
 
-    /// Final sync; surfaces the first I/O failure of the journal's
+    /// Final sync; surfaces the first I/O failure of the log's
     /// lifetime, if any.
-    pub fn finish(mut self) -> Result<(), ScenarioError> {
+    pub(crate) fn finish(mut self) -> Result<(), ScenarioError> {
         self.sync();
         match self.error.take() {
             None => Ok(()),
             Some(e) => Err(ScenarioError::Store(e)),
         }
+    }
+}
+
+/// The append-only write-ahead journal beside a checkpoint file: one
+/// completed cell per JSON line, flushed on every append and fsync'd
+/// every `batch` cells. The journal is what makes a campaign
+/// crash-resumable — a SIGKILL loses at most the cells of the current
+/// unsynced batch, and [`ResultStore::open_resumable`] replays the
+/// rest with zero recompute. I/O failures are sticky: the first error
+/// is remembered and surfaced by [`Journal::finish`], so a worker
+/// thread appending mid-campaign never has to unwind through the
+/// executor.
+#[derive(Debug)]
+pub struct Journal {
+    log: AppendLog,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal beside `store_path`,
+    /// fsyncing every `batch` appended cells (`0` is treated as 1).
+    ///
+    /// A torn final line (a kill mid-append) is *healed* here (see
+    /// [`AppendLog::open`]): the file is truncated back to its last
+    /// complete record before appending resumes. Replay merely
+    /// tolerates the torn tail; without the truncation, the first
+    /// fresh append would concatenate onto the partial bytes and
+    /// corrupt two records at once — fatally, on the next resume, once
+    /// the merged garbage is no longer the last line.
+    pub fn open(store_path: &Path, batch: usize) -> Result<Journal, ScenarioError> {
+        Ok(Journal {
+            log: AppendLog::open(journal_path(store_path), batch)?,
+        })
+    }
+
+    /// The journal file's location.
+    pub fn path(&self) -> &Path {
+        self.log.path()
+    }
+
+    /// Appends one completed cell. Failures are recorded, not returned
+    /// — check [`Journal::finish`].
+    pub fn append(&mut self, fp: &str, cell: &StoredCell) {
+        let line = Json::Obj(vec![
+            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("fp".into(), Json::str(fp)),
+            ("cell".into(), cell.to_json()),
+        ]);
+        self.log.append_line(&line.compact());
+    }
+
+    /// Forces any unsynced batch to disk.
+    pub fn sync(&mut self) {
+        self.log.sync();
+    }
+
+    /// Final sync; surfaces the first I/O failure of the journal's
+    /// lifetime, if any.
+    pub fn finish(self) -> Result<(), ScenarioError> {
+        self.log.finish()
     }
 }
 
@@ -526,6 +595,37 @@ pub struct GcReport {
     pub dropped: Vec<GcDrop>,
 }
 
+/// Milliseconds per day (the `--max-age-days` unit).
+pub const MS_PER_DAY: f64 = 86_400_000.0;
+
+/// Age-based eviction policy for [`gc`]: evict cells whose last access
+/// (per the telemetry sidecar's hit log) is older than `max_age_ms` at
+/// `now_ms`. Cells with no telemetry entry at all are treated as the
+/// *oldest* — a store that predates telemetry, or cells no campaign has
+/// touched since the sidecar appeared, age out rather than living
+/// forever by omission.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxAge<'a> {
+    /// The aggregated access log beside the store.
+    pub telemetry: &'a crate::telemetry::Telemetry,
+    /// "Now", in Unix epoch milliseconds (a parameter, not a syscall,
+    /// so two GC passes over equal inputs decide identically).
+    pub now_ms: u64,
+    /// Maximum tolerated age, in milliseconds.
+    pub max_age_ms: u64,
+}
+
+/// The optional eviction limits of a [`gc`] pass, applied after the
+/// staleness rules: age first (cells nobody reads make way before the
+/// size cap bites), then the size cap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcLimits<'a> {
+    /// Evict down to at most this many cells.
+    pub max_cells: Option<usize>,
+    /// Evict cells not accessed recently enough.
+    pub max_age: Option<MaxAge<'a>>,
+}
+
 /// The result-store lifecycle pass: rebuilds a store keeping only the
 /// cells the given registry could still serve. Dropped are
 ///
@@ -542,12 +642,14 @@ pub struct GcReport {
 /// version, so they are retained as cells of *other* corpora (other
 /// campaign seeds), which a future campaign may legitimately hit.
 ///
-/// With `max_cells: Some(n)`, the pass additionally enforces a size
-/// cap: when more than `n` cells survive the staleness rules, the
-/// excess is evicted oldest-implementation-version first (the cells
-/// most likely to be invalidated next), ties broken by stable
-/// fingerprint order — so two GC passes over equal stores evict the
-/// identical cells. Eviction is reported like any other drop and
+/// With `limits.max_age` set, cells whose last telemetry-recorded
+/// access is older than the cap — or that have no telemetry entry at
+/// all (treated as oldest) — are evicted next. With `limits.max_cells:
+/// Some(n)`, the pass finally enforces a size cap: when more than `n`
+/// cells survive, the excess is evicted oldest-implementation-version
+/// first (the cells most likely to be invalidated next), ties broken by
+/// stable fingerprint order — so two GC passes over equal stores evict
+/// the identical cells. Eviction is reported like any other drop and
 /// honours `--dry-run` the same way.
 ///
 /// Takes the raw JSON document (not a loaded [`ResultStore`]) so
@@ -556,7 +658,7 @@ pub struct GcReport {
 pub fn gc(
     doc: &Json,
     registry: &crate::registry::Registry,
-    max_cells: Option<usize>,
+    limits: &GcLimits<'_>,
 ) -> Result<(ResultStore, GcReport), ScenarioError> {
     let schema = doc.get("schema").and_then(Json::as_f64).unwrap_or(0.0) as u32;
     let raw_cells = match doc.get("cells") {
@@ -617,7 +719,45 @@ pub fn gc(
             }),
         }
     }
-    if let Some(max) = max_cells {
+    if let Some(age) = &limits.max_age {
+        let victims: Vec<(String, String)> = kept
+            .iter()
+            .filter_map(|(fp, _)| {
+                let last = age.telemetry.last_hit_ms(fp);
+                let stale = match last {
+                    // No access record: older than anything recorded.
+                    None => true,
+                    Some(at) => age.now_ms.saturating_sub(at) > age.max_age_ms,
+                };
+                stale.then(|| {
+                    let reason = match last {
+                        None => format!(
+                            "evicted: no telemetry access record (treated as oldest) under \
+                             --max-age-days {:.1}",
+                            age.max_age_ms as f64 / MS_PER_DAY
+                        ),
+                        Some(at) => format!(
+                            "evicted: last hit {:.1} days ago exceeds --max-age-days {:.1}",
+                            age.now_ms.saturating_sub(at) as f64 / MS_PER_DAY,
+                            age.max_age_ms as f64 / MS_PER_DAY
+                        ),
+                    };
+                    (fp.to_string(), reason)
+                })
+            })
+            .collect();
+        for (fp, reason) in victims {
+            let cell = kept.remove(&fp).expect("victim came from the kept set");
+            report.kept -= 1;
+            report.dropped.push(GcDrop {
+                fingerprint: fp,
+                scenario: cell.scenario,
+                params_key: cell.params_key,
+                reason,
+            });
+        }
+    }
+    if let Some(max) = limits.max_cells {
         if kept.len() > max {
             let excess = kept.len() - max;
             let mut victims: Vec<(u32, String)> = kept
@@ -640,10 +780,30 @@ pub fn gc(
     Ok((kept, report))
 }
 
-/// Atomically replaces `path` with `text`: write a uniquely-named temp
-/// file in the same directory (same filesystem, so the rename cannot
-/// degrade to a copy), then rename over the target. Readers see either
-/// the old complete file or the new complete file, never a prefix.
+/// fsyncs a directory, making a just-renamed/linked/removed entry
+/// durable: the rename in [`write_atomic`] is atomic with respect to
+/// *readers*, but until the directory itself is synced a power loss can
+/// still roll the entry back to the old file — or to nothing, after a
+/// fresh create. (No-op off Unix, where directories cannot be opened.)
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), ScenarioError> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| ScenarioError::Store(format!("fsync dir {}: {e}", dir.display())))?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Atomically *and durably* replaces `path` with `text`: write a
+/// uniquely-named temp file in the same directory (same filesystem, so
+/// the rename cannot degrade to a copy), fsync it, rename over the
+/// target, then fsync the parent directory. Readers see either the old
+/// complete file or the new complete file, never a prefix — and after
+/// this returns, a power loss cannot roll the replacement back (the
+/// checkpoint path depends on that: the journal is deleted right after,
+/// and losing the just-compacted store while the journal is already
+/// gone would lose every journaled cell).
 pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError> {
     let dir = match path.parent() {
         Some(dir) if !dir.as_os_str().is_empty() => {
@@ -661,8 +821,14 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError>
         file_name.to_string_lossy(),
         std::process::id()
     ));
-    std::fs::write(&tmp, text)
-        .map_err(|e| ScenarioError::Store(format!("write {}: {e}", tmp.display())))?;
+    let write_synced = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, text.as_bytes())?;
+        // Content must reach disk before the rename publishes it: a
+        // rename is only as durable as the bytes behind it.
+        file.sync_all()
+    };
+    write_synced().map_err(|e| ScenarioError::Store(format!("write {}: {e}", tmp.display())))?;
     std::fs::rename(&tmp, path).map_err(|e| {
         std::fs::remove_file(&tmp).ok();
         ScenarioError::Store(format!(
@@ -670,7 +836,8 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError>
             tmp.display(),
             path.display()
         ))
-    })
+    })?;
+    sync_dir(&dir)
 }
 
 #[cfg(test)]
@@ -801,7 +968,7 @@ mod tests {
         store.insert("fixed", 3, &params(), 1, CellResult::new(vec![("m", 1.0)]));
         store.insert("fixed", 2, &params(), 1, CellResult::new(vec![("m", 2.0)]));
         store.insert("gone", 1, &params(), 1, CellResult::new(vec![("m", 3.0)]));
-        let (kept, report) = gc(&store.to_json(), &registry, None).unwrap();
+        let (kept, report) = gc(&store.to_json(), &registry, &GcLimits::default()).unwrap();
         assert_eq!(kept.len(), 1);
         assert_eq!(report.kept, 1);
         assert_eq!(report.dropped.len(), 2);
@@ -818,7 +985,12 @@ mod tests {
         if let Json::Obj(members) = &mut doc {
             members[0].1 = Json::Num(1.0); // pretend schema 1
         }
-        let (kept, report) = gc(&doc, &crate::registry::Registry::empty(), None).unwrap();
+        let (kept, report) = gc(
+            &doc,
+            &crate::registry::Registry::empty(),
+            &GcLimits::default(),
+        )
+        .unwrap();
         assert!(kept.is_empty());
         assert_eq!(report.kept, 0);
         assert_eq!(report.dropped.len(), 1);
@@ -871,7 +1043,11 @@ mod tests {
         }
         // Cap at 3: the three version-1 cells go first (oldest
         // implementation version), so every survivor is version 5.
-        let (kept, report) = gc(&store.to_json(), &registry, Some(3)).unwrap();
+        let limit = |n| GcLimits {
+            max_cells: Some(n),
+            max_age: None,
+        };
+        let (kept, report) = gc(&store.to_json(), &registry, &limit(3)).unwrap();
         assert_eq!(kept.len(), 3);
         assert_eq!(report.kept, 3);
         assert_eq!(report.dropped.len(), 3);
@@ -890,9 +1066,96 @@ mod tests {
         sorted.sort();
         assert_eq!(evicted, sorted);
         // A cap the store already satisfies evicts nothing.
-        let (kept, report) = gc(&store.to_json(), &registry, Some(10)).unwrap();
+        let (kept, report) = gc(&store.to_json(), &registry, &limit(10)).unwrap();
         assert_eq!(kept.len(), 6);
         assert!(report.dropped.is_empty());
+    }
+
+    #[test]
+    fn gc_max_age_evicts_stale_and_untracked_cells() {
+        use crate::registry::Registry;
+        use crate::scenario::{Axis, Scenario, ScenarioSpec};
+        use crate::telemetry::Telemetry;
+
+        struct Fixed;
+        impl Scenario for Fixed {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: "fixed",
+                    version: 1,
+                    title: "f",
+                    source_crate: "harness",
+                    property: "p",
+                    uncertainty: "u",
+                    quality: "q",
+                    catalog_id: None,
+                    content_digest: None,
+                    axes: vec![Axis::new("n", [1])],
+                    headline_metric: "m",
+                    smaller_is_better: true,
+                }
+            }
+            fn run(&self, _: &Params, _: u64) -> Result<CellResult, ScenarioError> {
+                Ok(CellResult::new(vec![("m", 0.0)]))
+            }
+        }
+
+        let mut registry = Registry::empty();
+        registry.register(Box::new(Fixed));
+        let mut store = ResultStore::new();
+        for seed in 0..3 {
+            store.insert(
+                "fixed",
+                1,
+                &params(),
+                seed,
+                CellResult::new(vec![("m", 1.0)]),
+            );
+        }
+        let fps: Vec<String> = store.iter().map(|(fp, _)| fp.to_string()).collect();
+        // fps[0] hit recently, fps[1] hit long ago, fps[2] never hit.
+        let now_ms = 100 * MS_PER_DAY as u64;
+        let mut telemetry = Telemetry::new();
+        telemetry.record_hit(&fps[0], "fixed", now_ms - MS_PER_DAY as u64);
+        telemetry.record_hit(&fps[1], "fixed", now_ms - 30 * MS_PER_DAY as u64);
+        let limits = GcLimits {
+            max_cells: None,
+            max_age: Some(MaxAge {
+                telemetry: &telemetry,
+                now_ms,
+                max_age_ms: 7 * MS_PER_DAY as u64,
+            }),
+        };
+        let (kept, report) = gc(&store.to_json(), &registry, &limits).unwrap();
+        assert_eq!(kept.len(), 1, "only the recently-hit cell survives");
+        assert!(kept.contains(&fps[0]));
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped.len(), 2);
+        let reason_of = |fp: &str| {
+            report
+                .dropped
+                .iter()
+                .find(|d| d.fingerprint == fp)
+                .map(|d| d.reason.as_str())
+                .unwrap()
+        };
+        assert!(reason_of(&fps[1]).contains("last hit 30.0 days ago"));
+        assert!(reason_of(&fps[2]).contains("no telemetry access record"));
+        // A generous cap evicts nothing.
+        let generous = GcLimits {
+            max_cells: None,
+            max_age: Some(MaxAge {
+                telemetry: &telemetry,
+                now_ms,
+                max_age_ms: 1000 * MS_PER_DAY as u64,
+            }),
+        };
+        let (kept, report) = gc(&store.to_json(), &registry, &generous).unwrap();
+        // fps[2] has no record at all, so it still ages out — "treated
+        // as oldest" means no cap can save an untracked cell.
+        assert_eq!(kept.len(), 2);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].fingerprint, fps[2]);
     }
 
     #[test]
