@@ -22,6 +22,9 @@
 //!         [--tol-default EPS] [--quiet]
 //! cargo run -p harness --bin campaign -- gc --store PATH [--dry-run] [--quiet]
 //!         [--seed S] [--corpus-size N] [--max-cells N]
+//! cargo run -p harness --bin campaign -- bench [--quick] [--repeats R] [--out DIR]
+//!         [--check] [--quiet]
+//! cargo run -p harness --bin campaign -- trace FILE
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
@@ -43,6 +46,8 @@ use harness::exec::{run_campaign_with, Campaign, CellDomain, ExecConfig, ExecHoo
 use harness::gen::{GenOptions, DEFAULT_CORPUS_SIZE};
 use harness::json::Json;
 use harness::matrix::Filter;
+use harness::obs::bench;
+use harness::obs::{trace as obs_trace, Obs};
 use harness::registry::Registry;
 use harness::report;
 use harness::store::{self, Journal, ResultStore};
@@ -81,6 +86,12 @@ struct Options {
     progress: bool,
     // telemetry sidecar
     telemetry: bool,
+    // observability
+    trace: Option<PathBuf>,
+    // bench flags
+    quick: bool,
+    repeats: Option<usize>,
+    check: bool,
     // merge reporting
     steal_report: bool,
     // dist flags
@@ -111,7 +122,7 @@ impl Options {
 }
 
 const USAGE: &str = "\
-usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc> [options]
+usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
@@ -145,6 +156,27 @@ wall-clock telemetry (run/report/shard; needs --store):
                      `plan --calibrate` (measured cost weights),
                      `merge --report` (wall-clock balance) and
                      `gc --max-age-days` (age-based eviction)
+
+observability (run/report/shard/merge):
+  --trace FILE       record named monotonic-clock spans (plan, decode,
+                     memo lookup, cell, journal append/fsync,
+                     checkpoint, steal-lease claim, merge) and engine
+                     counters to FILE as a Chrome trace-event stream —
+                     open in Perfetto (ui.perfetto.dev) or validate
+                     with `campaign trace FILE`. Purely observational:
+                     the store bytes are identical with and without it
+  trace  FILE        validate a --trace file (torn final lines from a
+                     crash are tolerated; anything else is an error)
+                     and print its per-span event counts and totals
+  bench  [--quick] [--repeats R] [--out DIR] [--check]
+         run the engine micro-benchmarks (executor throughput per
+         worker tier, memoized re-scan rate, store save/load/merge per
+         cell tier, journal replay rate) R times each and write the
+         schema-versioned BENCH_exec.json / BENCH_store.json to DIR
+         (default .) — the committed perf trajectory; --quick trims
+         repeats and tiers for CI; --check reruns in quick mode and
+         gates against the committed files (exit 1 past the 3x guard
+         band or on schema drift)
 
 generated-program corpora:
   gen    [--seed S] [--corpus-size N] [--filter A=V]... [--disasm]
@@ -223,6 +255,10 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         checkpoint_every: None,
         progress: false,
         telemetry: false,
+        trace: None,
+        quick: false,
+        repeats: None,
+        check: false,
         steal_report: false,
         shards: None,
         index: None,
@@ -281,6 +317,17 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
             }
             "--compact-journal" => options.compact_journal = true,
             "--telemetry" => options.telemetry = true,
+            "--trace" => options.trace = Some(PathBuf::from(value("--trace")?)),
+            "--quick" => options.quick = true,
+            "--check" => options.check = true,
+            "--repeats" => {
+                options.repeats = Some(
+                    number("--repeats", value("--repeats")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--repeats needs an integer >= 1")? as usize,
+                )
+            }
             "--report" => options.steal_report = true,
             "--resume" => options.resume = true,
             "--checkpoint-every" => {
@@ -355,6 +402,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--checkpoint-every",
             "--progress",
             "--telemetry",
+            "--trace",
         ],
         "gen" => &["--seed", "--corpus-size", "--filter", "--disasm"],
         "plan" => &[
@@ -381,8 +429,18 @@ fn run(options: Options) -> Result<u8, String> {
             "--checkpoint-every",
             "--progress",
             "--telemetry",
+            "--trace",
         ],
-        "merge" => &["--out", "--manifest", "--report", "--leases", "--quiet"],
+        "merge" => &[
+            "--out",
+            "--manifest",
+            "--report",
+            "--leases",
+            "--quiet",
+            "--trace",
+        ],
+        "bench" => &["--quick", "--repeats", "--out", "--check", "--quiet"],
+        "trace" => &[],
         "diff" => &["--tol", "--tol-default", "--quiet"],
         "gc" => &[
             "--store",
@@ -406,7 +464,9 @@ fn run(options: Options) -> Result<u8, String> {
             options.command
         ));
     }
-    if !matches!(options.command.as_str(), "merge" | "diff") && !options.positional.is_empty() {
+    if !matches!(options.command.as_str(), "merge" | "diff" | "trace")
+        && !options.positional.is_empty()
+    {
         return Err(format!(
             "unexpected argument `{}`\n\n{USAGE}",
             options.positional[0].display()
@@ -424,6 +484,8 @@ fn run(options: Options) -> Result<u8, String> {
         "merge" => merge(&options),
         "diff" => diff(&options),
         "gc" => gc(&options.registry(), &options),
+        "bench" => bench_cmd(&options),
+        "trace" => trace_cmd(&options),
         _ => unreachable!("validated above"),
     }
 }
@@ -576,6 +638,11 @@ struct Session {
     replayed: usize,
     journal: Option<Mutex<Journal>>,
     telemetry: Option<Mutex<TelemetryLog>>,
+    /// Span/counter recorder behind `--trace FILE`: threaded through
+    /// the executor hooks and the journal/telemetry sidecars, streamed
+    /// out as a Chrome trace-event file on close. Purely observational
+    /// — the store bytes are identical with and without it.
+    obs: Option<Obs>,
     store_path: Option<PathBuf>,
 }
 
@@ -588,28 +655,43 @@ impl Session {
         if options.telemetry && options.store.is_none() {
             return Err("--telemetry needs --store PATH (the sidecar lives beside it)".into());
         }
+        // The recorder opens first so store load / journal replay below
+        // already appear in the trace.
+        let obs = match &options.trace {
+            Some(path) => Some(Obs::with_trace(path).map_err(|e| e.to_string())?),
+            None => None,
+        };
         let (store, replayed) = match (&options.store, options.resume) {
-            (Some(path), true) => ResultStore::open_resumable(path).map_err(|e| e.to_string())?,
+            (Some(path), true) => ResultStore::open_resumable_observed(path, obs.as_ref())
+                .map_err(|e| e.to_string())?,
             (Some(path), false) => (ResultStore::load(path).map_err(|e| e.to_string())?, 0),
             (None, _) => (ResultStore::new(), 0),
         };
         let journal = match (&options.store, journaling) {
-            (Some(path), true) => Some(Mutex::new(
-                Journal::open(path, options.checkpoint_every.unwrap_or(1))
-                    .map_err(|e| e.to_string())?,
-            )),
+            (Some(path), true) => {
+                let mut journal = Journal::open(path, options.checkpoint_every.unwrap_or(1))
+                    .map_err(|e| e.to_string())?;
+                if let Some(obs) = &obs {
+                    journal.observe(obs);
+                }
+                Some(Mutex::new(journal))
+            }
             _ => None,
         };
         let telemetry = match (&options.store, options.telemetry) {
-            (Some(path), true) => Some(Mutex::new(
-                TelemetryLog::open(
+            (Some(path), true) => {
+                let mut log = TelemetryLog::open(
                     path,
                     options
                         .checkpoint_every
                         .unwrap_or(telemetry::DEFAULT_TELEMETRY_BATCH),
                 )
-                .map_err(|e| e.to_string())?,
-            )),
+                .map_err(|e| e.to_string())?;
+                if let Some(obs) = &obs {
+                    log.observe(obs);
+                }
+                Some(Mutex::new(log))
+            }
             _ => None,
         };
         Ok(Session {
@@ -617,6 +699,7 @@ impl Session {
             replayed,
             journal,
             telemetry,
+            obs,
             store_path: options.store.clone(),
         })
     }
@@ -651,15 +734,37 @@ impl Session {
                     .expect("journal lock poisoned")
                     .finish()
                     .map_err(|e| e.to_string())?;
-                self.store.checkpoint(path).map_err(|e| e.to_string())?;
+                self.store
+                    .checkpoint_observed(path, self.obs.as_ref())
+                    .map_err(|e| e.to_string())?;
                 if !quiet {
                     println!("checkpoint written: {}", path.display());
                 }
             }
-            (None, Some(path)) => self.store.save(path).map_err(|e| e.to_string())?,
+            (None, Some(path)) => self
+                .store
+                .save_observed(path, self.obs.as_ref())
+                .map_err(|e| e.to_string())?,
             _ => {}
         }
+        finish_trace(self.obs.as_ref(), quiet);
         Ok(())
+    }
+}
+
+/// Flushes the `--trace` file, if one was requested. Like telemetry,
+/// the trace is advisory: an incomplete trace is a warning on stderr,
+/// never a reason to fail a campaign whose store was already saved.
+fn finish_trace(obs: Option<&Obs>, quiet: bool) {
+    let Some(obs) = obs else { return };
+    match obs.finish_trace() {
+        Ok(Some((path, events))) => {
+            if !quiet {
+                println!("trace written: {} ({events} events)", path.display());
+            }
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("campaign: warning: trace incomplete: {e}"),
     }
 }
 
@@ -712,6 +817,7 @@ macro_rules! session_hooks {
             } else {
                 None
             },
+            obs: $session.obs.as_ref(),
         };
     };
 }
@@ -888,12 +994,17 @@ fn merge(options: &Options) -> Result<u8, String> {
     if options.leases.is_some() && !options.steal_report {
         return Err("--leases needs --report (plain merges read no lease files)".into());
     }
+    let obs = match &options.trace {
+        Some(path) => Some(Obs::with_trace(path).map_err(|e| e.to_string())?),
+        None => None,
+    };
     let stores = options
         .positional
         .iter()
         .map(|p| ResultStore::load_required(p).map_err(|e| e.to_string()))
         .collect::<Result<Vec<_>, _>>()?;
-    let (fused, stats) = dist::merge_stores(&stores).map_err(|e| e.to_string())?;
+    let (fused, stats) =
+        dist::merge_stores_observed(&stores, obs.as_ref()).map_err(|e| e.to_string())?;
     if let Some(path) = &options.manifest {
         let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
         let registry = dist::registry_for(&manifest);
@@ -929,7 +1040,10 @@ fn merge(options: &Options) -> Result<u8, String> {
             print!("{}", report::steal_summary(&report, &manifest));
         }
     }
-    fused.save(out).map_err(|e| e.to_string())?;
+    fused
+        .save_observed(out, obs.as_ref())
+        .map_err(|e| e.to_string())?;
+    finish_trace(obs.as_ref(), options.quiet);
     // --quiet mutes the summary line; an explicitly requested --report
     // still prints (asking for a report and silencing it would be a
     // contradiction).
@@ -964,6 +1078,117 @@ fn diff(options: &Options) -> Result<u8, String> {
     } else {
         EXIT_DIFFERENCES
     })
+}
+
+/// `campaign bench`: runs the engine micro-benchmarks and either
+/// writes the schema-versioned `BENCH_exec.json` / `BENCH_store.json`
+/// documents (the committed perf trajectory) or, with `--check`,
+/// gates a quick rerun against the committed files.
+fn bench_cmd(options: &Options) -> Result<u8, String> {
+    let out_dir = options.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    if !out_dir.is_dir() {
+        return Err(format!("no such directory: {}", out_dir.display()));
+    }
+    // --check always measures in quick mode: same bench names, CI-sized
+    // repeats; the committed full-mode files carry every name quick runs.
+    let quick = options.quick || options.check;
+    let config = if quick {
+        bench::BenchConfig::quick(options.repeats)
+    } else {
+        bench::BenchConfig::full(options.repeats)
+    };
+    // Fail the gate before minutes of measurement if there is nothing
+    // committed to gate against.
+    if options.check {
+        for kind in ["exec", "store"] {
+            let path = out_dir.join(bench::bench_file(kind));
+            if !path.exists() {
+                return Err(format!(
+                    "no committed {} — run `campaign bench` and commit the result",
+                    path.display()
+                ));
+            }
+        }
+    }
+    let quiet = options.quiet;
+    let mut progress = |name: &str| {
+        if !quiet {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "  bench: {name} x{}", config.repeats);
+            let _ = err.flush();
+        }
+    };
+    let families: Vec<(&str, Vec<bench::BenchResult>)> = vec![
+        (
+            "exec",
+            bench::run_exec_benches(&config, &mut progress).map_err(|e| e.to_string())?,
+        ),
+        (
+            "store",
+            bench::run_store_benches(&config, &mut progress).map_err(|e| e.to_string())?,
+        ),
+    ];
+    if options.check {
+        let mut failures = Vec::new();
+        for (kind, results) in &families {
+            let committed = Json::parse_file(&out_dir.join(bench::bench_file(kind)))?;
+            failures.extend(bench::check_against(kind, &committed, results));
+        }
+        if failures.is_empty() {
+            if !quiet {
+                println!(
+                    "bench gate: {} benches within the {}x guard band",
+                    families.iter().map(|(_, r)| r.len()).sum::<usize>(),
+                    bench::GUARD_BAND
+                );
+            }
+            return Ok(0);
+        }
+        for failure in &failures {
+            eprintln!("bench gate: {failure}");
+        }
+        return Ok(EXIT_DIFFERENCES);
+    }
+    for (kind, results) in &families {
+        let path = out_dir.join(bench::bench_file(kind));
+        let doc = bench::render(kind, &config, results);
+        std::fs::write(&path, doc.pretty())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        if !quiet {
+            println!("{}:", path.display());
+            for r in results {
+                println!("  {:<28} {:>14.3} {}", r.name, r.mean(), r.unit);
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// `campaign trace FILE`: validates a `--trace` output file and prints
+/// its per-span totals — the quick sanity check CI runs before anyone
+/// loads the file into Perfetto.
+fn trace_cmd(options: &Options) -> Result<u8, String> {
+    let [path] = options.positional.as_slice() else {
+        return Err("trace needs exactly one trace file path".into());
+    };
+    let stats = obs_trace::load_trace(path).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} events{}",
+        path.display(),
+        stats.events,
+        if stats.torn_tail {
+            " (torn final line tolerated)"
+        } else {
+            ""
+        }
+    );
+    for (name, span) in &stats.spans {
+        println!(
+            "  {:<20} {:>8} x {:>14.1} us",
+            name, span.count, span.total_us
+        );
+    }
+    Ok(0)
 }
 
 /// Writes the campaign-shaped artifacts (JSON/CSV). The store itself

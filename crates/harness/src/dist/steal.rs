@@ -357,7 +357,26 @@ pub fn run_shard_stealing(
     let mut executed_so_far = 0usize;
     let mut pieces: Vec<(usize, Campaign)> = Vec::new();
     for chunk in order {
-        if !leases.claim(chunk.id, index)? {
+        let won = {
+            let _claim_span = hooks.obs.map(|o| o.span("lease/claim", "steal"));
+            leases.claim(chunk.id, index)?
+        };
+        if let Some(obs) = hooks.obs {
+            // A lost claim is the steal-contention signal: some peer
+            // already holds (or stole) the chunk.
+            obs.count(
+                if won {
+                    "steal/claim_won"
+                } else {
+                    "steal/claim_lost"
+                },
+                1,
+            );
+            if won && chunk.initial_shard != index {
+                obs.count("steal/stolen", 1);
+            }
+        }
+        if !won {
             continue;
         }
         let range = chunk.range.clone();
@@ -376,6 +395,7 @@ pub fn run_shard_stealing(
                 .map(|a| a as &(dyn Fn(crate::exec::ExecProgress) + Sync)),
             on_result: hooks.on_result,
             on_timing: hooks.on_timing,
+            obs: hooks.obs,
         };
         let piece = run_campaign_with(
             registry,
@@ -550,6 +570,7 @@ mod tests {
                 progress: Some(&progress),
                 on_result: None,
                 on_timing: None,
+                obs: None,
             },
         )
         .unwrap();

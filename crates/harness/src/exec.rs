@@ -211,6 +211,11 @@ pub struct ExecHooks<'a> {
     /// telemetry sidecar sink. Like `on_result`, invocation order is
     /// scheduling-dependent and the sidecar aggregate does not care.
     pub on_timing: Option<TimingSink<'a>>,
+    /// Span/counter recorder ([`crate::obs`]): when set, the executor
+    /// records `plan`, `worker`, `decode`, `memo` and `cell` spans plus
+    /// memo-hit/miss and cells-executed counters. Purely observational
+    /// — attaching it never changes campaign results or store bytes.
+    pub obs: Option<&'a crate::obs::Obs>,
 }
 
 /// Test/CI hook: `CAMPAIGN_CELL_DELAY_MS` sleeps after every freshly
@@ -358,6 +363,7 @@ pub fn run_campaign_with(
         // not silently claim nothing (index >= count matches no cell).
         Shard::new(s.index, s.count)?;
     }
+    let plan_span = hooks.obs.map(|o| o.span("plan", "exec"));
     let scenarios = select_scenarios(registry, select)?;
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
     validate_filter(&specs, filter)?;
@@ -398,6 +404,7 @@ pub fn run_campaign_with(
         }
     }
     let scan_len: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+    drop(plan_span);
 
     let cursor = AtomicUsize::new(0);
     let executed_cells = AtomicUsize::new(0);
@@ -409,108 +416,129 @@ pub fn run_campaign_with(
     // buffers and are folded into the store in phase 2.
     let mut slots: Vec<Slot> = {
         let store: &ResultStore = store;
-        let scan = |out: &mut Vec<Slot>| loop {
-            let k = cursor.fetch_add(1, Ordering::Relaxed);
-            if k >= scan_len {
-                break;
-            }
-            // Map the scan position to a global lazy index (ranges are
-            // few — a linear walk is cheaper than anything clever).
-            let mut rest = k;
-            let global = ranges
-                .iter()
-                .find_map(|r| {
-                    if rest < r.len() {
-                        Some(r.start + rest)
-                    } else {
-                        rest -= r.len();
-                        None
-                    }
-                })
-                .expect("scan position within summed range length");
-            let scenario = prefix.partition_point(|&p| p <= global) - 1;
-            let spec = &specs[scenario];
-            let params = CellIter::new(&spec.axes)
-                .cell_at(global - prefix[scenario])
-                .expect("lazy index within the scenario's matrix");
-            if !filter.matches(&params) {
-                continue;
-            }
-            let seed = cell_seed(config.seed, spec.id, &params);
-            let fingerprint = fingerprint_with_content(
-                spec.id,
-                spec.version,
-                spec.content_digest.as_deref(),
-                &params,
-                seed,
-            );
-            let slot = |outcome| Slot {
-                global,
-                scenario,
-                params: params.clone(),
-                seed,
-                fingerprint: fingerprint.clone(),
-                outcome,
-            };
-            if let Some(s) = shard {
-                match s.owns(&fingerprint) {
-                    Ok(false) => continue,
-                    Ok(true) => {}
-                    Err(e) => {
-                        out.push(slot(SlotOutcome::Fresh(Err(e))));
-                        continue;
+        let scan = |out: &mut Vec<Slot>| {
+            // One `worker` span per worker thread: its whole pull loop,
+            // so the trace shows per-worker occupancy and imbalance.
+            let _worker_span = hooks.obs.map(|o| o.span("worker", "exec"));
+            loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= scan_len {
+                    break;
+                }
+                let decode_span = hooks.obs.map(|o| o.span("decode", "exec"));
+                // Map the scan position to a global lazy index (ranges are
+                // few — a linear walk is cheaper than anything clever).
+                let mut rest = k;
+                let global = ranges
+                    .iter()
+                    .find_map(|r| {
+                        if rest < r.len() {
+                            Some(r.start + rest)
+                        } else {
+                            rest -= r.len();
+                            None
+                        }
+                    })
+                    .expect("scan position within summed range length");
+                let scenario = prefix.partition_point(|&p| p <= global) - 1;
+                let spec = &specs[scenario];
+                let params = CellIter::new(&spec.axes)
+                    .cell_at(global - prefix[scenario])
+                    .expect("lazy index within the scenario's matrix");
+                if !filter.matches(&params) {
+                    continue;
+                }
+                let seed = cell_seed(config.seed, spec.id, &params);
+                let fingerprint = fingerprint_with_content(
+                    spec.id,
+                    spec.version,
+                    spec.content_digest.as_deref(),
+                    &params,
+                    seed,
+                );
+                drop(decode_span);
+                let slot = |outcome| Slot {
+                    global,
+                    scenario,
+                    params: params.clone(),
+                    seed,
+                    fingerprint: fingerprint.clone(),
+                    outcome,
+                };
+                if let Some(s) = shard {
+                    match s.owns(&fingerprint) {
+                        Ok(false) => continue,
+                        Ok(true) => {}
+                        Err(e) => {
+                            out.push(slot(SlotOutcome::Fresh(Err(e))));
+                            continue;
+                        }
                     }
                 }
-            }
-            if store.get_by_fingerprint(&fingerprint).is_some() {
-                if let Some(timing) = hooks.on_timing {
-                    timing(CellTiming {
-                        fingerprint: &fingerprint,
-                        scenario: spec.id,
-                        wall: None,
+                let memo_span = hooks.obs.map(|o| o.span("memo", "store"));
+                let memoized = store.get_by_fingerprint(&fingerprint).is_some();
+                drop(memo_span);
+                if let Some(obs) = hooks.obs {
+                    obs.count(if memoized { "memo/hit" } else { "memo/miss" }, 1);
+                }
+                if memoized {
+                    if let Some(timing) = hooks.on_timing {
+                        timing(CellTiming {
+                            fingerprint: &fingerprint,
+                            scenario: spec.id,
+                            wall: None,
+                        });
+                    }
+                    out.push(slot(SlotOutcome::Memoized));
+                    continue;
+                }
+                // The measured span covers the evaluation plus the test
+                // delay hook: CAMPAIGN_CELL_DELAY_MS simulates a slow cell,
+                // so telemetry must see it as one. The clock is the shared
+                // obs monotonic epoch: a wall-clock step can never make
+                // this duration negative, and the same interval feeds the
+                // telemetry sidecar and the `cell` trace span.
+                let started_ns = crate::obs::monotonic_ns();
+                let outcome = scenarios[scenario].run(&params, seed);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let wall_ns = crate::obs::monotonic_ns().saturating_sub(started_ns);
+                let wall = std::time::Duration::from_nanos(wall_ns);
+                if let Some(obs) = hooks.obs {
+                    obs.record_span("cell", "exec", started_ns, wall_ns);
+                    obs.count("cells/executed", 1);
+                }
+                if let Ok(result) = &outcome {
+                    if let Some(sink) = hooks.on_result {
+                        sink(
+                            &fingerprint,
+                            &StoredCell {
+                                scenario: spec.id.to_string(),
+                                version: spec.version,
+                                params_key: params.key(),
+                                seed,
+                                result: result.clone(),
+                            },
+                        );
+                    }
+                    if let Some(timing) = hooks.on_timing {
+                        timing(CellTiming {
+                            fingerprint: &fingerprint,
+                            scenario: spec.id,
+                            wall: Some(wall),
+                        });
+                    }
+                }
+                let executed = executed_cells.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(progress) = hooks.progress {
+                    progress(ExecProgress {
+                        executed,
+                        total: scan_len,
                     });
                 }
-                out.push(slot(SlotOutcome::Memoized));
-                continue;
+                out.push(slot(SlotOutcome::Fresh(outcome)));
             }
-            // The measured span covers the evaluation plus the test
-            // delay hook: CAMPAIGN_CELL_DELAY_MS simulates a slow cell,
-            // so telemetry must see it as one.
-            let started = std::time::Instant::now();
-            let outcome = scenarios[scenario].run(&params, seed);
-            if !delay.is_zero() {
-                std::thread::sleep(delay);
-            }
-            let wall = started.elapsed();
-            if let Ok(result) = &outcome {
-                if let Some(sink) = hooks.on_result {
-                    sink(
-                        &fingerprint,
-                        &StoredCell {
-                            scenario: spec.id.to_string(),
-                            version: spec.version,
-                            params_key: params.key(),
-                            seed,
-                            result: result.clone(),
-                        },
-                    );
-                }
-                if let Some(timing) = hooks.on_timing {
-                    timing(CellTiming {
-                        fingerprint: &fingerprint,
-                        scenario: spec.id,
-                        wall: Some(wall),
-                    });
-                }
-            }
-            let executed = executed_cells.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(progress) = hooks.progress {
-                progress(ExecProgress {
-                    executed,
-                    total: scan_len,
-                });
-            }
-            out.push(slot(SlotOutcome::Fresh(outcome)));
         };
         if workers <= 1 {
             let mut out = Vec::new();
@@ -995,6 +1023,7 @@ mod tests {
                 progress: Some(&progress),
                 on_result: Some(&on_result),
                 on_timing: Some(&on_timing),
+                obs: None,
             },
         )
         .unwrap();
@@ -1040,6 +1069,7 @@ mod tests {
                 progress: None,
                 on_result: Some(&counting),
                 on_timing: Some(&counting_timing),
+                obs: None,
             },
         )
         .unwrap();

@@ -313,11 +313,32 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&b) if b < 0x80 => {
+                // ASCII fast path: one byte, no UTF-8 validation. The
+                // obvious `from_utf8(&bytes[*pos..])` re-validates the
+                // whole remaining document per character and turns
+                // parsing quadratic on string-heavy stores.
+                out.push(b as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Advance one UTF-8 scalar (multi-byte chars pass
-                // through unescaped).
-                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
-                let c = s.chars().next().unwrap();
+                // Multi-byte scalar: validate at most the 4 bytes a
+                // UTF-8 sequence can span, not the rest of the input.
+                let end = (*pos + 4).min(bytes.len());
+                let c = match std::str::from_utf8(&bytes[*pos..end]) {
+                    Ok(s) => s.chars().next(),
+                    // A valid char followed by the start of another
+                    // multi-byte sequence fails validation at the
+                    // boundary; the prefix up to it is still good.
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&bytes[*pos..*pos + e.valid_up_to()])
+                            .expect("validated prefix")
+                            .chars()
+                            .next()
+                    }
+                    Err(_) => None,
+                };
+                let c = c.ok_or("invalid UTF-8")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -463,6 +484,17 @@ mod tests {
             Json::parse(r#""\ud83dA""#).is_err(),
             "high surrogate needs a low surrogate"
         );
+    }
+
+    #[test]
+    fn parses_consecutive_multibyte_chars() {
+        // Back-to-back multi-byte scalars exercise the bounded UTF-8
+        // window: the 4-byte peek ends mid-sequence and the parser must
+        // take the valid prefix, not reject the string.
+        for s in ["éé", "é😀", "😀😀", "αβγδ", "é", "漢字かな"] {
+            let doc = format!("\"{s}\"");
+            assert_eq!(Json::parse(&doc).unwrap(), Json::str(s), "{s}");
+        }
     }
 
     #[test]

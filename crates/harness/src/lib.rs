@@ -38,6 +38,14 @@
 //!   campaign resumes from the last completed cell via
 //!   [`ResultStore::open_resumable`], and `checkpoint()` compacts the
 //!   pair atomically.
+//! * [`obs`] — the engine instrumentation layer: named
+//!   monotonic-clock spans and counters around the whole campaign
+//!   lifecycle (plan, decode, memo lookup, journal append/fsync,
+//!   checkpoint, steal-lease claim, merge), exported as a Chrome
+//!   trace-event file (`--trace FILE`, loadable in Perfetto) and as
+//!   the aggregated summary behind `campaign bench`'s committed
+//!   `BENCH_exec.json` / `BENCH_store.json` perf trajectory. Attaching
+//!   an [`obs::Obs`] never changes store bytes.
 //! * [`telemetry`] — the wall-clock sidecar: an append-only,
 //!   fsync-batched event log beside the store (`store.json.telemetry`)
 //!   recording per-cell measured durations and last-hit access
@@ -104,6 +112,7 @@ pub mod exec;
 pub mod gen;
 pub mod json;
 pub mod matrix;
+pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -118,6 +127,7 @@ pub use exec::{
 };
 pub use gen::{Corpus, GenOptions};
 pub use matrix::{CellIter, Filter};
+pub use obs::Obs;
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
 pub use store::{Journal, ResultStore};

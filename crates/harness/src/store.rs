@@ -295,6 +295,17 @@ impl ResultStore {
     /// directory, then renamed — so an interrupted worker can never
     /// leave a torn or truncated store behind.
     pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
+        self.save_observed(path, None)
+    }
+
+    /// [`Self::save`] under a `store/save` span when a recorder is
+    /// given. Observation never changes the written bytes.
+    pub fn save_observed(
+        &self,
+        path: &Path,
+        obs: Option<&crate::obs::Obs>,
+    ) -> Result<(), ScenarioError> {
+        let _span = obs.map(|o| o.span("store/save", "store"));
         write_atomic(path, &self.to_json().pretty())
     }
 
@@ -308,7 +319,20 @@ impl ResultStore {
     /// mid-append — is ignored; a torn line anywhere earlier is real
     /// corruption and errors.
     pub fn open_resumable(path: &Path) -> Result<(ResultStore, usize), ScenarioError> {
+        ResultStore::open_resumable_observed(path, None)
+    }
+
+    /// [`Self::open_resumable`] with the load under a `store/load` span
+    /// and the journal replay under `journal/replay`, when a recorder
+    /// is given.
+    pub fn open_resumable_observed(
+        path: &Path,
+        obs: Option<&crate::obs::Obs>,
+    ) -> Result<(ResultStore, usize), ScenarioError> {
+        let load_span = obs.map(|o| o.span("store/load", "store"));
         let mut store = ResultStore::load(path)?;
+        drop(load_span);
+        let _replay_span = obs.map(|o| o.span("journal/replay", "store"));
         let journal = journal_path(path);
         if !journal.exists() {
             return Ok((store, 0));
@@ -330,7 +354,18 @@ impl ResultStore {
     /// all already in the checkpoint — replay is idempotent, so the
     /// next [`Self::open_resumable`] still sees exactly this store.
     pub fn checkpoint(&self, path: &Path) -> Result<(), ScenarioError> {
-        self.save(path)?;
+        self.checkpoint_observed(path, None)
+    }
+
+    /// [`Self::checkpoint`] under a `checkpoint` span (with the inner
+    /// save as a nested `store/save` span) when a recorder is given.
+    pub fn checkpoint_observed(
+        &self,
+        path: &Path,
+        obs: Option<&crate::obs::Obs>,
+    ) -> Result<(), ScenarioError> {
+        let _span = obs.map(|o| o.span("checkpoint", "store"));
+        self.save_observed(path, obs)?;
         let journal = journal_path(path);
         if journal.exists() {
             std::fs::remove_file(&journal)
@@ -413,6 +448,13 @@ pub(crate) struct AppendLog {
     batch: usize,
     pending: usize,
     error: Option<String>,
+    /// Optional span recorder + span-name prefix (`journal`,
+    /// `telemetry`): appends and fsync batches are recorded as
+    /// `<prefix>/append` / `<prefix>/fsync` spans. The trace log an
+    /// [`crate::obs::Obs`] writes through is itself an `AppendLog` and
+    /// must never be observed — recording holds the obs lock while
+    /// appending, so a back-reference would deadlock.
+    obs: Option<(crate::obs::Obs, &'static str)>,
 }
 
 impl AppendLog {
@@ -466,7 +508,15 @@ impl AppendLog {
             batch: batch.max(1),
             pending: 0,
             error: None,
+            obs: None,
         })
+    }
+
+    /// Attaches a span recorder: appends and fsync batches show up as
+    /// `<prefix>/append` / `<prefix>/fsync` spans plus a
+    /// `<prefix>/fsync_batches` counter.
+    pub(crate) fn observe(&mut self, obs: &crate::obs::Obs, prefix: &'static str) {
+        self.obs = Some((obs.clone(), prefix));
     }
 
     /// The log file's location.
@@ -480,11 +530,16 @@ impl AppendLog {
         if self.error.is_some() {
             return;
         }
+        let start_ns = self.obs.is_some().then(crate::obs::monotonic_ns);
         let mut text = line.to_string();
         text.push('\n');
         if let Err(e) = std::io::Write::write_all(&mut self.file, text.as_bytes()) {
             self.error = Some(format!("append {}: {e}", self.path.display()));
             return;
+        }
+        if let (Some((obs, prefix)), Some(start)) = (&self.obs, start_ns) {
+            let dur = crate::obs::monotonic_ns().saturating_sub(start);
+            obs.record_span(&format!("{prefix}/append"), "store", start, dur);
         }
         self.pending += 1;
         if self.pending >= self.batch {
@@ -497,8 +552,16 @@ impl AppendLog {
         if self.pending == 0 || self.error.is_some() {
             return;
         }
+        let start_ns = self.obs.is_some().then(crate::obs::monotonic_ns);
         match self.file.sync_data() {
-            Ok(()) => self.pending = 0,
+            Ok(()) => {
+                self.pending = 0;
+                if let (Some((obs, prefix)), Some(start)) = (&self.obs, start_ns) {
+                    let dur = crate::obs::monotonic_ns().saturating_sub(start);
+                    obs.record_span(&format!("{prefix}/fsync"), "store", start, dur);
+                    obs.count(&format!("{prefix}/fsync_batches"), 1);
+                }
+            }
             Err(e) => self.error = Some(format!("fsync {}: {e}", self.path.display())),
         }
     }
@@ -548,6 +611,13 @@ impl Journal {
     /// The journal file's location.
     pub fn path(&self) -> &Path {
         self.log.path()
+    }
+
+    /// Attaches a span recorder: every append shows up as a
+    /// `journal/append` span and every fsync batch as `journal/fsync`
+    /// (plus the `journal/fsync_batches` counter).
+    pub fn observe(&mut self, obs: &crate::obs::Obs) {
+        self.log.observe(obs, "journal");
     }
 
     /// Appends one completed cell. Failures are recorded, not returned

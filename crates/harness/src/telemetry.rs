@@ -10,6 +10,15 @@
 //! executed cell records its measured duration, and every access —
 //! fresh *or* memoized — records a last-hit timestamp.
 //!
+//! Clocks: measured *durations* come from the process-wide monotonic
+//! epoch ([`crate::obs::monotonic_ns`], the clock the executor times
+//! cells with), so a wall-clock step can never record a negative
+//! duration. The wall clock ([`now_ms`]) is used only for last-access
+//! *timestamps*, where calendar time is the point. Old sidecars
+//! written before this split may still carry negative or non-finite
+//! durations from a clock step; replay clamps those values to zero
+//! instead of treating the line as corruption.
+//!
 //! Three consumers read the sidecar back:
 //!
 //! * `campaign plan --calibrate` derives per-scenario cost weights from
@@ -246,11 +255,14 @@ fn parse_event(doc: &Json) -> Result<Option<Event>, String> {
         return Ok(None);
     }
     let field = |key: &str| doc.get(key).ok_or_else(|| format!("event without {key}"));
+    // A missing or non-numeric field is corruption (torn-tail rules
+    // apply), but a negative or non-finite *value* is clamped to zero:
+    // sidecars written before durations moved to the monotonic clock
+    // can carry negative wall times from a wall-clock step, and one
+    // stepped-clock line must not poison the whole aggregate.
     let num = |key: &str| {
-        field(key)?
-            .as_f64()
-            .filter(|v| v.is_finite() && *v >= 0.0)
-            .ok_or_else(|| format!("bad {key}"))
+        let v = field(key)?.as_f64().ok_or_else(|| format!("bad {key}"))?;
+        Ok::<f64, String>(if v.is_finite() && v >= 0.0 { v } else { 0.0 })
     };
     Ok(Some(Event {
         fp: field("fp")?.as_str().ok_or("bad fp")?.to_string(),
@@ -287,6 +299,12 @@ impl TelemetryLog {
     /// The log file's location.
     pub fn path(&self) -> &Path {
         self.log.path()
+    }
+
+    /// Attaches a span recorder: appends and fsync batches show up as
+    /// `telemetry/append` / `telemetry/fsync` spans.
+    pub fn observe(&mut self, obs: &crate::obs::Obs) {
+        self.log.observe(obs, "telemetry");
     }
 
     /// Appends one fresh-execution event.
@@ -396,6 +414,43 @@ mod tests {
         // Lines of another schema are skipped, not misread.
         std::fs::write(&path, "{\"schema\":99,\"fp\":\"aaaa\"}\n").unwrap();
         assert!(Telemetry::load(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_or_nonfinite_durations_clamp_instead_of_poisoning() {
+        let dir = tempdir("clamp");
+        let path = dir.join("store.json.telemetry");
+        // An old sidecar whose first line recorded a negative duration
+        // across a wall-clock step, mid-file (so no torn-tail leniency
+        // applies), plus NaN/∞ variants.
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"schema\":1,\"fp\":\"aaaa\",\"scenario\":\"s\",\"runs\":1,\"wall_ns\":-5000,\"at_ms\":10}\n",
+                "{\"schema\":1,\"fp\":\"aaaa\",\"scenario\":\"s\",\"runs\":1,\"wall_ns\":1e999,\"at_ms\":20}\n",
+                "{\"schema\":1,\"fp\":\"bbbb\",\"scenario\":\"s\",\"runs\":1,\"wall_ns\":250,\"at_ms\":30}\n",
+            ),
+        )
+        .unwrap();
+        let t = Telemetry::load(&path).unwrap();
+        assert_eq!(t.len(), 2);
+        // Clamped to zero, not dropped: the runs still count, the bad
+        // durations contribute nothing.
+        assert_eq!(t.get("aaaa").unwrap().runs, 2);
+        assert_eq!(t.get("aaaa").unwrap().wall_ns, 0.0);
+        assert_eq!(t.last_hit_ms("aaaa"), Some(20));
+        assert_eq!(t.get("bbbb").unwrap().wall_ns, 250.0);
+        // A missing numeric field is still corruption mid-file.
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"schema\":1,\"fp\":\"aaaa\",\"scenario\":\"s\",\"runs\":1,\"at_ms\":10}\n",
+                "{\"schema\":1,\"fp\":\"bbbb\",\"scenario\":\"s\",\"runs\":1,\"wall_ns\":250,\"at_ms\":30}\n",
+            ),
+        )
+        .unwrap();
+        assert!(Telemetry::load(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
