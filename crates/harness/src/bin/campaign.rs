@@ -25,6 +25,9 @@
 //! cargo run -p harness --bin campaign -- bench [--quick] [--repeats R] [--out DIR]
 //!         [--check] [--quiet]
 //! cargo run -p harness --bin campaign -- trace FILE
+//! cargo run -p harness --bin campaign -- serve --store PATH [--addr HOST:PORT]
+//!         [--accept-pool N] [--threads N] [--checkpoint-every N]
+//!         [--compact-journal-over N] [--port-file PATH] [--trace FILE] [--quiet]
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
@@ -50,7 +53,8 @@ use harness::obs::bench;
 use harness::obs::{trace as obs_trace, Obs};
 use harness::registry::Registry;
 use harness::report;
-use harness::store::{self, Journal, ResultStore};
+use harness::serve::{lock as serve_lock, ServeOptions, Server};
+use harness::store::{self, CompactingJournal, ResultStore};
 use harness::telemetry::{self, Telemetry, TelemetryLog};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -83,7 +87,12 @@ struct Options {
     // resume/checkpoint flags
     resume: bool,
     checkpoint_every: Option<usize>,
+    compact_journal_over: Option<usize>,
     progress: bool,
+    // serve flags
+    addr: Option<String>,
+    accept_pool: Option<usize>,
+    port_file: Option<PathBuf>,
     // telemetry sidecar
     telemetry: bool,
     // observability
@@ -122,7 +131,7 @@ impl Options {
 }
 
 const USAGE: &str = "\
-usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace> [options]
+usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace|serve> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
@@ -146,6 +155,11 @@ crash-resumable execution (run/report/shard; all need --store):
                      killed mid-run continues from the last completed
                      cell with zero recompute
   --progress         live progress heartbeats on stderr
+  --compact-journal-over N  (needs --checkpoint-every) fold the journal
+                     into the checkpoint mid-run whenever it exceeds N
+                     lines, so a very long campaign's replay cost stays
+                     bounded; the final store bytes are identical with
+                     and without it
 
 wall-clock telemetry (run/report/shard; needs --store):
   --telemetry        append per-cell wall-clock durations and last-hit
@@ -171,8 +185,9 @@ observability (run/report/shard/merge):
   bench  [--quick] [--repeats R] [--out DIR] [--check]
          run the engine micro-benchmarks (executor throughput per
          worker tier, memoized re-scan rate, store save/load/merge per
-         cell tier, journal replay rate) R times each and write the
-         schema-versioned BENCH_exec.json / BENCH_store.json to DIR
+         cell tier, journal replay rate, served queries/sec per client
+         tier) R times each and write the schema-versioned
+         BENCH_exec.json / BENCH_store.json / BENCH_serve.json to DIR
          (default .) — the committed perf trajectory; --quick trims
          repeats and tiers for CI; --check reruns in quick mode and
          gates against the committed files (exit 1 past the 3x guard
@@ -229,6 +244,25 @@ result-store lifecycle:
          --resume would replay evicted cells right back); pass
          --compact-journal to fold the journal into the store first
 
+always-on campaign serving:
+  serve  --store PATH [--addr HOST:PORT] [--accept-pool N] [--threads N]
+         [--checkpoint-every N] [--compact-journal-over N]
+         [--port-file PATH] [--trace FILE] [--quiet]
+         run the campaign daemon: open the store resumably (journal
+         replay included), build a hot in-memory index over its cells
+         and answer a line-delimited JSON protocol over TCP — one
+         compact JSON object per line, ops: ping, stats, query
+         (point lookup by scenario + axis assignment), query_range
+         (axis-filtered scan returning metric columns), report (the
+         evidence summary over the wire), submit (enqueue a campaign;
+         it runs on the streaming executor with journaling and lands
+         in the live index atomically) and shutdown (drain, checkpoint,
+         fsync, release the lock). Default --addr 127.0.0.1:0 binds an
+         ephemeral port; --port-file writes the bound address for
+         scripts. A live daemon holds <store>.lock: gc and merge
+         refuse its store until shutdown, while a dead daemon's lock
+         is detected as stale and broken automatically
+
 exit status: 0 success; 1 diff found differences; 2 error
 ";
 
@@ -253,7 +287,11 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         compact_journal: false,
         resume: false,
         checkpoint_every: None,
+        compact_journal_over: None,
         progress: false,
+        addr: None,
+        accept_pool: None,
+        port_file: None,
         telemetry: false,
         trace: None,
         quick: false,
@@ -339,7 +377,26 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
                         as usize,
                 )
             }
+            "--compact-journal-over" => {
+                options.compact_journal_over = Some(
+                    number("--compact-journal-over", value("--compact-journal-over")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--compact-journal-over needs an integer >= 1")?
+                        as usize,
+                )
+            }
             "--progress" => options.progress = true,
+            "--addr" => options.addr = Some(value("--addr")?),
+            "--accept-pool" => {
+                options.accept_pool = Some(
+                    number("--accept-pool", value("--accept-pool")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--accept-pool needs an integer >= 1")? as usize,
+                )
+            }
+            "--port-file" => options.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--calibrate" => options.calibrate = Some(PathBuf::from(value("--calibrate")?)),
             "--steal" => options.steal = true,
             "--leases" => options.leases = Some(PathBuf::from(value("--leases")?)),
@@ -400,6 +457,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--quiet",
             "--resume",
             "--checkpoint-every",
+            "--compact-journal-over",
             "--progress",
             "--telemetry",
             "--trace",
@@ -427,6 +485,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--leases",
             "--resume",
             "--checkpoint-every",
+            "--compact-journal-over",
             "--progress",
             "--telemetry",
             "--trace",
@@ -450,6 +509,17 @@ fn run(options: Options) -> Result<u8, String> {
             "--max-cells",
             "--max-age-days",
             "--compact-journal",
+            "--quiet",
+        ],
+        "serve" => &[
+            "--store",
+            "--addr",
+            "--accept-pool",
+            "--threads",
+            "--checkpoint-every",
+            "--compact-journal-over",
+            "--port-file",
+            "--trace",
             "--quiet",
         ],
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -486,6 +556,7 @@ fn run(options: Options) -> Result<u8, String> {
         "gc" => gc(&options.registry(), &options),
         "bench" => bench_cmd(&options),
         "trace" => trace_cmd(&options),
+        "serve" => serve_cmd(&options),
         _ => unreachable!("validated above"),
     }
 }
@@ -521,6 +592,13 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
     if !path.exists() {
         return Err(format!("no such store: {}", path.display()));
     }
+    // A live `campaign serve` checkpoints this store on its own
+    // schedule: rewriting it underneath the daemon would race. A dead
+    // daemon's lock is stale — report it and proceed.
+    report_stale_lock(
+        serve_lock::refuse_if_live(path, "gc").map_err(|e| e.to_string())?,
+        path,
+    );
     // A journal sidecar holds cells the store file does not: gc'ing the
     // store alone would be silently undone by the next `--resume`,
     // which replays every journaled cell — evicted ones included —
@@ -636,7 +714,7 @@ struct Session {
     store: ResultStore,
     /// Journal cells replayed by `--resume`.
     replayed: usize,
-    journal: Option<Mutex<Journal>>,
+    journal: Option<Mutex<CompactingJournal>>,
     telemetry: Option<Mutex<TelemetryLog>>,
     /// Span/counter recorder behind `--trace FILE`: threaded through
     /// the executor hooks and the journal/telemetry sidecars, streamed
@@ -651,6 +729,15 @@ impl Session {
         let journaling = options.resume || options.checkpoint_every.is_some();
         if journaling && options.store.is_none() {
             return Err("--resume and --checkpoint-every need --store PATH".into());
+        }
+        // The threshold only means something against an active journal:
+        // accepting it alone would silently run without any journaling.
+        if options.compact_journal_over.is_some() && options.checkpoint_every.is_none() {
+            return Err(
+                "--compact-journal-over needs --checkpoint-every (it bounds the journal \
+                 that flag appends to)"
+                    .into(),
+            );
         }
         if options.telemetry && options.store.is_none() {
             return Err("--telemetry needs --store PATH (the sidecar lives beside it)".into());
@@ -669,8 +756,13 @@ impl Session {
         };
         let journal = match (&options.store, journaling) {
             (Some(path), true) => {
-                let mut journal = Journal::open(path, options.checkpoint_every.unwrap_or(1))
-                    .map_err(|e| e.to_string())?;
+                let mut journal = CompactingJournal::open(
+                    path,
+                    options.checkpoint_every.unwrap_or(1),
+                    options.compact_journal_over,
+                    &store,
+                )
+                .map_err(|e| e.to_string())?;
                 if let Some(obs) = &obs {
                     journal.observe(obs);
                 }
@@ -729,7 +821,7 @@ impl Session {
         }
         match (self.journal, &self.store_path) {
             (Some(journal), Some(path)) => {
-                journal
+                let compactions = journal
                     .into_inner()
                     .expect("journal lock poisoned")
                     .finish()
@@ -738,7 +830,14 @@ impl Session {
                     .checkpoint_observed(path, self.obs.as_ref())
                     .map_err(|e| e.to_string())?;
                 if !quiet {
-                    println!("checkpoint written: {}", path.display());
+                    if compactions > 0 {
+                        println!(
+                            "checkpoint written: {} ({compactions} mid-run journal compactions)",
+                            path.display()
+                        );
+                    } else {
+                        println!("checkpoint written: {}", path.display());
+                    }
                 }
             }
             (None, Some(path)) => self
@@ -818,6 +917,7 @@ macro_rules! session_hooks {
                 None
             },
             obs: $session.obs.as_ref(),
+            cancel: None,
         };
     };
 }
@@ -994,6 +1094,18 @@ fn merge(options: &Options) -> Result<u8, String> {
     if options.leases.is_some() && !options.steal_report {
         return Err("--leases needs --report (plain merges read no lease files)".into());
     }
+    // A live daemon both reads (inputs) and writes (--out) its store on
+    // its own schedule; merging against either end races it.
+    for path in options
+        .positional
+        .iter()
+        .chain(std::iter::once(&out.to_path_buf()))
+    {
+        report_stale_lock(
+            serve_lock::refuse_if_live(path, "merge").map_err(|e| e.to_string())?,
+            path,
+        );
+    }
     let obs = match &options.trace {
         Some(path) => Some(Obs::with_trace(path).map_err(|e| e.to_string())?),
         None => None,
@@ -1082,8 +1194,8 @@ fn diff(options: &Options) -> Result<u8, String> {
 
 /// `campaign bench`: runs the engine micro-benchmarks and either
 /// writes the schema-versioned `BENCH_exec.json` / `BENCH_store.json`
-/// documents (the committed perf trajectory) or, with `--check`,
-/// gates a quick rerun against the committed files.
+/// / `BENCH_serve.json` documents (the committed perf trajectory) or,
+/// with `--check`, gates a quick rerun against the committed files.
 fn bench_cmd(options: &Options) -> Result<u8, String> {
     let out_dir = options.out.clone().unwrap_or_else(|| PathBuf::from("."));
     if !out_dir.is_dir() {
@@ -1100,7 +1212,7 @@ fn bench_cmd(options: &Options) -> Result<u8, String> {
     // Fail the gate before minutes of measurement if there is nothing
     // committed to gate against.
     if options.check {
-        for kind in ["exec", "store"] {
+        for kind in ["exec", "store", "serve"] {
             let path = out_dir.join(bench::bench_file(kind));
             if !path.exists() {
                 return Err(format!(
@@ -1126,6 +1238,10 @@ fn bench_cmd(options: &Options) -> Result<u8, String> {
         (
             "store",
             bench::run_store_benches(&config, &mut progress).map_err(|e| e.to_string())?,
+        ),
+        (
+            "serve",
+            bench::run_serve_benches(&config, &mut progress).map_err(|e| e.to_string())?,
         ),
     ];
     if options.check {
@@ -1160,6 +1276,88 @@ fn bench_cmd(options: &Options) -> Result<u8, String> {
                 println!("  {:<28} {:>14.3} {}", r.name, r.mean(), r.unit);
             }
         }
+    }
+    Ok(0)
+}
+
+/// Prints the remediation note for a stale (dead-owner) store lock a
+/// command decided to ignore — so the operator learns the lock exists
+/// and why it did not block.
+fn report_stale_lock(stale: Option<serve_lock::LockInfo>, store: &Path) {
+    if let Some(info) = stale {
+        eprintln!(
+            "note: ignoring stale store lock at {} (dead pid {}) — remove it, or let the \
+             next `campaign serve` break it automatically",
+            serve_lock::lock_path(store).display(),
+            info.pid,
+        );
+    }
+}
+
+/// `campaign serve`: the always-on query/submit daemon over a store.
+fn serve_cmd(options: &Options) -> Result<u8, String> {
+    let store_path = options.store.as_deref().ok_or("serve needs --store PATH")?;
+    let obs = match &options.trace {
+        Some(path) => Some(Obs::with_trace(path).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let defaults = ServeOptions::default();
+    let handle = Server::bind(
+        store_path,
+        ServeOptions {
+            addr: options.addr.clone().unwrap_or(defaults.addr),
+            accept_pool: options.accept_pool.unwrap_or(defaults.accept_pool),
+            exec_threads: options.threads,
+            checkpoint_every: options
+                .checkpoint_every
+                .unwrap_or(defaults.checkpoint_every),
+            compact_journal_over: options.compact_journal_over,
+            quiet: options.quiet,
+        },
+        obs.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    report_stale_lock(handle.broke_stale_lock.clone(), store_path);
+    let addr = handle.addr();
+    if let Some(port_file) = &options.port_file {
+        // Written via a rename so a poller never reads a half-written
+        // address.
+        let tmp = port_file.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, port_file))
+            .map_err(|e| format!("write {}: {e}", port_file.display()))?;
+    }
+    if !options.quiet {
+        println!(
+            "serve: listening on {addr} ({} cells{})",
+            handle.cells(),
+            if handle.replayed > 0 {
+                format!(", {} journal cells replayed", handle.replayed)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let summary = handle.wait().map_err(|e| e.to_string())?;
+    finish_trace(obs.as_ref(), options.quiet);
+    if !options.quiet {
+        println!(
+            "serve: shut down after {} ms — {} cells checkpointed; {} connections, \
+             {} requests ({} queries: {} hits, {} misses), {} submits \
+             ({} done, {} failed, {} cancelled, {} dropped)",
+            summary.uptime_ms,
+            summary.cells,
+            summary.connections,
+            summary.requests,
+            summary.queries,
+            summary.query_hits,
+            summary.query_misses,
+            summary.submits,
+            summary.jobs_done,
+            summary.jobs_failed,
+            summary.jobs_cancelled,
+            summary.jobs_dropped,
+        );
     }
     Ok(0)
 }

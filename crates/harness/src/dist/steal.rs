@@ -396,6 +396,7 @@ pub fn run_shard_stealing(
             on_result: hooks.on_result,
             on_timing: hooks.on_timing,
             obs: hooks.obs,
+            cancel: hooks.cancel,
         };
         let piece = run_campaign_with(
             registry,
@@ -571,6 +572,7 @@ mod tests {
                 on_result: None,
                 on_timing: None,
                 obs: None,
+                cancel: None,
             },
         )
         .unwrap();

@@ -216,6 +216,14 @@ pub struct ExecHooks<'a> {
     /// memo-hit/miss and cells-executed counters. Purely observational
     /// — attaching it never changes campaign results or store bytes.
     pub obs: Option<&'a crate::obs::Obs>,
+    /// Cooperative cancellation: when the flag flips to `true`, workers
+    /// stop pulling new cells after finishing the one in hand and the
+    /// run returns [`ScenarioError::Cancelled`]. Every cell completed
+    /// before the cancel is still assembled into the store (and was
+    /// already offered to `on_result`), so a cancelled campaign resumes
+    /// from its journal with zero recompute — the graceful-shutdown
+    /// path of a long-running submit scheduler.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 /// Test/CI hook: `CAMPAIGN_CELL_DELAY_MS` sleeps after every freshly
@@ -421,6 +429,9 @@ pub fn run_campaign_with(
             // so the trace shows per-worker occupancy and imbalance.
             let _worker_span = hooks.obs.map(|o| o.span("worker", "exec"));
             loop {
+                if hooks.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    break;
+                }
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                 if k >= scan_len {
                     break;
@@ -624,6 +635,11 @@ pub fn run_campaign_with(
     }
     if let Some(e) = first_error {
         return Err(e);
+    }
+    // Cancellation reports *after* assembly: the completed cells are in
+    // the store, so a rerun resumes instead of recomputing.
+    if hooks.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        return Err(ScenarioError::Cancelled);
     }
 
     Ok(Campaign {
@@ -1024,6 +1040,7 @@ mod tests {
                 on_result: Some(&on_result),
                 on_timing: Some(&on_timing),
                 obs: None,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1070,6 +1087,7 @@ mod tests {
                 on_result: Some(&counting),
                 on_timing: Some(&counting_timing),
                 obs: None,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1079,5 +1097,75 @@ mod tests {
             6,
             "every memoized cell is still an access"
         );
+    }
+
+    #[test]
+    fn cancellation_persists_completed_cells_and_resumes() {
+        use std::sync::atomic::AtomicBool;
+
+        // A flag set before the run cancels before any cell executes.
+        let cancel = AtomicBool::new(true);
+        let mut store = ResultStore::new();
+        let err = run_campaign_with(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 1,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks {
+                cancel: Some(&cancel),
+                ..ExecHooks::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::Cancelled);
+        assert!(store.is_empty());
+
+        // Cancelling from the progress hook after the first cell: the
+        // single worker finishes the cell in hand, stops pulling, and
+        // the completed work is still assembled into the store.
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ExecProgress| cancel.store(true, Ordering::Relaxed);
+        let err = run_campaign_with(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 1,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks {
+                progress: Some(&progress),
+                cancel: Some(&cancel),
+                ..ExecHooks::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::Cancelled);
+        assert_eq!(store.len(), 1, "the in-hand cell must be persisted");
+
+        // The rerun resumes: the persisted cell is a memo hit.
+        let campaign = run_campaign_with(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 1,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks::default(),
+        )
+        .unwrap();
+        assert_eq!(campaign.memoized, 1);
+        assert_eq!(campaign.executed, 5);
+        assert_eq!(store.len(), 6);
     }
 }

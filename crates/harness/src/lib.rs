@@ -65,6 +65,18 @@
 //!   single-process store, and a cell-by-cell campaign differ with
 //!   per-metric tolerances (the CI regression gate). See the `plan` /
 //!   `shard` / `merge` / `diff` subcommands of the campaign CLI.
+//! * [`serve`] — the always-on campaign daemon: `campaign serve`
+//!   keeps a store resident behind a hot interned index
+//!   ([`serve::index::StoreIndex`]) and answers point/range metric
+//!   queries, report renders and new campaign submissions over a
+//!   line-delimited JSON TCP protocol (std only, thread-per-connection
+//!   behind a bounded accept pool). Submitted campaigns run on the
+//!   streaming executor with crash-resume journaling and publish into
+//!   the live index atomically; graceful shutdown drains, checkpoints
+//!   and fsyncs, leaving a store byte-identical to the batch run's. A
+//!   `store.json.lock` pidfile ([`serve::lock`]) keeps `gc`/`merge`
+//!   from racing a live daemon, with dead-owner locks detected as
+//!   stale and broken automatically.
 //! * [`gen`] — generated-program sweeps: a deterministic corpus of
 //!   `tinyisa::codegen` programs whose shape (`depth`, `stmts`,
 //!   `loop_iters`, `program_index`) is exposed as matrix axes, swept
@@ -117,6 +129,7 @@ pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod serve;
 pub mod store;
 pub mod telemetry;
 
@@ -130,5 +143,6 @@ pub use matrix::{CellIter, Filter};
 pub use obs::Obs;
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
-pub use store::{Journal, ResultStore};
+pub use serve::{ServeOptions, ServeSummary, Server, ServerHandle};
+pub use store::{CompactingJournal, Journal, ResultStore};
 pub use telemetry::{Telemetry, TelemetryLog};

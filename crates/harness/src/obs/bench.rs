@@ -1,5 +1,6 @@
 //! Engine micro-benchmarks: the measured perf trajectory behind the
-//! committed `BENCH_exec.json` / `BENCH_store.json` files.
+//! committed `BENCH_exec.json` / `BENCH_store.json` /
+//! `BENCH_serve.json` files.
 //!
 //! Each bench is a parameterized micro-campaign over the *engine*, not
 //! a workload: executor throughput over a synthetic trivially-cheap
@@ -56,6 +57,13 @@ pub struct BenchConfig {
     pub worker_tiers: Vec<usize>,
     /// Store cell-count tiers for save/load/merge.
     pub store_tiers: Vec<usize>,
+    /// Cells in the store the serve benches query (identical in both
+    /// modes, so req/sec is comparable between quick and full runs).
+    pub serve_cells: usize,
+    /// Total request round trips per serve bench sample.
+    pub serve_queries: usize,
+    /// Concurrent-client tiers for the serve query bench.
+    pub serve_client_tiers: Vec<usize>,
 }
 
 impl BenchConfig {
@@ -67,6 +75,9 @@ impl BenchConfig {
             exec_cells: 10_000,
             worker_tiers: vec![1, 2, 4, 8],
             store_tiers: vec![1_000, 10_000, 100_000],
+            serve_cells: 1_000,
+            serve_queries: 2_000,
+            serve_client_tiers: vec![1, 2, 4],
         }
     }
 
@@ -79,6 +90,9 @@ impl BenchConfig {
             exec_cells: 10_000,
             worker_tiers: vec![1, 4],
             store_tiers: vec![1_000, 10_000],
+            serve_cells: 1_000,
+            serve_queries: 2_000,
+            serve_client_tiers: vec![1, 4],
         }
     }
 }
@@ -368,6 +382,127 @@ fn store_benches_in(
     Ok(())
 }
 
+/// Serve-side benches (`BENCH_serve.json`): request/response round
+/// trips per second against a live in-process daemon over real TCP —
+/// the protocol floor (ping) and point queries against the hot
+/// interned index, per concurrent-client tier. What the committed
+/// numbers pin is the cost of one served request end to end: socket
+/// round trip, line framing, JSON parse, index lookup, render.
+pub fn run_serve_benches(
+    config: &BenchConfig,
+    progress: &mut dyn FnMut(&str),
+) -> Result<Vec<BenchResult>, ScenarioError> {
+    let dir = scratch_dir()?;
+    let mut results = Vec::new();
+    let outcome = serve_benches_in(&dir, config, progress, &mut results);
+    let _ = std::fs::remove_dir_all(&dir); // best-effort scratch cleanup
+    outcome?;
+    Ok(results)
+}
+
+fn serve_benches_in(
+    dir: &std::path::Path,
+    config: &BenchConfig,
+    progress: &mut dyn FnMut(&str),
+    results: &mut Vec<BenchResult>,
+) -> Result<(), ScenarioError> {
+    let cells = config.serve_cells;
+    let store_path = dir.join("serve-store.json");
+    build_store(cells).save(&store_path)?;
+    let max_clients = config
+        .serve_client_tiers
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let handle = crate::serve::Server::bind(
+        &store_path,
+        crate::serve::ServeOptions {
+            accept_pool: max_clients + 1,
+            quiet: true,
+            ..crate::serve::ServeOptions::default()
+        },
+        None,
+    )?;
+    let addr = handle.addr();
+    // One bench client: `count` strict request/response round trips.
+    let client = |request: &str, count: usize| -> Result<(), ScenarioError> {
+        use std::io::{BufRead, BufReader, Write};
+        let io_err = |e: std::io::Error| ScenarioError::Store(format!("serve bench client: {e}"));
+        let mut stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let mut line = String::new();
+        for _ in 0..count {
+            stream.write_all(request.as_bytes()).map_err(io_err)?;
+            line.clear();
+            reader.read_line(&mut line).map_err(io_err)?;
+            if !line.contains("\"ok\":true") {
+                return Err(ScenarioError::Store(format!(
+                    "serve bench: unexpected response {line}"
+                )));
+            }
+        }
+        Ok(())
+    };
+    // The protocol floor: one client, bare ping round trips.
+    let name = "serve/ping/clients=1".to_string();
+    progress(&name);
+    let mut samples = Vec::new();
+    for _ in 0..config.repeats {
+        let start = monotonic_ns();
+        client("{\"op\":\"ping\"}\n", config.serve_queries)?;
+        samples.push(config.serve_queries as f64 / elapsed_secs(start));
+    }
+    results.push(BenchResult {
+        name,
+        unit: "req/sec",
+        higher_is_better: true,
+        samples,
+    });
+    // Point queries against the hot index, per concurrent-client tier.
+    // Each client hammers its own cell so tiers measure contention on
+    // the shared index snapshot, not client-side formatting.
+    for &clients in &config.serve_client_tiers {
+        let name = format!("serve/query/clients={clients}");
+        progress(&name);
+        let per_client = (config.serve_queries / clients.max(1)).max(1);
+        let mut samples = Vec::new();
+        for repeat in 0..config.repeats {
+            let start = monotonic_ns();
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let client = &client;
+                        scope.spawn(move || {
+                            let i = (repeat * clients + c) % cells.max(1);
+                            let request = format!(
+                                "{{\"op\":\"query\",\"scenario\":\"{BENCH_SCENARIO}\",\
+                                 \"params\":{{\"i\":\"{i}\"}}}}\n"
+                            );
+                            client(&request, per_client)
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .try_for_each(|w| w.join().expect("serve bench client panicked"))
+            })?;
+            samples.push((per_client * clients) as f64 / elapsed_secs(start));
+        }
+        results.push(BenchResult {
+            name,
+            unit: "req/sec",
+            higher_is_better: true,
+            samples,
+        });
+    }
+    handle.shutdown();
+    handle.wait()?;
+    Ok(())
+}
+
 fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
@@ -503,6 +638,9 @@ mod tests {
             exec_cells: 50,
             worker_tiers: vec![1, 2],
             store_tiers: vec![10],
+            serve_cells: 10,
+            serve_queries: 20,
+            serve_client_tiers: vec![1, 2],
         }
     }
 
@@ -519,6 +657,12 @@ mod tests {
             .store_tiers
             .iter()
             .all(|t| full.store_tiers.contains(t)));
+        assert_eq!(quick.serve_cells, full.serve_cells);
+        assert_eq!(quick.serve_queries, full.serve_queries);
+        assert!(quick
+            .serve_client_tiers
+            .iter()
+            .all(|t| full.serve_client_tiers.contains(t)));
     }
 
     #[test]
@@ -551,6 +695,28 @@ mod tests {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
         }
         assert!(results.iter().all(|r| r.samples.iter().all(|&s| s >= 0.0)));
+    }
+
+    #[test]
+    fn serve_benches_measure_nonzero_request_rates() {
+        let results = run_serve_benches(&tiny(), &mut |_| {}).unwrap();
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        for expected in [
+            "serve/ping/clients=1",
+            "serve/query/clients=1",
+            "serve/query/clients=2",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        for r in &results {
+            assert_eq!(r.unit, "req/sec");
+            assert!(
+                r.samples.iter().all(|&s| s > 0.0),
+                "{}: {:?}",
+                r.name,
+                r.samples
+            );
+        }
     }
 
     #[test]

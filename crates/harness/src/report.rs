@@ -167,6 +167,20 @@ pub fn evidence_summary(campaign: &Campaign, registry: &Registry) -> String {
     out
 }
 
+/// Wraps already-materialized cells as an all-memoized [`Campaign`] so
+/// the summary renderers above can run over them — the serve daemon's
+/// `report` op uses this to render its index snapshot without
+/// re-executing anything.
+pub fn memoized_campaign(cells: Vec<crate::exec::CampaignCell>, seed: u64) -> Campaign {
+    let memoized = cells.len();
+    Campaign {
+        seed,
+        cells,
+        executed: 0,
+        memoized,
+    }
+}
+
 fn fold_extreme(values: &[Option<f64>], smaller: bool) -> Option<f64> {
     values
         .iter()

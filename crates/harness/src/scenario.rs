@@ -191,6 +191,11 @@ pub enum ScenarioError {
     /// manifest that no longer matches the registry, or shard stores
     /// that disagree on a fingerprint (a determinism violation).
     Dist(String),
+    /// A campaign run was cooperatively cancelled (see
+    /// `exec::ExecHooks::cancel`): every cell completed before the
+    /// cancel was persisted, the remainder never ran. Rerunning the
+    /// same campaign resumes from the persisted cells.
+    Cancelled,
 }
 
 impl fmt::Display for ScenarioError {
@@ -209,6 +214,7 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::Store(msg) => write!(f, "result store error: {msg}"),
             ScenarioError::Dist(msg) => write!(f, "distributed campaign error: {msg}"),
+            ScenarioError::Cancelled => write!(f, "campaign cancelled before completion"),
         }
     }
 }

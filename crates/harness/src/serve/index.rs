@@ -1,0 +1,418 @@
+//! The hot in-memory index the daemon answers queries from.
+//!
+//! The store on disk is fingerprint → cell, which is perfect for
+//! memoization and byte-stable checkpoints but useless for the
+//! questions a service gets asked: *"the `dram-refresh` cell at
+//! `rows=8,t_refresh=64` — what were its metrics?"* or *"every
+//! `pipeline-domino` cell with `n` in {16,32}"*. [`StoreIndex`]
+//! inverts the store once at open (and once per completed submit) into
+//! scenario → axis-assignment → cells, with every axis name, axis
+//! value and metric name interned to a `u32` symbol: assignments
+//! become small sorted symbol vectors, so a point lookup is one BTree
+//! probe and a range scan compares integers, not strings, and the
+//! per-cell footprint stays flat no matter how many cells share the
+//! axis vocabulary.
+//!
+//! An index is immutable once built. The server publishes it behind
+//! `RwLock<Arc<StoreIndex>>`: readers clone the `Arc` and never block
+//! a writer; a completed submit builds a fresh index from the updated
+//! store and swaps the `Arc` — queries see the old cells or the new
+//! cells, never a half-published state.
+
+use crate::store::{ResultStore, StoredCell};
+use std::collections::{BTreeMap, HashMap};
+
+/// An interned string: index into the [`Interner`]'s table.
+pub type Sym = u32;
+
+/// A string interner: every distinct axis name, axis value and metric
+/// name is stored once and referenced by symbol.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, Sym>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Interns `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = self.strings.len() as Sym;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// The symbol of an already-interned string — `None` means no
+    /// indexed cell ever mentioned `s`, so any lookup through it is a
+    /// guaranteed miss.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// One indexed cell: the store fingerprint (its identity everywhere
+/// else in the system) plus the decoded fields a query answer needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellEntry {
+    /// Store fingerprint.
+    pub fingerprint: String,
+    /// The cell seed.
+    pub seed: u64,
+    /// Scenario implementation version.
+    pub version: u32,
+    /// `(metric symbol, value)` pairs in declaration order.
+    pub metrics: Vec<(Sym, f64)>,
+}
+
+/// One scenario's slice of the index.
+#[derive(Debug, Default)]
+struct ScenarioIndex {
+    /// Axis-name symbols in canonical (params-key) order — the order
+    /// assignments are rendered back in.
+    axes: Vec<Sym>,
+    /// Metric-name symbols in first-seen declaration order.
+    metrics: Vec<Sym>,
+    /// Axis assignment (`(axis, value)` symbol pairs, sorted) → cells
+    /// at those coordinates (distinct seeds/versions).
+    cells: BTreeMap<Vec<(Sym, Sym)>, Vec<CellEntry>>,
+}
+
+/// The immutable query index over one snapshot of the store.
+#[derive(Debug, Default)]
+pub struct StoreIndex {
+    interner: Interner,
+    scenarios: BTreeMap<String, ScenarioIndex>,
+    cells: usize,
+}
+
+/// A materialized query answer: the assignment rendered back to
+/// canonical `(axis, value)` string pairs, plus the cell.
+#[derive(Debug)]
+pub struct IndexHit<'a> {
+    /// `(axis, value)` pairs in canonical axis order.
+    pub params: Vec<(&'a str, &'a str)>,
+    /// The indexed cell.
+    pub cell: &'a CellEntry,
+}
+
+impl StoreIndex {
+    /// Inverts a store snapshot. Cells whose params key does not parse
+    /// as `axis=value,...` are indexed under the empty assignment
+    /// rather than dropped (a query for them still finds them via
+    /// range scans).
+    pub fn build(store: &ResultStore) -> StoreIndex {
+        let mut index = StoreIndex::default();
+        for (fp, cell) in store.iter() {
+            index.add(fp, cell);
+        }
+        index
+    }
+
+    fn add(&mut self, fp: &str, cell: &StoredCell) {
+        let scenario = self.scenarios.entry(cell.scenario.clone()).or_default();
+        let mut key = Vec::new();
+        for pair in cell.params_key.split(',').filter(|p| !p.is_empty()) {
+            let (axis, value) = pair.split_once('=').unwrap_or((pair, ""));
+            let axis = self.interner.intern(axis);
+            let value = self.interner.intern(value);
+            if !scenario.axes.contains(&axis) {
+                scenario.axes.push(axis);
+            }
+            key.push((axis, value));
+        }
+        key.sort_unstable();
+        let mut metrics = Vec::with_capacity(cell.result.metrics.len());
+        for (name, value) in &cell.result.metrics {
+            let name = self.interner.intern(name);
+            if !scenario.metrics.contains(&name) {
+                scenario.metrics.push(name);
+            }
+            metrics.push((name, *value));
+        }
+        scenario.cells.entry(key).or_default().push(CellEntry {
+            fingerprint: fp.to_string(),
+            seed: cell.seed,
+            version: cell.version,
+            metrics,
+        });
+        self.cells += 1;
+    }
+
+    /// Total indexed cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Indexed scenario ids, sorted.
+    pub fn scenarios(&self) -> impl Iterator<Item = &str> {
+        self.scenarios.keys().map(String::as_str)
+    }
+
+    /// Distinct strings behind every axis name/value and metric name.
+    pub fn interned(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// A scenario's axis names in canonical order (`None`: no cell of
+    /// that scenario is indexed).
+    pub fn axes(&self, scenario: &str) -> Option<Vec<&str>> {
+        let scenario = self.scenarios.get(scenario)?;
+        Some(
+            scenario
+                .axes
+                .iter()
+                .map(|&a| self.interner.resolve(a))
+                .collect(),
+        )
+    }
+
+    /// A scenario's metric names in first-seen order.
+    pub fn metrics(&self, scenario: &str) -> Option<Vec<&str>> {
+        let scenario = self.scenarios.get(scenario)?;
+        Some(
+            scenario
+                .metrics
+                .iter()
+                .map(|&m| self.interner.resolve(m))
+                .collect(),
+        )
+    }
+
+    /// The metric name behind a cell's metric symbol.
+    pub fn metric_name(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Point lookup: the cells at exactly the given axis assignment.
+    /// Any axis or value the index has never seen is a guaranteed miss
+    /// (`None`), as is a partial assignment.
+    pub fn query_point(
+        &self,
+        scenario: &str,
+        params: &[(String, String)],
+    ) -> Option<Vec<IndexHit<'_>>> {
+        let scenario_index = self.scenarios.get(scenario)?;
+        let mut key = Vec::with_capacity(params.len());
+        for (axis, value) in params {
+            key.push((self.interner.lookup(axis)?, self.interner.lookup(value)?));
+        }
+        key.sort_unstable();
+        let entries = scenario_index.cells.get(&key)?;
+        let params = self.render(scenario_index, &key);
+        Some(
+            entries
+                .iter()
+                .map(|cell| IndexHit {
+                    params: params.clone(),
+                    cell,
+                })
+                .collect(),
+        )
+    }
+
+    /// Range scan: every cell of `scenario` whose assignment satisfies
+    /// all `clauses` — each clause is an axis plus the accepted values
+    /// (an OR within the clause, AND across clauses; no clauses = the
+    /// whole scenario). An axis the index has never seen yields an
+    /// error naming the scenario's real axes; an unseen *value* just
+    /// matches nothing.
+    pub fn query_range(
+        &self,
+        scenario: &str,
+        clauses: &[(String, Vec<String>)],
+    ) -> Result<Vec<IndexHit<'_>>, String> {
+        let Some(scenario_index) = self.scenarios.get(scenario) else {
+            return Err(format!(
+                "no indexed cells for scenario `{scenario}` (known: {})",
+                self.scenarios().collect::<Vec<_>>().join(", "),
+            ));
+        };
+        let mut compiled = Vec::with_capacity(clauses.len());
+        for (axis, values) in clauses {
+            let axis_sym = self
+                .interner
+                .lookup(axis)
+                .filter(|a| scenario_index.axes.contains(a));
+            let Some(axis_sym) = axis_sym else {
+                return Err(format!(
+                    "scenario `{scenario}` has no axis `{axis}` (axes: {})",
+                    self.axes(scenario).unwrap_or_default().join(", "),
+                ));
+            };
+            let accepted: Vec<Sym> = values
+                .iter()
+                .filter_map(|v| self.interner.lookup(v))
+                .collect();
+            compiled.push((axis_sym, accepted));
+        }
+        let mut hits = Vec::new();
+        for (key, entries) in &scenario_index.cells {
+            let matches = compiled
+                .iter()
+                .all(|(axis, accepted)| key.iter().any(|(a, v)| a == axis && accepted.contains(v)));
+            if !matches {
+                continue;
+            }
+            for cell in entries {
+                hits.push(IndexHit {
+                    params: self.render(scenario_index, key),
+                    cell,
+                });
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Renders a sorted symbol assignment back to canonical-axis-order
+    /// string pairs.
+    fn render<'a>(
+        &'a self,
+        scenario: &ScenarioIndex,
+        key: &[(Sym, Sym)],
+    ) -> Vec<(&'a str, &'a str)> {
+        let mut pairs: Vec<(usize, &str, &str)> = key
+            .iter()
+            .map(|&(axis, value)| {
+                let position = scenario
+                    .axes
+                    .iter()
+                    .position(|&a| a == axis)
+                    .unwrap_or(usize::MAX);
+                (
+                    position,
+                    self.interner.resolve(axis),
+                    self.interner.resolve(value),
+                )
+            })
+            .collect();
+        pairs.sort_by_key(|&(position, ..)| position);
+        pairs
+            .into_iter()
+            .map(|(_, axis, value)| (axis, value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CellResult, Params};
+
+    fn store() -> ResultStore {
+        let mut store = ResultStore::new();
+        for (n, way) in [("16", "a"), ("16", "b"), ("32", "a")] {
+            let params = Params::new(vec![("n".into(), n.into()), ("way".into(), way.into())]);
+            store.insert(
+                "s",
+                1,
+                &params,
+                7,
+                CellResult::new(vec![("m", n.len() as f64), ("k", 1.0)]),
+            );
+        }
+        store.insert(
+            "t",
+            2,
+            &Params::new(vec![("x".into(), "16".into())]),
+            9,
+            CellResult::new(vec![("m", 5.0)]),
+        );
+        store
+    }
+
+    #[test]
+    fn point_lookup_hits_and_misses() {
+        let index = StoreIndex::build(&store());
+        assert_eq!(index.cells(), 4);
+        assert_eq!(index.scenarios().collect::<Vec<_>>(), ["s", "t"]);
+        assert_eq!(index.axes("s").unwrap(), ["n", "way"]);
+        assert_eq!(index.metrics("s").unwrap(), ["m", "k"]);
+
+        // Order of the query params must not matter.
+        let params = vec![
+            ("way".to_string(), "b".to_string()),
+            ("n".to_string(), "16".to_string()),
+        ];
+        let hits = index.query_point("s", &params).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].params, [("n", "16"), ("way", "b")]);
+        assert_eq!(hits[0].cell.seed, 7);
+        assert_eq!(index.metric_name(hits[0].cell.metrics[0].0), "m");
+
+        // Unknown value, unknown axis, partial assignment: all misses.
+        let miss = vec![
+            ("n".to_string(), "64".to_string()),
+            ("way".to_string(), "a".to_string()),
+        ];
+        assert!(index.query_point("s", &miss).is_none());
+        let miss = vec![("n".to_string(), "16".to_string())];
+        assert!(
+            index.query_point("s", &miss).is_none(),
+            "partial assignment"
+        );
+        assert!(index.query_point("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn range_scan_filters_by_clause() {
+        let index = StoreIndex::build(&store());
+        let all = index.query_range("s", &[]).unwrap();
+        assert_eq!(all.len(), 3);
+        let n16 = index
+            .query_range("s", &[("n".to_string(), vec!["16".to_string()])])
+            .unwrap();
+        assert_eq!(n16.len(), 2);
+        let narrowed = index
+            .query_range(
+                "s",
+                &[
+                    ("n".to_string(), vec!["16".to_string(), "32".to_string()]),
+                    ("way".to_string(), vec!["a".to_string()]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(narrowed.len(), 2);
+        // Unknown value matches nothing; unknown axis names the axes.
+        let none = index
+            .query_range("s", &[("n".to_string(), vec!["64".to_string()])])
+            .unwrap();
+        assert!(none.is_empty());
+        let err = index
+            .query_range("s", &[("zoom".to_string(), vec!["1".to_string()])])
+            .unwrap_err();
+        assert!(err.contains("axes: n, way"), "{err}");
+        // An axis of *another* scenario is unknown here too.
+        let err = index
+            .query_range("s", &[("x".to_string(), vec!["16".to_string()])])
+            .unwrap_err();
+        assert!(err.contains("no axis `x`"), "{err}");
+        let err = index.query_range("nope", &[]).unwrap_err();
+        assert!(err.contains("known: s, t"), "{err}");
+    }
+
+    #[test]
+    fn interning_shares_the_vocabulary() {
+        let index = StoreIndex::build(&store());
+        // 4 cells × (2-3 strings each) collapse to the distinct set:
+        // n, 16, 32, way, a, b, m, k, x.
+        assert_eq!(index.interned(), 9);
+    }
+}

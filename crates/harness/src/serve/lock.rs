@@ -1,0 +1,303 @@
+//! The `store.json.lock` pidfile protocol.
+//!
+//! A live `campaign serve` daemon owns its store exclusively: it holds
+//! the cells hot in memory and checkpoints them on its own schedule, so
+//! a concurrent `gc` or `merge` rewriting (or even reading) the file
+//! would race the daemon's journal and checkpoints. The lock is a
+//! sidecar created with `O_EXCL` (the same atomic-create primitive as
+//! the dist steal leases) holding the owner's pid, so every other
+//! command can tell *who* holds the store — and, crucially, whether
+//! that owner is still alive.
+//!
+//! Stale locks never wedge a store: a lock whose pid is dead (the
+//! daemon was SIGKILLed, the machine rebooted) is detected via
+//! `/proc/<pid>` and broken automatically by the next
+//! [`StoreLock::acquire`], while read-side checks
+//! ([`refuse_if_live`]) report it as ignorable with the remediation
+//! spelled out instead of refusing forever.
+
+use crate::json::Json;
+use crate::scenario::ScenarioError;
+use crate::store::sync_dir;
+use std::path::{Path, PathBuf};
+
+/// The lock sidecar of a store: `store.json` → `store.json.lock`.
+pub fn lock_path(store: &Path) -> PathBuf {
+    let mut name = store.file_name().unwrap_or_default().to_os_string();
+    name.push(".lock");
+    store.with_file_name(name)
+}
+
+/// What a lock file says about its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockInfo {
+    /// The owning process id (`0` for an unreadable/torn lock file,
+    /// which only a dead owner can leave behind).
+    pub pid: u32,
+    /// The subcommand that took the lock (diagnostics only).
+    pub cmd: String,
+}
+
+/// The observed state of a store's lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockState {
+    /// No lock file.
+    Unlocked,
+    /// Locked by a process that is still running.
+    Live(LockInfo),
+    /// Locked by a dead process (or the lock file is torn) — safe to
+    /// break.
+    Stale(LockInfo),
+}
+
+/// Whether `pid` names a running process. Conservative off Linux: a
+/// pid we cannot probe is treated as alive, so an unbreakable lock is
+/// at worst a refusal with remediation, never a broken live lock.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Reads and classifies the lock beside `store`, probing the owner pid
+/// for liveness. A lock file that exists but does not parse is
+/// classified stale: only a crashed owner leaves a torn lock behind.
+pub fn inspect(store: &Path) -> Result<LockState, ScenarioError> {
+    let path = lock_path(store);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LockState::Unlocked),
+        Err(e) => {
+            return Err(ScenarioError::Store(format!(
+                "read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let info = Json::parse(text.trim()).ok().and_then(|doc| {
+        Some(LockInfo {
+            pid: doc.get("pid").and_then(Json::as_f64)? as u32,
+            cmd: doc
+                .get("cmd")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+        })
+    });
+    Ok(match info {
+        None => LockState::Stale(LockInfo {
+            pid: 0,
+            cmd: "?".to_string(),
+        }),
+        Some(info) if pid_alive(info.pid) => LockState::Live(info),
+        Some(info) => LockState::Stale(info),
+    })
+}
+
+/// Refuses `op` (gc, merge, …) when a live daemon holds `store`;
+/// returns the stale lock it is safe to ignore, if any, so the caller
+/// can print the remediation note.
+pub fn refuse_if_live(store: &Path, op: &str) -> Result<Option<LockInfo>, ScenarioError> {
+    match inspect(store)? {
+        LockState::Unlocked => Ok(None),
+        LockState::Stale(info) => Ok(Some(info)),
+        LockState::Live(info) => Err(ScenarioError::Store(format!(
+            "refusing to {op} {}: a live `campaign {}` (pid {}) holds {} — \
+             send it the shutdown op (or stop the process) and retry; \
+             a dead owner's lock is detected as stale and never blocks",
+            store.display(),
+            info.cmd,
+            info.pid,
+            lock_path(store).display(),
+        ))),
+    }
+}
+
+/// An exclusive hold on a store, released on drop (best-effort) or via
+/// [`StoreLock::release`] (checked).
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl StoreLock {
+    /// Takes the lock beside `store` for subcommand `cmd`. A stale
+    /// lock (dead pid or torn file) is broken automatically and
+    /// returned so the caller can report it; a live lock refuses with
+    /// the owner named and the remediation spelled out.
+    pub fn acquire(
+        store: &Path,
+        cmd: &str,
+    ) -> Result<(StoreLock, Option<LockInfo>), ScenarioError> {
+        let path = lock_path(store);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
+        }
+        let mut broke = None;
+        // Two take attempts with at most one stale-break between them:
+        // losing the post-break re-create race means a *live* process
+        // took the lock, which the second attempt then reports.
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => {
+                    let doc = Json::Obj(vec![
+                        ("pid".to_string(), Json::Num(std::process::id() as f64)),
+                        ("cmd".to_string(), Json::str(cmd)),
+                    ]);
+                    let mut text = doc.compact();
+                    text.push('\n');
+                    std::io::Write::write_all(&mut &file, text.as_bytes())
+                        .and_then(|()| file.sync_all())
+                        .map_err(|e| {
+                            ScenarioError::Store(format!("write {}: {e}", path.display()))
+                        })?;
+                    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                        sync_dir(dir)?;
+                    }
+                    return Ok((StoreLock { path, armed: true }, broke));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match inspect(store)? {
+                        // Raced a release between create and inspect.
+                        LockState::Unlocked => continue,
+                        LockState::Live(info) => {
+                            return Err(ScenarioError::Store(format!(
+                                "store {} is held by a live `campaign {}` (pid {}) — \
+                                 send it the shutdown op (or stop the process) and retry; \
+                                 a dead owner's lock is broken automatically",
+                                store.display(),
+                                info.cmd,
+                                info.pid,
+                            )))
+                        }
+                        LockState::Stale(info) if attempt == 0 => {
+                            std::fs::remove_file(&path).map_err(|e| {
+                                ScenarioError::Store(format!(
+                                    "break stale lock {}: {e}",
+                                    path.display()
+                                ))
+                            })?;
+                            broke = Some(info);
+                        }
+                        LockState::Stale(_) => break,
+                    }
+                }
+                Err(e) => {
+                    return Err(ScenarioError::Store(format!(
+                        "create {}: {e}",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        Err(ScenarioError::Store(format!(
+            "lock {} is contended: another process keeps re-creating it",
+            path.display()
+        )))
+    }
+
+    /// The lock file's location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Removes the lock file, surfacing failures (drop only removes
+    /// best-effort).
+    pub fn release(mut self) -> Result<(), ScenarioError> {
+        self.armed = false;
+        std::fs::remove_file(&self.path)
+            .map_err(|e| ScenarioError::Store(format!("unlock {}: {e}", self.path.display())))
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        if self.armed {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("harness-lock-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_round_trips() {
+        let dir = scratch("round");
+        let store = dir.join("store.json");
+        assert_eq!(inspect(&store).unwrap(), LockState::Unlocked);
+        let (lock, broke) = StoreLock::acquire(&store, "serve").unwrap();
+        assert!(broke.is_none());
+        // Our own pid is live, so a second taker must refuse.
+        let err = StoreLock::acquire(&store, "serve").unwrap_err();
+        assert!(err.to_string().contains("shutdown"), "{err}");
+        assert!(matches!(inspect(&store).unwrap(), LockState::Live(_)));
+        assert!(refuse_if_live(&store, "gc").is_err());
+        lock.release().unwrap();
+        assert_eq!(inspect(&store).unwrap(), LockState::Unlocked);
+        assert_eq!(refuse_if_live(&store, "gc").unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_torn_locks_are_broken_not_fatal() {
+        let dir = scratch("stale");
+        let store = dir.join("store.json");
+        // A pid far beyond any live process: /proc/<pid> cannot exist.
+        std::fs::write(
+            lock_path(&store),
+            "{\"pid\":4000000000,\"cmd\":\"serve\"}\n",
+        )
+        .unwrap();
+        assert!(matches!(inspect(&store).unwrap(), LockState::Stale(_)));
+        let stale = refuse_if_live(&store, "gc").unwrap();
+        assert_eq!(stale.unwrap().pid, 4_000_000_000);
+        let (lock, broke) = StoreLock::acquire(&store, "serve").unwrap();
+        assert_eq!(broke.unwrap().pid, 4_000_000_000);
+        drop(lock);
+        // A torn lock file (crash mid-write) is stale with pid 0.
+        std::fs::write(lock_path(&store), "{\"pid\":40").unwrap();
+        assert_eq!(
+            inspect(&store).unwrap(),
+            LockState::Stale(LockInfo {
+                pid: 0,
+                cmd: "?".to_string()
+            })
+        );
+        let (lock, broke) = StoreLock::acquire(&store, "gc").unwrap();
+        assert_eq!(broke.unwrap().pid, 0);
+        lock.release().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_releases_best_effort() {
+        let dir = scratch("drop");
+        let store = dir.join("store.json");
+        {
+            let _lock = StoreLock::acquire(&store, "serve").unwrap();
+            assert!(lock_path(&store).exists());
+        }
+        assert!(!lock_path(&store).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

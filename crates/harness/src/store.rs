@@ -447,6 +447,10 @@ pub(crate) struct AppendLog {
     path: std::path::PathBuf,
     batch: usize,
     pending: usize,
+    /// Complete lines currently in the file (pre-existing lines counted
+    /// at open, incremented per append) — the mid-run compaction
+    /// trigger reads this.
+    lines: usize,
     error: Option<String>,
     /// Optional span recorder + span-name prefix (`journal`,
     /// `telemetry`): appends and fsync batches are recorded as
@@ -469,9 +473,11 @@ impl AppendLog {
             std::fs::create_dir_all(dir)
                 .map_err(|e| ScenarioError::Store(format!("mkdir {}: {e}", dir.display())))?;
         }
+        let mut lines = 0;
         match std::fs::read(&path) {
             Ok(bytes) => {
                 let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                lines = bytes[..keep].iter().filter(|&&b| b == b'\n').count();
                 if keep != bytes.len() {
                     let file = std::fs::OpenOptions::new()
                         .write(true)
@@ -507,6 +513,7 @@ impl AppendLog {
             path,
             batch: batch.max(1),
             pending: 0,
+            lines,
             error: None,
             obs: None,
         })
@@ -522,6 +529,11 @@ impl AppendLog {
     /// The log file's location.
     pub(crate) fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Complete lines in the file (pre-existing ones included).
+    pub(crate) fn lines(&self) -> usize {
+        self.lines
     }
 
     /// Appends one record (a newline is added). Failures are recorded,
@@ -541,6 +553,7 @@ impl AppendLog {
             let dur = crate::obs::monotonic_ns().saturating_sub(start);
             obs.record_span(&format!("{prefix}/append"), "store", start, dur);
         }
+        self.lines += 1;
         self.pending += 1;
         if self.pending >= self.batch {
             self.sync();
@@ -613,6 +626,13 @@ impl Journal {
         self.log.path()
     }
 
+    /// Complete cell lines currently in the journal file — lines
+    /// replayed from a previous crash included, so a resumed campaign's
+    /// compaction threshold sees the true journal size.
+    pub fn lines(&self) -> usize {
+        self.log.lines()
+    }
+
     /// Attaches a span recorder: every append shows up as a
     /// `journal/append` span and every fsync batch as `journal/fsync`
     /// (plus the `journal/fsync_batches` counter).
@@ -640,6 +660,157 @@ impl Journal {
     /// lifetime, if any.
     pub fn finish(self) -> Result<(), ScenarioError> {
         self.log.finish()
+    }
+}
+
+/// A [`Journal`] that folds itself into the checkpoint mid-run: once
+/// the journal file exceeds `threshold` lines, the accumulated
+/// checkpoint∪journal union is written as a fresh checkpoint (the
+/// atomic [`ResultStore::checkpoint`] path — snapshot, fsync, remove
+/// journal, dir fsync) and journaling restarts empty. A week-long
+/// journal-heavy campaign thus holds the sidecar at O(threshold) lines
+/// instead of O(cells), and every compaction boundary is itself a
+/// crash-consistent resume point. With no threshold this is a plain
+/// pass-through journal with zero extra cost (no shadow store is kept).
+///
+/// Like [`Journal`], append failures are sticky and surfaced by
+/// [`CompactingJournal::finish`], so executor worker threads never
+/// unwind through a compaction.
+#[derive(Debug)]
+pub struct CompactingJournal {
+    /// `None` only transiently while a compaction swaps files, or
+    /// permanently after a sticky error.
+    journal: Option<Journal>,
+    /// checkpoint ∪ journaled cells — what a mid-run compaction writes.
+    /// Only maintained when a threshold is set.
+    live: Option<ResultStore>,
+    store_path: std::path::PathBuf,
+    batch: usize,
+    threshold: Option<usize>,
+    compactions: usize,
+    error: Option<String>,
+    obs: Option<crate::obs::Obs>,
+}
+
+impl CompactingJournal {
+    /// Opens the journal beside `store_path` (torn tail healed, see
+    /// [`Journal::open`]). `base` must be the store as of the last
+    /// checkpoint *plus* any replayed journal cells — exactly what
+    /// [`ResultStore::open_resumable`] returns — so that a compaction
+    /// writes the full union, not just the fresh cells.
+    pub fn open(
+        store_path: &Path,
+        batch: usize,
+        threshold: Option<usize>,
+        base: &ResultStore,
+    ) -> Result<CompactingJournal, ScenarioError> {
+        Ok(CompactingJournal {
+            journal: Some(Journal::open(store_path, batch)?),
+            live: threshold.map(|_| base.clone()),
+            store_path: store_path.to_path_buf(),
+            batch,
+            threshold,
+            compactions: 0,
+            error: None,
+            obs: None,
+        })
+    }
+
+    /// Attaches a span recorder: the underlying journal's
+    /// `journal/append`/`journal/fsync` spans, plus a
+    /// `journal/compact` span and `journal/compactions` counter per
+    /// mid-run fold.
+    pub fn observe(&mut self, obs: &crate::obs::Obs) {
+        if let Some(journal) = &mut self.journal {
+            journal.observe(obs);
+        }
+        self.obs = Some(obs.clone());
+    }
+
+    /// The journal file's location.
+    pub fn path(&self) -> std::path::PathBuf {
+        journal_path(&self.store_path)
+    }
+
+    /// Mid-run compactions performed so far.
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// Appends one completed cell, folding the journal into the
+    /// checkpoint first if it has outgrown the threshold. Failures are
+    /// recorded, not returned — check [`CompactingJournal::finish`].
+    pub fn append(&mut self, fp: &str, cell: &StoredCell) {
+        if self.error.is_some() {
+            return;
+        }
+        if let (Some(threshold), Some(journal)) = (self.threshold, &self.journal) {
+            if journal.lines() > threshold {
+                self.compact();
+            }
+        }
+        let Some(journal) = &mut self.journal else {
+            return;
+        };
+        journal.append(fp, cell);
+        if let Some(live) = &mut self.live {
+            live.insert_cell(fp.to_string(), cell.clone());
+        }
+    }
+
+    /// Folds the journal into the checkpoint and restarts it empty.
+    fn compact(&mut self) {
+        let start_ns = self.obs.is_some().then(crate::obs::monotonic_ns);
+        let journal = self
+            .journal
+            .take()
+            .expect("compact is only called with a journal");
+        if let Err(e) = journal.finish() {
+            self.error = Some(e.to_string());
+            return;
+        }
+        let live = self
+            .live
+            .as_ref()
+            .expect("a threshold implies a live store");
+        if let Err(e) = live.checkpoint_observed(&self.store_path, self.obs.as_ref()) {
+            self.error = Some(e.to_string());
+            return;
+        }
+        match Journal::open(&self.store_path, self.batch) {
+            Ok(mut journal) => {
+                if let Some(obs) = &self.obs {
+                    journal.observe(obs);
+                }
+                self.journal = Some(journal);
+                self.compactions += 1;
+            }
+            Err(e) => self.error = Some(e.to_string()),
+        }
+        if let (Some(obs), Some(start)) = (&self.obs, start_ns) {
+            let dur = crate::obs::monotonic_ns().saturating_sub(start);
+            obs.record_span("journal/compact", "store", start, dur);
+            obs.count("journal/compactions", 1);
+        }
+    }
+
+    /// Forces any unsynced batch to disk.
+    pub fn sync(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            journal.sync();
+        }
+    }
+
+    /// Final sync; surfaces the first failure of the journal's
+    /// lifetime, if any, and returns the mid-run compaction count.
+    pub fn finish(mut self) -> Result<usize, ScenarioError> {
+        if let Some(journal) = self.journal.take() {
+            journal.finish()?;
+        }
+        match self.error.take() {
+            None => Ok(self.compactions),
+            Some(e) => Err(ScenarioError::Store(e)),
+        }
     }
 }
 
@@ -1327,6 +1498,71 @@ mod tests {
         std::fs::write(&jpath, "{\"schema\":1,\"fp\":\"aaaa\",\"cell\":{}}\n").unwrap();
         let (store, replayed) = ResultStore::open_resumable(&path).unwrap();
         assert_eq!((store.len(), replayed), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compacting_journal_folds_into_checkpoint_past_threshold() {
+        let dir = std::env::temp_dir().join(format!("harness-compact-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("store.json");
+
+        // Start from a one-cell checkpoint so a compaction must write
+        // the union, not just the fresh cells.
+        let mut base = ResultStore::new();
+        base.insert("a", 1, &params(), 0, CellResult::new(vec![("x", 0.0)]));
+        base.save(&path).unwrap();
+
+        let cell = |seed: u64| {
+            (
+                fingerprint("a", 1, &params(), seed),
+                StoredCell {
+                    scenario: "a".into(),
+                    version: 1,
+                    params_key: params().key(),
+                    seed,
+                    result: CellResult::new(vec![("x", seed as f64)]),
+                },
+            )
+        };
+        let mut journal = CompactingJournal::open(&path, 1, Some(2), &base).unwrap();
+        for seed in 1..=5 {
+            let (fp, c) = cell(seed);
+            journal.append(&fp, &c);
+        }
+        // 5 appends over a threshold of 2: the journal folded at least
+        // once, and the sidecar never outgrew threshold + 1 lines.
+        assert!(journal.compactions() >= 1);
+        let jpath = journal.path();
+        let compactions = journal.finish().unwrap();
+        assert!(compactions >= 1);
+        let lines = std::fs::read_to_string(&jpath).unwrap().lines().count();
+        assert!(lines <= 3, "journal kept {lines} lines past the threshold");
+
+        // The resumable union holds every cell: checkpoint + journal
+        // is lossless across compaction boundaries.
+        let (resumed, _) = ResultStore::open_resumable(&path).unwrap();
+        assert_eq!(resumed.len(), 6);
+        for seed in 0..=5 {
+            let (fp, c) = cell(seed);
+            assert_eq!(resumed.get_by_fingerprint(&fp), Some(&c));
+        }
+
+        // No threshold: a pure pass-through (zero compactions).
+        std::fs::remove_dir_all(&dir).ok();
+        let mut plain = CompactingJournal::open(&path, 1, None, &ResultStore::new()).unwrap();
+        for seed in 1..=5 {
+            let (fp, c) = cell(seed);
+            plain.append(&fp, &c);
+        }
+        assert_eq!(plain.finish().unwrap(), 0);
+        assert_eq!(
+            std::fs::read_to_string(journal_path(&path))
+                .unwrap()
+                .lines()
+                .count(),
+            5
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -279,7 +279,7 @@ fn bench_quick_writes_schema_versioned_files_and_check_passes() {
         out_dir,
         "--quiet",
     ]);
-    for kind in ["exec", "store"] {
+    for kind in ["exec", "store", "serve"] {
         let path = dir.path(&format!("BENCH_{kind}.json"));
         let doc = harness::json::Json::parse_file(&path).expect("committed bench file must parse");
         assert_eq!(
