@@ -27,7 +27,10 @@
 //! cargo run -p harness --bin campaign -- trace FILE
 //! cargo run -p harness --bin campaign -- serve --store PATH [--addr HOST:PORT]
 //!         [--accept-pool N] [--threads N] [--checkpoint-every N]
-//!         [--compact-journal-over N] [--port-file PATH] [--trace FILE] [--quiet]
+//!         [--compact-journal-over N] [--slowlog-over-us N] [--port-file PATH]
+//!         [--trace FILE] [--quiet]
+//! cargo run -p harness --bin campaign -- top (--addr HOST:PORT | --port-file PATH)
+//!         [--interval-ms N] [--once]
 //! ```
 //!
 //! `run` prints per-cell metrics; `report` prints the Table-1/2-style
@@ -53,7 +56,7 @@ use harness::obs::bench;
 use harness::obs::{trace as obs_trace, Obs};
 use harness::registry::Registry;
 use harness::report;
-use harness::serve::{lock as serve_lock, ServeOptions, Server};
+use harness::serve::{lock as serve_lock, top as serve_top, ServeOptions, Server};
 use harness::store::{self, CompactingJournal, ResultStore};
 use harness::telemetry::{self, Telemetry, TelemetryLog};
 use std::io::Write as _;
@@ -93,6 +96,10 @@ struct Options {
     addr: Option<String>,
     accept_pool: Option<usize>,
     port_file: Option<PathBuf>,
+    slowlog_over_us: Option<u64>,
+    // top flags
+    interval_ms: Option<u64>,
+    once: bool,
     // telemetry sidecar
     telemetry: bool,
     // observability
@@ -131,7 +138,7 @@ impl Options {
 }
 
 const USAGE: &str = "\
-usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace|serve> [options]
+usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace|serve|top> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
@@ -247,7 +254,8 @@ result-store lifecycle:
 always-on campaign serving:
   serve  --store PATH [--addr HOST:PORT] [--accept-pool N] [--threads N]
          [--checkpoint-every N] [--compact-journal-over N]
-         [--port-file PATH] [--trace FILE] [--quiet]
+         [--slowlog-over-us N] [--port-file PATH] [--trace FILE]
+         [--quiet]
          run the campaign daemon: open the store resumably (journal
          replay included), build a hot in-memory index over its cells
          and answer a line-delimited JSON protocol over TCP — one
@@ -256,12 +264,26 @@ always-on campaign serving:
          (axis-filtered scan returning metric columns), report (the
          evidence summary over the wire), submit (enqueue a campaign;
          it runs on the streaming executor with journaling and lands
-         in the live index atomically) and shutdown (drain, checkpoint,
-         fsync, release the lock). Default --addr 127.0.0.1:0 binds an
+         in the live index atomically), metrics (per-op latency
+         histograms, counters and windowed rates as compact JSON plus
+         Prometheus text exposition), jobs (per-job status, live
+         cells_done/cells_total progress and failure error strings),
+         slowlog (the ring of requests slower than --slowlog-over-us,
+         default 10000) and shutdown (drain, checkpoint, fsync,
+         release the lock). Default --addr 127.0.0.1:0 binds an
          ephemeral port; --port-file writes the bound address for
          scripts. A live daemon holds <store>.lock: gc and merge
          refuse its store until shutdown, while a dead daemon's lock
          is detected as stale and broken automatically
+  top    (--addr HOST:PORT | --port-file PATH) [--interval-ms N]
+         [--once]
+         live terminal view of a running daemon: polls stats, metrics
+         and jobs every --interval-ms (default 1000) and redraws a
+         screen with endpoint latency percentiles (p50/p90/p99/max
+         per op), windowed qps, index size and running-job progress
+         bars; --once prints one plain screen to stdout and exits
+         (for scripts). Exits 0 with a note when the daemon goes away
+         mid-watch; errors only if the first connection fails
 
 exit status: 0 success; 1 diff found differences; 2 error
 ";
@@ -292,6 +314,9 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         addr: None,
         accept_pool: None,
         port_file: None,
+        slowlog_over_us: None,
+        interval_ms: None,
+        once: false,
         telemetry: false,
         trace: None,
         quick: false,
@@ -397,6 +422,19 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
                 )
             }
             "--port-file" => options.port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--slowlog-over-us" => {
+                options.slowlog_over_us =
+                    Some(number("--slowlog-over-us", value("--slowlog-over-us")?)?)
+            }
+            "--interval-ms" => {
+                options.interval_ms = Some(
+                    number("--interval-ms", value("--interval-ms")?)
+                        .ok()
+                        .filter(|n| *n >= 50)
+                        .ok_or("--interval-ms needs an integer >= 50")?,
+                )
+            }
+            "--once" => options.once = true,
             "--calibrate" => options.calibrate = Some(PathBuf::from(value("--calibrate")?)),
             "--steal" => options.steal = true,
             "--leases" => options.leases = Some(PathBuf::from(value("--leases")?)),
@@ -518,10 +556,12 @@ fn run(options: Options) -> Result<u8, String> {
             "--threads",
             "--checkpoint-every",
             "--compact-journal-over",
+            "--slowlog-over-us",
             "--port-file",
             "--trace",
             "--quiet",
         ],
+        "top" => &["--addr", "--port-file", "--interval-ms", "--once"],
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     if let Some(flag) = options
@@ -557,6 +597,7 @@ fn run(options: Options) -> Result<u8, String> {
         "bench" => bench_cmd(&options),
         "trace" => trace_cmd(&options),
         "serve" => serve_cmd(&options),
+        "top" => top_cmd(&options),
         _ => unreachable!("validated above"),
     }
 }
@@ -895,8 +936,8 @@ macro_rules! session_hooks {
             let mut err = std::io::stderr().lock();
             let _ = write!(
                 err,
-                "\r  {} cells executed (domain: {})",
-                p.executed, p.total
+                "\r  {} cells executed, {} memoized (domain: {})",
+                p.executed, p.memoized, p.total
             );
             let _ = err.flush();
         };
@@ -1312,6 +1353,8 @@ fn serve_cmd(options: &Options) -> Result<u8, String> {
                 .checkpoint_every
                 .unwrap_or(defaults.checkpoint_every),
             compact_journal_over: options.compact_journal_over,
+            slowlog_over_us: options.slowlog_over_us.unwrap_or(defaults.slowlog_over_us),
+            metrics_noop: false,
             quiet: options.quiet,
         },
         obs.clone(),
@@ -1360,6 +1403,69 @@ fn serve_cmd(options: &Options) -> Result<u8, String> {
         );
     }
     Ok(0)
+}
+
+/// One `top` poll: a fresh connection, one request/response round trip
+/// per op. A fresh connection per poll keeps the daemon's accept-pool
+/// slot free between polls and makes "daemon gone" detection trivial.
+fn top_poll(addr: &str) -> std::io::Result<[Json; 3]> {
+    use std::io::{BufRead, BufReader};
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut responses = Vec::with_capacity(3);
+    for op in ["stats", "metrics", "jobs"] {
+        writeln!(stream, "{{\"op\":\"{op}\"}}")?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        let doc = Json::parse(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        responses.push(doc);
+    }
+    Ok(responses.try_into().expect("three ops, three responses"))
+}
+
+/// `campaign top`: live terminal view of a running daemon. The screen
+/// itself is rendered by [`harness::serve::top`]; this loop only
+/// polls, clears and reprints.
+fn top_cmd(options: &Options) -> Result<u8, String> {
+    let addr = match (&options.addr, &options.port_file) {
+        (Some(addr), None) => addr.clone(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?
+            .trim()
+            .to_string(),
+        (Some(_), Some(_)) => return Err("top takes --addr or --port-file, not both".into()),
+        (None, None) => return Err("top needs --addr HOST:PORT or --port-file PATH".into()),
+    };
+    let interval = std::time::Duration::from_millis(options.interval_ms.unwrap_or(1_000));
+    let mut first = true;
+    loop {
+        let [stats, metrics, jobs] = match top_poll(&addr) {
+            Ok(responses) => responses,
+            // The first connection failing is an operator error (wrong
+            // address, daemon not up); later failures mean the daemon
+            // shut down mid-watch, which is a clean exit.
+            Err(e) if first => return Err(format!("connect {addr}: {e}")),
+            Err(_) => {
+                println!("campaign top: daemon at {addr} is gone");
+                return Ok(0);
+            }
+        };
+        let screen = serve_top::render(&addr, &stats, &metrics, &jobs);
+        if options.once {
+            print!("{screen}");
+            return Ok(0);
+        }
+        // ANSI clear + home, then the fresh frame.
+        print!("\x1b[2J\x1b[H{screen}");
+        let _ = std::io::stdout().flush();
+        first = false;
+        std::thread::sleep(interval);
+    }
 }
 
 /// `campaign trace FILE`: validates a `--trace` output file and prints

@@ -355,6 +355,7 @@ pub fn run_shard_stealing(
     // up claiming).
     let campaign_lazy_cells: usize = chunks.iter().map(|c| c.range.len()).sum();
     let mut executed_so_far = 0usize;
+    let mut memoized_so_far = 0usize;
     let mut pieces: Vec<(usize, Campaign)> = Vec::new();
     for chunk in order {
         let won = {
@@ -381,10 +382,12 @@ pub fn run_shard_stealing(
         }
         let range = chunk.range.clone();
         let base = executed_so_far;
+        let memo_base = memoized_so_far;
         let accumulated = hooks.progress.map(|progress| {
             move |p: crate::exec::ExecProgress| {
                 progress(crate::exec::ExecProgress {
                     executed: base + p.executed,
+                    memoized: memo_base + p.memoized,
                     total: campaign_lazy_cells,
                 })
             }
@@ -408,6 +411,7 @@ pub fn run_shard_stealing(
             chunk_hooks,
         )?;
         executed_so_far += piece.executed;
+        memoized_so_far += piece.memoized;
         stats.claimed_chunks += 1;
         stats.executed_lazy_cells += chunk.range.len();
         if chunk.initial_shard != index {

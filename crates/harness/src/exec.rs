@@ -158,11 +158,15 @@ pub enum CellDomain<'a> {
     Ranges(&'a [Range<usize>]),
 }
 
-/// A progress heartbeat, emitted after every freshly executed cell.
+/// A progress heartbeat, emitted after every completed cell — freshly
+/// executed or memoized — so a consumer can track true completion
+/// (`executed + memoized` out of `total`), not just fresh work.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecProgress {
     /// Fresh cells completed so far in this invocation.
     pub executed: usize,
+    /// Memo hits seen so far in this invocation.
+    pub memoized: usize,
     /// Lazy cells in the swept domain (an upper bound on work: filtered
     /// or unowned cells are scanned but never executed).
     pub total: usize,
@@ -199,7 +203,7 @@ pub type TimingSink<'a> = &'a (dyn Fn(CellTiming<'_>) + Sync);
 /// no-ops.
 #[derive(Clone, Copy, Default)]
 pub struct ExecHooks<'a> {
-    /// Called after every freshly executed cell.
+    /// Called after every completed cell (freshly executed or memoized).
     pub progress: Option<ProgressFn<'a>>,
     /// Called with every fresh *successful* result as it completes,
     /// before the campaign is assembled — the crash-resume journal
@@ -416,6 +420,7 @@ pub fn run_campaign_with(
 
     let cursor = AtomicUsize::new(0);
     let executed_cells = AtomicUsize::new(0);
+    let memo_cells = AtomicUsize::new(0);
     let workers = config.threads.max(1).min(scan_len.max(1));
     let delay = cell_delay();
 
@@ -500,6 +505,14 @@ pub fn run_campaign_with(
                             wall: None,
                         });
                     }
+                    let memo = memo_cells.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(progress) = hooks.progress {
+                        progress(ExecProgress {
+                            executed: executed_cells.load(Ordering::Relaxed),
+                            memoized: memo,
+                            total: scan_len,
+                        });
+                    }
                     out.push(slot(SlotOutcome::Memoized));
                     continue;
                 }
@@ -545,6 +558,7 @@ pub fn run_campaign_with(
                 if let Some(progress) = hooks.progress {
                     progress(ExecProgress {
                         executed,
+                        memoized: memo_cells.load(Ordering::Relaxed),
                         total: scan_len,
                     });
                 }

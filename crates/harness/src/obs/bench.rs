@@ -387,7 +387,10 @@ fn store_benches_in(
 /// the protocol floor (ping) and point queries against the hot
 /// interned index, per concurrent-client tier. What the committed
 /// numbers pin is the cost of one served request end to end: socket
-/// round trip, line framing, JSON parse, index lookup, render.
+/// round trip, line framing, JSON parse, index lookup, render. The
+/// `serve/metrics-on` / `serve/metrics-off` pair runs the same query
+/// workload with the always-on metrics registry and with a no-op
+/// sink, pinning the per-request recording overhead.
 pub fn run_serve_benches(
     config: &BenchConfig,
     progress: &mut dyn FnMut(&str),
@@ -427,32 +430,34 @@ fn serve_benches_in(
     )?;
     let addr = handle.addr();
     // One bench client: `count` strict request/response round trips.
-    let client = |request: &str, count: usize| -> Result<(), ScenarioError> {
-        use std::io::{BufRead, BufReader, Write};
-        let io_err = |e: std::io::Error| ScenarioError::Store(format!("serve bench client: {e}"));
-        let mut stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
-        stream.set_nodelay(true).ok();
-        let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
-        let mut line = String::new();
-        for _ in 0..count {
-            stream.write_all(request.as_bytes()).map_err(io_err)?;
-            line.clear();
-            reader.read_line(&mut line).map_err(io_err)?;
-            if !line.contains("\"ok\":true") {
-                return Err(ScenarioError::Store(format!(
-                    "serve bench: unexpected response {line}"
-                )));
+    let client =
+        |addr: std::net::SocketAddr, request: &str, count: usize| -> Result<(), ScenarioError> {
+            use std::io::{BufRead, BufReader, Write};
+            let io_err =
+                |e: std::io::Error| ScenarioError::Store(format!("serve bench client: {e}"));
+            let mut stream = std::net::TcpStream::connect(addr).map_err(io_err)?;
+            stream.set_nodelay(true).ok();
+            let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+            let mut line = String::new();
+            for _ in 0..count {
+                stream.write_all(request.as_bytes()).map_err(io_err)?;
+                line.clear();
+                reader.read_line(&mut line).map_err(io_err)?;
+                if !line.contains("\"ok\":true") {
+                    return Err(ScenarioError::Store(format!(
+                        "serve bench: unexpected response {line}"
+                    )));
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     // The protocol floor: one client, bare ping round trips.
     let name = "serve/ping/clients=1".to_string();
     progress(&name);
     let mut samples = Vec::new();
     for _ in 0..config.repeats {
         let start = monotonic_ns();
-        client("{\"op\":\"ping\"}\n", config.serve_queries)?;
+        client(addr, "{\"op\":\"ping\"}\n", config.serve_queries)?;
         samples.push(config.serve_queries as f64 / elapsed_secs(start));
     }
     results.push(BenchResult {
@@ -481,7 +486,7 @@ fn serve_benches_in(
                                 "{{\"op\":\"query\",\"scenario\":\"{BENCH_SCENARIO}\",\
                                  \"params\":{{\"i\":\"{i}\"}}}}\n"
                             );
-                            client(&request, per_client)
+                            client(addr, &request, per_client)
                         })
                     })
                     .collect();
@@ -498,6 +503,60 @@ fn serve_benches_in(
             samples,
         });
     }
+    // Metrics recording overhead: the identical single-client query
+    // workload against the always-on registry, then against a daemon
+    // whose metric sink is a no-op. The committed pair pins the cost
+    // of the wait-free recording path per request (expected: within
+    // noise of each other).
+    let name = "serve/metrics-on/clients=1".to_string();
+    progress(&name);
+    let query_line = |repeat: usize| {
+        let i = repeat % cells.max(1);
+        format!(
+            "{{\"op\":\"query\",\"scenario\":\"{BENCH_SCENARIO}\",\
+             \"params\":{{\"i\":\"{i}\"}}}}\n"
+        )
+    };
+    let mut samples = Vec::new();
+    for repeat in 0..config.repeats {
+        let start = monotonic_ns();
+        client(addr, &query_line(repeat), config.serve_queries)?;
+        samples.push(config.serve_queries as f64 / elapsed_secs(start));
+    }
+    results.push(BenchResult {
+        name,
+        unit: "req/sec",
+        higher_is_better: true,
+        samples,
+    });
+    handle.shutdown();
+    handle.wait()?;
+
+    let name = "serve/metrics-off/clients=1".to_string();
+    progress(&name);
+    let handle = crate::serve::Server::bind(
+        &store_path,
+        crate::serve::ServeOptions {
+            accept_pool: max_clients + 1,
+            metrics_noop: true,
+            quiet: true,
+            ..crate::serve::ServeOptions::default()
+        },
+        None,
+    )?;
+    let addr = handle.addr();
+    let mut samples = Vec::new();
+    for repeat in 0..config.repeats {
+        let start = monotonic_ns();
+        client(addr, &query_line(repeat), config.serve_queries)?;
+        samples.push(config.serve_queries as f64 / elapsed_secs(start));
+    }
+    results.push(BenchResult {
+        name,
+        unit: "req/sec",
+        higher_is_better: true,
+        samples,
+    });
     handle.shutdown();
     handle.wait()?;
     Ok(())
@@ -705,6 +764,8 @@ mod tests {
             "serve/ping/clients=1",
             "serve/query/clients=1",
             "serve/query/clients=2",
+            "serve/metrics-on/clients=1",
+            "serve/metrics-off/clients=1",
         ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
         }

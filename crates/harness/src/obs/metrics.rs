@@ -1,0 +1,740 @@
+//! Lock-free metrics: counters, gauges, log-bucketed latency histograms, and
+//! sliding-window rates.
+//!
+//! The registry complements the span/counter recorder in [`super`] ([`crate::obs::Obs`]):
+//! spans answer "what did this one run do", while metrics answer "what is the
+//! steady-state distribution across thousands of requests". Everything here is
+//! built for a hot serving path:
+//!
+//! - **No allocation after registration.** Handles are `Arc`s handed out once;
+//!   recording is a couple of `fetch_add`s on fixed-size atomic arrays.
+//! - **Constant memory.** A histogram is [`BUCKETS`] atomic slots regardless of
+//!   how many samples it absorbs; a rate window is 16 one-second slots.
+//! - **Mergeable.** [`HistogramSnapshot::merge`] sums bucket counts, so
+//!   per-shard histograms can be combined without losing percentile accuracy
+//!   beyond the bucket resolution.
+//!
+//! The bucket ladder is power-of-two in microseconds: the first bucket holds
+//! everything up to 1µs and each subsequent finite bucket doubles the upper
+//! bound, reaching ~67s before the overflow slot. Percentiles (`p50/p90/p99`)
+//! are derived from cumulative bucket counts and reported as the bucket upper
+//! bound, clamped to the true observed maximum — so `quantile(1.0)` is exact.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Lower bound of the first histogram bucket, in nanoseconds (1µs).
+pub const BUCKET_FLOOR_NS: u64 = 1_000;
+/// Number of finite buckets. Bucket `k` covers `(floor·2^(k-1), floor·2^k]`
+/// for `k ≥ 1`; bucket 0 covers `[0, floor]`. The last finite bound is
+/// `1µs · 2^26 ≈ 67.1s`.
+pub const FINITE_BUCKETS: usize = 27;
+/// Total slots including the overflow bucket.
+pub const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// Upper bound (inclusive) of finite bucket `idx`, in nanoseconds.
+pub fn bucket_bound_ns(idx: usize) -> u64 {
+    debug_assert!(idx < FINITE_BUCKETS);
+    BUCKET_FLOOR_NS << idx
+}
+
+/// Map a duration to its bucket index. Durations past the last finite bound
+/// land in the overflow slot (`FINITE_BUCKETS`).
+pub fn bucket_of(dur_ns: u64) -> usize {
+    if dur_ns <= BUCKET_FLOOR_NS {
+        return 0;
+    }
+    // Smallest k with dur ≤ floor·2^k, i.e. ceil(log2(ceil(dur/floor))).
+    let units = dur_ns.div_ceil(BUCKET_FLOOR_NS);
+    let k = (64 - (units - 1).leading_zeros()) as usize;
+    k.min(FINITE_BUCKETS)
+}
+
+/// Monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-bucketed latency histogram. Recording is wait-free: one `fetch_add`
+/// into a bucket, plus count/sum updates and a `fetch_max` for the true max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation, in nanoseconds.
+    pub fn record_ns(&self, dur_ns: u64) {
+        self.buckets[bucket_of(dur_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the current state. Individual fields may be
+    /// skewed by in-flight recordings, but each field is atomically read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], suitable for merging and quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one. Bucket counts and sums add;
+    /// max takes the larger.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Quantile estimate in nanoseconds. `q` in `[0, 1]`; returns the upper
+    /// bound of the bucket holding the rank-`ceil(q·count)` observation,
+    /// clamped to the observed max (so `quantile(1.0) == max_ns` exactly).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i >= FINITE_BUCKETS {
+                    return self.max_ns;
+                }
+                return bucket_bound_ns(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Number of one-second slots in a [`RateWindow`].
+const RATE_SLOTS: usize = 16;
+/// Window length used by [`RateWindow::rate`], in seconds.
+pub const RATE_WINDOW_SECS: u64 = 10;
+
+/// Sliding-window event rate with one-second resolution.
+///
+/// Sixteen slots each hold `(stamp, count)` where `stamp` is the absolute
+/// second the slot currently represents (offset by one so zero means
+/// "never used"). Recording CAS-resets a slot the first time a new second
+/// touches it. The result is approximate under races — a reset can drop a
+/// concurrent increment — which is acceptable for an operator-facing rate.
+#[derive(Debug)]
+pub struct RateWindow {
+    stamps: [AtomicU64; RATE_SLOTS],
+    counts: [AtomicU64; RATE_SLOTS],
+}
+
+impl Default for RateWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateWindow {
+    pub fn new() -> Self {
+        RateWindow {
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one event at monotonic time `now_ns`.
+    pub fn record_at(&self, now_ns: u64) {
+        let sec = now_ns / 1_000_000_000;
+        let stamp = sec + 1; // 0 is reserved for "empty"
+        let slot = (sec as usize) % RATE_SLOTS;
+        let cur = self.stamps[slot].load(Ordering::Relaxed);
+        if cur != stamp {
+            // First event of this second in this slot: claim it and reset.
+            if self.stamps[slot]
+                .compare_exchange(cur, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.counts[slot].store(0, Ordering::Relaxed);
+            }
+        }
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events per second over the trailing `window_secs` whole seconds,
+    /// excluding the current (partial) second when older data exists.
+    pub fn rate_over(&self, now_ns: u64, window_secs: u64) -> f64 {
+        let window_secs = window_secs.clamp(1, (RATE_SLOTS as u64) - 1);
+        let sec = now_ns / 1_000_000_000;
+        let mut total = 0u64;
+        // Trailing full seconds: (sec - window_secs, sec - 1].
+        for back in 1..=window_secs {
+            let Some(s) = sec.checked_sub(back) else {
+                break;
+            };
+            let slot = (s as usize) % RATE_SLOTS;
+            if self.stamps[slot].load(Ordering::Relaxed) == s + 1 {
+                total += self.counts[slot].load(Ordering::Relaxed);
+            }
+        }
+        if total > 0 {
+            return total as f64 / window_secs as f64;
+        }
+        // Early-uptime fallback: only the current partial second has data.
+        let slot = (sec as usize) % RATE_SLOTS;
+        if self.stamps[slot].load(Ordering::Relaxed) == sec + 1 {
+            let part_ns = (now_ns % 1_000_000_000).max(1_000_000); // ≥1ms to avoid spikes
+            return self.counts[slot].load(Ordering::Relaxed) as f64 * 1e9 / part_ns as f64;
+        }
+        0.0
+    }
+
+    /// Rate over the default [`RATE_WINDOW_SECS`] window.
+    pub fn rate(&self, now_ns: u64) -> f64 {
+        self.rate_over(now_ns, RATE_WINDOW_SECS)
+    }
+}
+
+/// Registry of named metrics. Registration takes a lock; recording through
+/// the returned `Arc` handles never does. Re-registering a name returns the
+/// existing instrument, so callers can treat it as get-or-create.
+///
+/// Names may carry Prometheus-style labels inline: `requests_total{op="ping"}`.
+/// The exposition formatter groups such series under one `# TYPE` header.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    rates: Mutex<BTreeMap<String, Arc<RateWindow>>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.histograms.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn rate_window(&self, name: &str) -> Arc<RateWindow> {
+        let mut m = self.rates.lock().unwrap();
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Point-in-time copy of every registered instrument. `now_ns` anchors
+    /// the rate-window evaluation (pass [`crate::obs::monotonic_ns`]).
+    pub fn snapshot_at(&self, now_ns: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            rates: self
+                .rates
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.rate(now_ns)))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Metrics`] registry, renderable as JSON or
+/// Prometheus text exposition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub rates: BTreeMap<String, f64>,
+}
+
+/// Split `name{label="x"}` into `(base, Some(labels))`; plain names pass
+/// through with `None`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) if name.ends_with('}') => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Compact JSON: counters/gauges/rates as flat maps, histograms as
+    /// `{count, sum_us, p50_us, p90_us, p99_us, max_us}` per series.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let rates = Json::Obj(
+            self.rates
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(h.count as f64)),
+                            ("sum_us".into(), Json::Num(h.sum_ns as f64 / 1_000.0)),
+                            (
+                                "p50_us".into(),
+                                Json::Num(h.quantile_ns(0.50) as f64 / 1_000.0),
+                            ),
+                            (
+                                "p90_us".into(),
+                                Json::Num(h.quantile_ns(0.90) as f64 / 1_000.0),
+                            ),
+                            (
+                                "p99_us".into(),
+                                Json::Num(h.quantile_ns(0.99) as f64 / 1_000.0),
+                            ),
+                            ("max_us".into(), Json::Num(h.max_ns as f64 / 1_000.0)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("rates".into(), rates),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// Prometheus text exposition (format 0.0.4). Histograms emit cumulative
+    /// `_bucket{le="..."}` lines in **seconds**, plus `_sum` and `_count`.
+    /// Series sharing a base name emit one `# HELP`/`# TYPE` pair.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, v) in &self.counters {
+            let (base, labels) = split_labels(name);
+            if base != last_base {
+                out.push_str(&format!("# HELP {base} Cumulative event count.\n"));
+                out.push_str(&format!("# TYPE {base} counter\n"));
+                last_base = base.to_string();
+            }
+            match labels {
+                Some(l) => out.push_str(&format!("{base}{{{l}}} {v}\n")),
+                None => out.push_str(&format!("{base} {v}\n")),
+            }
+        }
+        last_base.clear();
+        for (name, v) in &self.gauges {
+            let (base, labels) = split_labels(name);
+            if base != last_base {
+                out.push_str(&format!("# HELP {base} Instantaneous value.\n"));
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                last_base = base.to_string();
+            }
+            match labels {
+                Some(l) => out.push_str(&format!("{base}{{{l}}} {v}\n")),
+                None => out.push_str(&format!("{base} {v}\n")),
+            }
+        }
+        last_base.clear();
+        for (name, v) in &self.rates {
+            let (base, labels) = split_labels(name);
+            if base != last_base {
+                out.push_str(&format!(
+                    "# HELP {base} Sliding-window rate, events per second.\n"
+                ));
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                last_base = base.to_string();
+            }
+            match labels {
+                Some(l) => out.push_str(&format!("{base}{{{l}}} {}\n", fmt_f64(*v))),
+                None => out.push_str(&format!("{base} {}\n", fmt_f64(*v))),
+            }
+        }
+        last_base.clear();
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            if base != last_base {
+                out.push_str(&format!("# HELP {base} Latency distribution.\n"));
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                last_base = base.to_string();
+            }
+            let with = |extra: &str| -> String {
+                match labels {
+                    Some(l) => format!("{{{l},{extra}}}"),
+                    None => format!("{{{extra}}}"),
+                }
+            };
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().take(FINITE_BUCKETS).enumerate() {
+                cum += c;
+                let le = bucket_bound_ns(i) as f64 / 1e9;
+                out.push_str(&format!(
+                    "{base}_bucket{} {cum}\n",
+                    with(&format!("le=\"{}\"", fmt_f64(le)))
+                ));
+            }
+            cum += h.buckets[FINITE_BUCKETS];
+            out.push_str(&format!("{base}_bucket{} {cum}\n", with("le=\"+Inf\"")));
+            let plain = match labels {
+                Some(l) => format!("{{{l}}}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{base}_sum{plain} {}\n",
+                fmt_f64(h.sum_ns as f64 / 1e9)
+            ));
+            out.push_str(&format!("{base}_count{plain} {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(1_000), 0); // exactly 1µs → first bucket
+        assert_eq!(bucket_of(1_001), 1);
+        assert_eq!(bucket_of(2_000), 1); // exactly 2µs → second bucket
+        assert_eq!(bucket_of(2_001), 2);
+        assert_eq!(bucket_of(4_000), 2);
+        // Each finite bound maps to its own bucket; bound+1 to the next.
+        for i in 0..FINITE_BUCKETS {
+            let b = bucket_bound_ns(i);
+            assert_eq!(bucket_of(b), i, "bound {b} should land in bucket {i}");
+            if i + 1 < FINITE_BUCKETS {
+                assert_eq!(bucket_of(b + 1), i + 1);
+            }
+        }
+        // Past the last finite bound → overflow.
+        assert_eq!(
+            bucket_of(bucket_bound_ns(FINITE_BUCKETS - 1) + 1),
+            FINITE_BUCKETS
+        );
+        assert_eq!(bucket_of(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn ladder_spans_one_microsecond_to_past_a_minute() {
+        assert_eq!(bucket_bound_ns(0), 1_000);
+        let top = bucket_bound_ns(FINITE_BUCKETS - 1);
+        assert!(top >= 60_000_000_000, "ladder must reach ≥60s, got {top}ns");
+        assert!(top < 120_000_000_000, "ladder should not wildly overshoot");
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = Histogram::new();
+        for us in [1u64, 10, 100, 1_000, 10_000] {
+            h.record_ns(us * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_ns, 10_000_000);
+        assert_eq!(s.quantile_ns(1.0), 10_000_000); // exact max
+        assert!(s.quantile_ns(0.5) >= 100_000); // p50 ≥ the median sample
+        assert!(s.quantile_ns(0.5) <= 1_024_000);
+        // Monotone in q.
+        assert!(s.quantile_ns(0.5) <= s.quantile_ns(0.9));
+        assert!(s.quantile_ns(0.9) <= s.quantile_ns(0.99));
+        assert!(s.quantile_ns(0.99) <= s.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_exact() {
+        let h = Histogram::new();
+        h.record_ns(3_456_789);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile_ns(q), 3_456_789);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile_ns(0.5), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns(5_000);
+        a.record_ns(7_000);
+        b.record_ns(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum_ns, 1_012_000);
+        assert_eq!(m.max_ns, 1_000_000);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn rate_window_counts_trailing_seconds() {
+        let w = RateWindow::new();
+        let base = 100_000_000_000u64; // t = 100s
+                                       // 30 events spread over seconds 100..=102.
+        for s in 0..3u64 {
+            for _ in 0..10 {
+                w.record_at(base + s * 1_000_000_000 + 500_000_000);
+            }
+        }
+        // At t=103.0, the trailing 10s window holds all 30 events.
+        let r = w.rate_over(103_000_000_000 + 1, 10);
+        assert!((r - 3.0).abs() < 1e-9, "got {r}");
+        // A 2-second window sees only seconds 101 and 102 → 20 events.
+        let r2 = w.rate_over(103_000_000_000 + 1, 2);
+        assert!((r2 - 10.0).abs() < 1e-9, "got {r2}");
+    }
+
+    #[test]
+    fn rate_window_partial_second_fallback() {
+        let w = RateWindow::new();
+        let t = 50_500_000_000u64; // t = 50.5s, no prior history
+        for _ in 0..5 {
+            w.record_at(t);
+        }
+        let r = w.rate_over(t, 10);
+        assert!((r - 10.0).abs() < 1e-6, "5 events in 0.5s ≈ 10/s, got {r}");
+    }
+
+    #[test]
+    fn rate_window_slot_reuse_drops_stale_data() {
+        let w = RateWindow::new();
+        w.record_at(5_000_000_000); // second 5
+                                    // 16 slots → second 21 reuses second 5's slot.
+        w.record_at(21_000_000_000);
+        w.record_at(21_000_000_000);
+        let r = w.rate_over(22_000_000_000, 10);
+        assert!((r - 0.2).abs() < 1e-9, "only second 21 counts, got {r}");
+    }
+
+    #[test]
+    fn registry_returns_same_instrument_for_same_name() {
+        let m = Metrics::new();
+        let c1 = m.counter("x");
+        let c2 = m.counter("x");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(m.counter("x").get(), 3);
+        let g = m.gauge("g");
+        g.set(7);
+        assert_eq!(m.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let m = Metrics::new();
+        m.counter("reqs{op=\"ping\"}").add(4);
+        m.gauge("cells").set(9);
+        m.histogram("lat{op=\"ping\"}").record_ns(2_500);
+        let j = m.snapshot_at(0).to_json();
+        assert_eq!(
+            j.get("counters")
+                .and_then(|c| c.get("reqs{op=\"ping\"}"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        assert_eq!(
+            j.get("gauges")
+                .and_then(|g| g.get("cells"))
+                .and_then(|v| v.as_f64()),
+            Some(9.0)
+        );
+        let h = j
+            .get("histograms")
+            .and_then(|h| h.get("lat{op=\"ping\"}"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(h.get("max_us").and_then(|v| v.as_f64()), Some(2.5));
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let m = Metrics::new();
+        m.counter("harness_serve_requests_total{op=\"ping\"}")
+            .add(3);
+        m.counter("harness_serve_requests_total{op=\"query\"}")
+            .add(5);
+        m.gauge("harness_serve_index_cells").set(42);
+        let h = m.histogram("harness_serve_request_latency_seconds{op=\"ping\"}");
+        h.record_ns(500); // ≤1µs bucket
+        h.record_ns(1_500); // 2µs bucket
+        h.record_ns(3_000_000); // ~3ms
+        let text = m.snapshot_at(0).to_prometheus();
+        let expected_head = "\
+# HELP harness_serve_requests_total Cumulative event count.
+# TYPE harness_serve_requests_total counter
+harness_serve_requests_total{op=\"ping\"} 3
+harness_serve_requests_total{op=\"query\"} 5
+# HELP harness_serve_index_cells Instantaneous value.
+# TYPE harness_serve_index_cells gauge
+harness_serve_index_cells 42
+# HELP harness_serve_request_latency_seconds Latency distribution.
+# TYPE harness_serve_request_latency_seconds histogram
+harness_serve_request_latency_seconds_bucket{op=\"ping\",le=\"0.000001\"} 1
+harness_serve_request_latency_seconds_bucket{op=\"ping\",le=\"0.000002\"} 2
+";
+        assert!(
+            text.starts_with(expected_head),
+            "exposition mismatch:\n{text}"
+        );
+        // Cumulative buckets end at +Inf == count, and sum is in seconds.
+        assert!(text
+            .contains("harness_serve_request_latency_seconds_bucket{op=\"ping\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("harness_serve_request_latency_seconds_sum{op=\"ping\"} 0.003002\n"));
+        assert!(text.contains("harness_serve_request_latency_seconds_count{op=\"ping\"} 3\n"));
+        // One TYPE line per base name even with two labelled series.
+        assert_eq!(
+            text.matches("# TYPE harness_serve_requests_total counter")
+                .count(),
+            1
+        );
+    }
+}

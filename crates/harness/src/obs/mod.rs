@@ -32,8 +32,20 @@
 //! ([`monotonic_ns`]); the executor's per-cell wall measurements use
 //! the same clock, so telemetry durations and trace spans agree and a
 //! wall-clock step can never produce a negative duration.
+//!
+//! Next to the span recorder sits [`metrics`]: a lock-free registry of
+//! named counters, gauges, log-bucketed latency histograms, and
+//! sliding-window rates. Spans describe *one run* in depth; the metrics
+//! registry describes the *steady state* of a long-lived process (the
+//! `campaign serve` daemon records every request into it, and the
+//! `metrics` protocol op renders it as compact JSON or Prometheus text
+//! exposition). Recording through a registered handle is wait-free —
+//! a few relaxed atomic adds on fixed-size arrays, no allocation — so
+//! it stays on even under benchmark load, and like everything else in
+//! `obs` it is purely observational: it never changes store bytes.
 
 pub mod bench;
+pub mod metrics;
 pub mod trace;
 
 use std::collections::BTreeMap;

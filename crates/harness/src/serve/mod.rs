@@ -36,14 +36,26 @@
 //! get `serve/accept` spans, requests `serve/request` spans, submitted
 //! campaigns `serve/submit_run` spans, and every point lookup bumps a
 //! `serve/query_hit` or `serve/query_miss` counter.
+//!
+//! On top of the spans sits the steady-state layer
+//! ([`crate::obs::metrics`]): every request records its latency into a
+//! per-op log-bucketed histogram and a sliding request-rate window, the
+//! scheduler publishes per-job progress gauges, and slow requests land
+//! in a bounded ring. Three ops expose it — `metrics` (compact JSON +
+//! Prometheus text exposition), `jobs` (per-job status, progress and
+//! error strings), and `slowlog` — all purely observational: recording
+//! never touches the store, so the byte-identity invariant holds with
+//! metrics always on.
 
 pub mod index;
 pub mod lock;
+pub mod top;
 
-use crate::exec::{run_campaign_with, CellDomain, ExecConfig, ExecHooks};
+use crate::exec::{run_campaign_with, CellDomain, ExecConfig, ExecHooks, ExecProgress};
 use crate::gen::{GenOptions, DEFAULT_CORPUS_SIZE};
 use crate::json::Json;
 use crate::matrix::Filter;
+use crate::obs::metrics::{Counter, Histogram, Metrics, RateWindow, RATE_WINDOW_SECS};
 use crate::obs::{monotonic_ns, Obs};
 use crate::registry::Registry;
 use crate::report;
@@ -51,13 +63,42 @@ use crate::scenario::{CellResult, Params, ScenarioError};
 use crate::store::{CompactingJournal, ResultStore, StoredCell};
 use index::StoreIndex;
 use lock::{LockInfo, StoreLock};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
+
+/// Every protocol op, in dispatch order. Each gets its own latency
+/// histogram and request counter; unrecognized ops share an extra
+/// `other` slot.
+pub const SERVE_OPS: [&str; 10] = [
+    "ping",
+    "stats",
+    "query",
+    "query_range",
+    "report",
+    "submit",
+    "metrics",
+    "jobs",
+    "slowlog",
+    "shutdown",
+];
+
+/// Slot index for unknown ops / unparseable requests.
+const OP_OTHER: usize = SERVE_OPS.len();
+
+/// Terminal job records kept for the `jobs` op before the oldest are
+/// evicted.
+const JOB_HISTORY: usize = 64;
+
+/// Slow requests kept in the ring buffer.
+const SLOWLOG_CAP: usize = 64;
+
+/// Request payload bytes kept per slowlog entry.
+const SLOWLOG_PAYLOAD: usize = 128;
 
 /// Daemon tuning knobs (the `campaign serve` flags).
 #[derive(Debug, Clone)]
@@ -76,6 +117,14 @@ pub struct ServeOptions {
     /// Fold the journal into the checkpoint whenever it exceeds this
     /// many lines mid-run (`--compact-journal-over`).
     pub compact_journal_over: Option<usize>,
+    /// Requests slower than this land in the slowlog ring
+    /// (`--slowlog-over-us`).
+    pub slowlog_over_us: u64,
+    /// Discard all metric recordings (the registry still answers, all
+    /// zeros). Exists only so `campaign bench` can measure the
+    /// recording overhead against a no-op sink; operational daemons
+    /// keep metrics on.
+    pub metrics_noop: bool,
     /// Suppress per-job stderr notes.
     pub quiet: bool,
 }
@@ -88,6 +137,8 @@ impl Default for ServeOptions {
             exec_threads: 4,
             checkpoint_every: 16,
             compact_journal_over: None,
+            slowlog_over_us: 10_000,
+            metrics_noop: false,
             quiet: false,
         }
     }
@@ -103,16 +154,157 @@ struct JobSpec {
     corpus_size: Option<u32>,
 }
 
-/// Scheduler queue + lifetime job accounting, under one lock.
+/// Where a job is in its lifecycle, as reported by the `jobs` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+    Dropped,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Dropped => "dropped",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+/// Live progress of one job: the scheduler's `ExecHooks::progress`
+/// callback stores into these cells from worker threads, and the
+/// `stats`/`jobs` ops read them without taking the job lock for long.
+#[derive(Debug, Default)]
+struct JobProgress {
+    /// Cells completed so far (fresh + memoized).
+    cells_done: AtomicU64,
+    /// Lazy cells in the job's domain (0 until the first heartbeat).
+    cells_total: AtomicU64,
+    /// Wall-clock start (`telemetry::now_ms`); 0 while queued.
+    started_ms: AtomicU64,
+}
+
+/// Everything the `jobs` op can say about one submission.
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+    /// The error string of a failed run (previously stderr-only).
+    error: Option<String>,
+    progress: Arc<JobProgress>,
+}
+
+/// Scheduler queue + lifetime job accounting, under one lock. Records
+/// persist past completion (bounded: the oldest terminal records are
+/// evicted past [`JOB_HISTORY`]).
 #[derive(Debug, Default)]
 struct JobState {
-    queued: VecDeque<JobSpec>,
+    queued: VecDeque<u64>,
+    records: BTreeMap<u64, JobRecord>,
     running: Option<u64>,
     done: u64,
     failed: u64,
     cancelled: u64,
     dropped: u64,
     next_id: u64,
+}
+
+impl JobState {
+    /// Move a record to a terminal status and keep history bounded.
+    fn finish(&mut self, id: u64, status: JobStatus, error: Option<String>) {
+        if let Some(record) = self.records.get_mut(&id) {
+            record.status = status;
+            record.error = error;
+        }
+        while self.records.len() > JOB_HISTORY {
+            let Some(oldest) = self
+                .records
+                .iter()
+                .find(|(_, r)| r.status.terminal())
+                .map(|(&id, _)| id)
+            else {
+                break;
+            };
+            self.records.remove(&oldest);
+        }
+    }
+}
+
+/// One slow request, as kept by the bounded slowlog ring.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    op: String,
+    duration_us: u64,
+    at_ms: u64,
+    payload: String,
+}
+
+/// The daemon's steady-state instruments: one latency histogram and
+/// request counter per protocol op (plus an `other` slot), sliding
+/// request/query rate windows, and gauges refreshed at scrape time.
+/// Recording is wait-free; `noop` turns it into a benchmark baseline.
+struct ServeMetrics {
+    registry: Metrics,
+    noop: bool,
+    op_latency: Vec<Arc<Histogram>>,
+    op_requests: Vec<Arc<Counter>>,
+    request_rate: Arc<RateWindow>,
+    query_rate: Arc<RateWindow>,
+}
+
+impl ServeMetrics {
+    fn new(noop: bool) -> ServeMetrics {
+        let registry = Metrics::new();
+        let mut op_latency = Vec::with_capacity(SERVE_OPS.len() + 1);
+        let mut op_requests = Vec::with_capacity(SERVE_OPS.len() + 1);
+        for op in SERVE_OPS.iter().copied().chain(std::iter::once("other")) {
+            op_latency.push(registry.histogram(&format!(
+                "harness_serve_request_latency_seconds{{op=\"{op}\"}}"
+            )));
+            op_requests
+                .push(registry.counter(&format!("harness_serve_requests_total{{op=\"{op}\"}}")));
+        }
+        let request_rate = registry.rate_window("harness_serve_request_rate");
+        let query_rate = registry.rate_window("harness_serve_query_rate");
+        ServeMetrics {
+            registry,
+            noop,
+            op_latency,
+            op_requests,
+            request_rate,
+            query_rate,
+        }
+    }
+
+    /// Slot index for an op name ([`OP_OTHER`] for anything unknown).
+    fn slot_of(op: &str) -> usize {
+        SERVE_OPS.iter().position(|&o| o == op).unwrap_or(OP_OTHER)
+    }
+
+    /// Record one finished request: latency into the op's histogram,
+    /// one tick into the rate windows.
+    fn record_request(&self, slot: usize, dur_ns: u64, now_ns: u64) {
+        if self.noop {
+            return;
+        }
+        self.op_latency[slot].record_ns(dur_ns);
+        self.op_requests[slot].inc();
+        self.request_rate.record_at(now_ns);
+        if SERVE_OPS.get(slot) == Some(&"query") {
+            self.query_rate.record_at(now_ns);
+        }
+    }
 }
 
 /// Shared state of a running daemon.
@@ -129,6 +321,10 @@ struct ServerInner {
     /// ids regardless of gen options).
     registry: Registry,
     obs: Option<Obs>,
+    /// Steady-state instruments (the `metrics` op's registry).
+    metrics: ServeMetrics,
+    /// Bounded ring of requests slower than `slowlog_over_us`.
+    slowlog: Mutex<VecDeque<SlowEntry>>,
     start_ns: u64,
     local_addr: SocketAddr,
     shutdown: AtomicBool,
@@ -201,6 +397,7 @@ impl Server {
             .local_addr()
             .map_err(|e| ScenarioError::Store(format!("local addr: {e}")))?;
         let pool = options.accept_pool.max(1);
+        let metrics = ServeMetrics::new(options.metrics_noop);
         let inner = Arc::new(ServerInner {
             store_path: store_path.to_path_buf(),
             options,
@@ -208,6 +405,8 @@ impl Server {
             store: Mutex::new(store),
             registry: Registry::builtin_with(&GenOptions::default()),
             obs,
+            metrics,
+            slowlog: Mutex::new(VecDeque::new()),
             start_ns: monotonic_ns(),
             local_addr,
             shutdown: AtomicBool::new(false),
@@ -334,6 +533,31 @@ impl ServerInner {
     fn uptime_ms(&self) -> u64 {
         monotonic_ns().saturating_sub(self.start_ns) / 1_000_000
     }
+
+    /// Push a request into the slowlog ring when it crossed the
+    /// threshold. The payload is truncated — the ring is a hint for
+    /// the operator, not a request archive.
+    fn note_slow(&self, slot: usize, dur_ns: u64, payload: &str) {
+        let duration_us = dur_ns / 1_000;
+        if duration_us < self.options.slowlog_over_us {
+            return;
+        }
+        let mut truncated: String = payload.chars().take(SLOWLOG_PAYLOAD).collect();
+        if truncated.len() < payload.len() {
+            truncated.push('…');
+        }
+        let entry = SlowEntry {
+            op: SERVE_OPS.get(slot).copied().unwrap_or("other").to_string(),
+            duration_us,
+            at_ms: crate::telemetry::now_ms(),
+            payload: truncated,
+        };
+        let mut ring = self.slowlog.lock().expect("slowlog lock poisoned");
+        if ring.len() == SLOWLOG_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
 }
 
 /// Flips the daemon into shutdown: drop queued jobs, cancel the
@@ -345,7 +569,10 @@ fn initiate_shutdown(inner: &Arc<ServerInner>) -> u64 {
         let mut jobs = inner.jobs.lock().expect("job state lock poisoned");
         let dropped = jobs.queued.len() as u64;
         jobs.dropped += dropped;
-        jobs.queued.clear();
+        let ids: Vec<u64> = jobs.queued.drain(..).collect();
+        for id in ids {
+            jobs.finish(id, JobStatus::Dropped, None);
+        }
         dropped
     };
     inner.shutdown.store(true, Ordering::SeqCst);
@@ -425,14 +652,26 @@ fn serve_connection(inner: &Arc<ServerInner>, mut stream: TcpStream) {
             }
             let request_span = inner.obs.as_ref().map(|o| o.span("serve/request", "serve"));
             inner.requests.fetch_add(1, Ordering::SeqCst);
-            let (response, close) = match Json::parse(line) {
-                Ok(doc) => handle_request(inner, &doc),
-                Err(e) => (error_json(&format!("bad request: {e}")), false),
+            let started_ns = monotonic_ns();
+            let (slot, response, close) = match Json::parse(line) {
+                Ok(doc) => {
+                    let slot =
+                        ServeMetrics::slot_of(doc.get("op").and_then(Json::as_str).unwrap_or(""));
+                    let (response, close) = handle_request(inner, &doc);
+                    (slot, response, close)
+                }
+                Err(e) => (OP_OTHER, error_json(&format!("bad request: {e}")), false),
             };
             let mut text = response.compact();
             text.push('\n');
             let written = stream.write_all(text.as_bytes());
             drop(request_span);
+            // Recorded after the response is on the wire, so a
+            // `metrics` scrape never counts its own in-flight request.
+            let finished_ns = monotonic_ns();
+            let dur_ns = finished_ns.saturating_sub(started_ns);
+            inner.metrics.record_request(slot, dur_ns, finished_ns);
+            inner.note_slow(slot, dur_ns, line);
             if written.is_err() || close {
                 return;
             }
@@ -487,12 +726,17 @@ fn handle_request(inner: &Arc<ServerInner>, doc: &Json) -> (Json, bool) {
         "query_range" => (query_range_response(inner, doc), false),
         "report" => (report_response(inner, doc), false),
         "submit" => (submit_response(inner, doc), false),
+        "metrics" => (metrics_response(inner), false),
+        "jobs" => (jobs_response(inner), false),
+        "slowlog" => (slowlog_response(inner), false),
         "shutdown" => {
             let dropped = initiate_shutdown(inner);
+            let failed = inner.jobs.lock().expect("job state lock poisoned").failed;
             (
                 ok_json(vec![
                     ("shutting_down".to_string(), Json::Bool(true)),
                     ("jobs_dropped".to_string(), Json::Num(dropped as f64)),
+                    ("jobs_failed".to_string(), Json::Num(failed as f64)),
                 ]),
                 true,
             )
@@ -501,16 +745,152 @@ fn handle_request(inner: &Arc<ServerInner>, doc: &Json) -> (Json, bool) {
     }
 }
 
+/// `metrics`: snapshot the registry, refresh the scrape-time gauges,
+/// and render both compact JSON and Prometheus text exposition.
+fn metrics_response(inner: &ServerInner) -> Json {
+    let index = inner.snapshot();
+    let registry = &inner.metrics.registry;
+    registry
+        .gauge("harness_serve_index_cells")
+        .set(index.cells() as u64);
+    registry
+        .gauge("harness_serve_index_scenarios")
+        .set(index.scenarios().count() as u64);
+    registry
+        .gauge("harness_serve_index_interned")
+        .set(index.interned() as u64);
+    registry
+        .gauge("harness_serve_active_connections")
+        .set(inner.active_connections.load(Ordering::SeqCst) as u64);
+    {
+        let jobs = inner.jobs.lock().expect("job state lock poisoned");
+        registry
+            .gauge("harness_serve_jobs_queued")
+            .set(jobs.queued.len() as u64);
+        registry
+            .gauge("harness_serve_jobs_running")
+            .set(jobs.running.is_some() as u64);
+        registry.gauge("harness_serve_jobs_done").set(jobs.done);
+        registry.gauge("harness_serve_jobs_failed").set(jobs.failed);
+    }
+    let snapshot = registry.snapshot_at(monotonic_ns());
+    ok_json(vec![
+        ("metrics".to_string(), snapshot.to_json()),
+        (
+            "prometheus".to_string(),
+            Json::str(snapshot.to_prometheus()),
+        ),
+    ])
+}
+
+/// `jobs`: every retained job record — status, spec, progress, error.
+fn jobs_response(inner: &ServerInner) -> Json {
+    let jobs = inner.jobs.lock().expect("job state lock poisoned");
+    let list = jobs
+        .records
+        .values()
+        .map(|record| {
+            let mut fields = vec![
+                ("job".to_string(), Json::Num(record.spec.id as f64)),
+                ("status".to_string(), Json::str(record.status.as_str())),
+                (
+                    "scenarios".to_string(),
+                    Json::Arr(record.spec.scenarios.iter().map(Json::str).collect()),
+                ),
+                (
+                    "filters".to_string(),
+                    Json::Arr(record.spec.filters.iter().map(Json::str).collect()),
+                ),
+                ("seed".to_string(), Json::Num(record.spec.seed as f64)),
+                (
+                    "cells_done".to_string(),
+                    Json::Num(record.progress.cells_done.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "cells_total".to_string(),
+                    Json::Num(record.progress.cells_total.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "started_ms".to_string(),
+                    Json::Num(record.progress.started_ms.load(Ordering::Relaxed) as f64),
+                ),
+            ];
+            if let Some(error) = &record.error {
+                fields.push(("error".to_string(), Json::str(error)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    ok_json(vec![("jobs".to_string(), Json::Arr(list))])
+}
+
+/// `slowlog`: the ring of requests slower than the threshold, oldest
+/// first.
+fn slowlog_response(inner: &ServerInner) -> Json {
+    let ring = inner.slowlog.lock().expect("slowlog lock poisoned");
+    let entries = ring
+        .iter()
+        .map(|entry| {
+            Json::Obj(vec![
+                ("op".to_string(), Json::str(&entry.op)),
+                (
+                    "duration_us".to_string(),
+                    Json::Num(entry.duration_us as f64),
+                ),
+                ("at_ms".to_string(), Json::Num(entry.at_ms as f64)),
+                ("payload".to_string(), Json::str(&entry.payload)),
+            ])
+        })
+        .collect();
+    ok_json(vec![
+        (
+            "threshold_us".to_string(),
+            Json::Num(inner.options.slowlog_over_us as f64),
+        ),
+        ("entries".to_string(), Json::Arr(entries)),
+    ])
+}
+
 fn stats_response(inner: &ServerInner) -> Json {
     let index = inner.snapshot();
     let uptime_ms = inner.uptime_ms();
     let queries = inner.queries.load(Ordering::SeqCst);
-    let qps = if uptime_ms > 0 {
+    // Lifetime average: a burst an hour ago inflates this forever, so
+    // it is kept only as `qps_lifetime`; `qps` is the sliding window.
+    let qps_lifetime = if uptime_ms > 0 {
         queries as f64 * 1000.0 / uptime_ms as f64
     } else {
         0.0
     };
+    // Early in the uptime the full 10s window would divide a short
+    // burst by seconds that never existed — clamp to seconds lived.
+    let window_secs = uptime_ms.div_ceil(1_000).clamp(1, RATE_WINDOW_SECS);
+    let qps = inner
+        .metrics
+        .query_rate
+        .rate_over(monotonic_ns(), window_secs);
     let jobs = inner.jobs.lock().expect("job state lock poisoned");
+    let progress = jobs
+        .running
+        .and_then(|id| jobs.records.get(&id))
+        .map(|record| {
+            Json::Obj(vec![
+                ("job".to_string(), Json::Num(record.spec.id as f64)),
+                (
+                    "cells_done".to_string(),
+                    Json::Num(record.progress.cells_done.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "cells_total".to_string(),
+                    Json::Num(record.progress.cells_total.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "started_ms".to_string(),
+                    Json::Num(record.progress.started_ms.load(Ordering::Relaxed) as f64),
+                ),
+            ])
+        })
+        .unwrap_or(Json::Null);
     let count = |n: u64| Json::Num(n as f64);
     ok_json(vec![
         ("uptime_ms".to_string(), count(uptime_ms)),
@@ -541,6 +921,11 @@ fn stats_response(inner: &ServerInner) -> Json {
             Json::Num((qps * 1000.0).round() / 1000.0),
         ),
         (
+            "qps_lifetime".to_string(),
+            Json::Num((qps_lifetime * 1000.0).round() / 1000.0),
+        ),
+        ("jobs_failed".to_string(), count(jobs.failed)),
+        (
             "submits".to_string(),
             count(inner.submits.load(Ordering::SeqCst)),
         ),
@@ -556,6 +941,7 @@ fn stats_response(inner: &ServerInner) -> Json {
                 ("failed".to_string(), count(jobs.failed)),
                 ("cancelled".to_string(), count(jobs.cancelled)),
                 ("dropped".to_string(), count(jobs.dropped)),
+                ("progress".to_string(), progress),
             ]),
         ),
     ])
@@ -851,13 +1237,22 @@ fn submit_response(inner: &ServerInner, doc: &Json) -> Json {
     let mut jobs = inner.jobs.lock().expect("job state lock poisoned");
     jobs.next_id += 1;
     let id = jobs.next_id;
-    jobs.queued.push_back(JobSpec {
+    jobs.records.insert(
         id,
-        scenarios,
-        filters,
-        seed,
-        corpus_size,
-    });
+        JobRecord {
+            spec: JobSpec {
+                id,
+                scenarios,
+                filters,
+                seed,
+                corpus_size,
+            },
+            status: JobStatus::Queued,
+            error: None,
+            progress: Arc::new(JobProgress::default()),
+        },
+    );
+    jobs.queued.push_back(id);
     let queued = jobs.queued.len();
     drop(jobs);
     inner.jobs_signal.notify_all();
@@ -874,9 +1269,15 @@ fn scheduler_loop(inner: &Arc<ServerInner>) {
         let job = {
             let mut jobs = inner.jobs.lock().expect("job state lock poisoned");
             loop {
-                if let Some(job) = jobs.queued.pop_front() {
-                    jobs.running = Some(job.id);
-                    break Some(job);
+                if let Some(id) = jobs.queued.pop_front() {
+                    jobs.running = Some(id);
+                    let record = jobs.records.get_mut(&id).expect("queued job has a record");
+                    record.status = JobStatus::Running;
+                    record
+                        .progress
+                        .started_ms
+                        .store(crate::telemetry::now_ms(), Ordering::Relaxed);
+                    break Some((record.spec.clone(), record.progress.clone()));
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -887,17 +1288,24 @@ fn scheduler_loop(inner: &Arc<ServerInner>) {
                     .expect("job state lock poisoned");
             }
         };
-        let Some(job) = job else { break };
-        let outcome = run_job(inner, &job);
+        let Some((spec, progress)) = job else { break };
+        let outcome = run_job(inner, &spec, &progress);
         let mut jobs = inner.jobs.lock().expect("job state lock poisoned");
         jobs.running = None;
         match outcome {
-            Ok(true) => jobs.done += 1,
-            Ok(false) => jobs.cancelled += 1,
+            Ok(true) => {
+                jobs.done += 1;
+                jobs.finish(spec.id, JobStatus::Done, None);
+            }
+            Ok(false) => {
+                jobs.cancelled += 1;
+                jobs.finish(spec.id, JobStatus::Cancelled, None);
+            }
             Err(e) => {
                 jobs.failed += 1;
+                jobs.finish(spec.id, JobStatus::Failed, Some(e.to_string()));
                 if !inner.options.quiet {
-                    eprintln!("serve: job {} failed: {e}", job.id);
+                    eprintln!("serve: job {} failed: {e}", spec.id);
                 }
             }
         }
@@ -909,7 +1317,11 @@ fn scheduler_loop(inner: &Arc<ServerInner>) {
 /// resulting store is byte-identical to the batch run's. Returns
 /// `Ok(false)` when shutdown cancelled the job mid-run (completed
 /// cells are persisted either way).
-fn run_job(inner: &Arc<ServerInner>, job: &JobSpec) -> Result<bool, ScenarioError> {
+fn run_job(
+    inner: &Arc<ServerInner>,
+    job: &JobSpec,
+    progress: &Arc<JobProgress>,
+) -> Result<bool, ScenarioError> {
     let _span = inner
         .obs
         .as_ref()
@@ -939,6 +1351,16 @@ fn run_job(inner: &Arc<ServerInner>, job: &JobSpec) -> Result<bool, ScenarioErro
             .expect("journal lock poisoned")
             .append(fp, cell);
     };
+    // Stream completion (fresh + memoized) into the job's progress
+    // cells so `stats`/`jobs`/`top` can watch the run live.
+    let progress_sink = |p: ExecProgress| {
+        progress
+            .cells_done
+            .store((p.executed + p.memoized) as u64, Ordering::Relaxed);
+        progress
+            .cells_total
+            .store(p.total as u64, Ordering::Relaxed);
+    };
     let outcome = run_campaign_with(
         &registry,
         &job.scenarios,
@@ -950,6 +1372,7 @@ fn run_job(inner: &Arc<ServerInner>, job: &JobSpec) -> Result<bool, ScenarioErro
         &mut store,
         CellDomain::All,
         ExecHooks {
+            progress: Some(&progress_sink),
             on_result: Some(&journal_sink),
             obs: inner.obs.as_ref(),
             cancel: Some(&inner.cancel),
@@ -1168,6 +1591,188 @@ mod tests {
             std::fs::read(&batch_path).unwrap(),
             "served store must be byte-identical to the batch store"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_jobs_and_slowlog_roundtrip() {
+        let dir = scratch("metrics");
+        let store_path = dir.join("store.json");
+        let handle = Server::bind(
+            &store_path,
+            ServeOptions {
+                quiet: true,
+                exec_threads: 2,
+                // Every request is "slow" at threshold 0: the ring
+                // itself is what's under test.
+                slowlog_over_us: 0,
+                ..ServeOptions::default()
+            },
+            None,
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr());
+
+        // A known request mix: 3 pings, 1 submit, wait via stats.
+        for _ in 0..3 {
+            assert_ok(&client.request("{\"op\":\"ping\"}"));
+        }
+        let submitted =
+            client.request("{\"op\":\"submit\",\"scenarios\":[\"pipeline-domino\"],\"seed\":7}");
+        assert_ok(&submitted);
+        let mut stats_sent = 0u64;
+        let mut done = false;
+        for _ in 0..600 {
+            let stats = client.request("{\"op\":\"stats\"}");
+            stats_sent += 1;
+            assert_ok(&stats);
+            if stats
+                .get("jobs")
+                .and_then(|j| j.get("done"))
+                .and_then(Json::as_f64)
+                == Some(1.0)
+            {
+                done = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(done, "the submitted job never completed");
+        // `stats` carries the windowed qps next to the lifetime rate
+        // and the top-level failure counter.
+        let stats = client.request("{\"op\":\"stats\"}");
+        stats_sent += 1;
+        assert!(stats.get("qps").and_then(Json::as_f64).is_some());
+        assert!(stats.get("qps_lifetime").and_then(Json::as_f64).is_some());
+        assert_eq!(stats.get("jobs_failed").and_then(Json::as_f64), Some(0.0));
+
+        // One query so its histogram is non-empty.
+        let hit = client.request(
+            "{\"op\":\"query\",\"scenario\":\"pipeline-domino\",\"params\":{\"n\":\"16\"}}",
+        );
+        assert_ok(&hit);
+
+        // The registry's counters must exactly match the issued mix.
+        // (The metrics request itself records only after responding,
+        // so it does not count itself.)
+        let metrics = client.request("{\"op\":\"metrics\"}");
+        assert_ok(&metrics);
+        let counters = metrics
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .unwrap();
+        let counter = |op: &str| {
+            counters
+                .get(&format!("harness_serve_requests_total{{op=\"{op}\"}}"))
+                .and_then(Json::as_f64)
+        };
+        assert_eq!(counter("ping"), Some(3.0));
+        assert_eq!(counter("submit"), Some(1.0));
+        assert_eq!(counter("query"), Some(1.0));
+        assert_eq!(counter("stats"), Some(stats_sent as f64));
+        assert_eq!(counter("metrics"), Some(0.0));
+        let histograms = metrics
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .unwrap();
+        let query_hist = histograms
+            .get("harness_serve_request_latency_seconds{op=\"query\"}")
+            .unwrap();
+        assert_eq!(query_hist.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(query_hist.get("p99_us").and_then(Json::as_f64).unwrap() > 0.0);
+        // The exposition text is well-formed and cumulative.
+        let text = metrics.get("prometheus").and_then(Json::as_str).unwrap();
+        assert!(text.contains("# TYPE harness_serve_request_latency_seconds histogram"));
+        assert!(text.contains("harness_serve_requests_total{op=\"ping\"} 3\n"));
+        assert!(text.contains(
+            "harness_serve_request_latency_seconds_bucket{op=\"query\",le=\"+Inf\"} 1\n"
+        ));
+        assert!(text.contains("harness_serve_index_cells "));
+
+        // `jobs` reports the finished job with full progress.
+        let jobs = client.request("{\"op\":\"jobs\"}");
+        assert_ok(&jobs);
+        let list = jobs.get("jobs").and_then(Json::as_arr).unwrap();
+        assert_eq!(list.len(), 1);
+        let job = &list[0];
+        assert_eq!(job.get("status").and_then(Json::as_str), Some("done"));
+        let cells_done = job.get("cells_done").and_then(Json::as_f64).unwrap();
+        let cells_total = job.get("cells_total").and_then(Json::as_f64).unwrap();
+        assert!(cells_done > 0.0);
+        assert_eq!(cells_done, cells_total, "a done job is fully progressed");
+        assert!(job.get("started_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(job.get("error").is_none());
+
+        // A failed job: a directory squatting on the journal path makes
+        // the journal unopenable, and the error string lands in the
+        // record instead of vanishing into stderr.
+        let journal_path = crate::store::journal_path(&store_path);
+        std::fs::create_dir_all(&journal_path).unwrap();
+        let failed =
+            client.request("{\"op\":\"submit\",\"scenarios\":[\"pipeline-domino\"],\"seed\":8}");
+        assert_ok(&failed);
+        let mut saw_failure = false;
+        for _ in 0..600 {
+            let stats = client.request("{\"op\":\"stats\"}");
+            if stats
+                .get("jobs_failed")
+                .and_then(Json::as_f64)
+                .is_some_and(|n| n >= 1.0)
+            {
+                saw_failure = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_failure, "the doomed job never failed");
+        // Clear the obstruction so later submits could journal again.
+        std::fs::remove_dir(&journal_path).unwrap();
+        let jobs = client.request("{\"op\":\"jobs\"}");
+        let list = jobs.get("jobs").and_then(Json::as_arr).unwrap();
+        let failed_job = list
+            .iter()
+            .find(|j| j.get("status").and_then(Json::as_str) == Some("failed"))
+            .expect("the failed job is recorded");
+        assert!(
+            !failed_job
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .is_empty(),
+            "the failure reason is retrievable"
+        );
+
+        // The slowlog ring captured the mix (threshold 0), op-tagged
+        // with truncated payloads.
+        let slowlog = client.request("{\"op\":\"slowlog\"}");
+        assert_ok(&slowlog);
+        assert_eq!(
+            slowlog.get("threshold_us").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        let entries = slowlog.get("entries").and_then(Json::as_arr).unwrap();
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|e| {
+            e.get("op").and_then(Json::as_str).is_some()
+                && e.get("duration_us").and_then(Json::as_f64).is_some()
+                && e.get("at_ms").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+        }));
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.get("op").and_then(Json::as_str) == Some("ping")),
+            "the pings crossed the zero threshold"
+        );
+        // The ring is bounded.
+        assert!(entries.len() <= 64);
+
+        // `shutdown` now reports the failure tally too.
+        let bye = client.request("{\"op\":\"shutdown\"}");
+        assert_ok(&bye);
+        assert_eq!(bye.get("jobs_failed").and_then(Json::as_f64), Some(1.0));
+        let summary = handle.wait().unwrap();
+        assert_eq!(summary.jobs_done, 1);
+        assert_eq!(summary.jobs_failed, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,224 @@
+//! Rendering for `campaign top` — the live terminal view of a running
+//! daemon.
+//!
+//! The client side (poll loop, connection handling, screen clearing)
+//! lives in the `campaign` binary; this module is the pure part: given
+//! the daemon's `stats`, `metrics` and `jobs` responses, produce the
+//! text screen. Keeping it pure makes the renderer unit-testable with
+//! synthetic responses and reusable for the one-shot `--once` mode,
+//! which prints exactly one screen to stdout.
+
+use super::SERVE_OPS;
+use crate::json::Json;
+
+/// Number of cells in a job progress bar.
+const BAR_WIDTH: usize = 20;
+/// Most recent jobs shown.
+const MAX_JOBS: usize = 8;
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// `12µs` / `3.4ms` / `1.2s` from microseconds.
+fn fmt_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{}µs", us.round())
+    } else if us < 1_000_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// `41s` / `12m03s` / `2h07m` from milliseconds.
+fn fmt_uptime(ms: u64) -> String {
+    let secs = ms / 1_000;
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3_600 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3_600, (secs % 3_600) / 60)
+    }
+}
+
+/// `[########············]` at `done/total`.
+fn progress_bar(done: f64, total: f64) -> String {
+    let frac = if total > 0.0 {
+        (done / total).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (frac * BAR_WIDTH as f64).round() as usize;
+    let mut bar = String::with_capacity(BAR_WIDTH + 2);
+    bar.push('[');
+    for i in 0..BAR_WIDTH {
+        bar.push(if i < filled { '#' } else { '·' });
+    }
+    bar.push(']');
+    bar
+}
+
+/// One full `top` screen from the daemon's `stats`, `metrics` and
+/// `jobs` responses.
+pub fn render(addr: &str, stats: &Json, metrics: &Json, jobs: &Json) -> String {
+    let mut out = String::new();
+    let uptime_ms = num(stats, "uptime_ms") as u64;
+    out.push_str(&format!(
+        "campaign serve — {addr}   up {}\n",
+        fmt_uptime(uptime_ms)
+    ));
+    out.push_str(&format!(
+        "cells {}   scenarios {}   qps {} (lifetime {})   requests {}   connections {}\n",
+        num(stats, "cells"),
+        num(stats, "scenarios"),
+        num(stats, "qps"),
+        num(stats, "qps_lifetime"),
+        num(stats, "requests"),
+        num(stats, "connections"),
+    ));
+    out.push('\n');
+
+    // Endpoint latency table, protocol order, ops seen at least once.
+    let histograms = metrics.get("metrics").and_then(|m| m.get("histograms"));
+    out.push_str(&format!(
+        "  {:<12} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+        "op", "count", "p50", "p90", "p99", "max"
+    ));
+    let mut any = false;
+    for op in SERVE_OPS.iter().chain(std::iter::once(&"other")) {
+        let name = format!("harness_serve_request_latency_seconds{{op=\"{op}\"}}");
+        let Some(h) = histograms.and_then(|hs| hs.get(&name)) else {
+            continue;
+        };
+        let count = num(h, "count");
+        if count == 0.0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            op,
+            count,
+            fmt_us(num(h, "p50_us")),
+            fmt_us(num(h, "p90_us")),
+            fmt_us(num(h, "p99_us")),
+            fmt_us(num(h, "max_us")),
+        ));
+    }
+    if !any {
+        out.push_str("  (no requests recorded yet)\n");
+    }
+    out.push('\n');
+
+    // Jobs, newest first.
+    out.push_str("jobs\n");
+    let list = jobs.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    if list.is_empty() {
+        out.push_str("  (none submitted)\n");
+        return out;
+    }
+    for job in list.iter().rev().take(MAX_JOBS) {
+        let id = num(job, "job");
+        let status = job.get("status").and_then(Json::as_str).unwrap_or("?");
+        let done = num(job, "cells_done");
+        let total = num(job, "cells_total");
+        let pct = if total > 0.0 {
+            (done / total * 100.0).round()
+        } else {
+            0.0
+        };
+        match status {
+            "failed" => {
+                let error = job.get("error").and_then(Json::as_str).unwrap_or("");
+                out.push_str(&format!("  #{id:<3} {status:<9} {error}\n"));
+            }
+            "queued" | "dropped" => {
+                out.push_str(&format!("  #{id:<3} {status:<9}\n"));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "  #{id:<3} {status:<9} {} {pct:>3}%  {done}/{total} cells\n",
+                    progress_bar(done, total)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Json, Json, Json) {
+        let stats = Json::parse(
+            r#"{"ok":true,"uptime_ms":754000,"cells":1234,"scenarios":3,"qps":118.2,
+                "qps_lifetime":3.4,"requests":2510,"connections":9}"#,
+        )
+        .unwrap();
+        let metrics = Json::parse(
+            r#"{"ok":true,"metrics":{"histograms":{
+                "harness_serve_request_latency_seconds{op=\"ping\"}":
+                    {"count":1,"p50_us":42,"p90_us":42,"p99_us":42,"max_us":42},
+                "harness_serve_request_latency_seconds{op=\"query\"}":
+                    {"count":200,"p50_us":51,"p90_us":80,"p99_us":390,"max_us":1200},
+                "harness_serve_request_latency_seconds{op=\"report\"}":
+                    {"count":0,"p50_us":0,"p90_us":0,"p99_us":0,"max_us":0}}}}"#,
+        )
+        .unwrap();
+        let jobs = Json::parse(
+            r#"{"ok":true,"jobs":[
+                {"job":1,"status":"failed","cells_done":0,"cells_total":0,
+                 "error":"journal open: no such directory"},
+                {"job":2,"status":"done","cells_done":230,"cells_total":230},
+                {"job":3,"status":"running","cells_done":57,"cells_total":230}]}"#,
+        )
+        .unwrap();
+        (stats, metrics, jobs)
+    }
+
+    #[test]
+    fn renders_header_table_and_jobs() {
+        let (stats, metrics, jobs) = sample();
+        let screen = render("127.0.0.1:4100", &stats, &metrics, &jobs);
+        assert!(screen.contains("campaign serve — 127.0.0.1:4100   up 12m34s"));
+        assert!(screen.contains("qps 118.2 (lifetime 3.4)"));
+        // Table rows in protocol order, zero-count ops hidden.
+        let ping = screen.find("ping").unwrap();
+        let query = screen.find("query").unwrap();
+        assert!(ping < query);
+        assert!(!screen.contains("report"));
+        assert!(screen.contains("42µs"));
+        assert!(screen.contains("1.2ms"), "{screen}");
+        // Jobs newest first: running bar, done bar, failed error line.
+        let running = screen.find("#3").unwrap();
+        let done = screen.find("#2").unwrap();
+        let failed = screen.find("#1").unwrap();
+        assert!(running < done && done < failed);
+        assert!(screen.contains("25%  57/230 cells"));
+        assert!(screen.contains("[#####···············]"), "{screen}");
+        assert!(screen.contains("[####################] 100%"));
+        assert!(screen.contains("journal open: no such directory"));
+    }
+
+    #[test]
+    fn renders_empty_daemon() {
+        let stats = Json::parse(r#"{"ok":true,"uptime_ms":1000}"#).unwrap();
+        let metrics = Json::parse(r#"{"ok":true,"metrics":{"histograms":{}}}"#).unwrap();
+        let jobs = Json::parse(r#"{"ok":true,"jobs":[]}"#).unwrap();
+        let screen = render("x", &stats, &metrics, &jobs);
+        assert!(screen.contains("(no requests recorded yet)"));
+        assert!(screen.contains("(none submitted)"));
+    }
+
+    #[test]
+    fn duration_and_uptime_formatting() {
+        assert_eq!(fmt_us(999.0), "999µs");
+        assert_eq!(fmt_us(1_500.0), "1.5ms");
+        assert_eq!(fmt_us(2_345_000.0), "2.35s");
+        assert_eq!(fmt_uptime(41_000), "41s");
+        assert_eq!(fmt_uptime(3_600_000), "1h00m");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the `obs::metrics` histogram: quantiles must be
+//! monotone in `q` and bounded by the observed extremes, merging two
+//! snapshots must be indistinguishable from recording both sample sets
+//! into one histogram, and the Prometheus text exposition must stay
+//! parseable (cumulative buckets ending at `+Inf == count`). These are
+//! the invariants `campaign top` and the CI metrics scrape lean on.
+
+use harness::obs::metrics::{bucket_bound_ns, bucket_of, Histogram, Metrics, FINITE_BUCKETS};
+use proptest::prelude::*;
+
+/// Durations spanning the whole ladder: sub-µs noise up to ~134s
+/// (past the last finite bound, so overflow gets exercised too).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u32..=27, 0u64..1_000)
+            .prop_map(|(shift, jitter)| (1u64 << shift).saturating_mul(1_000) + jitter),
+        0..=64,
+    )
+}
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record_ns(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in samples()) {
+        let s = record_all(&samples).snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| s.quantile_ns(q)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {values:?}");
+        }
+        if let (Some(&min), Some(&max)) = (samples.iter().min(), samples.iter().max()) {
+            // Every quantile sits within [bucket floor of min, true max];
+            // q=1.0 is exactly the max, never an inflated bucket bound.
+            prop_assert_eq!(s.quantile_ns(1.0), max);
+            prop_assert_eq!(s.max_ns, max);
+            let floor = if bucket_of(min) == 0 { 0 } else { bucket_bound_ns(bucket_of(min) - 1) };
+            for &v in &values {
+                prop_assert!(v >= floor, "quantile {v} below min sample's bucket floor {floor}");
+                prop_assert!(v <= max, "quantile {v} above true max {max}");
+            }
+        } else {
+            for &v in &values {
+                prop_assert_eq!(v, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation(a in samples(), b in samples()) {
+        let mut merged = record_all(&a).snapshot();
+        merged.merge(&record_all(&b).snapshot());
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = record_all(&combined).snapshot();
+        prop_assert_eq!(&merged, &direct);
+        // And the derived statistics agree, not just the raw arrays.
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile_ns(q), direct.quantile_ns(q));
+        }
+        prop_assert_eq!(merged.mean_ns(), direct.mean_ns());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count(samples in samples()) {
+        let m = Metrics::new();
+        let h = m.histogram("lat{op=\"query\"}");
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let text = m.snapshot_at(0).to_prometheus();
+        // Cumulative bucket values never decrease and +Inf equals count.
+        let mut prev = 0u64;
+        let mut bucket_lines = 0usize;
+        for line in text.lines().filter(|l| l.starts_with("lat_bucket")) {
+            bucket_lines += 1;
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(v >= prev, "buckets must be cumulative: {text}");
+            prev = v;
+        }
+        prop_assert_eq!(bucket_lines, FINITE_BUCKETS + 1);
+        prop_assert_eq!(prev, samples.len() as u64);
+        let count_line = format!("lat_count{{op=\"query\"}} {}\n", samples.len());
+        prop_assert!(text.contains(&count_line), "missing {count_line:?} in {text}");
+    }
+}
+
+/// Integration-level golden: the exposition a scraper sees for a small
+/// fixed registry, end to end through the public API.
+#[test]
+fn exposition_golden_small_registry() {
+    let m = Metrics::new();
+    m.counter("jobs_total").add(2);
+    m.gauge("cells").set(5);
+    let h = m.histogram("lat");
+    h.record_ns(1_000); // first bucket (≤1µs)
+    h.record_ns(1_000_000); // 1ms bucket
+    let text = m.snapshot_at(0).to_prometheus();
+    let expected = "\
+# HELP jobs_total Cumulative event count.
+# TYPE jobs_total counter
+jobs_total 2
+# HELP cells Instantaneous value.
+# TYPE cells gauge
+cells 5
+# HELP lat Latency distribution.
+# TYPE lat histogram
+lat_bucket{le=\"0.000001\"} 1
+";
+    assert!(text.starts_with(expected), "got:\n{text}");
+    assert!(text.contains("lat_bucket{le=\"0.001024\"} 2\n"));
+    assert!(text.contains("lat_bucket{le=\"+Inf\"} 2\n"));
+    assert!(
+        text.ends_with("lat_sum 0.001001\nlat_count 2\n"),
+        "got:\n{text}"
+    );
+}

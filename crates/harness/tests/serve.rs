@@ -460,6 +460,122 @@ fn mid_run_compaction_bounds_the_journal_without_changing_bytes() {
 }
 
 #[test]
+fn metrics_scrape_counts_requests_exactly() {
+    let dir = TempDir::new("metrics");
+    let store = dir.path("store.json");
+    batch_reference(&store, &[]);
+    let daemon = Daemon::spawn(&dir, &store, &[]);
+    let mut client = daemon.connect();
+
+    // A deliberate mix: 3 pings, 4 queries, 1 range, 1 report, 2 stats.
+    // Requests are recorded after the response is written, so a
+    // single-connection sequence sees exact counts on the next scrape.
+    for _ in 0..3 {
+        client.request("{\"op\":\"ping\"}");
+    }
+    for n in ["16", "64", "9999", "16"] {
+        client.request(&format!(
+            "{{\"op\":\"query\",\"scenario\":\"pipeline-domino\",\"params\":{{\"n\":\"{n}\"}}}}"
+        ));
+    }
+    client.request(
+        "{\"op\":\"query_range\",\"scenario\":\"pipeline-domino\",\"where\":{\"n\":[\"16\",\"64\"]}}",
+    );
+    client.request("{\"op\":\"report\",\"scenario\":\"pipeline-domino\"}");
+    client.request("{\"op\":\"stats\"}");
+    client.request("{\"op\":\"stats\"}");
+
+    // First scrape: every endpoint count equals what was issued, and the
+    // metrics op has not yet counted itself (recorded after its write).
+    let scrape = client.request("{\"op\":\"metrics\"}");
+    assert!(scrape.contains("\"ok\":true"), "{scrape}");
+    for (op, n) in [
+        ("ping", 3),
+        ("query", 4),
+        ("query_range", 1),
+        ("report", 1),
+        ("stats", 2),
+        ("metrics", 0),
+        ("submit", 0),
+    ] {
+        let line = format!("harness_serve_requests_total{{op=\\\"{op}\\\"}} {n}");
+        assert!(scrape.contains(&line), "missing `{line}` in {scrape}");
+    }
+    // Histogram totals line up with the counters, inside both the
+    // Prometheus text and the JSON summary.
+    assert!(
+        scrape.contains(
+            "harness_serve_request_latency_seconds_bucket{op=\\\"query\\\",le=\\\"+Inf\\\"} 4"
+        ),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("harness_serve_request_latency_seconds_count{op=\\\"query\\\"} 4"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("# TYPE harness_serve_request_latency_seconds histogram"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("\"harness_serve_request_latency_seconds{op=\\\"query\\\"}\":{\"count\":4"),
+        "{scrape}"
+    );
+
+    // The second scrape counts the first.
+    let second = client.request("{\"op\":\"metrics\"}");
+    assert!(
+        second.contains("harness_serve_requests_total{op=\\\"metrics\\\"} 1"),
+        "{second}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn top_once_renders_requests_and_job_progress() {
+    let dir = TempDir::new("top");
+    let served = dir.path("served.json");
+    let daemon = Daemon::spawn(&dir, &served, &[]);
+    let mut client = daemon.connect();
+    let submit = client.request(&format!(
+        "{{\"op\":\"submit\",\"scenarios\":[\"{}\",\"{}\"],\"seed\":42}}",
+        SELECT[0], SELECT[1]
+    ));
+    assert!(submit.contains("\"ok\":true"), "{submit}");
+    client.await_stats("\"done\":1");
+    client.request("{\"op\":\"query\",\"scenario\":\"pipeline-domino\",\"params\":{\"n\":\"16\"}}");
+
+    // jobs over the wire: the finished job carries its progress cells.
+    let jobs = client.request("{\"op\":\"jobs\"}");
+    assert!(jobs.contains("\"status\":\"done\""), "{jobs}");
+    assert!(jobs.contains("\"cells_total\":8"), "{jobs}");
+    let slowlog = client.request("{\"op\":\"slowlog\"}");
+    assert!(slowlog.contains("\"ok\":true"), "{slowlog}");
+
+    // One-shot top renders the header, latency rows and the job bar.
+    let screen = run_ok(&["top", "--once", "--addr", &daemon.addr]);
+    assert!(
+        screen.contains(&format!("campaign serve — {}", daemon.addr)),
+        "{screen}"
+    );
+    assert!(screen.contains("op"), "{screen}");
+    assert!(screen.contains("query"), "{screen}");
+    assert!(screen.contains("submit"), "{screen}");
+    assert!(screen.contains("done"), "{screen}");
+    assert!(screen.contains("100%  8/8 cells"), "{screen}");
+
+    // Flag validation: --addr and --port-file are mutually exclusive.
+    let both = campaign(&["top", "--once", "--addr", "x", "--port-file", "y"]);
+    assert_eq!(both.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&both.stderr).contains("not both"),
+        "{}",
+        String::from_utf8_lossy(&both.stderr)
+    );
+    daemon.shutdown();
+}
+
+#[test]
 fn serve_compaction_keeps_submitted_store_byte_identical() {
     let dir = TempDir::new("serve-compact");
     let served = dir.path("served.json");
