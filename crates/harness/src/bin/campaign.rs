@@ -87,6 +87,8 @@ struct Options {
     max_cells: Option<usize>,
     max_age_days: Option<u64>,
     compact_journal: bool,
+    // convert flags
+    to: Option<String>,
     // resume/checkpoint flags
     resume: bool,
     checkpoint_every: Option<usize>,
@@ -138,7 +140,7 @@ impl Options {
 }
 
 const USAGE: &str = "\
-usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|bench|trace|serve|top> [options]
+usage: campaign <list|run|report|gen|plan|shard|merge|diff|gc|convert|bench|trace|serve|top> [options]
 
 options (run/report):
   --scenario ID      run only this scenario (repeatable; default: all)
@@ -149,7 +151,10 @@ options (run/report):
                      the gen/* scenarios' generated-program population
   --corpus-size N    generated kernels per shape for gen/* scenarios
                      (default 2; multiplies every gen matrix)
-  --store PATH       memoize results in PATH (JSON; created if missing)
+  --store PATH       memoize results in PATH (created if missing; a .bin
+                     path gets the binary columnar format, anything else
+                     JSON — an existing file keeps whichever format its
+                     magic bytes say it has)
   --json PATH        write the campaign as deterministic JSON
   --csv PATH         write the campaign as long-format CSV
   --quiet            suppress per-cell output
@@ -250,6 +255,17 @@ result-store lifecycle:
          store. A store with a journal sidecar is refused (a later
          --resume would replay evicted cells right back); pass
          --compact-journal to fold the journal into the store first
+  convert --store PATH --to bin|json [--out PATH]
+         rewrite a result store in the other checkpoint format: `bin`
+         is the binary columnar layout (interned strings, fixed-width
+         cell records, f64 metric columns, content digest in the
+         header) that large stores load an order of magnitude faster;
+         `json` is the readable interchange format. Conversion is
+         canonical and lossless — json -> bin -> json reproduces the
+         original checkpoint byte-identically. Default --out is the
+         store path itself (in place). Every command sniffs the format
+         by magic, so either format works anywhere a store is accepted;
+         journal sidecars stay JSON-lines in both cases
 
 always-on campaign serving:
   serve  --store PATH [--addr HOST:PORT] [--accept-pool N] [--threads N]
@@ -307,6 +323,7 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         max_cells: None,
         max_age_days: None,
         compact_journal: false,
+        to: None,
         resume: false,
         checkpoint_every: None,
         compact_journal_over: None,
@@ -379,6 +396,7 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
                 options.max_age_days = Some(number("--max-age-days", value("--max-age-days")?)?)
             }
             "--compact-journal" => options.compact_journal = true,
+            "--to" => options.to = Some(value("--to")?),
             "--telemetry" => options.telemetry = true,
             "--trace" => options.trace = Some(PathBuf::from(value("--trace")?)),
             "--quick" => options.quick = true,
@@ -549,6 +567,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--compact-journal",
             "--quiet",
         ],
+        "convert" => &["--store", "--to", "--out", "--quiet"],
         "serve" => &[
             "--store",
             "--addr",
@@ -594,6 +613,7 @@ fn run(options: Options) -> Result<u8, String> {
         "merge" => merge(&options),
         "diff" => diff(&options),
         "gc" => gc(&options.registry(), &options),
+        "convert" => convert(&options),
         "bench" => bench_cmd(&options),
         "trace" => trace_cmd(&options),
         "serve" => serve_cmd(&options),
@@ -645,7 +665,7 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
     // which replays every journaled cell — evicted ones included —
     // straight back. Refuse, or fold the pair together first.
     let journal = store::journal_path(path);
-    let mut doc = Json::parse_file(path)?;
+    let mut doc = load_store_doc(path)?;
     if journal.exists() {
         if !options.compact_journal {
             return Err(format!(
@@ -740,6 +760,77 @@ fn gc(registry: &Registry, options: &Options) -> Result<u8, String> {
                 println!("telemetry sidecar compacted: {}", sidecar.display());
             }
         }
+    }
+    Ok(0)
+}
+
+/// Parses a checkpoint in either format into the JSON document `gc`
+/// walks. A binary columnar store is decoded and re-rendered under its
+/// own recorded schema number, so an old-schema binary checkpoint is
+/// still reported cell-by-cell as stale-schema drops instead of
+/// vanishing into the empty store `load` would return.
+fn load_store_doc(path: &Path) -> Result<Json, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if store::columnar::is_columnar(&bytes) {
+        let decoded =
+            store::columnar::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        return Ok(decoded.store.to_json_with_schema(decoded.schema));
+    }
+    let text = String::from_utf8(bytes).map_err(|_| {
+        format!(
+            "store {} is neither binary columnar nor UTF-8 JSON — the file is corrupt or in a \
+             foreign format",
+            path.display()
+        )
+    })?;
+    Json::parse(&text).map_err(|e| format!("json store {}: {e}", path.display()))
+}
+
+/// `campaign convert --store PATH --to bin|json [--out PATH]`: rewrite
+/// a checkpoint in the other format. Lossless and canonical in both
+/// directions — `json -> bin -> json` reproduces the original bytes.
+fn convert(options: &Options) -> Result<u8, String> {
+    let path = options
+        .store
+        .as_deref()
+        .ok_or("convert needs --store PATH")?;
+    let target = match options.to.as_deref() {
+        Some("bin") => store::StoreFormat::Binary,
+        Some("json") => store::StoreFormat::Json,
+        Some(other) => return Err(format!("--to must be `bin` or `json`, not `{other}`")),
+        None => return Err("convert needs --to bin|json".to_string()),
+    };
+    if !path.exists() {
+        return Err(format!("no such store: {}", path.display()));
+    }
+    let out = options.out.as_deref().unwrap_or(path);
+    // Rewriting a store a live daemon owns would race its checkpoints;
+    // same rule as gc/merge. A dead daemon's lock is stale — report it
+    // and proceed.
+    report_stale_lock(
+        serve_lock::refuse_if_live(path, "convert").map_err(|e| e.to_string())?,
+        path,
+    );
+    if out != path {
+        report_stale_lock(
+            serve_lock::refuse_if_live(out, "convert").map_err(|e| e.to_string())?,
+            out,
+        );
+    }
+    let opened = ResultStore::open_any(path).map_err(|e| e.to_string())?;
+    opened
+        .store
+        .save_as(out, target)
+        .map_err(|e| e.to_string())?;
+    if !options.quiet {
+        println!(
+            "converted {} ({} cells, {} -> {}) into {}",
+            path.display(),
+            opened.store.len(),
+            opened.format,
+            target,
+            out.display()
+        );
     }
     Ok(0)
 }
@@ -1156,8 +1247,9 @@ fn merge(options: &Options) -> Result<u8, String> {
         .iter()
         .map(|p| ResultStore::load_required(p).map_err(|e| e.to_string()))
         .collect::<Result<Vec<_>, _>>()?;
+    let inputs_merged = stores.len();
     let (fused, stats) =
-        dist::merge_stores_observed(&stores, obs.as_ref()).map_err(|e| e.to_string())?;
+        dist::merge_stores_owned_observed(stores, obs.as_ref()).map_err(|e| e.to_string())?;
     if let Some(path) = &options.manifest {
         let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
         let registry = dist::registry_for(&manifest);
@@ -1203,7 +1295,7 @@ fn merge(options: &Options) -> Result<u8, String> {
     if !options.quiet {
         println!(
             "merged {} stores into {}: {} cells ({} duplicate)",
-            stores.len(),
+            inputs_merged,
             out.display(),
             stats.cells,
             stats.duplicates

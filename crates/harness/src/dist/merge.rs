@@ -14,7 +14,7 @@ use crate::dist::plan::{check_drift_observing, Manifest};
 use crate::dist::steal::{chunk_map, Chunk, LeaseDir};
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
-use crate::store::ResultStore;
+use crate::store::{ResultStore, StoredCell};
 use crate::telemetry::Telemetry;
 
 /// What a merge did, for reporting.
@@ -45,25 +45,78 @@ pub fn merge_stores_observed(
     obs: Option<&crate::obs::Obs>,
 ) -> Result<(ResultStore, MergeStats), ScenarioError> {
     let _merge_span = obs.map(|o| o.span("merge", "dist"));
-    let mut fused = ResultStore::new();
+    fuse(
+        stores
+            .iter()
+            .map(|store| store.clone().into_map())
+            .collect(),
+    )
+}
+
+/// [`merge_stores`] consuming its inputs: the cells are *moved* into
+/// the fused store, so fusing N shard stores costs zero clones — the
+/// path the CLI merge and the binary-store shard workflow take.
+pub fn merge_stores_owned(
+    stores: Vec<ResultStore>,
+) -> Result<(ResultStore, MergeStats), ScenarioError> {
+    merge_stores_owned_observed(stores, None)
+}
+
+/// [`merge_stores_owned`] under a `merge` span when a recorder is
+/// given. Purely observational, like [`merge_stores_observed`].
+pub fn merge_stores_owned_observed(
+    stores: Vec<ResultStore>,
+    obs: Option<&crate::obs::Obs>,
+) -> Result<(ResultStore, MergeStats), ScenarioError> {
+    let _merge_span = obs.map(|o| o.span("merge", "dist"));
+    fuse(stores.into_iter().map(ResultStore::into_map).collect())
+}
+
+/// The shared fuse. Every input tree is already fingerprint-sorted, so
+/// each one is folded in with two linear passes: a borrow-only scan of
+/// the two sorted key streams that separates harmless duplicates from
+/// determinism violations (advancing whichever side holds the smaller
+/// key — no cell is moved or cloned to be checked), then a
+/// [`BTreeMap::append`] bulk fuse, which merges the source trees
+/// node-wise instead of paying a lookup-and-rebalance per cell. The
+/// overwrite-on-collision semantics of `append` are safe precisely
+/// because the scan just proved every collision identical.
+fn fuse(
+    inputs: Vec<std::collections::BTreeMap<String, StoredCell>>,
+) -> Result<(ResultStore, MergeStats), ScenarioError> {
     let mut stats = MergeStats::default();
-    for (i, store) in stores.iter().enumerate() {
-        for (fp, cell) in store.iter() {
-            match fused.get_by_fingerprint(fp) {
-                None => fused.insert_cell(fp.to_string(), cell.clone()),
-                Some(existing) if existing == cell => stats.duplicates += 1,
-                Some(existing) => {
-                    return Err(ScenarioError::Dist(format!(
-                        "determinism violation merging input {i}: fingerprint {fp} \
-                         ({} {}) has conflicting results {:?} vs {:?}",
-                        cell.scenario, cell.params_key, existing.result, cell.result
-                    )));
+    let mut fused: std::collections::BTreeMap<String, StoredCell> = Default::default();
+    for (input, mut incoming) in inputs.into_iter().enumerate() {
+        if fused.is_empty() {
+            fused = incoming;
+            continue;
+        }
+        let mut kept_stream = fused.iter();
+        let mut new_stream = incoming.iter();
+        let (mut kept_head, mut new_head) = (kept_stream.next(), new_stream.next());
+        while let (Some((kept_fp, kept)), Some((fp, cell))) = (kept_head, new_head) {
+            match kept_fp.cmp(fp) {
+                std::cmp::Ordering::Less => kept_head = kept_stream.next(),
+                std::cmp::Ordering::Greater => new_head = new_stream.next(),
+                std::cmp::Ordering::Equal => {
+                    if kept == cell {
+                        stats.duplicates += 1;
+                    } else {
+                        return Err(ScenarioError::Dist(format!(
+                            "determinism violation merging input {input}: fingerprint {fp} \
+                             ({} {}) has conflicting results {:?} vs {:?}",
+                            cell.scenario, cell.params_key, kept.result, cell.result
+                        )));
+                    }
+                    kept_head = kept_stream.next();
+                    new_head = new_stream.next();
                 }
             }
         }
+        fused.append(&mut incoming);
     }
     stats.cells = fused.len();
-    Ok((fused, stats))
+    Ok((ResultStore::from_map(fused), stats))
 }
 
 /// Verifies a fused store covers *exactly* the manifest's planned cell

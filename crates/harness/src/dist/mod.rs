@@ -68,7 +68,10 @@ pub mod plan;
 pub mod steal;
 
 pub use diff::{diff_stores, DiffReport, Tolerances};
-pub use merge::{merge_stores, merge_stores_observed, steal_report, MergeStats, StealReport};
+pub use merge::{
+    merge_stores, merge_stores_observed, merge_stores_owned, merge_stores_owned_observed,
+    steal_report, MergeStats, StealReport,
+};
 pub use plan::{
     calibrate_weights, calibrate_weights_wall, plan, plan_calibrated, plan_calibrated_with,
     plan_with_cells, planned_cells, visit_planned_cells, CorpusPlan, Manifest, PlannedCell,

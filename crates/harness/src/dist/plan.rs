@@ -334,7 +334,7 @@ impl Manifest {
 
     /// Writes the manifest to disk (atomically, like the store).
     pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
-        crate::store::write_atomic(path, &self.to_json().pretty())
+        crate::store::write_atomic(path, self.to_json().pretty().as_bytes())
     }
 }
 

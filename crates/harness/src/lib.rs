@@ -144,5 +144,5 @@ pub use obs::Obs;
 pub use registry::Registry;
 pub use scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
 pub use serve::{ServeOptions, ServeSummary, Server, ServerHandle};
-pub use store::{CompactingJournal, Journal, ResultStore};
+pub use store::{CompactingJournal, Journal, OpenedStore, ResultStore, StoreFormat};
 pub use telemetry::{Telemetry, TelemetryLog};

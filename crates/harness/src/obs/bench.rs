@@ -30,7 +30,7 @@ use crate::matrix::Filter;
 use crate::obs::{monotonic_ns, Obs};
 use crate::registry::Registry;
 use crate::scenario::{Axis, CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
-use crate::store::{fingerprint, Journal, ResultStore, StoredCell};
+use crate::store::{fingerprint, Journal, ResultStore, StoreFormat, StoredCell};
 
 /// Schema version stamped into every `BENCH_*.json`; bump when the
 /// file's shape (not its numbers) changes.
@@ -294,8 +294,9 @@ fn build_store(cells: usize) -> ResultStore {
 }
 
 /// Store-side benches (`BENCH_store.json`): save/load/merge times per
-/// cell-count tier, plus the journal replay rate (the crash-resume
-/// path).
+/// cell-count tier — once through the JSON interchange format and once
+/// through the binary columnar checkpoint (`store/*-bin/*`) — plus the
+/// journal replay rate (the crash-resume path).
 pub fn run_store_benches(
     config: &BenchConfig,
     progress: &mut dyn FnMut(&str),
@@ -317,9 +318,13 @@ fn store_benches_in(
     for &cells in &config.store_tiers {
         let store = build_store(cells);
         let path = dir.join(format!("store-{cells}.json"));
+        let bin_path = dir.join(format!("store-{cells}.bin"));
         let mut save = Vec::new();
         let mut load = Vec::new();
         let mut merge = Vec::new();
+        let mut save_bin = Vec::new();
+        let mut load_bin = Vec::new();
+        let mut merge_bin = Vec::new();
         progress(&format!("store/*/cells={cells}"));
         // Two half-stores for the merge bench: alternating cells, the
         // shape a two-shard campaign produces.
@@ -330,6 +335,16 @@ fn store_benches_in(
             half.insert_cell(fp.to_string(), cell.clone());
         }
         let halves = [half_a, half_b];
+        // One untimed warmup round per tier before the timed repeats:
+        // the first iteration otherwise pays one-off costs (allocator
+        // growth, cold page cache, file creation) the rest never see —
+        // the committed 100k-cell save once spread 242..932ms across
+        // its repeats for exactly this reason.
+        store.save(&path)?;
+        store.save_as(&bin_path, StoreFormat::Binary)?;
+        ResultStore::load(&path)?;
+        ResultStore::load(&bin_path)?;
+        crate::dist::merge_stores(&halves).map_err(|e| ScenarioError::Store(e.to_string()))?;
         for _ in 0..config.repeats {
             let start = monotonic_ns();
             store.save(&path)?;
@@ -343,8 +358,34 @@ fn store_benches_in(
                 .map_err(|e| ScenarioError::Store(e.to_string()))?;
             merge.push(elapsed_ms(start));
             assert_eq!(fused.len(), cells);
+            // The binary columnar lane: same store, same halves. Save
+            // and load sniff the format from the `.bin` path / magic;
+            // merge-bin times the owned zero-clone fuse of two stores
+            // (the clones sit outside the timed region, as they do for
+            // a real `campaign merge`, which moves freshly loaded
+            // shard stores straight into the fuse).
+            let start = monotonic_ns();
+            store.save_as(&bin_path, StoreFormat::Binary)?;
+            save_bin.push(elapsed_ms(start));
+            let start = monotonic_ns();
+            let loaded = ResultStore::load(&bin_path)?;
+            load_bin.push(elapsed_ms(start));
+            assert_eq!(loaded.len(), cells);
+            let owned = halves.to_vec();
+            let start = monotonic_ns();
+            let (fused, _) = crate::dist::merge_stores_owned(owned)
+                .map_err(|e| ScenarioError::Store(e.to_string()))?;
+            merge_bin.push(elapsed_ms(start));
+            assert_eq!(fused.len(), cells);
         }
-        for (op, samples) in [("save", save), ("load", load), ("merge", merge)] {
+        for (op, samples) in [
+            ("save", save),
+            ("load", load),
+            ("merge", merge),
+            ("save-bin", save_bin),
+            ("load-bin", load_bin),
+            ("merge-bin", merge_bin),
+        ] {
             results.push(BenchResult {
                 name: format!("store/{op}/cells={cells}"),
                 unit: "ms",
@@ -749,6 +790,9 @@ mod tests {
             "store/save/cells=10",
             "store/load/cells=10",
             "store/merge/cells=10",
+            "store/save-bin/cells=10",
+            "store/load-bin/cells=10",
+            "store/merge-bin/cells=10",
             "journal/replay",
         ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");

@@ -57,6 +57,22 @@ impl Interner {
         &self.strings[sym as usize]
     }
 
+    /// An interner pre-seeded with a vocabulary, symbol ids assigned
+    /// in table order — how the index adopts a binary columnar
+    /// checkpoint's symbol table wholesale instead of re-hashing and
+    /// re-allocating every string it already carries.
+    pub fn with_vocab(vocab: Vec<String>) -> Interner {
+        let map = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as Sym))
+            .collect();
+        Interner {
+            map,
+            strings: vocab,
+        }
+    }
+
     /// Distinct strings interned.
     pub fn len(&self) -> usize {
         self.strings.len()
@@ -119,7 +135,23 @@ impl StoreIndex {
     /// rather than dropped (a query for them still finds them via
     /// range scans).
     pub fn build(store: &ResultStore) -> StoreIndex {
-        let mut index = StoreIndex::default();
+        StoreIndex::build_with_vocab(store, None)
+    }
+
+    /// [`StoreIndex::build`] seeded with a pre-interned vocabulary —
+    /// the symbol table of the binary columnar checkpoint the store
+    /// was just loaded from. Every axis name, axis value and metric
+    /// name the file interned resolves without a fresh allocation;
+    /// strings the vocabulary misses (e.g. journal-replayed cells)
+    /// intern on top as usual.
+    pub fn build_with_vocab(store: &ResultStore, vocab: Option<Vec<String>>) -> StoreIndex {
+        let mut index = StoreIndex {
+            interner: match vocab {
+                Some(vocab) => Interner::with_vocab(vocab),
+                None => Interner::default(),
+            },
+            ..StoreIndex::default()
+        };
         for (fp, cell) in store.iter() {
             index.add(fp, cell);
         }
@@ -278,6 +310,16 @@ impl StoreIndex {
                 });
             }
         }
+        // Hit order must not depend on symbol-id assignment — an
+        // interner seeded from a binary checkpoint's table numbers
+        // strings differently than a fresh one, which would reorder
+        // the sym-keyed map. Sort by the rendered canonical
+        // assignment instead, fingerprint as the tiebreak.
+        hits.sort_by(|a, b| {
+            a.params
+                .cmp(&b.params)
+                .then_with(|| a.cell.fingerprint.cmp(&b.cell.fingerprint))
+        });
         Ok(hits)
     }
 

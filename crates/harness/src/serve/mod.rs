@@ -389,8 +389,11 @@ impl Server {
         obs: Option<Obs>,
     ) -> Result<ServerHandle, ScenarioError> {
         let (store_lock, broke_stale_lock) = StoreLock::acquire(store_path, "serve")?;
-        let (store, replayed) = ResultStore::open_resumable_observed(store_path, obs.as_ref())?;
-        let index = Arc::new(StoreIndex::build(&store));
+        let (opened, replayed) = ResultStore::open_resumable_full(store_path, obs.as_ref())?;
+        // A binary columnar checkpoint ships its symbol table; the
+        // index adopts it wholesale instead of re-interning.
+        let index = Arc::new(StoreIndex::build_with_vocab(&opened.store, opened.symbols));
+        let store = opened.store;
         let listener = TcpListener::bind(&options.addr)
             .map_err(|e| ScenarioError::Store(format!("bind {}: {e}", options.addr)))?;
         let local_addr = listener

@@ -1,0 +1,753 @@
+//! The binary columnar checkpoint format.
+//!
+//! JSON remains the interchange format — import/export, diff display,
+//! journal lines — but a checkpoint that is only ever read back by this
+//! harness does not need to be re-parsed character by character. This
+//! module gives the store a compact binary layout that loads as a
+//! single read plus a table walk:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "PREDCOL1"
+//! 8       4     format version (u32 LE) — layout revision
+//! 12      4     store schema version (u32 LE)
+//! 16      8     FNV-1a-64 content digest of the payload (u64 LE)
+//! 24      ...   payload:
+//!   symbol table   u32 count, then per symbol: u32 len + UTF-8 bytes
+//!   group count    u32
+//!   per scenario group (sorted by scenario string):
+//!     scenario     u32 symbol
+//!     metric sets  u32 count; per set: u32 len + len × u32 symbols
+//!     param keys   u32 count; per key: u8 tag —
+//!                    0: u32 pairs + pairs × (u32 axis, u32 value)
+//!                    1: u32 raw whole-key symbol (uninvertible key)
+//!     cell count   u32
+//!     cell records cell count × 29 bytes, ascending fingerprint:
+//!                    u8  flags (bit 0: fingerprint is a raw symbol)
+//!                    u64 fingerprint (value of the 16-hex key,
+//!                        or a symbol id when bit 0 is set)
+//!                    u64 seed
+//!                    u32 scenario version
+//!                    u32 param-key index
+//!                    u32 metric-set index
+//!     metric block Σ(metric-set len per cell) × f64, cell order
+//! ```
+//!
+//! Axis names, axis values and metric names are interned into the
+//! shared symbol table — the same `Sym = u32` shape the serve index
+//! builds in memory, which is why [`Decoded::symbols`] is returned to
+//! the caller: the daemon adopts the file's intern table wholesale
+//! instead of re-interning every string. Cell records are fixed-width
+//! and the metric block is a flat f64 column, so every offset is
+//! computable from the tables alone (mmap-friendly; nothing in the hot
+//! path parses text).
+//!
+//! Encoding is canonical: groups sorted by scenario, cells in
+//! fingerprint order, symbols interned in first-visit order of that
+//! deterministic walk. Equal stores therefore encode to equal bytes,
+//! which is what keeps the merge byte-determinism gate (N shards ≡ one
+//! process) intact for binary checkpoints.
+//!
+//! Fidelity over compactness: a parameter key that does not split
+//! cleanly into `axis=value` pairs, or a cell fingerprint that is not
+//! exactly 16 lowercase hex digits, is stored as a raw interned string
+//! instead — `json → bin → json` reproduces the original store
+//! byte-identically even for pathological keys.
+
+use crate::scenario::{CellResult, ScenarioError};
+use crate::store::{fnv1a, ResultStore, StoredCell, FNV_OFFSET};
+use std::collections::{hash_map::Entry, BTreeMap, HashMap};
+use std::hash::BuildHasherDefault;
+
+/// The file magic. A JSON checkpoint starts with `{`, so the first
+/// byte alone separates the two formats; eight bytes make accidental
+/// collision with other tools' files implausible.
+pub const MAGIC: [u8; 8] = *b"PREDCOL1";
+
+/// Bump when the binary layout itself changes (independent of the
+/// store schema, which versions the *fingerprint rules*).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes before the payload: magic + format + schema + digest.
+pub const HEADER_LEN: usize = 24;
+
+/// True when `bytes` begin with the columnar magic — the sniff every
+/// format-transparent open performs.
+pub fn is_columnar(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// What a successful decode yields: the cells, the schema they were
+/// written under (the caller decides whether that schema is current),
+/// and the file's interned symbol table for the serve index to adopt.
+#[derive(Debug)]
+pub struct Decoded {
+    /// The store schema version stamped in the header.
+    pub schema: u32,
+    /// Every decoded cell, whatever the schema.
+    pub store: ResultStore,
+    /// The file's symbol table, in id order.
+    pub symbols: Vec<String>,
+}
+
+/// A corruption error with the remediation every torn-file message
+/// shares: name the format, say what to do about it.
+fn corrupt(what: String) -> ScenarioError {
+    ScenarioError::Store(format!(
+        "binary columnar store: {what} — the file is corrupt or truncated; \
+         restore it from a shard copy or regenerate it from a JSON export \
+         with `campaign convert --to bin`"
+    ))
+}
+
+// ---------------------------------------------------------------- encode
+
+/// FNV-1a [`std::hash::Hasher`] for the encode-path maps: their keys
+/// are short strings from a file we write ourselves, so SipHash's
+/// collision-flood resistance buys nothing and its per-key cost is
+/// pure overhead on the hot path.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a(bytes, self.0);
+    }
+}
+
+type FnvMap<'a> = HashMap<&'a str, u32, BuildHasherDefault<FnvHasher>>;
+
+/// First-visit-order string interner (the on-disk twin of the serve
+/// index's interner). It borrows every string straight from the store
+/// being encoded, so interning costs one FNV hash and — on a miss —
+/// two pointer pushes: no string is copied until the symbol table is
+/// serialized into the payload. This runs once per cell string on the
+/// encode hot path.
+#[derive(Default)]
+struct Interner<'a> {
+    map: FnvMap<'a>,
+    strings: Vec<&'a str>,
+}
+
+impl<'a> Interner<'a> {
+    fn intern(&mut self, s: &'a str) -> u32 {
+        match self.map.entry(s) {
+            Entry::Occupied(hit) => *hit.get(),
+            Entry::Vacant(miss) => {
+                let sym = self.strings.len() as u32;
+                miss.insert(sym);
+                self.strings.push(s);
+                sym
+            }
+        }
+    }
+}
+
+/// One group's parameter-key entry: the common invertible split, or
+/// the raw string when splitting would not round-trip.
+enum ParamsEntry {
+    Pairs(Vec<(u32, u32)>),
+    Raw(u32),
+}
+
+struct CellRec {
+    flags: u8,
+    fp: u64,
+    seed: u64,
+    version: u32,
+    params_idx: u32,
+    mset_idx: u32,
+}
+
+struct GroupEnc {
+    scenario: u32,
+    msets: Vec<Vec<u32>>,
+    params: Vec<ParamsEntry>,
+    cells: Vec<CellRec>,
+    values: Vec<f64>,
+}
+
+/// Splits a canonical `axis=value,...` key into pairs, or `None` when
+/// the split would not re-join to the original string (a value
+/// containing `,`, a segment without `=`). Joining `split(',')`
+/// segments back with `,` is exact, and `split_once('=')` re-joined
+/// with `=` is exact, so pair-splitting succeeds iff it is invertible.
+fn split_params(key: &str) -> Option<Vec<(&str, &str)>> {
+    if key.is_empty() {
+        return Some(Vec::new());
+    }
+    key.split(',').map(|seg| seg.split_once('=')).collect()
+}
+
+/// Parses a store key as the 16-lowercase-hex fingerprint the store
+/// writes; `None` (the raw-symbol fallback) for anything `{:016x}`
+/// would not reproduce exactly.
+fn parse_hex_fp(fp: &str) -> Option<u64> {
+    if fp.len() != 16 || !fp.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    u64::from_str_radix(fp, 16).ok()
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes the store into the canonical columnar byte image. Equal
+/// stores encode to equal bytes (the walk below visits the store in
+/// its canonical order and interns strings in first-visit order), so
+/// binary checkpoints inherit the JSON store's byte-determinism.
+pub fn encode(store: &ResultStore) -> Vec<u8> {
+    // Group cells by scenario; `store.iter()` is fingerprint-ordered,
+    // so each group's cell list already is too.
+    let mut groups: BTreeMap<&str, Vec<(&str, &StoredCell)>> = BTreeMap::new();
+    for (fp, cell) in store.iter() {
+        groups
+            .entry(cell.scenario.as_str())
+            .or_default()
+            .push((fp, cell));
+    }
+
+    let mut interner = Interner::default();
+    let mut encoded_groups = Vec::with_capacity(groups.len());
+    for (scenario, cells) in &groups {
+        let scenario_sym = interner.intern(scenario);
+        // Metric-name sets, deduplicated without per-cell allocation:
+        // consecutive cells of one scenario almost always share a set,
+        // so a last-match fast path plus a linear scan over the few
+        // distinct sets beats hashing a fresh Vec per cell.
+        let mut msets: Vec<Vec<u32>> = Vec::new();
+        let mut mset_names: Vec<Vec<&str>> = Vec::new();
+        let mut last_mset: u32 = u32::MAX;
+        // Param keys, deduplicated by borrowed-key map (params differ
+        // cell to cell, so this is usually one hash + one miss per
+        // cell).
+        let mut params: Vec<ParamsEntry> = Vec::new();
+        let mut param_ids = FnvMap::default();
+        let mut recs = Vec::with_capacity(cells.len());
+        let mut values = Vec::new();
+        for (fp, cell) in cells {
+            let key = cell.params_key.as_str();
+            let params_idx = match param_ids.entry(key) {
+                Entry::Occupied(hit) => *hit.get(),
+                Entry::Vacant(miss) => {
+                    let id = params.len() as u32;
+                    miss.insert(id);
+                    let entry = match split_params(key) {
+                        Some(pairs) => ParamsEntry::Pairs(
+                            pairs
+                                .iter()
+                                .map(|(a, v)| (interner.intern(a), interner.intern(v)))
+                                .collect(),
+                        ),
+                        None => ParamsEntry::Raw(interner.intern(key)),
+                    };
+                    params.push(entry);
+                    id
+                }
+            };
+            let metrics = &cell.result.metrics;
+            let matches = |set: &[&str]| {
+                set.len() == metrics.len()
+                    && set.iter().zip(metrics).all(|(name, (k, _))| *name == k)
+            };
+            let mset_idx = if (last_mset as usize) < mset_names.len()
+                && matches(&mset_names[last_mset as usize])
+            {
+                last_mset
+            } else {
+                match mset_names.iter().position(|set| matches(set)) {
+                    Some(idx) => idx as u32,
+                    None => {
+                        mset_names.push(metrics.iter().map(|(k, _)| k.as_str()).collect());
+                        msets.push(metrics.iter().map(|(k, _)| interner.intern(k)).collect());
+                        (msets.len() - 1) as u32
+                    }
+                }
+            };
+            last_mset = mset_idx;
+            let (flags, fp_word) = match parse_hex_fp(fp) {
+                Some(word) => (0u8, word),
+                None => (1u8, interner.intern(fp) as u64),
+            };
+            recs.push(CellRec {
+                flags,
+                fp: fp_word,
+                seed: cell.seed,
+                version: cell.version,
+                params_idx,
+                mset_idx,
+            });
+            values.extend(metrics.iter().map(|(_, v)| *v));
+        }
+        encoded_groups.push(GroupEnc {
+            scenario: scenario_sym,
+            msets,
+            params,
+            cells: recs,
+            values,
+        });
+    }
+
+    // Size the buffer once: symbol table + per-group tables + 29-byte
+    // cell records + 8-byte metric values (header slack included).
+    let estimate: usize = HEADER_LEN
+        + 8
+        + interner.strings.iter().map(|s| 4 + s.len()).sum::<usize>()
+        + encoded_groups
+            .iter()
+            .map(|g| {
+                16 + g.msets.iter().map(|m| 4 + 4 * m.len()).sum::<usize>()
+                    + g.params
+                        .iter()
+                        .map(|p| match p {
+                            ParamsEntry::Pairs(pairs) => 5 + 8 * pairs.len(),
+                            ParamsEntry::Raw(_) => 5,
+                        })
+                        .sum::<usize>()
+                    + 29 * g.cells.len()
+                    + 8 * g.values.len()
+            })
+            .sum::<usize>();
+    let mut payload = Vec::with_capacity(estimate);
+    push_u32(&mut payload, interner.strings.len() as u32);
+    for s in &interner.strings {
+        push_u32(&mut payload, s.len() as u32);
+        payload.extend_from_slice(s.as_bytes());
+    }
+    push_u32(&mut payload, encoded_groups.len() as u32);
+    for group in &encoded_groups {
+        push_u32(&mut payload, group.scenario);
+        push_u32(&mut payload, group.msets.len() as u32);
+        for mset in &group.msets {
+            push_u32(&mut payload, mset.len() as u32);
+            for &sym in mset {
+                push_u32(&mut payload, sym);
+            }
+        }
+        push_u32(&mut payload, group.params.len() as u32);
+        for entry in &group.params {
+            match entry {
+                ParamsEntry::Pairs(pairs) => {
+                    payload.push(0);
+                    push_u32(&mut payload, pairs.len() as u32);
+                    for &(axis, value) in pairs {
+                        push_u32(&mut payload, axis);
+                        push_u32(&mut payload, value);
+                    }
+                }
+                ParamsEntry::Raw(sym) => {
+                    payload.push(1);
+                    push_u32(&mut payload, *sym);
+                }
+            }
+        }
+        push_u32(&mut payload, group.cells.len() as u32);
+        for rec in &group.cells {
+            payload.push(rec.flags);
+            push_u64(&mut payload, rec.fp);
+            push_u64(&mut payload, rec.seed);
+            push_u32(&mut payload, rec.version);
+            push_u32(&mut payload, rec.params_idx);
+            push_u32(&mut payload, rec.mset_idx);
+        }
+        for v in &group.values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+    push_u32(&mut out, crate::store::SCHEMA_VERSION);
+    push_u64(&mut out, fnv1a(&payload, FNV_OFFSET));
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// A bounds-checked little-endian reader over the payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ScenarioError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(corrupt(format!(
+                "truncated: wanted {n} bytes at payload offset {} but only {} remain",
+                self.pos,
+                self.bytes.len() - self.pos
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ScenarioError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ScenarioError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ScenarioError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ScenarioError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// Resolves a symbol id against the table, naming the id on failure.
+fn resolve(symbols: &[String], sym: u32) -> Result<&str, ScenarioError> {
+    symbols
+        .get(sym as usize)
+        .map(String::as_str)
+        .ok_or_else(|| {
+            corrupt(format!(
+                "symbol id {sym} out of range (table holds {})",
+                symbols.len()
+            ))
+        })
+}
+
+/// Decodes a columnar byte image. The header is fully verified first —
+/// magic, layout version, content digest — so a torn or bit-rotted
+/// file fails fast with remediation instead of yielding garbage cells.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, ScenarioError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic".to_string()));
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let format = word(8);
+    if format != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "layout version {format} is not the {FORMAT_VERSION} this build reads"
+        )));
+    }
+    let schema = word(12);
+    let stated = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    let actual = fnv1a(payload, FNV_OFFSET);
+    if stated != actual {
+        return Err(corrupt(format!(
+            "content digest mismatch: header says {stated:016x} but the payload hashes \
+             to {actual:016x}"
+        )));
+    }
+
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let nsyms = cur.u32()? as usize;
+    let mut symbols = Vec::with_capacity(nsyms.min(cur.remaining() / 4 + 1));
+    for _ in 0..nsyms {
+        let len = cur.u32()? as usize;
+        let raw = cur.take(len)?;
+        let s = std::str::from_utf8(raw)
+            .map_err(|e| corrupt(format!("symbol table holds invalid UTF-8: {e}")))?;
+        symbols.push(s.to_string());
+    }
+
+    let ngroups = cur.u32()? as usize;
+    let mut cells: Vec<(String, StoredCell)> = Vec::new();
+    for _ in 0..ngroups {
+        let scenario = resolve(&symbols, cur.u32()?)?.to_string();
+        let nmsets = cur.u32()? as usize;
+        let mut msets: Vec<Vec<String>> = Vec::with_capacity(nmsets.min(cur.remaining() / 4 + 1));
+        for _ in 0..nmsets {
+            let len = cur.u32()? as usize;
+            let mut names = Vec::with_capacity(len.min(cur.remaining() / 4 + 1));
+            for _ in 0..len {
+                names.push(resolve(&symbols, cur.u32()?)?.to_string());
+            }
+            msets.push(names);
+        }
+        let nparams = cur.u32()? as usize;
+        let mut params: Vec<String> = Vec::with_capacity(nparams.min(cur.remaining() + 1));
+        for _ in 0..nparams {
+            match cur.u8()? {
+                0 => {
+                    let npairs = cur.u32()? as usize;
+                    let mut key = String::new();
+                    for i in 0..npairs {
+                        if i > 0 {
+                            key.push(',');
+                        }
+                        key.push_str(resolve(&symbols, cur.u32()?)?);
+                        key.push('=');
+                        key.push_str(resolve(&symbols, cur.u32()?)?);
+                    }
+                    params.push(key);
+                }
+                1 => params.push(resolve(&symbols, cur.u32()?)?.to_string()),
+                tag => return Err(corrupt(format!("unknown param-key tag {tag}"))),
+            }
+        }
+        let ncells = cur.u32()? as usize;
+        let mut recs = Vec::with_capacity(ncells.min(cur.remaining() / 29 + 1));
+        for _ in 0..ncells {
+            let flags = cur.u8()?;
+            recs.push(CellRec {
+                flags,
+                fp: cur.u64()?,
+                seed: cur.u64()?,
+                version: cur.u32()?,
+                params_idx: cur.u32()?,
+                mset_idx: cur.u32()?,
+            });
+        }
+        for rec in recs {
+            let fp = if rec.flags & 1 != 0 {
+                resolve(&symbols, rec.fp as u32)?.to_string()
+            } else {
+                format!("{:016x}", rec.fp)
+            };
+            let params_key = params
+                .get(rec.params_idx as usize)
+                .ok_or_else(|| {
+                    corrupt(format!(
+                        "param-key index {} out of range (group holds {})",
+                        rec.params_idx,
+                        params.len()
+                    ))
+                })?
+                .clone();
+            let names = msets.get(rec.mset_idx as usize).ok_or_else(|| {
+                corrupt(format!(
+                    "metric-set index {} out of range (group holds {})",
+                    rec.mset_idx,
+                    msets.len()
+                ))
+            })?;
+            let mut metrics = Vec::with_capacity(names.len());
+            for name in names {
+                metrics.push((name.clone(), cur.f64()?));
+            }
+            cells.push((
+                fp,
+                StoredCell {
+                    scenario: scenario.clone(),
+                    version: rec.version,
+                    params_key,
+                    seed: rec.seed,
+                    result: CellResult { metrics },
+                },
+            ));
+        }
+    }
+    if cur.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} bytes of trailing garbage after the last group",
+            cur.remaining()
+        )));
+    }
+    // Cells arrive grouped by scenario, each group fingerprint-sorted;
+    // the BTreeMap bulk build re-establishes the global key order.
+    let store = ResultStore {
+        cells: cells.into_iter().collect(),
+    };
+    Ok(Decoded {
+        schema,
+        store,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Params;
+
+    fn sample() -> ResultStore {
+        let mut store = ResultStore::new();
+        for seed in 0..20u64 {
+            let p = Params::new(vec![
+                ("n".into(), (seed % 4).to_string()),
+                ("mode".into(), if seed % 2 == 0 { "a" } else { "b" }.into()),
+            ]);
+            store.insert(
+                if seed % 3 == 0 { "alpha" } else { "beta" },
+                1 + (seed % 2) as u32,
+                &p,
+                seed,
+                CellResult::new(vec![("lat", seed as f64 * 0.5), ("ipc", 2.0 - seed as f64)]),
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn round_trip_is_exact_and_canonical() {
+        let store = sample();
+        let bytes = encode(&store);
+        assert!(is_columnar(&bytes));
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.schema, crate::store::SCHEMA_VERSION);
+        assert_eq!(
+            decoded.store.to_json().pretty(),
+            store.to_json().pretty(),
+            "decode must reproduce the store exactly"
+        );
+        // Canonical: re-encoding the decoded store is byte-identical.
+        assert_eq!(encode(&decoded.store), bytes);
+        assert!(!decoded.symbols.is_empty());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let bytes = encode(&ResultStore::new());
+        let decoded = decode(&bytes).unwrap();
+        assert!(decoded.store.is_empty());
+        assert!(decoded.symbols.is_empty());
+    }
+
+    #[test]
+    fn pathological_keys_fall_back_to_raw_symbols() {
+        let mut store = ResultStore::new();
+        // A params key with a comma inside a value and one without any
+        // `=` cannot be split invertibly; a non-hex fingerprint cannot
+        // be packed into a u64. All three must survive verbatim.
+        let weird = StoredCell {
+            scenario: "s".into(),
+            version: 1,
+            params_key: "n=1,2".into(),
+            seed: 7,
+            result: CellResult::new(vec![("m", 1.0)]),
+        };
+        store.insert_cell("not-a-hex-fingerprint".into(), weird.clone());
+        let bare = StoredCell {
+            params_key: "justakey".into(),
+            ..weird.clone()
+        };
+        store.insert_cell("DEADBEEFDEADBEEF".into(), bare.clone());
+        let decoded = decode(&encode(&store)).unwrap();
+        assert_eq!(
+            decoded.store.get_by_fingerprint("not-a-hex-fingerprint"),
+            Some(&weird)
+        );
+        assert_eq!(
+            decoded.store.get_by_fingerprint("DEADBEEFDEADBEEF"),
+            Some(&bare),
+            "uppercase hex must not be normalized"
+        );
+    }
+
+    #[test]
+    fn f64_bits_survive_exactly() {
+        let mut store = ResultStore::new();
+        store.insert(
+            "s",
+            1,
+            &Params::new(vec![("n".into(), "1".into())]),
+            1,
+            CellResult::new(vec![("neg_zero", -0.0), ("tiny", 5e-324), ("big", 1.7e308)]),
+        );
+        let decoded = decode(&encode(&store)).unwrap();
+        let (_, cell) = decoded.store.iter().next().unwrap();
+        let bits: Vec<u64> = cell
+            .result
+            .metrics
+            .iter()
+            .map(|(_, v)| v.to_bits())
+            .collect();
+        assert_eq!(bits[0], (-0.0f64).to_bits());
+        assert_eq!(bits[1], (5e-324f64).to_bits());
+        assert_eq!(bits[2], (1.7e308f64).to_bits());
+    }
+
+    #[test]
+    fn header_only_file_errors_with_remediation() {
+        let bytes = encode(&sample());
+        let err = decode(&bytes[..HEADER_LEN]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("binary columnar store"), "{msg}");
+        assert!(msg.contains("campaign convert"), "{msg}");
+    }
+
+    #[test]
+    fn shorter_than_header_errors() {
+        let bytes = encode(&sample());
+        let err = decode(&bytes[..10]).unwrap_err();
+        assert!(err.to_string().contains("shorter than"), "{err}");
+    }
+
+    #[test]
+    fn mid_column_truncation_errors_not_panics() {
+        let bytes = encode(&sample());
+        // Every possible truncation point must error cleanly (the
+        // digest catches them all before table-walking even starts).
+        for cut in (HEADER_LEN..bytes.len()).step_by(7) {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                err.to_string().contains("binary columnar store"),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_digest_mismatch() {
+        let mut bytes = encode(&sample());
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_layout_version_is_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 99;
+        // Digest does not cover the header, so the version check must
+        // fire on its own.
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("layout version 99"), "{err}");
+    }
+
+    #[test]
+    fn split_params_is_invertible_or_none() {
+        assert_eq!(split_params(""), Some(vec![]));
+        assert_eq!(split_params("a=1,b=2"), Some(vec![("a", "1"), ("b", "2")]));
+        assert_eq!(split_params("a=x=y"), Some(vec![("a", "x=y")]));
+        assert_eq!(
+            split_params("a=1,2"),
+            None,
+            "comma in value is not invertible"
+        );
+        assert_eq!(split_params("bare"), None);
+    }
+}

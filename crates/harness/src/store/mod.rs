@@ -16,11 +16,101 @@
 //! over the checkpoint (tolerating the torn final line a SIGKILL
 //! leaves), and [`ResultStore::checkpoint`] compacts the pair — which
 //! is what makes campaigns crash-resumable with zero recompute.
+//!
+//! The checkpoint itself exists in two formats: the human-readable
+//! deterministic JSON above, and the [`columnar`] binary layout (same
+//! canonical order, interned strings, f64 metric columns) for stores
+//! large enough that re-parsing text is the scaling ceiling. Every
+//! open sniffs the format by magic ([`StoreFormat`]); saves keep an
+//! existing file's format and infer `.bin` ⇒ binary for new files;
+//! `campaign convert` switches between the two. The journal is always
+//! JSON lines — it is an append-only interchange artifact, and both
+//! checkpoint formats replay it identically.
+
+pub mod columnar;
 
 use crate::json::Json;
 use crate::scenario::{CellResult, Params, ScenarioError};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// The two on-disk checkpoint formats, told apart by file magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Deterministic pretty-printed JSON — the interchange format.
+    Json,
+    /// The [`columnar`] binary layout — the at-scale format.
+    Binary,
+}
+
+impl std::fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StoreFormat::Json => "json",
+            StoreFormat::Binary => "binary columnar",
+        })
+    }
+}
+
+/// Decides the format a save to `path` should write: an existing
+/// file keeps its sniffed format (so `gc`/`merge --out`/checkpoints
+/// never silently flip a store's format), and a fresh path infers
+/// binary from a `.bin` extension, JSON otherwise.
+pub fn sniff_format(path: &Path) -> Result<StoreFormat, ScenarioError> {
+    use std::io::Read;
+    match std::fs::File::open(path) {
+        Ok(mut file) => {
+            let mut magic = [0u8; 8];
+            let mut read = 0;
+            while read < magic.len() {
+                match file.read(&mut magic[read..]) {
+                    Ok(0) => break,
+                    Ok(n) => read += n,
+                    Err(e) => {
+                        return Err(ScenarioError::Store(format!(
+                            "read {}: {e}",
+                            path.display()
+                        )))
+                    }
+                }
+            }
+            Ok(if columnar::is_columnar(&magic[..read]) {
+                StoreFormat::Binary
+            } else {
+                StoreFormat::Json
+            })
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let bin = path
+                .extension()
+                .is_some_and(|ext| ext.eq_ignore_ascii_case("bin"));
+            Ok(if bin {
+                StoreFormat::Binary
+            } else {
+                StoreFormat::Json
+            })
+        }
+        Err(e) => Err(ScenarioError::Store(format!(
+            "open {}: {e}",
+            path.display()
+        ))),
+    }
+}
+
+/// What a format-transparent open learned about a store file.
+#[derive(Debug)]
+pub struct OpenedStore {
+    /// The current-schema cells (other schemas load empty, exactly
+    /// like [`ResultStore::from_json`]).
+    pub store: ResultStore,
+    /// The format the file was found in (a missing file reports what
+    /// a save would create, per [`sniff_format`]).
+    pub format: StoreFormat,
+    /// A binary file's interned symbol table — the serve index adopts
+    /// it wholesale instead of re-interning. `None` for JSON files,
+    /// missing files, and binary files of another schema.
+    pub symbols: Option<Vec<String>>,
+}
 
 /// Bump when the fingerprint inputs or stored layout change; old
 /// entries then miss instead of being misread. Version history:
@@ -236,10 +326,38 @@ impl ResultStore {
         self.cells.remove(fp)
     }
 
+    /// Consumes the store, yielding its cells in fingerprint order —
+    /// the zero-clone export path.
+    pub fn into_cells(self) -> impl Iterator<Item = (String, StoredCell)> {
+        self.cells.into_iter()
+    }
+
+    /// Consumes the store into its underlying fingerprint-sorted tree —
+    /// the merge engine fuses input trees directly with
+    /// [`BTreeMap::append`] instead of rebuilding cell by cell.
+    pub(crate) fn into_map(self) -> BTreeMap<String, StoredCell> {
+        self.cells
+    }
+
+    /// Rewraps a fused tree as a store (the merge engine's inverse of
+    /// [`Self::into_map`]).
+    pub(crate) fn from_map(cells: BTreeMap<String, StoredCell>) -> ResultStore {
+        ResultStore { cells }
+    }
+
     /// Serializes the store (sorted by fingerprint — deterministic).
     pub fn to_json(&self) -> Json {
+        self.to_json_with_schema(SCHEMA_VERSION)
+    }
+
+    /// [`Self::to_json`] under an explicit schema stamp — how
+    /// `campaign gc` renders a binary checkpoint (whatever schema its
+    /// header carries) into the raw document form [`gc`] consumes, so
+    /// old-schema binary stores are reported cell-by-cell exactly like
+    /// old-schema JSON ones.
+    pub fn to_json_with_schema(&self, schema: u32) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("schema".into(), Json::Num(schema as f64)),
             (
                 "cells".into(),
                 Json::Obj(
@@ -269,12 +387,68 @@ impl ResultStore {
     }
 
     /// Loads a store from disk; a missing file is an empty store.
+    /// Both checkpoint formats are accepted transparently — the file
+    /// magic decides (see [`ResultStore::open_any`]).
     pub fn load(path: &Path) -> Result<ResultStore, ScenarioError> {
-        if !path.exists() {
-            return Ok(ResultStore::new());
+        Ok(ResultStore::open_any(path)?.store)
+    }
+
+    /// The format-sniffing open every consumer (load, resume, `gc`,
+    /// `diff`, `merge`, the serve daemon) funnels through: reads the
+    /// file once, tells JSON from [`columnar`] binary by magic, and
+    /// reports the detected format plus a binary file's symbol table.
+    /// A missing file opens empty. Corruption errors name the detected
+    /// format, so a torn binary file never surfaces as a JSON parse
+    /// error at byte 0.
+    pub fn open_any(path: &Path) -> Result<OpenedStore, ScenarioError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(OpenedStore {
+                    store: ResultStore::new(),
+                    format: sniff_format(path)?,
+                    symbols: None,
+                });
+            }
+            Err(e) => {
+                return Err(ScenarioError::Store(format!(
+                    "read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        if columnar::is_columnar(&bytes) {
+            let decoded = columnar::decode(&bytes)
+                .map_err(|e| ScenarioError::Store(format!("{}: {e}", path.display())))?;
+            // Other-schema cells are dropped exactly like `from_json`
+            // drops them — and their symbol table with them, so the
+            // serve index never adopts vocabulary of dropped cells.
+            let current = decoded.schema == SCHEMA_VERSION;
+            Ok(OpenedStore {
+                store: if current {
+                    decoded.store
+                } else {
+                    ResultStore::new()
+                },
+                format: StoreFormat::Binary,
+                symbols: current.then_some(decoded.symbols),
+            })
+        } else {
+            let text = String::from_utf8(bytes).map_err(|e| {
+                ScenarioError::Store(format!(
+                    "json store {}: invalid UTF-8 ({e}) — was this file truncated \
+                     mid-write, or is it a foreign binary format?",
+                    path.display()
+                ))
+            })?;
+            let doc = Json::parse(&text)
+                .map_err(|e| ScenarioError::Store(format!("json store {}: {e}", path.display())))?;
+            Ok(OpenedStore {
+                store: ResultStore::from_json(&doc)?,
+                format: StoreFormat::Json,
+                symbols: None,
+            })
         }
-        let doc = Json::parse_file(path).map_err(ScenarioError::Store)?;
-        ResultStore::from_json(&doc)
     }
 
     /// Loads a store, treating a *missing* file as an error — the right
@@ -293,7 +467,10 @@ impl ResultStore {
     /// Writes the store to disk (creating parent directories). The
     /// write is atomic — rendered to a temp file in the target
     /// directory, then renamed — so an interrupted worker can never
-    /// leave a torn or truncated store behind.
+    /// leave a torn or truncated store behind. The format follows
+    /// [`sniff_format`]: an existing file keeps its format, a fresh
+    /// `.bin` path gets the binary columnar layout, anything else
+    /// gets JSON.
     pub fn save(&self, path: &Path) -> Result<(), ScenarioError> {
         self.save_observed(path, None)
     }
@@ -305,8 +482,31 @@ impl ResultStore {
         path: &Path,
         obs: Option<&crate::obs::Obs>,
     ) -> Result<(), ScenarioError> {
+        let format = sniff_format(path)?;
+        self.save_as_observed(path, format, obs)
+    }
+
+    /// Writes the store in an explicitly chosen format — the
+    /// `campaign convert` entry point; everything else should let
+    /// [`Self::save`] keep the file's existing format.
+    pub fn save_as(&self, path: &Path, format: StoreFormat) -> Result<(), ScenarioError> {
+        self.save_as_observed(path, format, None)
+    }
+
+    /// [`Self::save_as`] under a `store/save` span when a recorder is
+    /// given. Observation never changes the written bytes.
+    pub fn save_as_observed(
+        &self,
+        path: &Path,
+        format: StoreFormat,
+        obs: Option<&crate::obs::Obs>,
+    ) -> Result<(), ScenarioError> {
         let _span = obs.map(|o| o.span("store/save", "store"));
-        write_atomic(path, &self.to_json().pretty())
+        let bytes = match format {
+            StoreFormat::Json => self.to_json().pretty().into_bytes(),
+            StoreFormat::Binary => columnar::encode(self),
+        };
+        write_atomic(path, &bytes)
     }
 
     /// Loads a store *and replays its sidecar journal*: the
@@ -329,13 +529,26 @@ impl ResultStore {
         path: &Path,
         obs: Option<&crate::obs::Obs>,
     ) -> Result<(ResultStore, usize), ScenarioError> {
+        let (opened, replayed) = ResultStore::open_resumable_full(path, obs)?;
+        Ok((opened.store, replayed))
+    }
+
+    /// [`Self::open_resumable_observed`] keeping the whole
+    /// [`OpenedStore`]: the serve daemon needs the detected format (to
+    /// checkpoint back in kind) and a binary file's symbol table (to
+    /// seed its index interner instead of re-interning every string).
+    pub fn open_resumable_full(
+        path: &Path,
+        obs: Option<&crate::obs::Obs>,
+    ) -> Result<(OpenedStore, usize), ScenarioError> {
         let load_span = obs.map(|o| o.span("store/load", "store"));
-        let mut store = ResultStore::load(path)?;
+        let mut opened = ResultStore::open_any(path)?;
+        let store = &mut opened.store;
         drop(load_span);
         let _replay_span = obs.map(|o| o.span("journal/replay", "store"));
         let journal = journal_path(path);
         if !journal.exists() {
-            return Ok((store, 0));
+            return Ok((opened, 0));
         }
         let mut replayed = 0;
         replay_sidecar_lines(&journal, &mut |doc| {
@@ -345,7 +558,7 @@ impl ResultStore {
             }
             Ok(())
         })?;
-        Ok((store, replayed))
+        Ok((opened, replayed))
     }
 
     /// Compacts the store + journal pair: writes the full store as the
@@ -1036,7 +1249,7 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), ScenarioError> {
     Ok(())
 }
 
-/// Atomically *and durably* replaces `path` with `text`: write a
+/// Atomically *and durably* replaces `path` with `bytes`: write a
 /// uniquely-named temp file in the same directory (same filesystem, so
 /// the rename cannot degrade to a copy), fsync it, rename over the
 /// target, then fsync the parent directory. Readers see either the old
@@ -1045,7 +1258,7 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), ScenarioError> {
 /// checkpoint path depends on that: the journal is deleted right after,
 /// and losing the just-compacted store while the journal is already
 /// gone would lose every journaled cell).
-pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ScenarioError> {
     let dir = match path.parent() {
         Some(dir) if !dir.as_os_str().is_empty() => {
             std::fs::create_dir_all(dir)
@@ -1064,7 +1277,7 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), ScenarioError>
     ));
     let write_synced = || -> std::io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
-        std::io::Write::write_all(&mut file, text.as_bytes())?;
+        std::io::Write::write_all(&mut file, bytes)?;
         // Content must reach disk before the rename publishes it: a
         // rename is only as durable as the bytes behind it.
         file.sync_all()

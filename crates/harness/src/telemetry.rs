@@ -221,7 +221,7 @@ impl Telemetry {
             ));
             text.push('\n');
         }
-        write_atomic(path, &text)
+        write_atomic(path, text.as_bytes())
     }
 }
 

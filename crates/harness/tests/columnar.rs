@@ -1,0 +1,381 @@
+//! The binary columnar store contract, library-level and through the
+//! `campaign` binary.
+//!
+//! The invariants pinned here:
+//!
+//! * **Interchange fidelity** — `json → bin → json` reproduces the
+//!   original store byte-identically: a proptest sweeps randomized
+//!   stores (pathological parameter keys, raw fingerprints, extreme
+//!   f64 bit patterns included), and a golden test pushes the
+//!   committed `baselines/campaign-seed42.json` through two real
+//!   `campaign convert` processes and compares raw bytes.
+//! * **Format transparency** — `gc`, `diff` and `merge` accept a
+//!   binary store wherever they accept JSON; `open_any` reports the
+//!   sniffed format and ships the symbol table only for binary
+//!   current-schema stores.
+//! * **Merge byte-determinism** — fusing binary shard stores writes a
+//!   `.bin` byte-identical to converting the all-JSON merge.
+//! * **Corruption diagnostics** — a truncated or bit-flipped binary
+//!   store fails through the CLI with the format named and the
+//!   `campaign convert` remediation, never a panic.
+
+use harness::scenario::{CellResult, Params};
+use harness::serve::index::StoreIndex;
+use harness::store::{columnar, ResultStore, StoreFormat, StoredCell};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("harness-colcli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn campaign(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(args)
+        .output()
+        .expect("campaign must spawn")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = campaign(args);
+    assert!(
+        out.status.success(),
+        "{args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// One generated cell: the discriminants pick the scenario, the
+/// parameter-key shape (canonical, comma-in-value, no-`=`, empty) and
+/// the fingerprint shape (16-lowercase-hex, raw text, uppercase hex).
+fn build_cell(pick: u8, value: u64, style: u8) -> (String, StoredCell) {
+    let scenario = ["alpha", "beta", "gen/pipeline"][(pick % 3) as usize].to_string();
+    let params_key = match style % 4 {
+        0 => format!("mode=m{},n={}", pick % 5, value % 7),
+        1 => format!("list=a,{value}"), // comma inside a value: not invertible
+        2 => "bare-key-without-equals".to_string(),
+        _ => String::new(),
+    };
+    let fingerprint = match (style / 4) % 3 {
+        0 => format!(
+            "{:016x}",
+            value.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pick as u64
+        ),
+        1 => format!("raw:fp:{value}"),
+        _ => format!("{:016X}", value | 1), // uppercase: must survive verbatim
+    };
+    // Exact-bit metric values: ordinary, negative zero, subnormal, huge.
+    let metric = match value % 4 {
+        0 => value as f64 * 0.125,
+        1 => -0.0,
+        2 => 5e-324,
+        _ => 1.7e308,
+    };
+    let cell = StoredCell {
+        scenario,
+        version: 1 + (pick % 2) as u32,
+        params_key,
+        seed: value,
+        result: CellResult::new(vec![("lat", metric), ("ipc", (value % 100) as f64)]),
+    };
+    (fingerprint, cell)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole fidelity property: for arbitrary stores, the JSON
+    /// rendering survives `encode → decode` byte-identically, and
+    /// re-encoding the decoded store reproduces the binary image
+    /// byte-identically (the canonical-bytes half that merge
+    /// byte-determinism leans on).
+    #[test]
+    fn json_bin_json_is_byte_identical(
+        cells in prop::collection::vec((0u8..=255, 0u64..1_000_000, 0u8..=11), 0..=40),
+    ) {
+        let mut store = ResultStore::new();
+        for (pick, value, style) in cells {
+            let (fp, cell) = build_cell(pick, value, style);
+            store.insert_cell(fp, cell);
+        }
+        let json_before = store.to_json().pretty();
+        let bytes = columnar::encode(&store);
+        let decoded = columnar::decode(&bytes).expect("generated stores must decode");
+        prop_assert_eq!(&decoded.store.to_json().pretty(), &json_before);
+        prop_assert_eq!(columnar::encode(&decoded.store), bytes);
+    }
+}
+
+#[test]
+fn golden_convert_round_trip_matches_baseline_bytes() {
+    let dir = TempDir::new("golden");
+    let baseline =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/campaign-seed42.json");
+    let committed = std::fs::read(&baseline).expect("committed baseline must exist");
+    let json = dir.path("store.json");
+    let bin = dir.path("store.bin");
+    let back = dir.path("back.json");
+    std::fs::write(&json, &committed).unwrap();
+    let summary = run_ok(&[
+        "convert",
+        "--store",
+        json.to_str().unwrap(),
+        "--to",
+        "bin",
+        "--out",
+        bin.to_str().unwrap(),
+    ]);
+    assert!(
+        summary.contains("json -> binary columnar"),
+        "convert must report the direction: {summary}"
+    );
+    run_ok(&[
+        "convert",
+        "--store",
+        bin.to_str().unwrap(),
+        "--to",
+        "json",
+        "--out",
+        back.to_str().unwrap(),
+    ]);
+    let round_tripped = std::fs::read(&back).unwrap();
+    assert_eq!(
+        round_tripped, committed,
+        "json -> bin -> json must reproduce the committed baseline byte-identically"
+    );
+    // The binary image is also substantially smaller — the compactness
+    // the format exists for.
+    let bin_len = std::fs::metadata(&bin).unwrap().len();
+    assert!(
+        bin_len < committed.len() as u64,
+        "binary ({bin_len} bytes) should undercut JSON ({} bytes)",
+        committed.len()
+    );
+}
+
+/// A deterministic 3-scenario store for the CLI tests (kept off the
+/// builtin registry on purpose: gc must still *decode* every cell).
+fn sample_store(cells: u64) -> ResultStore {
+    let mut store = ResultStore::new();
+    for i in 0..cells {
+        let params = Params::new(vec![
+            ("n".into(), (i % 5).to_string()),
+            (
+                "mode".into(),
+                if i % 2 == 0 { "fast" } else { "safe" }.into(),
+            ),
+        ]);
+        store.insert(
+            ["alpha", "beta", "gamma"][(i % 3) as usize],
+            1,
+            &params,
+            i,
+            CellResult::new(vec![("lat", i as f64 * 0.5), ("ipc", (i % 9) as f64)]),
+        );
+    }
+    store
+}
+
+#[test]
+fn merge_of_binary_shards_is_byte_deterministic() {
+    let dir = TempDir::new("mergebin");
+    let full = sample_store(60);
+    let mut shard_a = ResultStore::new();
+    let mut shard_b = ResultStore::new();
+    for (n, (fp, cell)) in full.iter().enumerate() {
+        let shard = if n % 2 == 0 {
+            &mut shard_a
+        } else {
+            &mut shard_b
+        };
+        shard.insert_cell(fp.to_string(), cell.clone());
+    }
+    let (a_bin, b_bin) = (dir.path("shard-a.bin"), dir.path("shard-b.bin"));
+    shard_a.save_as(&a_bin, StoreFormat::Binary).unwrap();
+    shard_b.save_as(&b_bin, StoreFormat::Binary).unwrap();
+    // Binary shards fused straight to a binary store (the `.bin` out
+    // path selects the format)...
+    let merged_bin = dir.path("merged.bin");
+    run_ok(&[
+        "merge",
+        "--out",
+        merged_bin.to_str().unwrap(),
+        a_bin.to_str().unwrap(),
+        b_bin.to_str().unwrap(),
+    ]);
+    // ...must be byte-identical to the single-process store written
+    // binary, and decode back to the full store's JSON.
+    let reference_bin = dir.path("reference.bin");
+    full.save_as(&reference_bin, StoreFormat::Binary).unwrap();
+    assert_eq!(
+        std::fs::read(&merged_bin).unwrap(),
+        std::fs::read(&reference_bin).unwrap(),
+        "merge of binary shards must be byte-deterministic"
+    );
+    // Mixed-format inputs fuse too: one JSON shard, one binary shard.
+    let a_json = dir.path("shard-a.json");
+    shard_a.save(&a_json).unwrap();
+    let merged_mixed = dir.path("merged-mixed.json");
+    run_ok(&[
+        "merge",
+        "--out",
+        merged_mixed.to_str().unwrap(),
+        a_json.to_str().unwrap(),
+        b_bin.to_str().unwrap(),
+    ]);
+    let reference_json = dir.path("reference.json");
+    full.save(&reference_json).unwrap();
+    assert_eq!(
+        std::fs::read(&merged_mixed).unwrap(),
+        std::fs::read(&reference_json).unwrap(),
+        "mixed-format merge must equal the all-JSON store"
+    );
+}
+
+#[test]
+fn gc_and_diff_accept_binary_stores() {
+    let dir = TempDir::new("gcdiff");
+    let store = sample_store(30);
+    let json = dir.path("store.json");
+    let bin = dir.path("store.bin");
+    store.save(&json).unwrap();
+    store.save_as(&bin, StoreFormat::Binary).unwrap();
+    // diff across formats: same cells, exit 0.
+    let out = campaign(&["diff", json.to_str().unwrap(), bin.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "cross-format diff of equal stores must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A genuinely different binary store: exit 1 (differences), not 2.
+    let mut other = sample_store(30);
+    let victim = other.iter().next().map(|(fp, _)| fp.to_string()).unwrap();
+    other.remove(&victim);
+    let other_bin = dir.path("other.bin");
+    other.save_as(&other_bin, StoreFormat::Binary).unwrap();
+    let out = campaign(&["diff", json.to_str().unwrap(), other_bin.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "differing stores must exit 1: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // gc --dry-run decodes the binary store and reports per cell
+    // (these scenarios are unregistered, so every cell is a candidate).
+    let report = run_ok(&["gc", "--store", bin.to_str().unwrap(), "--dry-run"]);
+    assert!(
+        report.contains("30"),
+        "gc must see all 30 binary cells: {report}"
+    );
+    // gc actually rewriting the store keeps the sniffed binary format.
+    run_ok(&["gc", "--store", bin.to_str().unwrap(), "--quiet"]);
+    let rewritten = std::fs::read(&bin).unwrap();
+    assert!(
+        columnar::is_columnar(&rewritten),
+        "gc must preserve the binary format it sniffed"
+    );
+}
+
+#[test]
+fn corrupt_binary_stores_error_with_remediation_through_the_cli() {
+    let dir = TempDir::new("corrupt");
+    let bin = dir.path("store.bin");
+    sample_store(25).save_as(&bin, StoreFormat::Binary).unwrap();
+    let intact = std::fs::read(&bin).unwrap();
+    // Mid-payload truncation (the torn-write shape).
+    std::fs::write(&bin, &intact[..intact.len() / 2]).unwrap();
+    let out = campaign(&["convert", "--store", bin.to_str().unwrap(), "--to", "json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "corruption is an error, not a diff"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("binary columnar store"),
+        "error must name the detected format: {stderr}"
+    );
+    assert!(
+        stderr.contains("campaign convert"),
+        "error must carry remediation: {stderr}"
+    );
+    // A flipped payload bit: digest mismatch, same remediation shape.
+    let mut flipped = intact.clone();
+    let mid = columnar::HEADER_LEN + (flipped.len() - columnar::HEADER_LEN) / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&bin, &flipped).unwrap();
+    let out = campaign(&["diff", bin.to_str().unwrap(), bin.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("digest mismatch"),
+        "bit rot must be reported as a digest mismatch"
+    );
+    // gc on the truncated file: error with the path named, no panic.
+    std::fs::write(&bin, &intact[..columnar::HEADER_LEN]).unwrap();
+    let out = campaign(&["gc", "--store", bin.to_str().unwrap(), "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("store.bin"),
+        "gc must name the corrupt file"
+    );
+}
+
+#[test]
+fn open_any_reports_format_and_ships_symbols_for_binary() {
+    let dir = TempDir::new("openany");
+    let store = sample_store(12);
+    let json = dir.path("store.json");
+    let bin = dir.path("store.bin");
+    store.save(&json).unwrap();
+    store.save_as(&bin, StoreFormat::Binary).unwrap();
+    let opened_json = ResultStore::open_any(&json).unwrap();
+    assert_eq!(opened_json.format, StoreFormat::Json);
+    assert!(
+        opened_json.symbols.is_none(),
+        "JSON stores have no symbol table to adopt"
+    );
+    let opened_bin = ResultStore::open_any(&bin).unwrap();
+    assert_eq!(opened_bin.format, StoreFormat::Binary);
+    let symbols = opened_bin
+        .symbols
+        .expect("binary stores ship their intern table");
+    assert!(
+        symbols.iter().any(|s| s == "alpha"),
+        "scenario names are interned"
+    );
+    // The serve index built over the adopted vocabulary answers
+    // queries identically to one interned from scratch.
+    let from_scratch = StoreIndex::build(&store);
+    let adopted = StoreIndex::build_with_vocab(&opened_bin.store, Some(symbols));
+    let params = [
+        ("n".to_string(), "0".to_string()),
+        ("mode".to_string(), "fast".to_string()),
+    ];
+    let scratch_hit = from_scratch.query_point("alpha", &params);
+    let adopted_hit = adopted.query_point("alpha", &params);
+    assert_eq!(
+        scratch_hit.map(|hits| hits.len()),
+        adopted_hit.map(|hits| hits.len()),
+        "vocab adoption must not change query outcomes"
+    );
+}
