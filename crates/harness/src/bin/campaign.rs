@@ -119,6 +119,11 @@ struct Options {
     out: Option<PathBuf>,
     tols: Vec<String>,
     tol_default: Option<f64>,
+    rel_default: Option<f64>,
+    sigmas: Option<f64>,
+    // replicate flags
+    replicates: Option<u32>,
+    keep_replicates: bool,
     calibrate: Option<PathBuf>,
     steal: bool,
     leases: Option<PathBuf>,
@@ -156,8 +161,21 @@ options (run/report):
                      JSON — an existing file keeps whichever format its
                      magic bytes say it has)
   --json PATH        write the campaign as deterministic JSON
-  --csv PATH         write the campaign as long-format CSV
+  --csv PATH         write the campaign as long-format CSV (a replicated
+                     campaign switches to the wide distribution schema:
+                     mean,std,ci95,p05,p50,p95,n per base metric)
   --quiet            suppress per-cell output
+
+replicates & distributions (run/report; also plan):
+  --replicates N     fan every scenario cell over N replicate seeds
+                     (seed r = splitmix of the cell seed and r) and fold
+                     the group into one distribution cell per base cell:
+                     derived metrics <m>.mean/.std/.ci95/.p05/.p50/
+                     .p95/.n in declaration order. N=1 (the default) is
+                     byte-identical to a pre-replicate campaign
+  --keep-replicates  keep the raw per-replicate cells in the store next
+                     to the fold (default: only the fold survives);
+                     on merge, keep raws in the fused store too
 
 crash-resumable execution (run/report/shard; all need --store):
   --checkpoint-every N  append every completed cell to an append-only
@@ -213,10 +231,15 @@ generated-program corpora:
 
 distributed campaigns:
   plan   --shards N --manifest PATH [--scenario]... [--filter]...
-         [--seed S] [--corpus-size N] [--calibrate STORE]
+         [--seed S] [--corpus-size N] [--replicates N]
+         [--calibrate STORE]
          partition the campaign into N shards; write the manifest
-         (records per-scenario digests, cost weights and the corpus
-         identity); --calibrate derives the cost weights from a prior
+         (records per-scenario digests, cost weights, the replicate
+         multiplier and the corpus identity); shards run the raw
+         replicate cells and `merge --manifest` folds them, so the
+         merged store is byte-identical to a single-process
+         `run --replicates N`; --calibrate derives the cost weights
+         from a prior
          (e.g. committed baseline) store — from its *measured* per-cell
          wall-clock telemetry when a <STORE>.telemetry sidecar
          accompanies it, falling back to the metric-magnitude proxy
@@ -232,15 +255,27 @@ distributed campaigns:
          remove the dir and re-run all shards with --resume (journaled
          cells replay; only the dead shard's unfinished chunks
          recompute)
-  merge  --out PATH [--manifest PATH] [--report] [--leases DIR] STORE...
+  merge  --out PATH [--manifest PATH] [--report] [--leases DIR]
+         [--keep-replicates] STORE...
          fuse shard stores (conflict = determinism violation -> exit 2);
-         with --manifest, also verify exact planned-cell coverage;
-         --report (needs --manifest) prints the steal-aware summary —
-         which shard won which chunk, from the lease files (--leases
-         DIR, default <manifest>.leases), and the realized per-shard
-         wall-clock balance from each input's telemetry sidecar
+         with --manifest, also verify exact planned-cell coverage and,
+         for a replicated manifest, fold each replicate group into its
+         distribution cell (drop the raws unless --keep-replicates) —
+         byte-identical to a single-process run; --report (needs
+         --manifest) prints the steal-aware summary — which shard won
+         which chunk, from the lease files (--leases DIR, default
+         <manifest>.leases), and the realized per-shard wall-clock
+         balance from each input's telemetry sidecar
   diff   BASELINE COMPARED [--tol METRIC=EPS]... [--tol-default EPS]
-         compare two stores cell-by-cell; exit 1 if they differ
+         [--rel EPS] [--sigmas S]
+         compare two stores cell-by-cell; exit 1 if they differ.
+         A drifted metric is admitted (reported, not fatal) by the
+         first rule that covers it: per-metric/default absolute
+         tolerance, --rel EPS relative tolerance
+         (|delta| <= EPS * max|value|), or --sigmas S for fold cells'
+         .mean metrics (|delta| <= S standard errors, pooled from the
+         sibling .std/.n columns); the summary names the admitting
+         rule per near miss
 
 result-store lifecycle:
   gc     --store PATH [--dry-run] [--seed S] [--corpus-size N]
@@ -346,6 +381,10 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
         out: None,
         tols: Vec::new(),
         tol_default: None,
+        rel_default: None,
+        sigmas: None,
+        replicates: None,
+        keep_replicates: false,
         calibrate: None,
         steal: false,
         leases: None,
@@ -470,6 +509,33 @@ fn parse(mut args: std::env::Args) -> Result<Options, String> {
                         .ok_or("--tol-default needs a number >= 0")?,
                 );
             }
+            "--rel" => {
+                options.rel_default = Some(
+                    value("--rel")?
+                        .parse()
+                        .ok()
+                        .filter(|eps: &f64| *eps >= 0.0)
+                        .ok_or("--rel needs a number >= 0")?,
+                );
+            }
+            "--sigmas" => {
+                options.sigmas = Some(
+                    value("--sigmas")?
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| *s >= 0.0)
+                        .ok_or("--sigmas needs a number >= 0")?,
+                );
+            }
+            "--replicates" => {
+                options.replicates = Some(
+                    small("--replicates", value("--replicates")?)
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--replicates needs an integer >= 1")?,
+                )
+            }
+            "--keep-replicates" => options.keep_replicates = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`\n\n{USAGE}"))
             }
@@ -517,6 +583,8 @@ fn run(options: Options) -> Result<u8, String> {
             "--progress",
             "--telemetry",
             "--trace",
+            "--replicates",
+            "--keep-replicates",
         ],
         "gen" => &["--seed", "--corpus-size", "--filter", "--disasm"],
         "plan" => &[
@@ -527,6 +595,7 @@ fn run(options: Options) -> Result<u8, String> {
             "--shards",
             "--manifest",
             "--calibrate",
+            "--replicates",
             "--quiet",
         ],
         "shard" => &[
@@ -551,12 +620,13 @@ fn run(options: Options) -> Result<u8, String> {
             "--manifest",
             "--report",
             "--leases",
+            "--keep-replicates",
             "--quiet",
             "--trace",
         ],
         "bench" => &["--quick", "--repeats", "--out", "--check", "--quiet"],
         "trace" => &[],
-        "diff" => &["--tol", "--tol-default", "--quiet"],
+        "diff" => &["--tol", "--tol-default", "--rel", "--sigmas", "--quiet"],
         "gc" => &[
             "--store",
             "--dry-run",
@@ -1072,6 +1142,8 @@ fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
         &ExecConfig {
             threads: options.threads,
             seed: options.seed,
+            replicates: options.replicates.unwrap_or(1),
+            keep_replicates: options.keep_replicates,
         },
         &mut session.store,
         CellDomain::All,
@@ -1084,6 +1156,9 @@ fn run_or_report(registry: &Registry, options: &Options) -> Result<u8, String> {
     session.close(options.quiet)?;
     if options.command == "report" {
         print!("{}", report::evidence_summary(&campaign, registry));
+        if campaign.replicates > 1 {
+            print!("{}", report::distribution_summary(&campaign, registry));
+        }
         return Ok(0);
     }
     print_cells(&campaign, options.quiet);
@@ -1123,6 +1198,7 @@ fn plan(registry: &Registry, options: &Options) -> Result<u8, String> {
         &options.filters,
         options.seed,
         shards,
+        options.replicates.unwrap_or(1),
         baseline.as_ref(),
         baseline_telemetry.as_ref(),
     )
@@ -1226,6 +1302,13 @@ fn merge(options: &Options) -> Result<u8, String> {
     if options.leases.is_some() && !options.steal_report {
         return Err("--leases needs --report (plain merges read no lease files)".into());
     }
+    if options.keep_replicates && options.manifest.is_none() {
+        return Err(
+            "--keep-replicates needs --manifest PATH (the replicate fold it modulates is \
+             driven by the manifest)"
+                .into(),
+        );
+    }
     // A live daemon both reads (inputs) and writes (--out) its store on
     // its own schedule; merging against either end races it.
     for path in options
@@ -1250,10 +1333,19 @@ fn merge(options: &Options) -> Result<u8, String> {
     let inputs_merged = stores.len();
     let (fused, stats) =
         dist::merge_stores_owned_observed(stores, obs.as_ref()).map_err(|e| e.to_string())?;
+    let mut fused = fused;
+    let mut folded = 0usize;
     if let Some(path) = &options.manifest {
         let manifest = dist::Manifest::load(path).map_err(|e| e.to_string())?;
         let registry = dist::registry_for(&manifest);
         dist::merge::verify_coverage(&registry, &manifest, &fused).map_err(|e| e.to_string())?;
+        // A replicated campaign's shards carry raw replicate cells;
+        // folding them here (after coverage proved every replicate
+        // present) makes the merged store byte-identical to the
+        // single-process run's.
+        folded =
+            dist::merge::fold_replicates(&registry, &manifest, &mut fused, options.keep_replicates)
+                .map_err(|e| e.to_string())?;
         if options.steal_report {
             let lease_dir = options
                 .leases
@@ -1294,11 +1386,16 @@ fn merge(options: &Options) -> Result<u8, String> {
     // contradiction).
     if !options.quiet {
         println!(
-            "merged {} stores into {}: {} cells ({} duplicate)",
+            "merged {} stores into {}: {} cells ({} duplicate){}",
             inputs_merged,
             out.display(),
-            stats.cells,
-            stats.duplicates
+            fused.len(),
+            stats.duplicates,
+            if folded > 0 {
+                format!(", {folded} replicate groups folded")
+            } else {
+                String::new()
+            }
         );
     }
     Ok(0)
@@ -1311,6 +1408,12 @@ fn diff(options: &Options) -> Result<u8, String> {
     let mut tol = dist::Tolerances::parse(&options.tols).map_err(|e| e.to_string())?;
     if let Some(eps) = options.tol_default {
         tol = tol.with_default(eps);
+    }
+    if let Some(rel) = options.rel_default {
+        tol = tol.with_rel(rel);
+    }
+    if let Some(sigmas) = options.sigmas {
+        tol = tol.with_sigmas(sigmas);
     }
     let load = |p: &Path| ResultStore::load_required(p).map_err(|e| e.to_string());
     let (a, b) = (load(baseline)?, load(compared)?);

@@ -7,16 +7,30 @@
 //! version, params, seed — are compared metric-by-metric); cells
 //! present on one side only are reported as added/removed, and metric
 //! values are compared under per-metric absolute tolerances with an
-//! exact-match default.
+//! exact-match default. Two further admission rules serve replicated
+//! campaigns: a relative tolerance (`--rel`) scaling with the metric's
+//! magnitude, and a statistical one (`--sigmas S`) that admits a
+//! `<metric>.mean` drift within `S` standard errors of the fold cells'
+//! own recorded spread. Every drift a non-exact rule admitted is kept
+//! as a [`NearMiss`] naming the rule, so a gate that passed on
+//! tolerance (rather than byte equality) says so explicitly.
 
 use crate::scenario::ScenarioError;
 use crate::store::ResultStore;
 
-/// Absolute per-metric tolerances with a default for unnamed metrics.
+/// Per-metric tolerances: absolute per-metric entries plus an absolute
+/// default, an optional relative band, and an optional
+/// standard-error band for distribution (`expect` fold) metrics.
 #[derive(Debug, Clone, Default)]
 pub struct Tolerances {
     default: f64,
     per_metric: Vec<(String, f64)>,
+    /// Relative tolerance: admit when `|Δ| <= rel * max(|a|, |b|)`.
+    rel: f64,
+    /// Standard-error tolerance for `<metric>.mean` columns of fold
+    /// cells: admit when `|Δ| <= sigmas * se`, where `se` combines both
+    /// sides' recorded `.std`/`.n` (`sqrt(sa²/na + sb²/nb)`).
+    sigmas: Option<f64>,
 }
 
 impl Tolerances {
@@ -34,6 +48,18 @@ impl Tolerances {
     /// Sets one metric's tolerance.
     pub fn with(mut self, metric: &str, eps: f64) -> Tolerances {
         self.per_metric.push((metric.to_string(), eps));
+        self
+    }
+
+    /// Sets the relative tolerance (applies to every metric).
+    pub fn with_rel(mut self, rel: f64) -> Tolerances {
+        self.rel = rel;
+        self
+    }
+
+    /// Sets the standard-error tolerance for fold-cell `.mean` columns.
+    pub fn with_sigmas(mut self, sigmas: f64) -> Tolerances {
+        self.sigmas = Some(sigmas);
         self
     }
 
@@ -101,6 +127,47 @@ pub enum DeltaKind {
     Changed(Vec<MetricDelta>),
 }
 
+/// The tolerance rule that admitted a drifting metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// Within the absolute tolerance (`--tol` / `--tol-default`).
+    Abs,
+    /// Within the relative band (`--rel`).
+    Rel,
+    /// Within `--sigmas` standard errors of the folds' own spread.
+    Sigma,
+}
+
+impl std::fmt::Display for Admitted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Admitted::Abs => "abs",
+            Admitted::Rel => "rel",
+            Admitted::Sigma => "sigma",
+        })
+    }
+}
+
+/// A metric that drifted but was admitted by a tolerance rule: the
+/// gate still passes, but the report records which rule forgave what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearMiss {
+    /// The cell's fingerprint.
+    pub fingerprint: String,
+    /// Scenario id.
+    pub scenario: String,
+    /// Canonical parameter key.
+    pub params_key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub before: f64,
+    /// Compared value.
+    pub after: f64,
+    /// The rule that admitted the drift.
+    pub admitted: Admitted,
+}
+
 /// The full cell-by-cell comparison, in fingerprint order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiffReport {
@@ -108,6 +175,9 @@ pub struct DiffReport {
     pub deltas: Vec<CellDelta>,
     /// Cells present in both stores with all metrics within tolerance.
     pub unchanged: usize,
+    /// Metrics that drifted but were admitted by a non-exact tolerance
+    /// rule, in the same canonical fingerprint order as `deltas`.
+    pub near_misses: Vec<NearMiss>,
 }
 
 impl DiffReport {
@@ -149,7 +219,18 @@ pub fn diff_stores(a: &ResultStore, b: &ResultStore, tol: &Tolerances) -> DiffRe
                 kind: DeltaKind::Removed,
             }),
             Some(other) => {
-                let changes = diff_metrics(cell, other, tol);
+                let (changes, admitted) = diff_metrics(cell, other, tol);
+                for (metric, before, after, rule) in admitted {
+                    report.near_misses.push(NearMiss {
+                        fingerprint: fp.to_string(),
+                        scenario: cell.scenario.clone(),
+                        params_key: cell.params_key.clone(),
+                        metric,
+                        before,
+                        after,
+                        admitted: rule,
+                    });
+                }
                 if changes.is_empty() {
                     report.unchanged += 1;
                 } else {
@@ -181,6 +262,30 @@ pub fn diff_stores(a: &ResultStore, b: &ResultStore, tol: &Tolerances) -> DiffRe
     report
 }
 
+/// The combined standard error of a drifting `<base>.mean` column,
+/// from both fold cells' own recorded `.std`/`.n` siblings — the scale
+/// the `--sigmas` rule measures the drift against. `None` when either
+/// side is not a fold cell or lacks the sibling columns.
+fn standard_error(
+    metric: &str,
+    a: &crate::store::StoredCell,
+    b: &crate::store::StoredCell,
+) -> Option<f64> {
+    if !a.fold || !b.fold {
+        return None;
+    }
+    let base = metric.strip_suffix(".mean")?;
+    let sibling = |cell: &crate::store::StoredCell, suffix: &str| {
+        cell.result.metric(&format!("{base}.{suffix}"))
+    };
+    let (std_a, n_a) = (sibling(a, "std")?, sibling(a, "n")?);
+    let (std_b, n_b) = (sibling(b, "std")?, sibling(b, "n")?);
+    if n_a < 1.0 || n_b < 1.0 {
+        return None;
+    }
+    Some((std_a * std_a / n_a + std_b * std_b / n_b).sqrt())
+}
+
 /// Metric equivalence under an absolute tolerance, made NaN/∞-aware:
 /// two NaNs are *equivalent* (a scenario that deterministically
 /// produces NaN has not drifted — byte-identical stores must diff
@@ -199,24 +304,52 @@ fn within_tolerance(before: f64, after: f64, tol: f64) -> bool {
     (after - before).abs() <= tol
 }
 
+type AdmittedMetric = (String, f64, f64, Admitted);
+
 fn diff_metrics(
     a: &crate::store::StoredCell,
     b: &crate::store::StoredCell,
     tol: &Tolerances,
-) -> Vec<MetricDelta> {
+) -> (Vec<MetricDelta>, Vec<AdmittedMetric>) {
     let mut deltas = Vec::new();
+    let mut admitted = Vec::new();
     // a's metrics in declaration order, then metrics only b has.
     for (metric, before) in &a.result.metrics {
         let before = *before;
-        let after = b.result.metric(metric);
-        let within =
-            after.is_some_and(|after| within_tolerance(before, after, tol.tolerance(metric)));
-        if !within {
+        let Some(after) = b.result.metric(metric) else {
             deltas.push(MetricDelta {
                 metric: metric.clone(),
                 before: Some(before),
-                after,
+                after: None,
             });
+            continue;
+        };
+        // Exact equality (NaN == NaN, inf == inf) is no drift at all;
+        // each admission rule below forgives a real drift and is
+        // recorded as a near miss. Non-finite mismatches fall through
+        // every rule: no tolerance absorbs NaN-vs-number or +∞-vs-−∞.
+        if within_tolerance(before, after, 0.0) {
+            continue;
+        }
+        let rule = if within_tolerance(before, after, tol.tolerance(metric)) {
+            Some(Admitted::Abs)
+        } else if within_tolerance(before, after, tol.rel * before.abs().max(after.abs())) {
+            Some(Admitted::Rel)
+        } else {
+            tol.sigmas
+                .and_then(|s| {
+                    standard_error(metric, a, b)
+                        .filter(|se| within_tolerance(before, after, s * se))
+                })
+                .map(|_| Admitted::Sigma)
+        };
+        match rule {
+            Some(rule) => admitted.push((metric.clone(), before, after, rule)),
+            None => deltas.push(MetricDelta {
+                metric: metric.clone(),
+                before: Some(before),
+                after: Some(after),
+            }),
         }
     }
     for (metric, after) in &b.result.metrics {
@@ -228,7 +361,7 @@ fn diff_metrics(
             });
         }
     }
-    deltas
+    (deltas, admitted)
 }
 
 #[cfg(test)]
@@ -348,5 +481,98 @@ mod tests {
         assert!(Tolerances::parse(&["m=notanumber".into()]).is_err());
         assert!(Tolerances::parse(&["m=-1".into()]).is_err());
         assert!(Tolerances::parse(&["=1".into()]).is_err());
+    }
+
+    fn fold_store_with(cells: &[(u64, &[(&str, f64)])]) -> ResultStore {
+        use crate::store::{fingerprint, StoredCell};
+        let mut s = ResultStore::new();
+        for &(n, metrics) in cells {
+            let p = params(n);
+            s.insert_cell(
+                fingerprint("s", 1, &p, n),
+                StoredCell {
+                    scenario: "s".to_string(),
+                    version: 1,
+                    params_key: p.key(),
+                    seed: n,
+                    fold: true,
+                    result: CellResult::new(metrics.to_vec()),
+                },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        let a = store_with(&[(1, &[("m", 1000.0), ("k", 1.0)])]);
+        let b = store_with(&[(1, &[("m", 1009.0), ("k", 1.009)])]);
+        // 1% relative slack admits both drifts; absolute 0 admits none.
+        assert_eq!(diff_stores(&a, &b, &Tolerances::exact()).changed(), 1);
+        let rel = Tolerances::exact().with_rel(0.01);
+        let report = diff_stores(&a, &b, &rel);
+        assert!(report.is_empty(), "got: {report:?}");
+        assert_eq!(report.near_misses.len(), 2);
+        assert!(report
+            .near_misses
+            .iter()
+            .all(|m| m.admitted == Admitted::Rel));
+        // A 2% move escapes the 1% slack.
+        let c = store_with(&[(1, &[("m", 1020.0), ("k", 1.0)])]);
+        assert_eq!(diff_stores(&a, &c, &rel).changed(), 1);
+    }
+
+    #[test]
+    fn sigma_tolerance_admits_statistical_noise_on_fold_means() {
+        // Two fold cells whose means moved by ~1.4 standard errors:
+        // std = 2, n = 16 on both sides -> se = sqrt(4/16 + 4/16) ~ 0.707.
+        let a = fold_store_with(&[(1, &[("m.mean", 10.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        let b = fold_store_with(&[(1, &[("m.mean", 11.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        assert_eq!(diff_stores(&a, &b, &Tolerances::exact()).changed(), 1);
+        let sigmas = Tolerances::exact().with_sigmas(2.0);
+        let report = diff_stores(&a, &b, &sigmas);
+        // .std and .n are identical; only .mean moved, within 2 sigma.
+        assert!(report.is_empty(), "got: {report:?}");
+        assert_eq!(report.near_misses.len(), 1);
+        assert_eq!(report.near_misses[0].admitted, Admitted::Sigma);
+        assert_eq!(report.near_misses[0].metric, "m.mean");
+        // One sigma is too tight for a 1.4-se move.
+        assert_eq!(
+            diff_stores(&a, &b, &Tolerances::exact().with_sigmas(1.0)).changed(),
+            1
+        );
+        // The summary names the admitting rule.
+        let s = crate::report::diff_summary(&report);
+        assert!(s.contains("admitted: sigma"), "got: {s}");
+        assert!(s.contains("1 within tolerance"), "got: {s}");
+    }
+
+    #[test]
+    fn sigma_tolerance_ignores_raw_cells_and_non_mean_metrics() {
+        let sigmas = Tolerances::exact().with_sigmas(100.0);
+        // Raw (non-fold) cells never qualify, however generous S is.
+        let a = store_with(&[(1, &[("m.mean", 10.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        let b = store_with(&[(1, &[("m.mean", 11.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        assert_eq!(diff_stores(&a, &b, &sigmas).changed(), 1);
+        // A fold cell's non-mean column is not sigma-eligible either.
+        let a = fold_store_with(&[(1, &[("m.mean", 10.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        let b = fold_store_with(&[(1, &[("m.mean", 10.0), ("m.std", 2.5), ("m.n", 16.0)])]);
+        assert_eq!(diff_stores(&a, &b, &sigmas).changed(), 1);
+    }
+
+    #[test]
+    fn admission_chain_prefers_abs_then_rel_then_sigma() {
+        let a = fold_store_with(&[(1, &[("m.mean", 10.0), ("m.std", 2.0), ("m.n", 16.0)])]);
+        let b = fold_store_with(&[(1, &[("m.mean", 10.5), ("m.std", 2.0), ("m.n", 16.0)])]);
+        let all = Tolerances::exact()
+            .with("m.mean", 1.0)
+            .with_rel(0.5)
+            .with_sigmas(3.0);
+        let report = diff_stores(&a, &b, &all);
+        assert!(report.is_empty());
+        assert_eq!(report.near_misses[0].admitted, Admitted::Abs);
+        let rel_then_sigma = Tolerances::exact().with_rel(0.5).with_sigmas(3.0);
+        let report = diff_stores(&a, &b, &rel_then_sigma);
+        assert_eq!(report.near_misses[0].admitted, Admitted::Rel);
     }
 }

@@ -10,7 +10,7 @@
 //! [`verify_coverage`] checks a fused store against the manifest's
 //! planned cell set, catching lost shards or stray extra cells.
 
-use crate::dist::plan::{check_drift_observing, Manifest};
+use crate::dist::plan::{check_drift_observing, visit_planned_cells, Manifest, PlannedCell};
 use crate::dist::steal::{chunk_map, Chunk, LeaseDir};
 use crate::registry::Registry;
 use crate::scenario::ScenarioError;
@@ -154,6 +154,116 @@ pub fn verify_coverage(
         )));
     }
     Ok(())
+}
+
+/// Folds a fused replicated store into distribution metrics: each base
+/// cell's N raw replicate results collapse into one `expect` fold cell
+/// keyed by the base fingerprint, exactly as a single-process
+/// full-domain run folds at completion — so after this pass the merged
+/// store is byte-identical to the single-process store. Shard runs
+/// never fold themselves (a partition sees only the replicates it
+/// owns), which is why the fold lives here, after the fuse and after
+/// [`verify_coverage`] has proven every raw replicate present. Raw
+/// replicate cells are removed unless `keep_replicates`. Returns the
+/// number of fold cells produced (0 for an unreplicated manifest).
+pub fn fold_replicates(
+    registry: &Registry,
+    manifest: &Manifest,
+    store: &mut ResultStore,
+    keep_replicates: bool,
+) -> Result<usize, ScenarioError> {
+    if manifest.replicates <= 1 {
+        return Ok(0);
+    }
+    let reps = manifest.replicates as usize;
+    let scenarios = crate::exec::select_scenarios(registry, &manifest.scenarios)?;
+    let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
+    // One streaming pass over the planned cells: the replicate axis
+    // varies fastest, so each base cell's N replicates arrive
+    // consecutively in replicate-index order — the order the fold must
+    // consume for byte equivalence with the single-process run. The
+    // store is only read during the pass; fold insertions and raw
+    // removals are staged and applied afterwards.
+    let mut group: Vec<PlannedCell> = Vec::with_capacity(reps);
+    let mut folds: Vec<(String, StoredCell)> = Vec::new();
+    let mut raw_fps: Vec<String> = Vec::new();
+    {
+        let store: &ResultStore = store;
+        visit_planned_cells(registry, manifest, &mut |cell| {
+            group.push(cell);
+            if group.len() < reps {
+                return Ok(());
+            }
+            let spec = specs
+                .iter()
+                .find(|s| s.id == group[0].scenario)
+                .expect("planned cell of an unselected scenario");
+            let results = group
+                .iter()
+                .map(|c| {
+                    store
+                        .get_by_fingerprint(&c.fingerprint)
+                        .map(|s| &s.result)
+                        .ok_or_else(|| {
+                            ScenarioError::Store(format!(
+                                "replicate fold: merged store is missing replicate cell {} \
+                                 ({} {})",
+                                c.fingerprint,
+                                c.scenario,
+                                c.params.key()
+                            ))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let fold = crate::expect::fold_results(&results)?;
+            let (base_params, _) = crate::matrix::split_rep(&group[0].params).ok_or_else(|| {
+                ScenarioError::Store(format!(
+                    "replicate fold: planned cell `{}` lacks a {} coordinate",
+                    group[0].params.key(),
+                    crate::matrix::REP_AXIS
+                ))
+            })?;
+            let base_seed = crate::exec::cell_seed(manifest.seed, spec.id, &base_params);
+            let base_fp = crate::store::fingerprint_with_content(
+                spec.id,
+                spec.version,
+                spec.content_digest.as_deref(),
+                &base_params,
+                base_seed,
+            );
+            folds.push((
+                base_fp,
+                StoredCell {
+                    scenario: spec.id.to_string(),
+                    version: spec.version,
+                    params_key: base_params.key(),
+                    seed: base_seed,
+                    fold: true,
+                    result: fold,
+                },
+            ));
+            if !keep_replicates {
+                raw_fps.extend(group.drain(..).map(|c| c.fingerprint));
+            } else {
+                group.clear();
+            }
+            Ok(())
+        })?;
+    }
+    if !group.is_empty() {
+        return Err(ScenarioError::Store(format!(
+            "replicate fold: {} planned cells left over — not a multiple of {reps} replicates",
+            group.len()
+        )));
+    }
+    for fp in &raw_fps {
+        store.remove(fp);
+    }
+    let folded = folds.len();
+    for (fp, cell) in folds {
+        store.insert_cell(fp, cell);
+    }
+    Ok(folded)
 }
 
 /// One chunk's fate in a work-stealing campaign: the planned unit of
@@ -400,5 +510,79 @@ mod tests {
         assert_eq!(report.inputs[1].executed_cells, 2);
         assert_eq!(report.inputs[1].wall_ns, Some(5_000_000.0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicated_shards_fold_to_the_single_process_store() {
+        use crate::dist::{self, plan_calibrated_with};
+        use crate::exec::{run_campaign, ExecConfig};
+        use crate::matrix::Filter;
+        use crate::registry::Registry;
+
+        let registry = Registry::builtin();
+        let select = vec!["pipeline-domino".to_string(), "dram-refresh".to_string()];
+        let (manifest, _, _) =
+            plan_calibrated_with(&registry, &select, &[], 13, 2, 8, None, None).unwrap();
+
+        let mut shard_stores = Vec::new();
+        for index in 0..manifest.shards {
+            let mut store = ResultStore::new();
+            dist::run_shard(&registry, &manifest, index, 2, &mut store).unwrap();
+            shard_stores.push(store);
+        }
+        let (mut fused, _) = merge_stores(&shard_stores).unwrap();
+        verify_coverage(&registry, &manifest, &fused).unwrap();
+        let folded = fold_replicates(&registry, &manifest, &mut fused, false).unwrap();
+        assert_eq!(folded, 8, "4 + 4 base cells fold");
+
+        let mut single = ResultStore::new();
+        run_campaign(
+            &registry,
+            &select,
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 13,
+                replicates: 8,
+                keep_replicates: false,
+            },
+            &mut single,
+        )
+        .unwrap();
+        assert_eq!(
+            fused.to_json().pretty(),
+            single.to_json().pretty(),
+            "merged fold must be byte-identical to the one-process run"
+        );
+    }
+
+    #[test]
+    fn fold_keep_replicates_retains_raws_and_unreplicated_manifests_noop() {
+        use crate::dist::{self, plan_calibrated_with};
+        use crate::registry::Registry;
+
+        let registry = Registry::builtin();
+        let select = vec!["pipeline-domino".to_string()];
+        let (manifest, _, _) =
+            plan_calibrated_with(&registry, &select, &[], 3, 1, 4, None, None).unwrap();
+        let mut store = ResultStore::new();
+        dist::run_shard(&registry, &manifest, 0, 1, &mut store).unwrap();
+        assert_eq!(store.len(), 16);
+        let folded = fold_replicates(&registry, &manifest, &mut store, true).unwrap();
+        assert_eq!(folded, 4);
+        assert_eq!(store.len(), 20, "raws retained beside the folds");
+        assert_eq!(store.iter().filter(|(_, c)| c.fold).count(), 4);
+
+        // replicates == 1: nothing to fold, the store is untouched.
+        let (plain, _, _) =
+            plan_calibrated_with(&registry, &select, &[], 3, 1, 1, None, None).unwrap();
+        let mut plain_store = ResultStore::new();
+        dist::run_shard(&registry, &plain, 0, 1, &mut plain_store).unwrap();
+        let before = plain_store.to_json().pretty();
+        assert_eq!(
+            fold_replicates(&registry, &plain, &mut plain_store, false).unwrap(),
+            0
+        );
+        assert_eq!(plain_store.to_json().pretty(), before);
     }
 }

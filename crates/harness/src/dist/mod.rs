@@ -54,7 +54,7 @@
 //!     &registry,
 //!     &select,
 //!     &Filter::all(),
-//!     &ExecConfig { threads: 1, seed: 42 },
+//!     &ExecConfig { threads: 1, seed: 42, ..ExecConfig::default() },
 //!     &mut single,
 //! )
 //! .unwrap();
@@ -67,10 +67,10 @@ pub mod merge;
 pub mod plan;
 pub mod steal;
 
-pub use diff::{diff_stores, DiffReport, Tolerances};
+pub use diff::{diff_stores, Admitted, DiffReport, NearMiss, Tolerances};
 pub use merge::{
-    merge_stores, merge_stores_observed, merge_stores_owned, merge_stores_owned_observed,
-    steal_report, MergeStats, StealReport,
+    fold_replicates, merge_stores, merge_stores_observed, merge_stores_owned,
+    merge_stores_owned_observed, steal_report, MergeStats, StealReport,
 };
 pub use plan::{
     calibrate_weights, calibrate_weights_wall, plan, plan_calibrated, plan_calibrated_with,
@@ -140,6 +140,10 @@ pub fn run_shard_with(
         &ExecConfig {
             threads,
             seed: manifest.seed,
+            replicates: manifest.replicates,
+            // Shard runs never fold (the merge engine folds once all
+            // shards' raw replicates are fused), so the raws must stay.
+            keep_replicates: true,
         },
         store,
         CellDomain::Shard(shard),

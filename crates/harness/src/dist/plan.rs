@@ -34,8 +34,10 @@ use std::path::Path;
 /// 2 — per-scenario counts/digests (drift errors name the drifted
 /// scenarios) and the generated-program corpus identity;
 /// 3 — per-scenario cost weights (the work-stealing layer's initial
-/// lease balance).
-pub const MANIFEST_SCHEMA: u32 = 3;
+/// lease balance);
+/// 4 — the replicate multiplier (`--replicates N` enters the planned
+/// index space, so every worker expands the same replicated matrix).
+pub const MANIFEST_SCHEMA: u32 = 4;
 
 /// One scenario's slice of the plan: enough to attribute drift to a
 /// scenario by name instead of reporting bare campaign-level numbers.
@@ -75,6 +77,11 @@ pub struct Manifest {
     pub seed: u64,
     /// Number of shards the cell set is partitioned into.
     pub shards: u32,
+    /// Replicates per base cell (1 = the unreplicated matrix). Above
+    /// one, every scenario matrix is multiplied by the fastest-varying
+    /// [`crate::matrix::REP_AXIS`] and the planned counts, digests and
+    /// shard assignments all range over the replicate cells.
+    pub replicates: u32,
     /// Resolved scenario ids, in campaign (registration) order.
     pub scenarios: Vec<String>,
     /// Raw `axis=value` filter clauses, as given at plan time.
@@ -178,6 +185,7 @@ impl Manifest {
             // Decimal string: u64 seeds exceed f64's exact range.
             ("seed".into(), Json::str(self.seed.to_string())),
             ("shards".into(), Json::Num(f64::from(self.shards))),
+            ("replicates".into(), Json::Num(f64::from(self.replicates))),
             ("cells".into(), Json::Num(self.cells as f64)),
             ("digest".into(), Json::str(&self.digest)),
             (
@@ -245,6 +253,12 @@ impl Manifest {
             .and_then(|s| exact(s, u32::MAX as f64))
             .filter(|s| *s >= 1.0)
             .ok_or_else(|| bad("shards"))? as u32;
+        let replicates = doc
+            .get("replicates")
+            .and_then(Json::as_f64)
+            .and_then(|r| exact(r, u32::MAX as f64))
+            .filter(|r| *r >= 1.0)
+            .ok_or_else(|| bad("replicates"))? as u32;
         let cells = doc
             .get("cells")
             .and_then(Json::as_f64)
@@ -317,6 +331,7 @@ impl Manifest {
         Ok(Manifest {
             seed,
             shards,
+            replicates,
             scenarios: strings("scenarios")?,
             filter: strings("filter")?,
             cells,
@@ -349,34 +364,64 @@ fn stream_cells(
     filter: &Filter,
     seed: u64,
     shards: u32,
+    replicates: u32,
     visit: &mut dyn FnMut(PlannedCell) -> Result<(), ScenarioError>,
 ) -> Result<(), ScenarioError> {
+    let reps = replicates.max(1);
+    if reps > 1 {
+        // Mirror the executor's reservation of the replicate axis: a
+        // scenario declaring its own `rep` axis would make base and
+        // replicate coordinates ambiguous.
+        for spec in specs {
+            if spec.axes.iter().any(|a| a.name == crate::matrix::REP_AXIS) {
+                return Err(ScenarioError::Dist(format!(
+                    "scenario `{}` declares an axis named `{}`, which is \
+                     reserved for --replicates",
+                    spec.id,
+                    crate::matrix::REP_AXIS
+                )));
+            }
+        }
+    }
     let mut global_base = 0usize;
     for spec in specs {
         let cells = CellIter::new(&spec.axes);
         let matrix = cells.total();
-        for (local, params) in cells.enumerate() {
-            if !filter.matches(&params) {
+        for (base_local, base_params) in cells.enumerate() {
+            if !filter.matches(&base_params) {
                 continue;
             }
-            let cell_seed = cell_seed(seed, spec.id, &params);
-            let fp = fingerprint_with_content(
-                spec.id,
-                spec.version,
-                spec.content_digest.as_deref(),
-                &params,
-                cell_seed,
-            );
-            visit(PlannedCell {
-                scenario: spec.id.to_string(),
-                params,
-                seed: cell_seed,
-                shard: shard_of(&fp, shards)?,
-                fingerprint: fp,
-                global: global_base + local,
-            })?;
+            let base_seed = cell_seed(seed, spec.id, &base_params);
+            // The replicate axis varies fastest, exactly as the
+            // executor decodes it: replicate cells of one base cell
+            // occupy consecutive global indices.
+            for rep in 0..reps {
+                let (params, cell_seed) = if reps > 1 {
+                    (
+                        crate::matrix::with_rep(&base_params, rep),
+                        crate::expect::replicate_seed(base_seed, rep),
+                    )
+                } else {
+                    (base_params.clone(), base_seed)
+                };
+                let fp = fingerprint_with_content(
+                    spec.id,
+                    spec.version,
+                    spec.content_digest.as_deref(),
+                    &params,
+                    cell_seed,
+                );
+                visit(PlannedCell {
+                    scenario: spec.id.to_string(),
+                    params,
+                    seed: cell_seed,
+                    shard: shard_of(&fp, shards)?,
+                    fingerprint: fp,
+                    global: global_base + base_local * reps as usize + rep as usize,
+                })?;
+            }
         }
-        global_base += matrix;
+        global_base += matrix * reps as usize;
     }
     Ok(())
 }
@@ -393,7 +438,14 @@ pub fn visit_planned_cells(
     let scenarios = select_scenarios(registry, &manifest.scenarios)?;
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
     validate_filter(&specs, &filter)?;
-    stream_cells(&specs, &filter, manifest.seed, manifest.shards, visit)
+    stream_cells(
+        &specs,
+        &filter,
+        manifest.seed,
+        manifest.shards,
+        manifest.replicates,
+        visit,
+    )
 }
 
 /// Materializes the manifest's planned cells (a collecting wrapper over
@@ -530,6 +582,7 @@ pub fn plan_calibrated(
         filter_clauses,
         seed,
         shards,
+        1,
         baseline,
         None,
     )
@@ -541,17 +594,22 @@ pub fn plan_calibrated(
 /// scenario, the weights come from *wall-clock means* instead of the
 /// metric-magnitude proxy; otherwise the proxy (or unit weights with no
 /// baseline at all). Also reports which source won.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_calibrated_with(
     registry: &Registry,
     select: &[String],
     filter_clauses: &[String],
     seed: u64,
     shards: u32,
+    replicates: u32,
     baseline: Option<&ResultStore>,
     telemetry: Option<&crate::telemetry::Telemetry>,
 ) -> Result<(Manifest, Vec<usize>, WeightSource), ScenarioError> {
     if shards == 0 {
         return Err(ScenarioError::Dist("shard count must be >= 1".into()));
+    }
+    if replicates == 0 {
+        return Err(ScenarioError::Dist("replicates must be >= 1".into()));
     }
     let filter = Filter::parse(filter_clauses).map_err(ScenarioError::Dist)?;
     let scenarios = select_scenarios(registry, select)?;
@@ -586,7 +644,7 @@ pub fn plan_calibrated_with(
         ids.iter().map(|_| (0, FingerprintDigest::new())).collect();
     let mut shard_counts = vec![0usize; shards as usize];
     let mut scenario_index = 0usize;
-    stream_cells(&specs, &filter, seed, shards, &mut |cell| {
+    stream_cells(&specs, &filter, seed, shards, replicates, &mut |cell| {
         while ids[scenario_index] != cell.scenario {
             scenario_index += 1;
         }
@@ -601,6 +659,7 @@ pub fn plan_calibrated_with(
     let manifest = Manifest {
         seed,
         shards,
+        replicates,
         scenarios: ids.clone(),
         filter: filter_clauses.to_vec(),
         cells,
@@ -936,7 +995,7 @@ mod tests {
         telemetry.record_fresh("aaaa", &ids[0], Duration::from_millis(1), 1);
         telemetry.record_fresh("bbbb", &ids[1], Duration::from_millis(9), 2);
         let (proxy, _, source) =
-            plan_calibrated_with(&registry, &ids, &[], 42, 2, Some(&baseline), None).unwrap();
+            plan_calibrated_with(&registry, &ids, &[], 42, 2, 1, Some(&baseline), None).unwrap();
         assert_eq!(source, WeightSource::MetricProxy);
         assert_eq!(proxy.per_scenario[0].weight, 100.0);
         let (timed, _, source) = plan_calibrated_with(
@@ -945,6 +1004,7 @@ mod tests {
             &[],
             42,
             2,
+            1,
             Some(&baseline),
             Some(&telemetry),
         )
@@ -972,7 +1032,93 @@ mod tests {
             "the timed plan must cut the measured-slow scenario finer"
         );
         let (_, _, source) =
-            plan_calibrated_with(&registry, &ids, &[], 42, 2, None, Some(&telemetry)).unwrap();
+            plan_calibrated_with(&registry, &ids, &[], 42, 2, 1, None, Some(&telemetry)).unwrap();
         assert_eq!(source, WeightSource::Unit, "telemetry alone is no baseline");
+    }
+
+    fn plan_reps(reps: u32, shards: u32, seed: u64) -> Manifest {
+        plan_calibrated_with(
+            &registry(),
+            &domino_select(),
+            &[],
+            seed,
+            shards,
+            reps,
+            None,
+            None,
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn replicated_manifest_round_trips_and_requires_the_field() {
+        let m = plan_reps(16, 3, 9);
+        assert_eq!(m.replicates, 16);
+        let base = plan(&registry(), &domino_select(), &[], 9, 3).unwrap();
+        assert_eq!(m.cells, base.cells * 16, "replicates multiply the matrix");
+        let back = Manifest::from_json(&Json::parse(&m.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back, m);
+        // A manifest without the field is from another schema era.
+        let mut doc = m.to_json();
+        if let Json::Obj(members) = &mut doc {
+            members.retain(|(k, _)| k != "replicates");
+        }
+        assert!(matches!(
+            Manifest::from_json(&doc),
+            Err(ScenarioError::Dist(ref msg)) if msg.contains("replicates")
+        ));
+    }
+
+    #[test]
+    fn replicated_planned_cells_vary_rep_fastest_with_distinct_seeds() {
+        let m = plan_reps(4, 2, 5);
+        let cells = planned_cells(&registry(), &m).unwrap();
+        assert_eq!(cells.len(), m.cells);
+        // Global indices stay the dense 0..n of the replicated space.
+        let globals: Vec<usize> = cells.iter().map(|c| c.global).collect();
+        assert_eq!(globals, (0..cells.len()).collect::<Vec<_>>());
+        let mut seeds = std::collections::HashSet::new();
+        for group in cells.chunks_exact(4) {
+            // Same base assignment across the group, rep 0..4 in order.
+            let reps: Vec<String> = group
+                .iter()
+                .map(|c| c.params.get("rep").unwrap().to_string())
+                .collect();
+            assert_eq!(reps, ["0", "1", "2", "3"]);
+            for cell in group {
+                assert!(seeds.insert(cell.seed), "replicate seeds are distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_plan_matches_the_executor_decode() {
+        use crate::exec::{run_campaign, ExecConfig};
+        let m = plan_reps(3, 2, 11);
+        let planned = planned_cells(&registry(), &m).unwrap();
+        let mut store = ResultStore::new();
+        run_campaign(
+            &registry(),
+            &domino_select(),
+            &crate::matrix::Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 11,
+                replicates: 3,
+                keep_replicates: true,
+            },
+            &mut store,
+        )
+        .unwrap();
+        // Every planned replicate cell is present in the executed store
+        // under the identical fingerprint (plan and exec decode agree).
+        for cell in &planned {
+            assert!(
+                store.contains(&cell.fingerprint),
+                "planned cell {} missing from the executed store",
+                cell.params.key()
+            );
+        }
     }
 }

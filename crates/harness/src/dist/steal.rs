@@ -64,7 +64,11 @@ pub struct Chunk {
 pub fn chunk_map(registry: &Registry, manifest: &Manifest) -> Result<Vec<Chunk>, ScenarioError> {
     let scenarios = crate::exec::select_scenarios(registry, &manifest.scenarios)?;
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
-    let sizes: Vec<usize> = specs.iter().map(|s| s.matrix_size()).collect();
+    // Replicates multiply every matrix in the global lazy index space,
+    // so chunk sizes (and therefore the initial lease balance) account
+    // for the full replicated cell load.
+    let reps = manifest.replicates.max(1) as usize;
+    let sizes: Vec<usize> = specs.iter().map(|s| s.matrix_size() * reps).collect();
     let weights: Vec<f64> = specs.iter().map(|s| manifest.weight_of(s.id)).collect();
     let total_cost: f64 = sizes
         .iter()
@@ -325,9 +329,15 @@ pub fn run_shard_stealing(
     check_drift(registry, manifest)?;
     let chunks = chunk_map(registry, manifest)?;
     let filter = manifest.parsed_filter()?;
+    // Replicates come from the manifest so every shard expands the same
+    // replicated matrix; a range run never folds (the merge engine
+    // folds once all shards' raw replicates are fused), so
+    // keep_replicates is irrelevant here.
     let config = ExecConfig {
         threads,
         seed: manifest.seed,
+        replicates: manifest.replicates,
+        keep_replicates: true,
     };
 
     let mut stats = StealStats::default();
@@ -428,6 +438,7 @@ pub fn run_shard_stealing(
         cells: Vec::new(),
         executed: 0,
         memoized: 0,
+        replicates: manifest.replicates,
     };
     for (_, piece) in pieces {
         campaign.executed += piece.executed;
@@ -598,6 +609,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 42,
+                ..ExecConfig::default()
             },
             &mut single,
         )
@@ -648,11 +660,54 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 9,
+                ..ExecConfig::default()
             },
             &mut single,
         )
         .unwrap();
         assert_eq!(fused.to_json().pretty(), single.to_json().pretty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_map_scales_with_the_replicate_multiplier() {
+        let registry = Registry::builtin();
+        let base = dist::plan(&registry, &select(), &[], 42, 3).unwrap();
+        let mut replicated = base.clone();
+        replicated.replicates = 16;
+        replicated.cells = base.cells * 16;
+        let base_chunks = chunk_map(&registry, &base).unwrap();
+        let rep_chunks = chunk_map(&registry, &replicated).unwrap();
+        let covered = |chunks: &[Chunk]| chunks.last().map_or(0, |c| c.range.end);
+        assert_eq!(
+            covered(&rep_chunks),
+            covered(&base_chunks) * 16,
+            "chunks must cover the replicated lazy space"
+        );
+        // Contiguous cover, as in the unreplicated case.
+        let mut next = 0usize;
+        for chunk in &rep_chunks {
+            assert_eq!(chunk.range.start, next);
+            next = chunk.range.end;
+        }
+        // Replicate groups are rep-fastest in the lazy space, so a
+        // chunk boundary inside a group is fine for execution — but
+        // the per-shard lease totals must stay balanced in *cells*.
+        let lease_cells = |chunks: &[Chunk], shard: u32| -> usize {
+            chunks
+                .iter()
+                .filter(|c| c.initial_shard == shard)
+                .map(|c| c.range.len())
+                .sum()
+        };
+        let per_shard: Vec<usize> = (0..3).map(|s| lease_cells(&rep_chunks, s)).collect();
+        let (min, max) = (
+            *per_shard.iter().min().unwrap(),
+            *per_shard.iter().max().unwrap(),
+        );
+        assert!(
+            max - min <= covered(&rep_chunks) / 3,
+            "replicated lease balance skewed: {per_shard:?}"
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! callback per executed cell and a result sink that feeds the
 //! crash-resume journal.
 
-use crate::matrix::{CellIter, Filter};
+use crate::matrix::{CellIter, Filter, REP_AXIS};
 use crate::registry::Registry;
 use crate::scenario::{CellResult, Params, Scenario, ScenarioError, ScenarioSpec};
 use crate::store::{fingerprint_with_content, ResultStore, StoredCell};
@@ -29,6 +29,16 @@ pub struct ExecConfig {
     pub threads: usize,
     /// The campaign seed every cell seed derives from.
     pub seed: u64,
+    /// Replicates per base cell (`1` = today's behavior, byte for
+    /// byte). Above one, every scenario matrix is multiplied by a
+    /// fastest-varying `rep` axis; each replicate runs under
+    /// [`crate::expect::replicate_seed`] and a full-domain run folds
+    /// the outcomes into distribution metrics keyed by the base
+    /// fingerprint.
+    pub replicates: u32,
+    /// Keep the raw per-replicate cells in the store next to the fold
+    /// cells (default: the fold replaces them).
+    pub keep_replicates: bool,
 }
 
 impl Default for ExecConfig {
@@ -36,6 +46,8 @@ impl Default for ExecConfig {
         ExecConfig {
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             seed: 0,
+            replicates: 1,
+            keep_replicates: false,
         }
     }
 }
@@ -60,12 +72,16 @@ pub struct CampaignCell {
 pub struct Campaign {
     /// The campaign seed.
     pub seed: u64,
-    /// All cells, in deterministic order.
+    /// All cells, in deterministic order. For a replicated full-domain
+    /// run these are the *fold* cells (one per base cell, distribution
+    /// metrics); `executed`/`memoized` still count raw replicates.
     pub cells: Vec<CampaignCell>,
     /// Cells actually executed this run.
     pub executed: usize,
     /// Cells resolved from the store.
     pub memoized: usize,
+    /// Replicates per base cell the campaign ran with (1 = unfolded).
+    pub replicates: u32,
 }
 
 /// One slice of a sharded campaign: this process owns every cell whose
@@ -376,17 +392,36 @@ pub fn run_campaign_with(
         Shard::new(s.index, s.count)?;
     }
     let plan_span = hooks.obs.map(|o| o.span("plan", "exec"));
+    if config.replicates == 0 {
+        return Err(ScenarioError::Dist("replicates must be >= 1".into()));
+    }
     let scenarios = select_scenarios(registry, select)?;
     let specs: Vec<_> = scenarios.iter().map(|s| s.spec()).collect();
     validate_filter(&specs, filter)?;
+    // The replicate axis is reserved: a scenario declaring its own
+    // `rep` axis would make base and replicate coordinates ambiguous.
+    let reps = config.replicates as usize;
+    if reps > 1 {
+        for spec in &specs {
+            if spec.axes.iter().any(|a| a.name == REP_AXIS) {
+                return Err(ScenarioError::Dist(format!(
+                    "scenario `{}` declares an axis named `{REP_AXIS}`, which is \
+                     reserved for --replicates",
+                    spec.id
+                )));
+            }
+        }
+    }
 
     // The global lazy index space: prefix[i] is the first index of
-    // scenario i's matrix, prefix[len] the total.
+    // scenario i's matrix (× the replicate multiplier), prefix[len]
+    // the total. The replicate axis varies fastest, so the N cells of
+    // one base cell are consecutive.
     let mut prefix = Vec::with_capacity(specs.len() + 1);
     let mut total = 0usize;
     for spec in &specs {
         prefix.push(total);
-        total += spec.matrix_size();
+        total += spec.matrix_size() * reps;
     }
     prefix.push(total);
 
@@ -458,13 +493,27 @@ pub fn run_campaign_with(
                     .expect("scan position within summed range length");
                 let scenario = prefix.partition_point(|&p| p <= global) - 1;
                 let spec = &specs[scenario];
-                let params = CellIter::new(&spec.axes)
-                    .cell_at(global - prefix[scenario])
+                let local = global - prefix[scenario];
+                // Replicates: the base cell index and replicate index
+                // are the quotient/remainder of the local index — the
+                // filter sees *base* coordinates, so it keeps or drops
+                // whole replicate groups.
+                let (base_local, rep) = (local / reps, (local % reps) as u32);
+                let base_params = CellIter::new(&spec.axes)
+                    .cell_at(base_local)
                     .expect("lazy index within the scenario's matrix");
-                if !filter.matches(&params) {
+                if !filter.matches(&base_params) {
                     continue;
                 }
-                let seed = cell_seed(config.seed, spec.id, &params);
+                let base_seed = cell_seed(config.seed, spec.id, &base_params);
+                let (params, seed) = if reps > 1 {
+                    (
+                        crate::matrix::with_rep(&base_params, rep),
+                        crate::expect::replicate_seed(base_seed, rep),
+                    )
+                } else {
+                    (base_params, base_seed)
+                };
                 let fingerprint = fingerprint_with_content(
                     spec.id,
                     spec.version,
@@ -542,6 +591,7 @@ pub fn run_campaign_with(
                                 version: spec.version,
                                 params_key: params.key(),
                                 seed,
+                                fold: false,
                                 result: result.clone(),
                             },
                         );
@@ -625,6 +675,7 @@ pub fn run_campaign_with(
                         version: specs[slot.scenario].version,
                         params_key: slot.params.key(),
                         seed: slot.seed,
+                        fold: false,
                         result,
                     },
                 );
@@ -651,9 +702,20 @@ pub fn run_campaign_with(
         return Err(e);
     }
     // Cancellation reports *after* assembly: the completed cells are in
-    // the store, so a rerun resumes instead of recomputing.
+    // the store, so a rerun resumes instead of recomputing. A
+    // cancelled replicated run keeps its raw cells unfolded — the
+    // resumed run memoizes them and folds at its own completion.
     if hooks.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
         return Err(ScenarioError::Cancelled);
+    }
+
+    // Replicate fold: only a *complete* campaign (the full domain)
+    // folds. Shard and range runs leave raw replicate cells for the
+    // merge engine to fold once every shard's outcomes are fused — the
+    // fold must see all N replicates of a base cell, and a partition
+    // sees only the ones it owns.
+    if reps > 1 && matches!(domain, CellDomain::All) {
+        cells = fold_campaign(&specs, cells, config, store)?;
     }
 
     Ok(Campaign {
@@ -661,7 +723,86 @@ pub fn run_campaign_with(
         cells,
         executed,
         memoized,
+        replicates: config.replicates,
     })
+}
+
+/// Folds each consecutive group of N replicate cells of a completed
+/// full-domain campaign into one fold cell: derived distribution
+/// metrics inserted into the store under the *base* fingerprint, raw
+/// replicate cells removed unless `keep_replicates`. Assembly already
+/// sorted cells by global index and the replicate axis varies fastest,
+/// so each group sits consecutively in replicate-index order — which
+/// is exactly the order the fold must consume for shard/merge byte
+/// equivalence.
+fn fold_campaign(
+    specs: &[ScenarioSpec],
+    cells: Vec<CampaignCell>,
+    config: &ExecConfig,
+    store: &mut ResultStore,
+) -> Result<Vec<CampaignCell>, ScenarioError> {
+    let reps = config.replicates as usize;
+    if !cells.len().is_multiple_of(reps) {
+        return Err(ScenarioError::Store(format!(
+            "replicate fold: {} cells is not a multiple of {reps} replicates",
+            cells.len()
+        )));
+    }
+    let mut folded = Vec::with_capacity(cells.len() / reps);
+    for group in cells.chunks_exact(reps) {
+        let spec = specs
+            .iter()
+            .find(|s| s.id == group[0].scenario)
+            .expect("campaign cell of an unselected scenario");
+        let (base_params, first_rep) =
+            crate::matrix::split_rep(&group[0].params).ok_or_else(|| {
+                ScenarioError::Store(format!(
+                    "replicate fold: cell `{}` lacks a {REP_AXIS} coordinate",
+                    group[0].params.key()
+                ))
+            })?;
+        debug_assert_eq!(first_rep, 0, "groups start at replicate 0");
+        let results: Vec<&CellResult> = group.iter().map(|c| &c.result).collect();
+        let fold = crate::expect::fold_results(&results)?;
+        let base_seed = cell_seed(config.seed, spec.id, &base_params);
+        let base_fp = fingerprint_with_content(
+            spec.id,
+            spec.version,
+            spec.content_digest.as_deref(),
+            &base_params,
+            base_seed,
+        );
+        if !config.keep_replicates {
+            for cell in group {
+                store.remove(&fingerprint_with_content(
+                    spec.id,
+                    spec.version,
+                    spec.content_digest.as_deref(),
+                    &cell.params,
+                    cell.seed,
+                ));
+            }
+        }
+        store.insert_cell(
+            base_fp,
+            StoredCell {
+                scenario: spec.id.to_string(),
+                version: spec.version,
+                params_key: base_params.key(),
+                seed: base_seed,
+                fold: true,
+                result: fold.clone(),
+            },
+        );
+        folded.push(CampaignCell {
+            scenario: spec.id.to_string(),
+            params: base_params,
+            seed: base_seed,
+            result: fold,
+            memoized: group.iter().all(|c| c.memoized),
+        });
+    }
+    Ok(folded)
 }
 
 #[cfg(test)]
@@ -712,7 +853,11 @@ mod tests {
             &registry(),
             &[],
             &Filter::all(),
-            &ExecConfig { threads, seed },
+            &ExecConfig {
+                threads,
+                seed,
+                ..ExecConfig::default()
+            },
             store,
         )
         .unwrap()
@@ -759,6 +904,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
         )
@@ -779,6 +925,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
         )
@@ -813,6 +960,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 3,
+                ..ExecConfig::default()
             },
             &mut store,
         )
@@ -833,6 +981,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
         )
@@ -849,6 +998,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
         )
@@ -888,6 +1038,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut store,
         )
@@ -909,6 +1060,7 @@ mod tests {
                     &ExecConfig {
                         threads: 2,
                         seed: 9,
+                        ..ExecConfig::default()
                     },
                     &mut ResultStore::new(),
                     Some(Shard::new(index, count).unwrap()),
@@ -939,6 +1091,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 0,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
             Some(Shard { index: 5, count: 2 }),
@@ -977,6 +1130,7 @@ mod tests {
         let config = ExecConfig {
             threads: 2,
             seed: 4,
+            ..ExecConfig::default()
         };
         let mut pieces = Vec::new();
         // A deliberate slice-of-one-range (a single chunk), not a
@@ -1046,6 +1200,7 @@ mod tests {
             &ExecConfig {
                 threads: 3,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut store,
             CellDomain::All,
@@ -1093,6 +1248,7 @@ mod tests {
             &ExecConfig {
                 threads: 3,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut store,
             CellDomain::All,
@@ -1127,6 +1283,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut store,
             CellDomain::All,
@@ -1151,6 +1308,7 @@ mod tests {
             &ExecConfig {
                 threads: 1,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut store,
             CellDomain::All,
@@ -1172,6 +1330,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut store,
             CellDomain::All,
@@ -1181,5 +1340,204 @@ mod tests {
         assert_eq!(campaign.memoized, 1);
         assert_eq!(campaign.executed, 5);
         assert_eq!(store.len(), 6);
+    }
+
+    fn run_reps(reps: u32, keep: bool, seed: u64, store: &mut ResultStore) -> Campaign {
+        run_campaign(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed,
+                replicates: reps,
+                keep_replicates: keep,
+            },
+            store,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_replicate_is_byte_identical_to_no_replicates() {
+        let mut plain_store = ResultStore::new();
+        let plain = run(2, 42, &mut plain_store);
+        let mut rep_store = ResultStore::new();
+        let rep = run_reps(1, false, 42, &mut rep_store);
+        assert_eq!(plain.cells, rep.cells);
+        assert_eq!(
+            plain_store.to_json().pretty(),
+            rep_store.to_json().pretty(),
+            "replicates=1 must not perturb the store"
+        );
+    }
+
+    #[test]
+    fn zero_replicates_are_rejected() {
+        let err = run_campaign(
+            &registry(),
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+                replicates: 0,
+                keep_replicates: false,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("replicates"), "got: {err}");
+    }
+
+    #[test]
+    fn replicated_campaign_folds_to_one_distribution_cell_per_base() {
+        let mut store = ResultStore::new();
+        let campaign = run_reps(8, false, 7, &mut store);
+        // 6 base cells, each folded from 8 replicates.
+        assert_eq!(campaign.cells.len(), 6);
+        assert_eq!(campaign.executed, 48);
+        assert_eq!(store.len(), 6, "raw replicates dropped by default");
+        for cell in &campaign.cells {
+            assert!(cell.params.get("rep").is_err(), "fold keys base params");
+            let names: Vec<&str> = cell
+                .result
+                .metrics
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
+            let expected: Vec<String> = crate::expect::DERIVED_SUFFIXES
+                .iter()
+                .map(|s| format!("value.{s}"))
+                .collect();
+            assert_eq!(names, expected, "derived columns in declaration order");
+            assert_eq!(cell.result.metric("value.n"), Some(8.0));
+            // Toy's metric depends on the seed, so 8 distinct replicate
+            // seeds must spread the distribution.
+            let std = cell.result.metric("value.std").unwrap();
+            assert!(std > 0.0, "replicate seeds must vary the metric");
+            let (mean, p05, p95) = (
+                cell.result.metric("value.mean").unwrap(),
+                cell.result.metric("value.p05").unwrap(),
+                cell.result.metric("value.p95").unwrap(),
+            );
+            assert!(p05 <= mean && mean <= p95, "{p05} <= {mean} <= {p95}");
+        }
+    }
+
+    #[test]
+    fn keep_replicates_retains_raw_cells_and_memoizes_reruns() {
+        let mut store = ResultStore::new();
+        let first = run_reps(4, true, 3, &mut store);
+        assert_eq!(first.executed, 24);
+        assert_eq!(store.len(), 24 + 6, "raws plus one fold per base");
+        // Rerun: every raw replicate resolves from the store.
+        let second = run_reps(4, true, 3, &mut store);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.memoized, 24);
+        assert_eq!(
+            first
+                .cells
+                .iter()
+                .map(|c| (&c.params, c.seed, &c.result))
+                .collect::<Vec<_>>(),
+            second
+                .cells
+                .iter()
+                .map(|c| (&c.params, c.seed, &c.result))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fold_cell_is_keyed_by_the_base_fingerprint() {
+        let mut plain_store = ResultStore::new();
+        run(1, 11, &mut plain_store);
+        let mut rep_store = ResultStore::new();
+        run_reps(4, false, 11, &mut rep_store);
+        let plain_fps: Vec<&str> = plain_store.iter().map(|(fp, _)| fp).collect();
+        let rep_fps: Vec<&str> = rep_store.iter().map(|(fp, _)| fp).collect();
+        assert_eq!(plain_fps, rep_fps, "fold cells reuse the base identity");
+        assert!(rep_store.iter().all(|(_, c)| c.fold));
+        assert!(plain_store.iter().all(|(_, c)| !c.fold));
+    }
+
+    #[test]
+    fn replicates_reject_scenarios_declaring_the_rep_axis() {
+        struct RepAxis;
+        impl Scenario for RepAxis {
+            fn spec(&self) -> ScenarioSpec {
+                ScenarioSpec {
+                    id: "rep-axis",
+                    version: 1,
+                    title: "rep collision",
+                    source_crate: "harness",
+                    property: "p",
+                    uncertainty: "u",
+                    quality: "q",
+                    catalog_id: None,
+                    content_digest: None,
+                    axes: vec![Axis::new("rep", [1, 2])],
+                    headline_metric: "v",
+                    smaller_is_better: true,
+                }
+            }
+            fn run(&self, _: &Params, _: u64) -> Result<CellResult, ScenarioError> {
+                Ok(CellResult::new(vec![("v", 0.0)]))
+            }
+        }
+        let mut r = Registry::empty();
+        r.register(Box::new(RepAxis));
+        let err = run_campaign(
+            &r,
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+                replicates: 2,
+                keep_replicates: false,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("rep"), "got: {err}");
+        // Without replication the axis name is unreserved.
+        run_campaign(
+            &r,
+            &[],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 1,
+                seed: 0,
+                ..ExecConfig::default()
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn replicated_filters_keep_whole_groups() {
+        let mut store = ResultStore::new();
+        let campaign = run_campaign(
+            &registry(),
+            &[],
+            &Filter::all().with("a", "2"),
+            &ExecConfig {
+                threads: 2,
+                seed: 5,
+                replicates: 4,
+                keep_replicates: false,
+            },
+            &mut store,
+        )
+        .unwrap();
+        assert_eq!(campaign.cells.len(), 2, "two base cells survive the filter");
+        assert_eq!(campaign.executed, 8);
+        assert!(campaign
+            .cells
+            .iter()
+            .all(|c| c.params.get("a").unwrap() == "2"));
     }
 }

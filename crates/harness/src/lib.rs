@@ -99,7 +99,7 @@
 //!     &registry,
 //!     &["pipeline-domino".to_string()],
 //!     &Filter::all().with("n", "16"),
-//!     &ExecConfig { threads: 4, seed: 42 },
+//!     &ExecConfig { threads: 4, seed: 42, ..ExecConfig::default() },
 //!     &mut store,
 //! )
 //! .unwrap();
@@ -112,7 +112,7 @@
 //!     &registry,
 //!     &["pipeline-domino".to_string()],
 //!     &Filter::all().with("n", "16"),
-//!     &ExecConfig { threads: 4, seed: 42 },
+//!     &ExecConfig { threads: 4, seed: 42, ..ExecConfig::default() },
 //!     &mut store,
 //! )
 //! .unwrap();
@@ -121,6 +121,7 @@
 
 pub mod dist;
 pub mod exec;
+pub mod expect;
 pub mod gen;
 pub mod json;
 pub mod matrix;
@@ -138,6 +139,7 @@ pub use exec::{
     run_campaign, run_campaign_shard, run_campaign_with, Campaign, CampaignCell, CellDomain,
     ExecConfig, ExecHooks, ExecProgress, Shard,
 };
+pub use expect::{fold_results, replicate_seed, Accumulator, Moments, DERIVED_SUFFIXES};
 pub use gen::{Corpus, GenOptions};
 pub use matrix::{CellIter, Filter};
 pub use obs::Obs;

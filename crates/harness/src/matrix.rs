@@ -92,6 +92,33 @@ pub fn expand(axes: &[Axis]) -> Vec<Params> {
     CellIter::new(axes).collect()
 }
 
+/// The reserved replicate-axis name: a campaign run with
+/// `--replicates N` multiplies every scenario matrix by this axis
+/// (fastest-varying, values `0..N`). Scenarios may not declare an axis
+/// with this name — the executor rejects the collision up front.
+pub const REP_AXIS: &str = "rep";
+
+/// Extends a base cell's params with its replicate index: the
+/// [`REP_AXIS`] pair is appended after the declared axes, so replicate
+/// cells sort and fingerprint as ordinary cells of an extended matrix.
+pub fn with_rep(params: &Params, rep: u32) -> Params {
+    let mut pairs = params.pairs().to_vec();
+    pairs.push((REP_AXIS.to_string(), rep.to_string()));
+    Params::new(pairs)
+}
+
+/// Splits a replicate cell's params back into `(base params, rep)`;
+/// `None` when the trailing pair is not a well-formed replicate index.
+pub fn split_rep(params: &Params) -> Option<(Params, u32)> {
+    let pairs = params.pairs();
+    let (last, base) = pairs.split_last()?;
+    if last.0 != REP_AXIS {
+        return None;
+    }
+    let rep = last.1.parse::<u32>().ok()?;
+    Some((Params::new(base.to_vec()), rep))
+}
+
 /// An `axis=value` conjunction-of-disjunctions filter.
 #[derive(Debug, Clone, Default)]
 pub struct Filter {
@@ -245,6 +272,22 @@ mod tests {
         assert_eq!(iter.size_hint(), (6, Some(6)));
         iter.next();
         assert_eq!(iter.len(), 5);
+    }
+
+    #[test]
+    fn rep_extension_round_trips() {
+        let base = Params::new(vec![("a".into(), "1".into()), ("b".into(), "x".into())]);
+        let extended = with_rep(&base, 7);
+        assert_eq!(extended.key(), "a=1,b=x,rep=7");
+        let (back, rep) = split_rep(&extended).unwrap();
+        assert_eq!((back.key().as_str(), rep), ("a=1,b=x", 7));
+        // The empty base matrix still extends cleanly.
+        let lone = with_rep(&Params::new(vec![]), 0);
+        assert_eq!(lone.key(), "rep=0");
+        assert_eq!(split_rep(&lone).unwrap().1, 0);
+        // Non-replicate cells split to None.
+        assert!(split_rep(&base).is_none());
+        assert!(split_rep(&Params::new(vec![])).is_none());
     }
 
     #[test]

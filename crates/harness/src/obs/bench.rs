@@ -226,7 +226,11 @@ pub fn run_exec_benches(
             &registry,
             &select,
             &Filter::all(),
-            &ExecConfig { threads, seed: 42 },
+            &ExecConfig {
+                threads,
+                seed: 42,
+                ..ExecConfig::default()
+            },
             store,
             CellDomain::All,
             hooks,
@@ -269,6 +273,43 @@ pub fn run_exec_benches(
         higher_is_better: true,
         samples,
     });
+    // The replicate-fold lane: the same total executed cell count as
+    // the fresh sweep, but decoded as exec_cells/16 base cells × 16
+    // replicate seeds and Welford-folded into one distribution cell
+    // per base. Committed beside `exec/run/workers=4`, the pair pins
+    // what the streaming fold costs per cell (expected: noise).
+    const FOLD_REPS: u32 = 16;
+    let base_cells = (config.exec_cells / FOLD_REPS as usize).max(1);
+    let fold_registry = bench_registry(base_cells);
+    let name = "exec/replicate-fold/workers=4".to_string();
+    progress(&name);
+    let mut samples = Vec::new();
+    for _ in 0..config.repeats {
+        let mut store = ResultStore::new();
+        let start = monotonic_ns();
+        run_campaign_with(
+            &fold_registry,
+            &select,
+            &Filter::all(),
+            &ExecConfig {
+                threads: 4,
+                seed: 42,
+                replicates: FOLD_REPS,
+                keep_replicates: false,
+            },
+            &mut store,
+            CellDomain::All,
+            ExecHooks::default(),
+        )?;
+        let secs = elapsed_secs(start);
+        samples.push((base_cells * FOLD_REPS as usize) as f64 / secs);
+    }
+    results.push(BenchResult {
+        name,
+        unit: "cells/sec",
+        higher_is_better: true,
+        samples,
+    });
     Ok(results)
 }
 
@@ -286,7 +327,36 @@ fn build_store(cells: usize) -> ResultStore {
                 version: 1,
                 params_key: params.key(),
                 seed: i,
+                fold: false,
                 result: CellResult::new(vec![("v", (splitmix(i) % 1_000_000) as f64)]),
+            },
+        );
+    }
+    store
+}
+
+/// Builds a synthetic store of `cells` *fold* cells — each carrying
+/// the seven derived distribution columns a replicate fold emits — so
+/// the save-fold bench times the wide-metric row shape.
+fn build_fold_store(cells: usize) -> ResultStore {
+    let mut store = ResultStore::new();
+    for i in 0..cells as u64 {
+        let params = Params::new(vec![("i".into(), i.to_string())]);
+        let fp = fingerprint(BENCH_SCENARIO, 1, &params, i);
+        let v = (splitmix(i) % 1_000_000) as f64;
+        let metrics: Vec<(String, f64)> = crate::expect::DERIVED_SUFFIXES
+            .iter()
+            .map(|suffix| (format!("v.{suffix}"), v))
+            .collect();
+        store.insert_cell(
+            fp,
+            StoredCell {
+                scenario: BENCH_SCENARIO.to_string(),
+                version: 1,
+                params_key: params.key(),
+                seed: i,
+                fold: true,
+                result: CellResult { metrics },
             },
         );
     }
@@ -325,6 +395,7 @@ fn store_benches_in(
         let mut save_bin = Vec::new();
         let mut load_bin = Vec::new();
         let mut merge_bin = Vec::new();
+        let mut save_fold = Vec::new();
         progress(&format!("store/*/cells={cells}"));
         // Two half-stores for the merge bench: alternating cells, the
         // shape a two-shard campaign produces.
@@ -345,6 +416,12 @@ fn store_benches_in(
         ResultStore::load(&path)?;
         ResultStore::load(&bin_path)?;
         crate::dist::merge_stores(&halves).map_err(|e| ScenarioError::Store(e.to_string()))?;
+        // The fold-store lane: same cell count, but every cell carries
+        // the seven derived distribution columns and the fold flag —
+        // the row shape a replicated campaign checkpoints.
+        let fold_store = build_fold_store(cells);
+        let fold_path = dir.join(format!("store-{cells}-fold.json"));
+        fold_store.save(&fold_path)?;
         for _ in 0..config.repeats {
             let start = monotonic_ns();
             store.save(&path)?;
@@ -377,6 +454,9 @@ fn store_benches_in(
                 .map_err(|e| ScenarioError::Store(e.to_string()))?;
             merge_bin.push(elapsed_ms(start));
             assert_eq!(fused.len(), cells);
+            let start = monotonic_ns();
+            fold_store.save(&fold_path)?;
+            save_fold.push(elapsed_ms(start));
         }
         for (op, samples) in [
             ("save", save),
@@ -385,6 +465,7 @@ fn store_benches_in(
             ("save-bin", save_bin),
             ("load-bin", load_bin),
             ("merge-bin", merge_bin),
+            ("save-fold", save_fold),
         ] {
             results.push(BenchResult {
                 name: format!("store/{op}/cells={cells}"),
@@ -769,7 +850,7 @@ mod tests {
     fn exec_benches_measure_nonzero_throughput() {
         let mut lines = Vec::new();
         let results = run_exec_benches(&tiny(), &mut |l| lines.push(l.to_string())).unwrap();
-        assert_eq!(results.len(), 3); // two tiers + memo
+        assert_eq!(results.len(), 4); // two tiers + memo + replicate-fold
         for r in &results {
             assert_eq!(r.samples.len(), 2);
             assert!(
@@ -780,6 +861,7 @@ mod tests {
             );
         }
         assert!(lines.iter().any(|l| l.contains("exec/memo")));
+        assert!(lines.iter().any(|l| l.contains("exec/replicate-fold")));
     }
 
     #[test]
@@ -793,6 +875,7 @@ mod tests {
             "store/save-bin/cells=10",
             "store/load-bin/cells=10",
             "store/merge-bin/cells=10",
+            "store/save-fold/cells=10",
             "journal/replay",
         ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");

@@ -6,6 +6,7 @@
 use crate::dist::diff::{DeltaKind, DiffReport};
 use crate::dist::plan::Manifest;
 use crate::exec::Campaign;
+use crate::expect::DERIVED_SUFFIXES;
 use crate::json::Json;
 use crate::registry::Registry;
 use crate::scenario::ScenarioSpec;
@@ -15,44 +16,60 @@ use std::fmt::Write as _;
 /// Serializes a campaign deterministically: equal campaigns render to
 /// equal bytes (the golden-file contract).
 pub fn campaign_json(campaign: &Campaign) -> String {
-    Json::Obj(vec![
+    let mut members = vec![
         // Decimal string: u64 seeds exceed f64's exact integer range.
         ("seed".into(), Json::str(campaign.seed.to_string())),
         ("executed".into(), Json::Num(campaign.executed as f64)),
         ("memoized".into(), Json::Num(campaign.memoized as f64)),
-        (
-            "cells".into(),
-            Json::Arr(
-                campaign
-                    .cells
-                    .iter()
-                    .map(|cell| {
-                        Json::Obj(vec![
-                            ("scenario".into(), Json::str(&cell.scenario)),
-                            ("params".into(), Json::str(cell.params.key())),
-                            // Hex: u64 seeds exceed f64's exact range.
-                            ("seed".into(), Json::str(format!("{:016x}", cell.seed))),
-                            (
-                                "metrics".into(),
-                                Json::Obj(
-                                    cell.result
-                                        .metrics
-                                        .iter()
-                                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                                        .collect(),
-                                ),
+    ];
+    // Only replicated campaigns carry the axis: a `--replicates 1` run
+    // must serialize byte-identically to a pre-replicate campaign.
+    if campaign.replicates > 1 {
+        members.push((
+            "replicates".into(),
+            Json::Num(f64::from(campaign.replicates)),
+        ));
+    }
+    members.push((
+        "cells".into(),
+        Json::Arr(
+            campaign
+                .cells
+                .iter()
+                .map(|cell| {
+                    Json::Obj(vec![
+                        ("scenario".into(), Json::str(&cell.scenario)),
+                        ("params".into(), Json::str(cell.params.key())),
+                        // Hex: u64 seeds exceed f64's exact range.
+                        ("seed".into(), Json::str(format!("{:016x}", cell.seed))),
+                        (
+                            "metrics".into(),
+                            Json::Obj(
+                                cell.result
+                                    .metrics
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                    .collect(),
                             ),
-                        ])
-                    })
-                    .collect(),
-            ),
+                        ),
+                    ])
+                })
+                .collect(),
         ),
-    ])
-    .pretty()
+    ));
+    Json::Obj(members).pretty()
 }
 
 /// Long-format CSV: one row per metric, schema-free across scenarios.
+///
+/// A replicated campaign's cells are distribution folds, so the CSV
+/// switches to the wide distribution schema: one row per *base* metric
+/// carrying the seven derived columns
+/// (`mean,std,ci95,p05,p50,p95,n`).
 pub fn campaign_csv(campaign: &Campaign) -> String {
+    if campaign.replicates > 1 {
+        return distribution_csv(campaign);
+    }
     let mut out = String::from("scenario,params,seed,metric,value\n");
     for cell in &campaign.cells {
         for (metric, value) in &cell.result.metrics {
@@ -64,6 +81,34 @@ pub fn campaign_csv(campaign: &Campaign) -> String {
                 cell.seed,
                 metric,
                 fmt_value(*value)
+            );
+        }
+    }
+    out
+}
+
+/// The wide CSV over fold cells: one row per base metric, the derived
+/// suffixes as columns in [`DERIVED_SUFFIXES`] order.
+fn distribution_csv(campaign: &Campaign) -> String {
+    let width = DERIVED_SUFFIXES.len();
+    let mut out = format!(
+        "scenario,params,seed,metric,{}\n",
+        DERIVED_SUFFIXES.join(",")
+    );
+    for cell in &campaign.cells {
+        for group in cell.result.metrics.chunks_exact(width) {
+            let base = group[0]
+                .0
+                .strip_suffix(".mean")
+                .unwrap_or(group[0].0.as_str());
+            let columns: Vec<String> = group.iter().map(|(_, v)| fmt_value(*v)).collect();
+            let _ = writeln!(
+                out,
+                "{},\"{}\",{},{base},{}",
+                cell.scenario,
+                cell.params.key(),
+                cell.seed,
+                columns.join(",")
             );
         }
     }
@@ -134,12 +179,23 @@ pub fn evidence_summary(campaign: &Campaign, registry: &Registry) -> String {
         let _ = writeln!(out, "   uncertainty: {}", spec.uncertainty);
         let _ = writeln!(out, "   quality:     {}", spec.quality);
         let headline = spec.headline_metric;
-        let values: Vec<Option<f64>> = cells.iter().map(|c| c.result.metric(headline)).collect();
+        // Fold cells carry `<headline>.mean` instead of the raw
+        // headline; fall back so replicated campaigns rank by mean.
+        let lookup = |c: &crate::exec::CampaignCell| {
+            c.result.metric(headline).map(|v| (v, None)).or_else(|| {
+                c.result
+                    .metric(&format!("{headline}.mean"))
+                    .map(|v| (v, c.result.metric(&format!("{headline}.ci95"))))
+            })
+        };
+        let stats: Vec<Option<(f64, Option<f64>)>> = cells.iter().map(|c| lookup(c)).collect();
+        let values: Vec<Option<f64>> = stats.iter().map(|s| s.map(|(v, _)| v)).collect();
         let best = fold_extreme(&values, spec.smaller_is_better);
         let worst = fold_extreme(&values, !spec.smaller_is_better);
-        for (cell, value) in cells.iter().zip(&values) {
-            let rendered = match value {
-                Some(v) => fmt_value(*v),
+        for ((cell, value), stat) in cells.iter().zip(&values).zip(&stats) {
+            let rendered = match stat {
+                Some((v, Some(ci))) => format!("{} ± {}", fmt_value(*v), fmt_value(*ci)),
+                Some((v, None)) => fmt_value(*v),
                 None => "—".to_string(),
             };
             let marker = match value {
@@ -167,6 +223,81 @@ pub fn evidence_summary(campaign: &Campaign, registry: &Registry) -> String {
     out
 }
 
+/// The Fig-1-style distribution view over a replicated campaign: per
+/// scenario, each cell's headline distribution rendered as a p05–p95
+/// span gauge (`|` marks p05/p95, `o` the median) scaled to the
+/// scenario's global range, plus the numeric columns. Cells without
+/// fold metrics (a non-replicated campaign) render nothing.
+pub fn distribution_summary(campaign: &Campaign, registry: &Registry) -> String {
+    const WIDTH: usize = 32;
+    let mut out = String::new();
+    for spec in registry.specs() {
+        let headline = spec.headline_metric;
+        let dist = |c: &crate::exec::CampaignCell| {
+            Some((
+                c.result.metric(&format!("{headline}.mean"))?,
+                c.result.metric(&format!("{headline}.ci95"))?,
+                c.result.metric(&format!("{headline}.p05"))?,
+                c.result.metric(&format!("{headline}.p50"))?,
+                c.result.metric(&format!("{headline}.p95"))?,
+                c.result.metric(&format!("{headline}.n"))?,
+            ))
+        };
+        let cells: Vec<_> = campaign
+            .cells
+            .iter()
+            .filter(|c| c.scenario == spec.id)
+            .filter_map(|c| dist(c).map(|d| (c, d)))
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "== {} [{}]  {headline} distribution",
+            spec.title, spec.id
+        );
+        // One shared scale per scenario so gauges are comparable rows.
+        let lo = cells.iter().map(|(_, d)| d.2).fold(f64::INFINITY, f64::min);
+        let hi = cells
+            .iter()
+            .map(|(_, d)| d.4)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let place = |v: f64| -> usize {
+            // A zero-width scale (all cells identical) or a non-finite
+            // quantile pins the marker to the gauge's midpoint.
+            if hi <= lo || !v.is_finite() {
+                return WIDTH / 2;
+            }
+            (((v - lo) / (hi - lo)) * (WIDTH - 1) as f64).round() as usize
+        };
+        for (cell, (mean, ci95, p05, p50, p95, n)) in cells {
+            let mut gauge = vec![b' '; WIDTH];
+            let span_end = place(p95).min(WIDTH - 1);
+            for slot in gauge.iter_mut().take(span_end + 1).skip(place(p05)) {
+                *slot = b'-';
+            }
+            gauge[place(p05).min(WIDTH - 1)] = b'|';
+            gauge[place(p95).min(WIDTH - 1)] = b'|';
+            gauge[place(p50).min(WIDTH - 1)] = b'o';
+            let _ = writeln!(
+                out,
+                "   {:<44} [{}] p05={} p50={} p95={} mean={} ± {} (n={})",
+                cell.params.key(),
+                String::from_utf8_lossy(&gauge),
+                fmt_value(p05),
+                fmt_value(p50),
+                fmt_value(p95),
+                fmt_value(mean),
+                fmt_value(ci95),
+                fmt_value(n),
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Wraps already-materialized cells as an all-memoized [`Campaign`] so
 /// the summary renderers above can run over them — the serve daemon's
 /// `report` op uses this to render its index snapshot without
@@ -178,6 +309,7 @@ pub fn memoized_campaign(cells: Vec<crate::exec::CampaignCell>, seed: u64) -> Ca
         cells,
         executed: 0,
         memoized,
+        replicates: 1,
     }
 }
 
@@ -248,7 +380,23 @@ pub fn diff_summary(report: &DiffReport) -> String {
             }
         }
     }
-    let _ = writeln!(
+    // Near misses: metrics that moved but were admitted by a
+    // tolerance rule. Naming the rule is the audit trail — a drift the
+    // sigma rule admitted is statistical noise, one the abs rule
+    // admitted is a deliberate slack.
+    for miss in &report.near_misses {
+        let _ = writeln!(
+            out,
+            "≈ {:<20} {:<44} {}: {} -> {} (admitted: {})",
+            miss.scenario,
+            miss.params_key,
+            miss.metric,
+            fmt_value(miss.before),
+            fmt_value(miss.after),
+            miss.admitted
+        );
+    }
+    let _ = write!(
         out,
         "diff: {} added, {} removed, {} changed, {} unchanged",
         report.added(),
@@ -256,6 +404,10 @@ pub fn diff_summary(report: &DiffReport) -> String {
         report.changed(),
         report.unchanged
     );
+    if !report.near_misses.is_empty() {
+        let _ = write!(out, ", {} within tolerance", report.near_misses.len());
+    }
+    out.push('\n');
     out
 }
 
@@ -441,6 +593,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 1,
+                ..ExecConfig::default()
             },
             &mut ResultStore::new(),
         )
@@ -557,5 +710,64 @@ mod tests {
                 assert!(s.contains(axis.name), "axis {} missing", axis.name);
             }
         }
+    }
+
+    fn replicated_campaign() -> (Campaign, Registry) {
+        let registry = Registry::builtin();
+        let campaign = run_campaign(
+            &registry,
+            &["pipeline-domino".to_string()],
+            &Filter::all(),
+            &ExecConfig {
+                threads: 2,
+                seed: 1,
+                replicates: 8,
+                keep_replicates: false,
+            },
+            &mut ResultStore::new(),
+        )
+        .unwrap();
+        (campaign, registry)
+    }
+
+    #[test]
+    fn replicated_campaign_renders_distribution_artifacts() {
+        let (campaign, registry) = replicated_campaign();
+        // JSON carries the axis (only when > 1).
+        let json = campaign_json(&campaign);
+        assert!(json.contains("\"replicates\": 8"), "got: {json}");
+        let (plain, _) = small_campaign();
+        assert!(!campaign_json(&plain).contains("replicates"));
+        // CSV switches to the wide distribution schema.
+        let csv = campaign_csv(&campaign);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "scenario,params,seed,metric,mean,std,ci95,p05,p50,p95,n"
+        );
+        // One row per base metric per fold cell.
+        let rows: usize = campaign
+            .cells
+            .iter()
+            .map(|c| c.result.metrics.len() / DERIVED_SUFFIXES.len())
+            .sum();
+        assert_eq!(csv.lines().count(), rows + 1);
+        // Evidence summary ranks by the fold mean with a ±ci95 band.
+        let s = evidence_summary(&campaign, &registry);
+        assert!(s.contains(" ± "), "got: {s}");
+        assert!(s.contains("<- best"), "got: {s}");
+        // The distribution view draws one gauge per cell.
+        let d = distribution_summary(&campaign, &registry);
+        assert!(d.contains("distribution"), "got: {d}");
+        assert!(d.contains("p05="), "got: {d}");
+        assert!(d.contains("(n=8)"), "got: {d}");
+        let gauges = d.lines().filter(|l| l.contains("p05=")).count();
+        assert_eq!(
+            gauges,
+            campaign.cells.len(),
+            "one gauge per fold cell:\n{d}"
+        );
+        // A plain campaign has no fold metrics: the view is empty.
+        assert!(distribution_summary(&plain, &registry).is_empty());
     }
 }

@@ -94,6 +94,9 @@ pub struct CellEntry {
     pub seed: u64,
     /// Scenario implementation version.
     pub version: u32,
+    /// Whether the cell is a replicate fold (distribution metrics
+    /// derived over a replicate group) rather than a raw execution.
+    pub fold: bool,
     /// `(metric symbol, value)` pairs in declaration order.
     pub metrics: Vec<(Sym, f64)>,
 }
@@ -117,6 +120,7 @@ pub struct StoreIndex {
     interner: Interner,
     scenarios: BTreeMap<String, ScenarioIndex>,
     cells: usize,
+    folds: usize,
 }
 
 /// A materialized query answer: the assignment rendered back to
@@ -183,14 +187,23 @@ impl StoreIndex {
             fingerprint: fp.to_string(),
             seed: cell.seed,
             version: cell.version,
+            fold: cell.fold,
             metrics,
         });
         self.cells += 1;
+        if cell.fold {
+            self.folds += 1;
+        }
     }
 
     /// Total indexed cells.
     pub fn cells(&self) -> usize {
         self.cells
+    }
+
+    /// How many indexed cells are replicate folds (distribution cells).
+    pub fn folds(&self) -> usize {
+        self.folds
     }
 
     /// Indexed scenario ids, sorted.

@@ -152,6 +152,10 @@ struct JobSpec {
     filters: Vec<String>,
     seed: u64,
     corpus_size: Option<u32>,
+    /// Replicates per base cell; the completed full-domain run folds
+    /// them into distribution metrics exactly like `run --replicates`.
+    replicates: Option<u32>,
+    keep_replicates: bool,
 }
 
 /// Where a job is in its lifecycle, as reported by the `jobs` op.
@@ -898,6 +902,7 @@ fn stats_response(inner: &ServerInner) -> Json {
     ok_json(vec![
         ("uptime_ms".to_string(), count(uptime_ms)),
         ("cells".to_string(), Json::Num(index.cells() as f64)),
+        ("fold_cells".to_string(), Json::Num(index.folds() as f64)),
         (
             "scenarios".to_string(),
             Json::Num(index.scenarios().count() as f64),
@@ -1003,9 +1008,12 @@ fn query_response(inner: &ServerInner, doc: &Json) -> Json {
     }
 }
 
-/// One indexed cell as a response object.
+/// One indexed cell as a response object. Fold cells (derived
+/// distribution metrics over a replicate group) carry a `fold: true`
+/// marker; raw cells keep the exact shape they had before replicates
+/// existed.
 fn cell_json(index: &StoreIndex, hit: &index::IndexHit<'_>) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         (
             "params".to_string(),
             Json::Obj(
@@ -1021,17 +1029,21 @@ fn cell_json(index: &StoreIndex, hit: &index::IndexHit<'_>) -> Json {
         ),
         ("version".to_string(), Json::Num(hit.cell.version as f64)),
         ("fingerprint".to_string(), Json::str(&hit.cell.fingerprint)),
-        (
-            "metrics".to_string(),
-            Json::Obj(
-                hit.cell
-                    .metrics
-                    .iter()
-                    .map(|&(name, value)| (index.metric_name(name).to_string(), Json::Num(value)))
-                    .collect(),
-            ),
+    ];
+    if hit.cell.fold {
+        members.push(("fold".to_string(), Json::Bool(true)));
+    }
+    members.push((
+        "metrics".to_string(),
+        Json::Obj(
+            hit.cell
+                .metrics
+                .iter()
+                .map(|&(name, value)| (index.metric_name(name).to_string(), Json::Num(value)))
+                .collect(),
         ),
-    ])
+    ));
+    Json::Obj(members)
 }
 
 /// `query_range`: axis-filtered scan returning metric columns.
@@ -1177,7 +1189,15 @@ fn submit_response(inner: &ServerInner, doc: &Json) -> Json {
     }
     // Unknown keys are rejected, not ignored: a typo like `scenario`
     // for `scenarios` would otherwise silently submit the full matrix.
-    const KNOWN: [&str; 5] = ["op", "scenarios", "filters", "seed", "corpus_size"];
+    const KNOWN: [&str; 7] = [
+        "op",
+        "scenarios",
+        "filters",
+        "seed",
+        "corpus_size",
+        "replicates",
+        "keep_replicates",
+    ];
     if let Json::Obj(members) = doc {
         for (key, _) in members {
             if !KNOWN.contains(&key.as_str()) {
@@ -1236,6 +1256,18 @@ fn submit_response(inner: &ServerInner, doc: &Json) -> Json {
         None => None,
         Some(_) => return error_json("`corpus_size` must be a positive integer"),
     };
+    let replicates = match doc.get("replicates") {
+        Some(Json::Num(x)) if x.fract() == 0.0 && *x >= 1.0 && *x <= u32::MAX as f64 => {
+            Some(*x as u32)
+        }
+        None => None,
+        Some(_) => return error_json("`replicates` must be a positive integer"),
+    };
+    let keep_replicates = match doc.get("keep_replicates") {
+        Some(Json::Bool(b)) => *b,
+        None => false,
+        Some(_) => return error_json("`keep_replicates` must be a boolean"),
+    };
     inner.submits.fetch_add(1, Ordering::SeqCst);
     let mut jobs = inner.jobs.lock().expect("job state lock poisoned");
     jobs.next_id += 1;
@@ -1249,6 +1281,8 @@ fn submit_response(inner: &ServerInner, doc: &Json) -> Json {
                 filters,
                 seed,
                 corpus_size,
+                replicates,
+                keep_replicates,
             },
             status: JobStatus::Queued,
             error: None,
@@ -1371,6 +1405,8 @@ fn run_job(
         &ExecConfig {
             threads: inner.options.exec_threads,
             seed: job.seed,
+            replicates: job.replicates.unwrap_or(1),
+            keep_replicates: job.keep_replicates,
         },
         &mut store,
         CellDomain::All,
@@ -1581,6 +1617,7 @@ mod tests {
             &ExecConfig {
                 threads: 2,
                 seed: 42,
+                ..ExecConfig::default()
             },
             &mut batch,
             CellDomain::All,

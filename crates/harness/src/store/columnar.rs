@@ -23,7 +23,8 @@
 //!                    1: u32 raw whole-key symbol (uninvertible key)
 //!     cell count   u32
 //!     cell records cell count × 29 bytes, ascending fingerprint:
-//!                    u8  flags (bit 0: fingerprint is a raw symbol)
+//!                    u8  flags (bit 0: fingerprint is a raw symbol;
+//!                        bit 1: the cell is an `expect` fold cell)
 //!                    u64 fingerprint (value of the 16-hex key,
 //!                        or a symbol id when bit 0 is set)
 //!                    u64 seed
@@ -279,10 +280,13 @@ pub fn encode(store: &ResultStore) -> Vec<u8> {
                 }
             };
             last_mset = mset_idx;
-            let (flags, fp_word) = match parse_hex_fp(fp) {
+            let (mut flags, fp_word) = match parse_hex_fp(fp) {
                 Some(word) => (0u8, word),
                 None => (1u8, interner.intern(fp) as u64),
             };
+            if cell.fold {
+                flags |= 2;
+            }
             recs.push(CellRec {
                 flags,
                 fp: fp_word,
@@ -564,6 +568,7 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, ScenarioError> {
                     version: rec.version,
                     params_key,
                     seed: rec.seed,
+                    fold: rec.flags & 2 != 0,
                     result: CellResult { metrics },
                 },
             ));
@@ -646,6 +651,7 @@ mod tests {
             version: 1,
             params_key: "n=1,2".into(),
             seed: 7,
+            fold: false,
             result: CellResult::new(vec![("m", 1.0)]),
         };
         store.insert_cell("not-a-hex-fingerprint".into(), weird.clone());
@@ -664,6 +670,36 @@ mod tests {
             Some(&bare),
             "uppercase hex must not be normalized"
         );
+    }
+
+    #[test]
+    fn fold_flag_round_trips() {
+        let mut store = ResultStore::new();
+        let fold = StoredCell {
+            scenario: "s".into(),
+            version: 1,
+            params_key: "n=1".into(),
+            seed: 7,
+            fold: true,
+            result: CellResult::new(vec![("m.mean", 1.5), ("m.n", 4.0)]),
+        };
+        store.insert_cell("00000000000000aa".into(), fold.clone());
+        let raw = StoredCell {
+            fold: false,
+            ..fold.clone()
+        };
+        store.insert_cell("00000000000000ab".into(), raw.clone());
+        let bytes = encode(&store);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(
+            decoded.store.get_by_fingerprint("00000000000000aa"),
+            Some(&fold)
+        );
+        assert_eq!(
+            decoded.store.get_by_fingerprint("00000000000000ab"),
+            Some(&raw)
+        );
+        assert_eq!(encode(&decoded.store), bytes, "fold flag stays canonical");
     }
 
     #[test]

@@ -130,6 +130,10 @@ pub struct StoredCell {
     pub params_key: String,
     /// The cell seed the result was computed under.
     pub seed: u64,
+    /// True for a *fold cell*: derived distribution metrics
+    /// (`<metric>.mean/.std/...`) computed by `harness::expect` over
+    /// replicate outcomes, keyed by the base cell's fingerprint.
+    pub fold: bool,
     /// The measured metrics.
     pub result: CellResult,
 }
@@ -138,23 +142,29 @@ impl StoredCell {
     /// The cell's canonical JSON object — the value stored under its
     /// fingerprint in the checkpoint file and in journal lines.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("scenario".into(), Json::str(&self.scenario)),
             ("version".into(), Json::Num(self.version as f64)),
             ("params".into(), Json::str(&self.params_key)),
             // Hex: u64 seeds exceed f64's exact integer range.
             ("seed".into(), Json::str(format!("{:016x}", self.seed))),
-            (
-                "metrics".into(),
-                Json::Obj(
-                    self.result
-                        .metrics
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                        .collect(),
-                ),
+        ];
+        // Only fold cells carry the flag: plain cells keep today's
+        // exact bytes, so existing stores and goldens are unchanged.
+        if self.fold {
+            fields.push(("fold".into(), Json::Bool(true)));
+        }
+        fields.push((
+            "metrics".into(),
+            Json::Obj(
+                self.result
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Obj(fields)
     }
 
     /// Parses one cell object (`fp` only names the cell in errors).
@@ -190,11 +200,13 @@ impl StoredCell {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err(bad("metrics")),
         };
+        let fold = matches!(cell.get("fold"), Some(Json::Bool(true)));
         Ok(StoredCell {
             scenario,
             version,
             params_key,
             seed,
+            fold,
             result: CellResult { metrics },
         })
     }
@@ -316,6 +328,7 @@ impl ResultStore {
                 version,
                 params_key: params.key(),
                 seed,
+                fold: false,
                 result,
             },
         );
@@ -1630,6 +1643,7 @@ mod tests {
             version: 1,
             params_key: params().key(),
             seed: 3,
+            fold: false,
             result: CellResult::new(vec![("x", 3.0)]),
         };
         journal.append(&fp, &cell);
@@ -1666,6 +1680,7 @@ mod tests {
             version: 1,
             params_key: params().key(),
             seed: 1,
+            fold: false,
             result: CellResult::new(vec![("x", 1.0)]),
         };
         journal.append(&fp, &cell);
@@ -1734,6 +1749,7 @@ mod tests {
                     version: 1,
                     params_key: params().key(),
                     seed,
+                    fold: false,
                     result: CellResult::new(vec![("x", seed as f64)]),
                 },
             )

@@ -96,6 +96,9 @@ fn build_cell(pick: u8, value: u64, style: u8) -> (String, StoredCell) {
         version: 1 + (pick % 2) as u32,
         params_key,
         seed: value,
+        // Some fold cells in the population: the fold flag must
+        // survive both directions of the round trip.
+        fold: value.is_multiple_of(5),
         result: CellResult::new(vec![("lat", metric), ("ipc", (value % 100) as f64)]),
     };
     (fingerprint, cell)

@@ -27,7 +27,11 @@ fn single_process_store(seed: u64) -> ResultStore {
         &Registry::builtin(),
         &select(),
         &Filter::all(),
-        &ExecConfig { threads: 2, seed },
+        &ExecConfig {
+            threads: 2,
+            seed,
+            ..ExecConfig::default()
+        },
         &mut store,
     )
     .expect("single-process campaign must succeed");
@@ -453,4 +457,104 @@ fn cli_merge_rejects_conflicting_shards() {
     ]);
     assert_code(&out, 2, "conflicting merge");
     assert!(String::from_utf8_lossy(&out.stderr).contains("determinism violation"));
+}
+
+#[test]
+fn cli_replicated_steal_campaign_merges_byte_identical() {
+    // The replicate acceptance criterion as real OS processes: a
+    // 3-shard stealing campaign over `--replicates 16` merges (with
+    // the merge-side fold) to the byte-identical store of a
+    // single-process `run --replicates 16`.
+    let dir = TempDir::new("replicated-steal");
+    let manifest = dir.path("manifest.json");
+    let single = dir.path("single.json");
+    let merged = dir.path("merged.json");
+    let m = manifest.to_str().unwrap();
+
+    let out = campaign(&[
+        "run",
+        "--scenario",
+        SELECT[0],
+        "--scenario",
+        SELECT[1],
+        "--seed",
+        "42",
+        "--replicates",
+        "16",
+        "--quiet",
+        "--store",
+        single.to_str().unwrap(),
+    ]);
+    assert_code(&out, 0, "single-process replicated run");
+
+    let out = campaign(&[
+        "plan",
+        "--scenario",
+        SELECT[0],
+        "--scenario",
+        SELECT[1],
+        "--seed",
+        "42",
+        "--replicates",
+        "16",
+        "--shards",
+        "3",
+        "--manifest",
+        m,
+    ]);
+    assert_code(&out, 0, "replicated plan");
+
+    let mut shard_paths = Vec::new();
+    let mut workers = Vec::new();
+    for index in 0..3 {
+        let store = dir.path(&format!("shard{index}.json"));
+        workers.push(
+            Command::new(env!("CARGO_BIN_EXE_campaign"))
+                .args([
+                    "shard",
+                    "--manifest",
+                    m,
+                    "--index",
+                    &index.to_string(),
+                    "--steal",
+                    "--quiet",
+                    "--store",
+                    store.to_str().unwrap(),
+                ])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("shard worker must spawn"),
+        );
+        shard_paths.push(store);
+    }
+    for mut worker in workers {
+        assert!(worker.wait().unwrap().success(), "shard worker failed");
+    }
+
+    let mut merge_args = vec!["merge", "--out", merged.to_str().unwrap(), "--manifest", m];
+    let shard_strs: Vec<&str> = shard_paths.iter().map(|p| p.to_str().unwrap()).collect();
+    merge_args.extend(&shard_strs);
+    let out = campaign(&merge_args);
+    assert_code(&out, 0, "replicated merge");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("replicate groups folded"),
+        "merge summary must report the fold"
+    );
+
+    assert_eq!(
+        std::fs::read_to_string(&single).unwrap(),
+        std::fs::read_to_string(&merged).unwrap(),
+        "stolen replicated merge must be byte-identical to one process"
+    );
+
+    // The folded store gates under --sigmas: identical stores diff
+    // empty, and a generous sigma band admits nothing extra.
+    let out = campaign(&[
+        "diff",
+        single.to_str().unwrap(),
+        merged.to_str().unwrap(),
+        "--sigmas",
+        "3",
+    ]);
+    assert_code(&out, 0, "sigma diff of equal stores");
 }

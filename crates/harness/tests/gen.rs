@@ -103,6 +103,7 @@ fn gen_shard_equivalence_is_byte_identical() {
         &ExecConfig {
             threads: 2,
             seed: SEED,
+            ..ExecConfig::default()
         },
         &mut single,
     )
@@ -146,6 +147,7 @@ fn gen_cells_report_template_ratio() {
         &ExecConfig {
             threads: 2,
             seed: SEED,
+            ..ExecConfig::default()
         },
         &mut ResultStore::new(),
     )

@@ -27,6 +27,7 @@ fn run(threads: usize, store: &mut ResultStore) -> Campaign {
         &ExecConfig {
             threads,
             seed: SEED,
+            ..ExecConfig::default()
         },
         store,
     )
@@ -149,7 +150,11 @@ fn seeded_scenarios_are_thread_independent_too() {
                 &Registry::builtin(),
                 &select,
                 &Filter::all().with("clients", "2").with("co_masters", "3"),
-                &ExecConfig { threads, seed: 7 },
+                &ExecConfig {
+                    threads,
+                    seed: 7,
+                    ..ExecConfig::default()
+                },
                 &mut ResultStore::new(),
             )
             .expect("campaign must succeed"),
